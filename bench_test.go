@@ -1,0 +1,215 @@
+// Benchmarks regenerating the paper's evaluation artifacts (see DESIGN.md
+// experiment index):
+//
+//	BenchmarkTable1Extract/*   — Table I extraction runtime column (E1)
+//	BenchmarkFig6Criticality   — Fig. 6 criticality engine on c7552 (E2)
+//	BenchmarkFig7HierAnalysis  — Fig. 7 proposed hierarchical analysis (E3)
+//	BenchmarkFig7GlobalOnly    — Fig. 7 baseline mode (E3)
+//	BenchmarkFig7MonteCarlo    — Fig. 7 Monte Carlo ground truth (E3)
+//	BenchmarkExtractDelta/*    — delta ablation (E4)
+//	BenchmarkReplacement       — eq. 19 variable replacement (E5)
+//	BenchmarkPropagate/*       — flat SSTA propagation (substrate)
+//	BenchmarkSum/BenchmarkMax  — canonical-form micro-operations (substrate)
+//
+// The cmd/table1, cmd/fig6 and cmd/fig7 binaries print the corresponding
+// tables/series; these benches measure the runtimes.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/ssta"
+)
+
+// benchGraph builds the timing graph for a named benchmark once.
+func benchGraph(b *testing.B, name string) *ssta.Graph {
+	b.Helper()
+	g, _, err := ssta.DefaultFlow().BenchGraph(name, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkSum(b *testing.B) {
+	// Dimensions of a c7552-scale analysis: 3 globals, 3x36 components.
+	space := canon.Space{Globals: 3, Components: 108}
+	rng := rand.New(rand.NewSource(1))
+	x, y := space.NewForm(), space.NewForm()
+	for i := range x.Loc {
+		x.Loc[i] = rng.NormFloat64()
+		y.Loc[i] = rng.NormFloat64()
+	}
+	x.Rand, y.Rand = 1, 2
+	dst := space.NewForm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon.AddInto(dst, x, y)
+	}
+}
+
+func BenchmarkMax(b *testing.B) {
+	space := canon.Space{Globals: 3, Components: 108}
+	rng := rand.New(rand.NewSource(1))
+	x, y := space.NewForm(), space.NewForm()
+	x.Nominal, y.Nominal = 100, 101
+	for i := range x.Loc {
+		x.Loc[i] = rng.NormFloat64()
+		y.Loc[i] = rng.NormFloat64()
+	}
+	x.Rand, y.Rand = 1, 2
+	dst := space.NewForm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon.MaxInto(dst, x, y)
+	}
+}
+
+func BenchmarkPropagate(b *testing.B) {
+	for _, name := range []string{"c432", "c1908", "c7552"} {
+		g := benchGraph(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.ArrivalAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Extract measures the full extraction pipeline per
+// benchmark — the T column of Table I.
+func BenchmarkTable1Extract(b *testing.B) {
+	for _, spec := range ssta.ISCAS85Specs {
+		g := benchGraph(b, spec.Name)
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.Extract(g, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.Stats.EdgesModel), "edges")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Criticality measures the all-pairs criticality engine on
+// c7552 (the computation behind Fig. 6).
+func BenchmarkFig6Criticality(b *testing.B) {
+	g := benchGraph(b, "c7552")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EdgeCriticalities(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig7Design builds the quad-c6288 design once (extraction included in
+// setup, not measurement).
+func fig7Design(b *testing.B) *ssta.Design {
+	b.Helper()
+	flow := ssta.DefaultFlow()
+	g, plan, err := flow.BenchGraph("c6288", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := flow.Extract(g, ssta.ExtractOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := ssta.NewModule("c6288", model, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod.Orig = g
+	d, err := flow.QuadDesign("quad", mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkFig7HierAnalysis(b *testing.B) {
+	d := fig7Design(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Analyze(ssta.FullCorrelation); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7GlobalOnly(b *testing.B) {
+	d := fig7Design(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Analyze(ssta.GlobalOnly); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7MonteCarlo(b *testing.B) {
+	d := fig7Design(b)
+	flat, _, err := d.Flatten()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perIter = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.MaxDelaySamples(flat, mc.Config{Samples: perIter, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*perIter), "ns/sample")
+}
+
+// BenchmarkExtractDelta is the threshold ablation (E4): extraction cost and
+// model size across deltas.
+func BenchmarkExtractDelta(b *testing.B) {
+	g := benchGraph(b, "c880")
+	for _, delta := range []float64{0.01, 0.05, 0.20} {
+		b.Run(fmt.Sprintf("delta=%.2f", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.Extract(g, core.Options{Delta: delta})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.Stats.EdgesModel), "edges")
+			}
+		})
+	}
+}
+
+// BenchmarkReplacement measures the eq. 19 variable replacement and design
+// stitching in isolation (E5), without propagation.
+func BenchmarkReplacement(b *testing.B) {
+	d := fig7Design(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Flatten(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllPairs measures the all-pairs delay-matrix computation used by
+// both Table I accuracy columns.
+func BenchmarkAllPairs(b *testing.B) {
+	g := benchGraph(b, "c1355")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.AllPairsDelays(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

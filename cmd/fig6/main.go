@@ -1,0 +1,70 @@
+// Command fig6 regenerates Fig. 6 of the paper: the histogram of edge
+// maximum criticalities (c_m) for the c7552 benchmark. The paper's
+// observation — criticalities concentrate near 0 and 1, so most edges can
+// be removed at a small threshold — is what makes gray-box model extraction
+// effective.
+//
+// Usage:
+//
+//	go run ./cmd/fig6 [-circuit c7552] [-seed 1] [-bins 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/ssta"
+)
+
+func main() {
+	name := flag.String("circuit", "c7552", "benchmark circuit")
+	seed := flag.Int64("seed", 1, "generator seed")
+	bins := flag.Int("bins", 20, "histogram bins over [0,1]")
+	workers := flag.Int("workers", 0, "worker goroutines (0: all cores)")
+	flag.Parse()
+
+	flow := ssta.DefaultFlow()
+	g, _, err := flow.BenchGraph(*name, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	crit, err := ssta.EdgeCriticalities(g, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h, err := core.CriticalityHistogram(crit.Cm, *bins)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Fig. 6: edge criticalities (c_m) in %s — %d edges\n\n", *name, len(crit.Cm))
+	fmt.Printf("%-14s %9s %7s\n", "bin", "count", "frac")
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for b := range h.Counts {
+		lo, hi := h.BinBounds(b)
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", h.Counts[b]*50/maxCount)
+		}
+		fmt.Printf("[%.2f, %.2f) %9d %6.1f%% %s\n", lo, hi, h.Counts[b], 100*h.Fraction(b), bar)
+	}
+	below := 0
+	for _, c := range crit.Cm {
+		if c < core.DefaultDelta {
+			below++
+		}
+	}
+	fmt.Printf("\nedges with c_m < %.2f (removable at the paper's threshold): %d of %d (%.0f%%)\n",
+		core.DefaultDelta, below, len(crit.Cm), 100*float64(below)/float64(len(crit.Cm)))
+}

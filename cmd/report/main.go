@@ -1,0 +1,110 @@
+// Command report prints a statistical timing report for a combinational
+// circuit: the circuit delay distribution, the most critical paths (with
+// per-path delay distributions and criticalities), and the statistically
+// failing endpoints under a required time — the SSTA analogue of a timing
+// tool's report_timing.
+//
+// Usage:
+//
+//	go run ./cmd/report -gen c880 [-paths 5] [-treq 1200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/ssta"
+)
+
+func main() {
+	benchFile := flag.String("bench", "", "path to a .bench netlist")
+	gen := flag.String("gen", "", "ISCAS85 benchmark name to generate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	nPaths := flag.Int("paths", 5, "number of critical paths to report")
+	treq := flag.Float64("treq", 0, "required time (ps); 0 = statistical mean + 1 sigma")
+	flag.Parse()
+
+	flow := ssta.DefaultFlow()
+	var (
+		g    *ssta.Graph
+		name string
+		err  error
+	)
+	switch {
+	case *benchFile != "":
+		f, ferr := os.Open(*benchFile)
+		fatal(ferr)
+		defer f.Close()
+		name = *benchFile
+		g, _, err = flow.LoadBench(name, f)
+	case *gen != "":
+		name = *gen
+		g, _, err = flow.BenchGraph(name, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "select an input: -bench or -gen")
+		os.Exit(2)
+	}
+	fatal(err)
+
+	delay, err := g.MaxDelay()
+	fatal(err)
+	fmt.Printf("timing report for %s (%d vertices, %d edges)\n", name, g.NumVerts, len(g.Edges))
+	fmt.Printf("circuit delay: mean %.2f ps, sigma %.2f ps, 99.87%% point %.2f ps\n\n",
+		delay.Mean(), delay.Std(), delay.Quantile(0.99865))
+
+	paths, err := g.TopPaths(*nPaths)
+	fatal(err)
+	fmt.Printf("top %d statistically critical paths:\n", len(paths))
+	for i, p := range paths {
+		fmt.Printf("%2d. %-10s -> %-10s mean %8.2f ps  sigma %6.2f ps  crit %.3f  (%d stages)\n",
+			i+1, g.InputNames[p.Input], g.OutputNames[p.Output],
+			p.Delay.Mean(), p.Delay.Std(), p.Criticality, len(p.Edges))
+	}
+
+	req := *treq
+	if req <= 0 {
+		req = delay.Mean() + delay.Std()
+	}
+	slacks, err := g.Slacks(req)
+	fatal(err)
+	type endpoint struct {
+		name string
+		prob float64
+		mean float64
+	}
+	var failing []endpoint
+	for k, o := range g.Outputs {
+		s := slacks[o]
+		if s == nil {
+			continue
+		}
+		// Probability the endpoint violates the constraint.
+		pFail := s.CDF(0)
+		if pFail > 1e-4 {
+			failing = append(failing, endpoint{g.OutputNames[k], pFail, s.Mean()})
+		}
+	}
+	sort.Slice(failing, func(a, b int) bool { return failing[a].prob > failing[b].prob })
+	fmt.Printf("\nendpoints at risk for Treq = %.1f ps: %d of %d\n", req, len(failing), len(g.Outputs))
+	for i, e := range failing {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(failing)-10)
+			break
+		}
+		fmt.Printf("  %-12s P(violate) = %6.2f%%  slack mean %+.2f ps\n",
+			e.name, 100*e.prob, e.mean)
+	}
+	if len(failing) == 0 {
+		fmt.Println("  " + strings.Repeat("-", 3) + " all endpoints statistically safe")
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

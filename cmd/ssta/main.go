@@ -1,0 +1,102 @@
+// Command ssta runs flat statistical static timing analysis on a
+// combinational circuit and reports the delay distribution.
+//
+// Input selection (one of):
+//
+//	-bench file.bench   parse an ISCAS85 .bench netlist
+//	-gen c1908          generate a topology-matched ISCAS85-like benchmark
+//	-c17                use the embedded c17
+//	-mult 16            use a structural n x n array multiplier
+//
+// Usage:
+//
+//	go run ./cmd/ssta -gen c880 [-seed 1] [-mc 0] [-outputs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/ssta"
+)
+
+func main() {
+	benchFile := flag.String("bench", "", "path to a .bench netlist")
+	gen := flag.String("gen", "", "ISCAS85 benchmark name to generate")
+	useC17 := flag.Bool("c17", false, "use the embedded c17")
+	mult := flag.Int("mult", 0, "width of a structural array multiplier")
+	seed := flag.Int64("seed", 1, "generator seed")
+	mcIters := flag.Int("mc", 0, "also run Monte Carlo with this many iterations")
+	perOutput := flag.Bool("outputs", false, "print per-output arrival statistics")
+	flag.Parse()
+
+	flow := ssta.DefaultFlow()
+	var (
+		g    *ssta.Graph
+		name string
+		err  error
+	)
+	switch {
+	case *benchFile != "":
+		f, ferr := os.Open(*benchFile)
+		fatal(ferr)
+		defer f.Close()
+		name = *benchFile
+		g, _, err = flow.LoadBench(name, f)
+	case *gen != "":
+		name = *gen
+		g, _, err = flow.BenchGraph(name, *seed)
+	case *mult > 0:
+		c, merr := ssta.ArrayMultiplier(*mult)
+		fatal(merr)
+		name = c.Name
+		g, _, err = flow.Graph(c)
+	case *useC17:
+		name = "c17"
+		g, _, err = flow.Graph(ssta.C17())
+	default:
+		fmt.Fprintln(os.Stderr, "select an input: -bench, -gen, -mult or -c17")
+		os.Exit(2)
+	}
+	fatal(err)
+
+	delay, err := g.MaxDelay()
+	fatal(err)
+	fmt.Printf("circuit %s: %d vertices, %d edges, %d inputs, %d outputs\n",
+		name, g.NumVerts, len(g.Edges), len(g.Inputs), len(g.Outputs))
+	fmt.Printf("\nstatistical circuit delay: mean %.2f ps, std %.2f ps\n", delay.Mean(), delay.Std())
+	for _, p := range []float64{0.01, 0.5, 0.95, 0.99, 0.9987} {
+		fmt.Printf("  %6.2f%% yield at %8.2f ps\n", 100*p, delay.Quantile(p))
+	}
+
+	if *perOutput {
+		arr, err := g.ArrivalAll()
+		fatal(err)
+		fmt.Printf("\n%-16s %10s %9s\n", "output", "mean(ps)", "std(ps)")
+		for k, o := range g.Outputs {
+			if arr[o] == nil {
+				fmt.Printf("%-16s %10s %9s\n", g.OutputNames[k], "unreach", "-")
+				continue
+			}
+			fmt.Printf("%-16s %10.2f %9.2f\n", g.OutputNames[k], arr[o].Mean(), arr[o].Std())
+		}
+	}
+
+	if *mcIters > 0 {
+		samples, err := ssta.MaxDelaySamples(g, ssta.MCConfig{Samples: *mcIters, Seed: *seed})
+		fatal(err)
+		s := stats.Summarize(samples)
+		fmt.Printf("\nMonte Carlo (%d iters): mean %.2f ps, std %.2f ps (SSTA error: mean %+.2f%%, std %+.2f%%)\n",
+			*mcIters, s.Mean, s.Std,
+			100*(delay.Mean()-s.Mean)/s.Mean, 100*(delay.Std()-s.Std)/s.Std)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Command table1 regenerates Table I of the paper: statistical timing-model
+// extraction on the ten ISCAS85 benchmarks, reporting original and model
+// sizes, the compression ratios pe/pv, the maximum mean and std errors of
+// all input-output delays against Monte Carlo on the original netlist, and
+// the extraction runtime.
+//
+// Usage:
+//
+//	go run ./cmd/table1 [-samples 10000] [-delta 0.05] [-seed 1] [-circuits c432,c499,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/mc"
+	"repro/ssta"
+)
+
+func main() {
+	samples := flag.Int("samples", 10000, "Monte Carlo iterations (paper: 10,000)")
+	delta := flag.Float64("delta", 0.05, "criticality threshold (paper: 0.05)")
+	seed := flag.Int64("seed", 1, "generator and Monte Carlo seed")
+	circuits := flag.String("circuits", "", "comma-separated subset (default: all ten)")
+	workers := flag.Int("workers", 0, "worker goroutines (0: all cores)")
+	flag.Parse()
+
+	names := make([]string, 0, len(ssta.ISCAS85Specs))
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	} else {
+		for _, s := range ssta.ISCAS85Specs {
+			names = append(names, s.Name)
+		}
+	}
+
+	flow := ssta.DefaultFlow()
+	fmt.Println("Table I: results of timing model extraction")
+	fmt.Printf("(delta=%.2g, %d MC iterations, seed %d; topology-matched ISCAS85-like workloads)\n\n", *delta, *samples, *seed)
+	fmt.Printf("%-8s %6s %6s %6s %6s %5s %5s %7s %7s %9s\n",
+		"Circuit", "Eo", "Vo", "Em", "Vm", "pe", "pv", "merr", "verr", "T(s)")
+
+	var sumPE, sumPV, sumMerr, sumVerr float64
+	count := 0
+	for _, name := range names {
+		g, _, err := flow.BenchGraph(name, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		model, err := flow.Extract(g, ssta.ExtractOptions{Delta: *delta, Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: extract: %v\n", name, err)
+			os.Exit(1)
+		}
+		merr, verr, err := modelErrors(g, model, mc.Config{Samples: *samples, Seed: *seed, Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: monte carlo: %v\n", name, err)
+			os.Exit(1)
+		}
+		st := model.Stats
+		fmt.Printf("%-8s %6d %6d %6d %6d %4.0f%% %4.0f%% %6.2f%% %6.2f%% %9.2f\n",
+			name, st.EdgesOrig, st.VertsOrig, st.EdgesModel, st.VertsModel,
+			100*st.PE(), 100*st.PV(), 100*merr, 100*verr, st.Duration.Seconds())
+		sumPE += st.PE()
+		sumPV += st.PV()
+		sumMerr += merr
+		sumVerr += verr
+		count++
+	}
+	if count > 1 {
+		fmt.Printf("%-8s %6s %6s %6s %6s %4.0f%% %4.0f%% %6.2f%% %6.2f%%\n",
+			"average", "", "", "", "",
+			100*sumPE/float64(count), 100*sumPV/float64(count),
+			100*sumMerr/float64(count), 100*sumVerr/float64(count))
+	}
+}
+
+// modelErrors computes the paper's merr/verr: the maximum relative error of
+// the model's analytic input-output delay means/stds against Monte Carlo on
+// the original netlist.
+func modelErrors(orig *ssta.Graph, model *ssta.Model, cfg mc.Config) (merr, verr float64, err error) {
+	ref, err := mc.AllPairsStats(orig, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	ap, err := model.Graph.AllPairsDelays(cfg.Workers)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range ap.M {
+		for j, f := range ap.M[i] {
+			if f == nil || !ref.Reachable[i][j] {
+				continue
+			}
+			if m := math.Abs(f.Mean()-ref.Mean[i][j]) / ref.Mean[i][j]; m > merr {
+				merr = m
+			}
+			if ref.Std[i][j] > 0 {
+				if v := math.Abs(f.Std()-ref.Std[i][j]) / ref.Std[i][j]; v > verr {
+					verr = v
+				}
+			}
+		}
+	}
+	return merr, verr, nil
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of Li, Chen, Schmidt,
+// Schneider, Schlichtmann: "On Hierarchical Statistical Static Timing
+// Analysis" (DATE 2009, DOI 10.1109/DATE.2009.5090869).
+//
+// The public API lives in the ssta package; the experiment harnesses that
+// regenerate the paper's Table I and Figures 6-7 live under cmd/. See
+// README.md for the layout and DESIGN.md for the system inventory and the
+// paper-to-module mapping.
+package repro

@@ -1,0 +1,85 @@
+// Hierarchical analysis of a multiplier array: builds an 8x8 structural
+// array multiplier (the domain object behind c6288), extracts its timing
+// model, places four instances 2x2 in abutment with cross-connected
+// columns, and compares the proposed hierarchical analysis against the
+// global-correlation-only baseline and Monte Carlo ground truth.
+//
+//	go run ./examples/hierarchical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/stats"
+	"repro/ssta"
+)
+
+func main() {
+	flow := ssta.DefaultFlow()
+
+	// The module: a real 8x8 array multiplier netlist (AND partial products
+	// + carry-save adder rows), not a synthetic topology.
+	mult, err := ssta.ArrayMultiplier(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := mult.Stat()
+	fmt.Printf("module: %s — %d gates, depth %d, %d inputs, %d outputs\n",
+		st.Name, st.Gates, st.Depth, st.PIs, st.POs)
+
+	g, plan, err := flow.Graph(mult)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := flow.Extract(g, ssta.ExtractOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model:  %d -> %d edges (%.0f%%), %d -> %d vertices (%.0f%%)\n",
+		model.Stats.EdgesOrig, model.Stats.EdgesModel, 100*model.Stats.PE(),
+		model.Stats.VertsOrig, model.Stats.VertsModel, 100*model.Stats.PV())
+
+	mod, err := ssta.NewModule("mult8", model, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod.Orig = g
+
+	design, err := flow.QuadDesign("quad-mult8", mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := design.Analyze(ssta.FullCorrelation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	glob, err := design.Analyze(ssta.GlobalOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat, _, err := design.Flatten()
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := ssta.MaxDelaySamples(flat, ssta.MCConfig{Samples: 10000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := stats.Summarize(samples)
+	ecdf, err := stats.NewECDF(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ndesign delay (4 modules, cross-connected columns):\n")
+	fmt.Printf("  %-34s mean %8.1f ps  std %7.2f ps\n", "Monte Carlo (flattened, 10k):", sum.Mean, sum.Std)
+	fmt.Printf("  %-34s mean %8.1f ps  std %7.2f ps  KS %.4f\n",
+		"proposed hierarchical:", full.Delay.Mean(), full.Delay.Std(), ecdf.KSAgainst(full.Delay.CDF))
+	fmt.Printf("  %-34s mean %8.1f ps  std %7.2f ps  KS %.4f\n",
+		"global-only baseline:", glob.Delay.Mean(), glob.Delay.Std(), ecdf.KSAgainst(glob.Delay.CDF))
+	fmt.Printf("\nthe baseline ignores spatially correlated local variation between\n")
+	fmt.Printf("modules and visibly misestimates the distribution; the proposed\n")
+	fmt.Printf("variable replacement (paper eq. 19) recovers it.\n")
+}

@@ -1,0 +1,65 @@
+// Model extraction with a criticality-threshold sweep: the ablation behind
+// the paper's choice of delta = 0.05. For each threshold the example
+// extracts a gray-box timing model from a c1908-scale module and reports
+// model size against the worst-case accuracy loss of the input-output delay
+// matrix.
+//
+//	go run ./examples/modelextract
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/ssta"
+)
+
+func main() {
+	flow := ssta.DefaultFlow()
+	g, _, err := flow.BenchGraph("c1908", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference: the analytic all-pairs delay matrix of the original module.
+	ref, err := g.AllPairsDelays(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("delta sweep on c1908-like module (913 vertices, 1498 edges)")
+	fmt.Printf("%-8s %6s %6s %5s %5s %9s %9s\n", "delta", "Em", "Vm", "pe", "pv", "merr", "verr")
+	for _, delta := range []float64{-1, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30} {
+		model, err := flow.Extract(g, ssta.ExtractOptions{Delta: delta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ap, err := model.Graph.AllPairsDelays(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var merr, verr float64
+		for i := range ref.M {
+			for j := range ref.M[i] {
+				a, b := ref.M[i][j], ap.M[i][j]
+				if a == nil || b == nil {
+					continue
+				}
+				merr = math.Max(merr, math.Abs(b.Mean()-a.Mean())/a.Mean())
+				if a.Std() > 0 {
+					verr = math.Max(verr, math.Abs(b.Std()-a.Std())/a.Std())
+				}
+			}
+		}
+		label := fmt.Sprintf("%.2f", delta)
+		if delta < 0 {
+			label = "merge"
+		}
+		st := model.Stats
+		fmt.Printf("%-8s %6d %6d %4.0f%% %4.0f%% %8.2f%% %8.2f%%\n",
+			label, st.EdgesModel, st.VertsModel, 100*st.PE(), 100*st.PV(), 100*merr, 100*verr)
+	}
+	fmt.Println("\n(merge = serial/parallel merges only, no criticality removal;")
+	fmt.Println(" errors are worst-case over all input-output pairs vs the original module)")
+}

@@ -1,0 +1,340 @@
+// Package canon implements the canonical first-order delay form of the
+// paper's Section II and its statistical operations.
+//
+// A delay is represented as
+//
+//	d = Nominal + sum_g Glob[g]*G_g + sum_k Loc[k]*X_k + Rand*R
+//
+// where G_g are global process variables shared by every delay in the whole
+// design (one per process parameter), X_k are independent unit-variance
+// components obtained by PCA of the spatially correlated grid variables
+// (paper eq. 2-3), and R is a private standard normal modeling purely random
+// variation. All variables are independent N(0,1), so
+//
+//	Var(d)    = |Glob|^2 + |Loc|^2 + Rand^2
+//	Cov(a, b) = Glob_a . Glob_b + Loc_a . Loc_b
+//
+// Sum adds coefficients and combines the private random parts by
+// root-sum-of-squares (paper Section II). Max uses Clark's moment matching
+// with the tightness probability (paper eqs. 6-9).
+package canon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Space fixes the dimensionality of the shared variables of a set of forms.
+// Forms from different spaces must never be combined.
+type Space struct {
+	Globals    int // number of global variables (one per process parameter)
+	Components int // number of PCA components (parameters x retained grid components)
+}
+
+// Dim returns the number of shared random variables.
+func (s Space) Dim() int { return s.Globals + s.Components }
+
+// Form is one canonical first-order delay expression. The zero value is not
+// usable; construct forms with Space.Const or Space.NewForm.
+type Form struct {
+	Nominal float64
+	Glob    []float64 // length Space.Globals
+	Loc     []float64 // length Space.Components
+	Rand    float64   // coefficient of the private N(0,1); always >= 0
+}
+
+// NewForm returns a zero-valued form in the space.
+func (s Space) NewForm() *Form {
+	return &Form{Glob: make([]float64, s.Globals), Loc: make([]float64, s.Components)}
+}
+
+// Const returns a deterministic form with the given nominal value.
+func (s Space) Const(v float64) *Form {
+	f := s.NewForm()
+	f.Nominal = v
+	return f
+}
+
+// In reports whether the form has the dimensions of the space.
+func (f *Form) In(s Space) bool {
+	return len(f.Glob) == s.Globals && len(f.Loc) == s.Components
+}
+
+// Clone returns a deep copy.
+func (f *Form) Clone() *Form {
+	g := &Form{
+		Nominal: f.Nominal,
+		Glob:    make([]float64, len(f.Glob)),
+		Loc:     make([]float64, len(f.Loc)),
+		Rand:    f.Rand,
+	}
+	copy(g.Glob, f.Glob)
+	copy(g.Loc, f.Loc)
+	return g
+}
+
+// Mean returns the mean of the form. For the first-order canonical model the
+// mean is the nominal value.
+func (f *Form) Mean() float64 { return f.Nominal }
+
+// Variance returns the variance of the form.
+func (f *Form) Variance() float64 {
+	var s float64
+	for _, v := range f.Glob {
+		s += v * v
+	}
+	for _, v := range f.Loc {
+		s += v * v
+	}
+	return s + f.Rand*f.Rand
+}
+
+// Std returns the standard deviation.
+func (f *Form) Std() float64 { return math.Sqrt(f.Variance()) }
+
+// Cov returns the covariance of two forms. Private random parts never
+// co-vary.
+func Cov(a, b *Form) float64 {
+	var s float64
+	for i, v := range a.Glob {
+		s += v * b.Glob[i]
+	}
+	for i, v := range a.Loc {
+		s += v * b.Loc[i]
+	}
+	return s
+}
+
+// VarCov returns Var(a), Var(b) and Cov(a, b) in a single pass over the
+// coefficient vectors (hot path of the criticality engine).
+func VarCov(a, b *Form) (va, vb, cov float64) {
+	for i, x := range a.Glob {
+		y := b.Glob[i]
+		va += x * x
+		vb += y * y
+		cov += x * y
+	}
+	for i, x := range a.Loc {
+		y := b.Loc[i]
+		va += x * x
+		vb += y * y
+		cov += x * y
+	}
+	va += a.Rand * a.Rand
+	vb += b.Rand * b.Rand
+	return va, vb, cov
+}
+
+// Corr returns the correlation coefficient of two forms; 0 when either is
+// deterministic.
+func Corr(a, b *Form) float64 {
+	sa, sb := a.Std(), b.Std()
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return Cov(a, b) / (sa * sb)
+}
+
+// Add returns a+b as a new form.
+func Add(a, b *Form) *Form {
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// AddInPlace accumulates b into f (f += b). Private random parts combine by
+// root-sum-of-squares so the result variance is exact.
+func (f *Form) AddInPlace(b *Form) {
+	f.Nominal += b.Nominal
+	for i, v := range b.Glob {
+		f.Glob[i] += v
+	}
+	for i, v := range b.Loc {
+		f.Loc[i] += v
+	}
+	f.Rand = math.Hypot(f.Rand, b.Rand)
+}
+
+// AddInto computes a+b into dst. dst may alias a (but not b).
+func AddInto(dst, a, b *Form) {
+	dst.Nominal = a.Nominal + b.Nominal
+	for i := range dst.Glob {
+		dst.Glob[i] = a.Glob[i] + b.Glob[i]
+	}
+	for i := range dst.Loc {
+		dst.Loc[i] = a.Loc[i] + b.Loc[i]
+	}
+	dst.Rand = math.Hypot(a.Rand, b.Rand)
+}
+
+// Copy copies src into dst (shapes must match).
+func Copy(dst, src *Form) { copyInto(dst, src) }
+
+// AddConst returns the form shifted by constant c.
+func (f *Form) AddConst(c float64) *Form {
+	out := f.Clone()
+	out.Nominal += c
+	return out
+}
+
+// Scale returns s*f. Negative s flips coefficient signs; Rand stays
+// non-negative.
+func (f *Form) Scale(s float64) *Form {
+	out := f.Clone()
+	out.Nominal *= s
+	for i := range out.Glob {
+		out.Glob[i] *= s
+	}
+	for i := range out.Loc {
+		out.Loc[i] *= s
+	}
+	out.Rand = math.Abs(out.Rand * s)
+	return out
+}
+
+// thetaEps guards the degenerate max case: when the two operands are (nearly)
+// perfectly correlated with (nearly) equal variance, theta -> 0 and the
+// tightness probability becomes a step function of the mean difference.
+const thetaEps = 1e-12
+
+// TightnessProb returns TP = P(A >= B) per paper eq. 6, with the degenerate
+// theta ~ 0 case resolved by comparing means (and variances for ties).
+func TightnessProb(a, b *Form) float64 {
+	theta := maxTheta(a, b)
+	if theta < thetaEps {
+		switch {
+		case a.Nominal > b.Nominal:
+			return 1
+		case a.Nominal < b.Nominal:
+			return 0
+		default:
+			return 0.5
+		}
+	}
+	return stats.NormCDF((a.Nominal - b.Nominal) / theta)
+}
+
+func maxTheta(a, b *Form) float64 {
+	va, vb := a.Variance(), b.Variance()
+	t2 := va + vb - 2*Cov(a, b)
+	if t2 < 0 {
+		t2 = 0
+	}
+	return math.Sqrt(t2)
+}
+
+// Max returns Clark's moment-matched approximation of max(a, b) in canonical
+// form (paper eqs. 6-9): the shared coefficients are the TP-weighted blend
+// and the private random coefficient is set to match the Clark variance.
+func Max(a, b *Form) *Form {
+	out := a.Clone()
+	MaxInto(out, a, b)
+	return out
+}
+
+// MaxInto computes max(a, b) into dst. dst may alias a (but not b).
+func MaxInto(dst, a, b *Form) {
+	theta := maxTheta(a, b)
+	if theta < thetaEps {
+		// Operands are essentially the same random variable up to a mean
+		// shift: max is whichever has the larger mean.
+		src := a
+		if b.Nominal > a.Nominal {
+			src = b
+		}
+		copyInto(dst, src)
+		return
+	}
+	z := (a.Nominal - b.Nominal) / theta
+	tp := stats.NormCDF(z)
+	phi := stats.NormPDF(z)
+
+	va, vb := a.Variance(), b.Variance()
+	mean := tp*a.Nominal + (1-tp)*b.Nominal + theta*phi
+	second := tp*(va+a.Nominal*a.Nominal) + (1-tp)*(vb+b.Nominal*b.Nominal) +
+		(a.Nominal+b.Nominal)*theta*phi
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+
+	// Blend shared coefficients (eq. 9) — this preserves covariances with
+	// other forms to first order (Clark 1961).
+	var shared float64
+	for i := range dst.Glob {
+		c := tp*a.Glob[i] + (1-tp)*b.Glob[i]
+		dst.Glob[i] = c
+		shared += c * c
+	}
+	for i := range dst.Loc {
+		c := tp*a.Loc[i] + (1-tp)*b.Loc[i]
+		dst.Loc[i] = c
+		shared += c * c
+	}
+	dst.Nominal = mean
+	rest := variance - shared
+	if rest < 0 {
+		// The blended shared part already exceeds the Clark variance; the
+		// closest representable form drops the private part. This
+		// over-estimates variance slightly and is the standard fix.
+		rest = 0
+	}
+	dst.Rand = math.Sqrt(rest)
+}
+
+func copyInto(dst, src *Form) {
+	dst.Nominal = src.Nominal
+	copy(dst.Glob, src.Glob)
+	copy(dst.Loc, src.Loc)
+	dst.Rand = src.Rand
+}
+
+// MaxAll folds Max over a non-empty slice of forms.
+func MaxAll(fs []*Form) (*Form, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("canon: MaxAll of empty slice")
+	}
+	out := fs[0].Clone()
+	for _, f := range fs[1:] {
+		MaxInto(out, out, f)
+	}
+	return out, nil
+}
+
+// Sample evaluates the form at a concrete realization of the shared
+// variables: g has length Globals, x has length Components, r is the private
+// standard normal draw.
+func (f *Form) Sample(g, x []float64, r float64) float64 {
+	v := f.Nominal
+	for i, c := range f.Glob {
+		v += c * g[i]
+	}
+	for i, c := range f.Loc {
+		v += c * x[i]
+	}
+	return v + f.Rand*r
+}
+
+// CDF returns the Gaussian CDF of the form evaluated at t.
+func (f *Form) CDF(t float64) float64 {
+	sd := f.Std()
+	if sd == 0 {
+		if t >= f.Nominal {
+			return 1
+		}
+		return 0
+	}
+	return stats.NormCDF((t - f.Nominal) / sd)
+}
+
+// Quantile returns the Gaussian p-quantile of the form.
+func (f *Form) Quantile(p float64) float64 {
+	return f.Nominal + f.Std()*stats.NormQuantile(p)
+}
+
+// String renders a compact human-readable description.
+func (f *Form) String() string {
+	return fmt.Sprintf("N(%.4g, %.4g^2)", f.Mean(), f.Std())
+}

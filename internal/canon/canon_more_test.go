@@ -1,0 +1,173 @@
+package canon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCovBilinearity: Cov(aX + bY, Z) = a Cov(X,Z) + b Cov(Y,Z) for the
+// shared-coefficient part.
+func TestCovBilinearity(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 10)
+		b = math.Mod(b, 10)
+		rng := rand.New(rand.NewSource(seed))
+		x := randomForm(rng, testSpace)
+		y := randomForm(rng, testSpace)
+		z := randomForm(rng, testSpace)
+		lhs := Add(x.Scale(a), y.Scale(b))
+		want := a*Cov(x, z) + b*Cov(y, z)
+		return math.Abs(Cov(lhs, z)-want) < 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarCovMatchesSeparateCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 50; i++ {
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		va, vb, cov := VarCov(a, b)
+		if math.Abs(va-a.Variance()) > 1e-12 || math.Abs(vb-b.Variance()) > 1e-12 {
+			t.Fatal("VarCov variances disagree with Variance()")
+		}
+		if math.Abs(cov-Cov(a, b)) > 1e-12 {
+			t.Fatal("VarCov covariance disagrees with Cov()")
+		}
+	}
+}
+
+// TestMaxThreeWayAgainstMC: folding Max over three operands stays close to
+// sampling even though the fold order is arbitrary.
+func TestMaxThreeWayAgainstMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fs := make([]*Form, 3)
+	for i := range fs {
+		f := testSpace.Const(10 + float64(i))
+		f.Glob[0] = 1 + 0.5*float64(i)
+		f.Loc[i] = 2
+		f.Rand = 0.5
+		fs[i] = f
+	}
+	m, err := MaxAll(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	var sum, sumsq float64
+	g := make([]float64, testSpace.Globals)
+	x := make([]float64, testSpace.Components)
+	for s := 0; s < n; s++ {
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		best := math.Inf(-1)
+		for _, f := range fs {
+			if v := f.Sample(g, x, rng.NormFloat64()); v > best {
+				best = v
+			}
+		}
+		sum += best
+		sumsq += best * best
+	}
+	mcMean := sum / n
+	mcStd := math.Sqrt(sumsq/n - mcMean*mcMean)
+	if math.Abs(m.Mean()-mcMean) > 0.03*mcMean {
+		t.Fatalf("3-way max mean %g vs MC %g", m.Mean(), mcMean)
+	}
+	if math.Abs(m.Std()-mcStd) > 0.10*mcStd {
+		t.Fatalf("3-way max std %g vs MC %g", m.Std(), mcStd)
+	}
+}
+
+// TestMaxMonotoneInMeanShift: shifting one operand up cannot lower the max
+// mean.
+func TestMaxMonotoneInMeanShift(t *testing.T) {
+	f := func(seed int64, shiftRaw float64) bool {
+		shift := math.Abs(math.Mod(shiftRaw, 50))
+		rng := rand.New(rand.NewSource(seed))
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		m1 := Max(a, b)
+		m2 := Max(a, b.AddConst(shift))
+		return m2.Mean() >= m1.Mean()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSumThenMaxUpperBound: E[max(A,B)] <= E[A] + E[B] for non-negative
+// forms (crude sanity bound used in code reviews of Clark implementations).
+func TestMaxMeanUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 100; i++ {
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		// Make means positive.
+		a.Nominal = math.Abs(a.Nominal) + 1
+		b.Nominal = math.Abs(b.Nominal) + 1
+		m := Max(a, b)
+		// Upper bound: max <= a + b pointwise fails in general, but
+		// E[max] <= E[a] + E[b] holds for positive-mean Gaussians with
+		// moderate sigma; guard the regime.
+		if a.Std() < a.Nominal && b.Std() < b.Nominal {
+			if m.Mean() > a.Mean()+b.Mean() {
+				t.Fatalf("max mean %g above sum of means %g", m.Mean(), a.Mean()+b.Mean())
+			}
+		}
+	}
+}
+
+func TestAddIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := randomForm(rng, testSpace)
+	b := randomForm(rng, testSpace)
+	want := Add(a, b)
+	dst := a.Clone()
+	AddInto(dst, dst, b)
+	if math.Abs(dst.Mean()-want.Mean()) > 1e-12 || math.Abs(dst.Variance()-want.Variance()) > 1e-12 {
+		t.Fatal("AddInto with dst==a differs from Add")
+	}
+}
+
+func TestScaleZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := randomForm(rng, testSpace)
+	z := a.Scale(0)
+	if z.Mean() != 0 || z.Variance() != 0 {
+		t.Fatalf("Scale(0) not deterministic zero: %v", z)
+	}
+}
+
+func TestQuantileMedianIsMean(t *testing.T) {
+	f := testSpace.Const(42)
+	f.Rand = 7
+	if q := f.Quantile(0.5); math.Abs(q-42) > 1e-9 {
+		t.Fatalf("median %g != mean 42", q)
+	}
+}
+
+func TestTightnessProbComplement(t *testing.T) {
+	// TP(a,b) + TP(b,a) = 1 for non-degenerate pairs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		s := TightnessProb(a, b) + TightnessProb(b, a)
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

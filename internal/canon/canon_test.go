@@ -1,0 +1,423 @@
+package canon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testSpace = Space{Globals: 2, Components: 3}
+
+func randomForm(rng *rand.Rand, s Space) *Form {
+	f := s.NewForm()
+	f.Nominal = rng.NormFloat64() * 10
+	for i := range f.Glob {
+		f.Glob[i] = rng.NormFloat64()
+	}
+	for i := range f.Loc {
+		f.Loc[i] = rng.NormFloat64()
+	}
+	f.Rand = math.Abs(rng.NormFloat64())
+	return f
+}
+
+func TestConstForm(t *testing.T) {
+	f := testSpace.Const(42)
+	if f.Mean() != 42 || f.Variance() != 0 || f.Std() != 0 {
+		t.Fatalf("Const form wrong: %+v", f)
+	}
+	if !f.In(testSpace) {
+		t.Fatal("Const form not in its space")
+	}
+	if f.In(Space{Globals: 1, Components: 3}) {
+		t.Fatal("In accepted wrong space")
+	}
+}
+
+func TestVarianceAndCov(t *testing.T) {
+	a := testSpace.NewForm()
+	a.Glob = []float64{1, 2}
+	a.Loc = []float64{3, 0, 0}
+	a.Rand = 4
+	// 1 + 4 + 9 + 16 = 30
+	if a.Variance() != 30 {
+		t.Fatalf("Variance = %g, want 30", a.Variance())
+	}
+	b := testSpace.NewForm()
+	b.Glob = []float64{2, 0}
+	b.Loc = []float64{1, 1, 0}
+	b.Rand = 5
+	// Cov = 1*2 + 3*1 = 5 (rands independent)
+	if Cov(a, b) != 5 {
+		t.Fatalf("Cov = %g, want 5", Cov(a, b))
+	}
+	if Cov(a, b) != Cov(b, a) {
+		t.Fatal("Cov not symmetric")
+	}
+}
+
+func TestCorr(t *testing.T) {
+	a := testSpace.NewForm()
+	a.Glob[0] = 2
+	if c := Corr(a, a); math.Abs(c-1) > 1e-15 {
+		t.Fatalf("self correlation = %g", c)
+	}
+	c := testSpace.Const(1)
+	if Corr(a, c) != 0 {
+		t.Fatal("correlation with deterministic form should be 0")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomForm(rng, testSpace)
+	b := randomForm(rng, testSpace)
+	c := Add(a, b)
+	if math.Abs(c.Mean()-(a.Mean()+b.Mean())) > 1e-12 {
+		t.Fatalf("Add mean wrong")
+	}
+	// Var(a+b) = Var(a) + Var(b) + 2Cov(a,b); private rands are independent.
+	want := a.Variance() + b.Variance() + 2*Cov(a, b)
+	if math.Abs(c.Variance()-want) > 1e-9 {
+		t.Fatalf("Add variance = %g, want %g", c.Variance(), want)
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		ab, ba := Add(a, b), Add(b, a)
+		if math.Abs(ab.Mean()-ba.Mean()) > 1e-12 {
+			return false
+		}
+		return math.Abs(ab.Variance()-ba.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddConstAndScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomForm(rng, testSpace)
+	b := a.AddConst(5)
+	if math.Abs(b.Mean()-a.Mean()-5) > 1e-12 || math.Abs(b.Variance()-a.Variance()) > 1e-12 {
+		t.Fatal("AddConst wrong")
+	}
+	c := a.Scale(-2)
+	if math.Abs(c.Mean()+2*a.Mean()) > 1e-12 {
+		t.Fatal("Scale mean wrong")
+	}
+	if math.Abs(c.Variance()-4*a.Variance()) > 1e-9 {
+		t.Fatal("Scale variance wrong")
+	}
+	if c.Rand < 0 {
+		t.Fatal("Scale produced negative Rand")
+	}
+}
+
+func TestTightnessProbBasic(t *testing.T) {
+	a := testSpace.Const(10)
+	a.Rand = 1
+	b := testSpace.Const(10)
+	b.Rand = 1
+	if tp := TightnessProb(a, b); math.Abs(tp-0.5) > 1e-12 {
+		t.Fatalf("equal forms TP = %g, want 0.5", tp)
+	}
+	hi := testSpace.Const(100)
+	hi.Rand = 1
+	lo := testSpace.Const(0)
+	lo.Rand = 1
+	if tp := TightnessProb(hi, lo); tp < 0.999999 {
+		t.Fatalf("dominant TP = %g", tp)
+	}
+	if tp := TightnessProb(lo, hi); tp > 1e-6 {
+		t.Fatalf("dominated TP = %g", tp)
+	}
+}
+
+func TestTightnessProbDegenerate(t *testing.T) {
+	// Perfectly correlated identical variance: theta = 0.
+	a := testSpace.NewForm()
+	a.Nominal = 5
+	a.Glob[0] = 2
+	b := a.Clone()
+	b.Nominal = 3
+	if tp := TightnessProb(a, b); tp != 1 {
+		t.Fatalf("theta=0, larger mean: TP = %g, want 1", tp)
+	}
+	if tp := TightnessProb(b, a); tp != 0 {
+		t.Fatalf("theta=0, smaller mean: TP = %g, want 0", tp)
+	}
+	if tp := TightnessProb(a, a); tp != 0.5 {
+		t.Fatalf("identical: TP = %g, want 0.5", tp)
+	}
+}
+
+func TestMaxDegenerate(t *testing.T) {
+	a := testSpace.NewForm()
+	a.Nominal = 5
+	a.Glob[0] = 2
+	b := a.Clone()
+	b.Nominal = 7
+	m := Max(a, b)
+	if m.Mean() != 7 || m.Glob[0] != 2 {
+		t.Fatalf("degenerate max should return larger-mean operand, got %+v", m)
+	}
+}
+
+func TestMaxOfConstants(t *testing.T) {
+	a := testSpace.Const(3)
+	b := testSpace.Const(8)
+	m := Max(a, b)
+	if m.Mean() != 8 || m.Std() != 0 {
+		t.Fatalf("max of constants = %v", m)
+	}
+}
+
+func TestMaxDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomForm(rng, testSpace)
+	b := a.AddConst(1000) // b completely dominates
+	m := Max(a, b)
+	if math.Abs(m.Mean()-b.Mean()) > 1e-6 {
+		t.Fatalf("dominated max mean = %g, want %g", m.Mean(), b.Mean())
+	}
+	if math.Abs(m.Variance()-b.Variance()) > 1e-3*b.Variance() {
+		t.Fatalf("dominated max variance = %g, want %g", m.Variance(), b.Variance())
+	}
+}
+
+func TestMaxMeanLowerBound(t *testing.T) {
+	// E[max(A,B)] >= max(E[A], E[B]) always.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		m := Max(a, b)
+		return m.Mean() >= math.Max(a.Mean(), b.Mean())-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		m1, m2 := Max(a, b), Max(b, a)
+		return math.Abs(m1.Mean()-m2.Mean()) < 1e-9 &&
+			math.Abs(m1.Variance()-m2.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxIdempotent(t *testing.T) {
+	// Idempotence holds only when the private random part is zero: a cloned
+	// form's Rand term is an independent variable, so Max(a, clone) with
+	// Rand > 0 legitimately exceeds a.
+	rng := rand.New(rand.NewSource(4))
+	a := randomForm(rng, testSpace)
+	a.Rand = 0
+	m := Max(a, a.Clone())
+	if math.Abs(m.Mean()-a.Mean()) > 1e-9 || math.Abs(m.Variance()-a.Variance()) > 1e-9 {
+		t.Fatalf("Max(a,a) = %v, want %v", m, a)
+	}
+	// With independent private parts the max must strictly dominate the mean.
+	b := randomForm(rng, testSpace)
+	b.Rand = 2
+	m2 := Max(b, b.Clone())
+	if m2.Mean() <= b.Mean() {
+		t.Fatalf("Max over independent private parts should raise the mean: %g vs %g", m2.Mean(), b.Mean())
+	}
+}
+
+// TestMaxAgainstMonteCarlo validates Clark's approximation against sampling
+// for a spread of correlation/mean-offset regimes.
+func TestMaxAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 200000
+	cases := []struct {
+		name   string
+		make   func() (*Form, *Form)
+		meanTl float64
+		stdTl  float64
+	}{
+		{"independent equal", func() (*Form, *Form) {
+			a := testSpace.Const(10)
+			a.Rand = 2
+			b := testSpace.Const(10)
+			b.Rand = 2
+			return a, b
+		}, 0.02, 0.05},
+		{"correlated offset", func() (*Form, *Form) {
+			a := testSpace.Const(10)
+			a.Glob[0] = 2
+			a.Rand = 1
+			b := testSpace.Const(11)
+			b.Glob[0] = 1.5
+			b.Rand = 1
+			return a, b
+		}, 0.02, 0.05},
+		{"anticorrelated", func() (*Form, *Form) {
+			a := testSpace.Const(5)
+			a.Glob[1] = 2
+			b := testSpace.Const(5)
+			b.Glob[1] = -2
+			return a, b
+		}, 0.03, 0.08},
+	}
+	for _, c := range cases {
+		a, b := c.make()
+		m := Max(a, b)
+		var sum, sumsq float64
+		g := make([]float64, testSpace.Globals)
+		x := make([]float64, testSpace.Components)
+		for i := 0; i < n; i++ {
+			for j := range g {
+				g[j] = rng.NormFloat64()
+			}
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			va := a.Sample(g, x, rng.NormFloat64())
+			vb := b.Sample(g, x, rng.NormFloat64())
+			v := math.Max(va, vb)
+			sum += v
+			sumsq += v * v
+		}
+		mcMean := sum / n
+		mcStd := math.Sqrt(sumsq/n - mcMean*mcMean)
+		if math.Abs(m.Mean()-mcMean) > c.meanTl*math.Max(1, math.Abs(mcMean)) {
+			t.Errorf("%s: Clark mean %g vs MC %g", c.name, m.Mean(), mcMean)
+		}
+		if math.Abs(m.Std()-mcStd) > c.stdTl*math.Max(0.5, mcStd) {
+			t.Errorf("%s: Clark std %g vs MC %g", c.name, m.Std(), mcStd)
+		}
+	}
+}
+
+func TestMaxIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomForm(rng, testSpace)
+	b := randomForm(rng, testSpace)
+	want := Max(a, b)
+	dst := a.Clone()
+	MaxInto(dst, dst, b) // alias dst == a
+	if math.Abs(dst.Mean()-want.Mean()) > 1e-12 || math.Abs(dst.Variance()-want.Variance()) > 1e-12 {
+		t.Fatal("MaxInto with aliasing differs from Max")
+	}
+}
+
+func TestMaxAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fs := []*Form{randomForm(rng, testSpace), randomForm(rng, testSpace), randomForm(rng, testSpace)}
+	m, err := MaxAll(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if m.Mean() < f.Mean()-1e-9 {
+			t.Fatalf("MaxAll mean %g below operand mean %g", m.Mean(), f.Mean())
+		}
+	}
+	if _, err := MaxAll(nil); err == nil {
+		t.Fatal("MaxAll(nil) should error")
+	}
+	one, err := MaxAll(fs[:1])
+	if err != nil || math.Abs(one.Mean()-fs[0].Mean()) > 1e-15 {
+		t.Fatal("MaxAll of single form should be a copy")
+	}
+}
+
+func TestSampleMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := randomForm(rng, testSpace)
+	const n = 200000
+	var sum, sumsq float64
+	g := make([]float64, testSpace.Globals)
+	x := make([]float64, testSpace.Components)
+	for i := 0; i < n; i++ {
+		for j := range g {
+			g[j] = rng.NormFloat64()
+		}
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		v := f.Sample(g, x, rng.NormFloat64())
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-f.Mean()) > 0.02*math.Max(1, math.Abs(f.Mean())) {
+		t.Fatalf("sample mean %g vs analytic %g", mean, f.Mean())
+	}
+	if math.Abs(std-f.Std()) > 0.02*math.Max(1, f.Std()) {
+		t.Fatalf("sample std %g vs analytic %g", std, f.Std())
+	}
+}
+
+func TestCDFAndQuantile(t *testing.T) {
+	f := testSpace.Const(10)
+	f.Rand = 2
+	if got := f.CDF(10); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CDF at mean = %g", got)
+	}
+	if got := f.CDF(12); math.Abs(got-0.8413447460685429) > 1e-9 {
+		t.Fatalf("CDF(mean+sigma) = %g", got)
+	}
+	q := f.Quantile(0.8413447460685429)
+	if math.Abs(q-12) > 1e-6 {
+		t.Fatalf("Quantile roundtrip = %g, want 12", q)
+	}
+	// Deterministic form step CDF.
+	c := testSpace.Const(5)
+	if c.CDF(4.9) != 0 || c.CDF(5) != 1 {
+		t.Fatal("deterministic CDF should be a step at the nominal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomForm(rng, testSpace)
+	b := a.Clone()
+	b.Glob[0] += 100
+	b.Loc[0] += 100
+	if a.Glob[0] == b.Glob[0] || a.Loc[0] == b.Loc[0] {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestString(t *testing.T) {
+	f := testSpace.Const(1.5)
+	if f.String() == "" {
+		t.Fatal("String should not be empty")
+	}
+}
+
+// Property: variance is never negative and Max variance never exceeds
+// Var(a)+Var(b) by more than numerical noise... it can legitimately be less;
+// check non-negativity and that max mean >= both means.
+func TestMaxPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomForm(rng, testSpace)
+		b := randomForm(rng, testSpace)
+		m := Max(a, b)
+		if m.Variance() < 0 {
+			return false
+		}
+		return m.Mean() >= math.Max(a.Mean(), b.Mean())-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

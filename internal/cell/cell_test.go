@@ -1,0 +1,103 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestSynthetic90nmCoversAllGateTypes(t *testing.T) {
+	lib := Synthetic90nm()
+	types := []circuit.GateType{circuit.Buf, circuit.Not, circuit.And, circuit.Nand,
+		circuit.Or, circuit.Nor, circuit.Xor, circuit.Xnor}
+	for _, gt := range types {
+		s, err := lib.Spec(gt)
+		if err != nil {
+			t.Errorf("%v: %v", gt, err)
+			continue
+		}
+		if s.BaseDelay <= 0 || s.LoadSlope <= 0 {
+			t.Errorf("%v: non-positive delays %+v", gt, s)
+		}
+		if len(s.Sens) != len(lib.Params) {
+			t.Errorf("%v: %d sensitivities for %d params", gt, len(s.Sens), len(lib.Params))
+		}
+	}
+	if _, err := lib.Spec(circuit.Input); err == nil {
+		t.Error("Input gate type should have no spec")
+	}
+}
+
+func TestLibraryVariationSetup(t *testing.T) {
+	lib := Synthetic90nm()
+	if len(lib.Params) != 3 {
+		t.Fatalf("params = %d, want 3", len(lib.Params))
+	}
+	if lib.LoadSigma != 0.15 {
+		t.Fatalf("LoadSigma = %g, want 0.15 (paper Section VI)", lib.LoadSigma)
+	}
+	for _, p := range lib.Params {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestArcNominalComposition(t *testing.T) {
+	lib := Synthetic90nm()
+	s, _ := lib.Spec(circuit.Nand)
+	a0, err := lib.Arc(circuit.Nand, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.BaseDelay + s.LoadSlope
+	if math.Abs(a0.Nominal-want) > 1e-12 {
+		t.Fatalf("pin0/fanout1 nominal = %g, want %g", a0.Nominal, want)
+	}
+	// Pin skew increases delay per pin.
+	a1, _ := lib.Arc(circuit.Nand, 1, 1)
+	if a1.Nominal <= a0.Nominal {
+		t.Fatal("pin skew did not increase delay")
+	}
+	// Load slope increases delay per fanout.
+	a4, _ := lib.Arc(circuit.Nand, 0, 4)
+	if math.Abs(a4.Nominal-(s.BaseDelay+4*s.LoadSlope)) > 1e-12 {
+		t.Fatalf("fanout4 nominal = %g", a4.Nominal)
+	}
+}
+
+func TestArcSensitivitiesScaleWithNominal(t *testing.T) {
+	lib := Synthetic90nm()
+	small, _ := lib.Arc(circuit.Not, 0, 1)
+	big, _ := lib.Arc(circuit.Not, 0, 8)
+	for i := range small.Sens {
+		rs := small.Sens[i] / small.Nominal
+		rb := big.Sens[i] / big.Nominal
+		if math.Abs(rs-rb) > 1e-12 {
+			t.Fatalf("relative sensitivity changed with load: %g vs %g", rs, rb)
+		}
+	}
+	if big.LoadAbs <= small.LoadAbs {
+		t.Fatal("load variation should grow with fanout")
+	}
+}
+
+func TestArcEdgeCases(t *testing.T) {
+	lib := Synthetic90nm()
+	if _, err := lib.Arc(circuit.Nand, -1, 1); err == nil {
+		t.Fatal("negative pin accepted")
+	}
+	// Zero fanout (primary output) is billed as one load.
+	a0, err := lib.Arc(circuit.Nand, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := lib.Arc(circuit.Nand, 0, 1)
+	if a0.Nominal != a1.Nominal {
+		t.Fatal("fanout 0 should equal fanout 1")
+	}
+	if _, err := lib.Arc(circuit.Input, 0, 1); err == nil {
+		t.Fatal("arc for INPUT accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS85/89 .bench format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(z)
+//	n1 = NAND(a, b)
+//
+// Only combinational primitives are supported; DFF lines are rejected with a
+// descriptive error (this reproduction targets combinational modules, as
+// does the paper).
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	type pendingGate struct {
+		line   int
+		name   string
+		gate   string
+		inputs []string
+	}
+	var pending []pendingGate
+	var outputs []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case matchDirective(line, "INPUT"):
+			arg, err := directiveArg(line, "INPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.AddInput(arg); err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", lineNo, err)
+			}
+		case matchDirective(line, "OUTPUT"):
+			arg, err := directiveArg(line, "OUTPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench line %d: cannot parse %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close_ := strings.LastIndex(rhs, ")")
+			if open < 0 || close_ < open {
+				return nil, fmt.Errorf("bench line %d: malformed gate expression %q", lineNo, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			args := strings.Split(rhs[open+1:close_], ",")
+			for i := range args {
+				args[i] = strings.TrimSpace(args[i])
+			}
+			if fn == "DFF" {
+				return nil, fmt.Errorf("bench line %d: sequential element DFF not supported (combinational modules only)", lineNo)
+			}
+			pending = append(pending, pendingGate{line: lineNo, name: lhs, gate: fn, inputs: args})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read error: %w", err)
+	}
+
+	// Gates can reference names defined later in the file; resolve by
+	// repeatedly adding gates whose fanins are all known. Sorting each round
+	// keeps the construction deterministic.
+	remaining := pending
+	for len(remaining) > 0 {
+		var next []pendingGate
+		progress := false
+		for _, pg := range remaining {
+			ids := make([]int, 0, len(pg.inputs))
+			ok := true
+			for _, in := range pg.inputs {
+				id, found := c.byName[in]
+				if !found {
+					ok = false
+					break
+				}
+				ids = append(ids, id)
+			}
+			if !ok {
+				next = append(next, pg)
+				continue
+			}
+			t, err := gateTypeFromBench(pg.gate)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", pg.line, err)
+			}
+			if _, err := c.AddGate(pg.name, t, ids...); err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", pg.line, err)
+			}
+			progress = true
+		}
+		if !progress {
+			sort.Slice(next, func(i, j int) bool { return next[i].line < next[j].line })
+			return nil, fmt.Errorf("bench line %d: gate %q has unresolvable fanin (undefined signal or cycle)",
+				next[0].line, next[0].name)
+		}
+		remaining = next
+	}
+
+	for _, out := range outputs {
+		id, ok := c.byName[out]
+		if !ok {
+			return nil, fmt.Errorf("bench: OUTPUT(%s) references undefined signal", out)
+		}
+		if err := c.MarkOutput(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: invalid netlist: %w", err)
+	}
+	return c, nil
+}
+
+func matchDirective(line, dir string) bool {
+	u := strings.ToUpper(line)
+	return strings.HasPrefix(u, dir) && strings.Contains(line, "(")
+}
+
+func directiveArg(line, dir string, lineNo int) (string, error) {
+	open := strings.Index(line, "(")
+	close_ := strings.LastIndex(line, ")")
+	if open < 0 || close_ < open {
+		return "", fmt.Errorf("bench line %d: malformed %s directive %q", lineNo, dir, line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close_])
+	if arg == "" {
+		return "", fmt.Errorf("bench line %d: empty %s argument", lineNo, dir)
+	}
+	return arg, nil
+}
+
+func gateTypeFromBench(fn string) (GateType, error) {
+	switch fn {
+	case "BUF", "BUFF":
+		return Buf, nil
+	case "NOT", "INV":
+		return Not, nil
+	case "AND":
+		return And, nil
+	case "NAND":
+		return Nand, nil
+	case "OR":
+		return Or, nil
+	case "NOR":
+		return Nor, nil
+	case "XOR":
+		return Xor, nil
+	case "XNOR":
+		return Xnor, nil
+	default:
+		return 0, fmt.Errorf("unknown gate function %q", fn)
+	}
+}
+
+// WriteBench writes the circuit in .bench format. ParseBench(WriteBench(c))
+// reproduces the circuit structure.
+func (c *Circuit) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.PIs), len(c.POs), c.NumGates())
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[po].Name)
+	}
+	for _, g := range c.Gates {
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// C17 returns the classic ISCAS85 c17 benchmark (the only one small enough
+// to embed verbatim; all six NAND gates).
+func C17() *Circuit {
+	c := New("c17")
+	g1, _ := c.AddInput("1")
+	g2, _ := c.AddInput("2")
+	g3, _ := c.AddInput("3")
+	g6, _ := c.AddInput("6")
+	g7, _ := c.AddInput("7")
+	g10, _ := c.AddGate("10", Nand, g1, g3)
+	g11, _ := c.AddGate("11", Nand, g3, g6)
+	g16, _ := c.AddGate("16", Nand, g2, g11)
+	g19, _ := c.AddGate("19", Nand, g11, g7)
+	g22, _ := c.AddGate("22", Nand, g10, g16)
+	g23, _ := c.AddGate("23", Nand, g16, g19)
+	_ = c.MarkOutput(g22)
+	_ = c.MarkOutput(g23)
+	return c
+}

@@ -1,0 +1,213 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBenchWhitespaceAndCase(t *testing.T) {
+	src := `
+# odd formatting
+  INPUT( a )
+INPUT(b)
+
+OUTPUT(  y  )
+y = nand( a ,   b )
+`
+	c, err := ParseBench("ws", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := c.NodeByName("y")
+	if !ok || c.Gates[id].Type != Nand {
+		t.Fatal("lower-case gate function not accepted")
+	}
+	if _, ok := c.NodeByName("a"); !ok {
+		t.Fatal("padded INPUT argument not trimmed")
+	}
+}
+
+func TestParseBenchInvAlias(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = INV(a)\n"
+	c, err := ParseBench("inv", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := c.NodeByName("y")
+	if c.Gates[id].Type != Not {
+		t.Fatal("INV should map to NOT")
+	}
+}
+
+func TestParseBenchDuplicateFanin(t *testing.T) {
+	// AND(a, a) is legal in .bench; the parallel-merge machinery handles
+	// the duplicate timing edges later.
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, a)\nz = BUF(b)\nOUTPUT(z)\n"
+	c, err := ParseBench("dup", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", c.NumEdges())
+	}
+	out, err := c.SimulateOutputs([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != true || out[1] != false {
+		t.Fatalf("AND(a,a) simulation wrong: %v", out)
+	}
+}
+
+func TestGenerateFanInBounds(t *testing.T) {
+	spec, _ := SpecByName("c3540")
+	c, err := Generate(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Gates {
+		if len(g.Fanin) > maxFanin {
+			t.Fatalf("gate %q fanin %d exceeds cap %d", g.Name, len(g.Fanin), maxFanin)
+		}
+		// No duplicate fanins from the generator.
+		seen := map[int]bool{}
+		for _, f := range g.Fanin {
+			if seen[f] {
+				t.Fatalf("gate %q has duplicate fanin %d", g.Name, f)
+			}
+			seen[f] = true
+		}
+	}
+}
+
+func TestGenerateAllSinksAreOutputs(t *testing.T) {
+	spec, _ := SpecByName("c1355")
+	c, err := Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPO := map[int]bool{}
+	for _, o := range c.POs {
+		isPO[o] = true
+	}
+	fan := c.Fanout()
+	for id := range c.Gates {
+		if len(fan[id]) == 0 && !isPO[id] {
+			t.Fatalf("node %d is a sink but not an output", id)
+		}
+	}
+}
+
+func TestGenerateQuickRandomSpecs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gates := 20 + rng.Intn(200)
+		depth := 2 + rng.Intn(10)
+		if depth > gates {
+			depth = gates
+		}
+		edges := gates + rng.Intn(gates*2)
+		pis := 2 + rng.Intn(20)
+		pos := 1 + rng.Intn(10)
+		if pos > gates {
+			pos = gates
+		}
+		spec := TopoSpec{Name: "q", PIs: pis, POs: pos, Gates: gates, Edges: edges, Depth: depth}
+		if spec.Validate() != nil {
+			return true // infeasible spec: fine
+		}
+		c, err := Generate(spec, seed)
+		if err != nil {
+			// The generator may legitimately fail on extreme shapes; it
+			// must not, however, return a malformed circuit.
+			return true
+		}
+		s, err := c.Stat()
+		if err != nil {
+			return false
+		}
+		return s.Gates == gates && s.Edges == edges && s.Depth == depth &&
+			s.PIs == pis && s.POs == pos && c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplier2x2Exhaustive(t *testing.T) {
+	c, err := ArrayMultiplier(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 4; x++ {
+		for y := uint64(0); y < 4; y++ {
+			if got := simulateMult(t, c, 2, x, y); got != x*y {
+				t.Fatalf("%d*%d = %d, got %d", x, y, x*y, got)
+			}
+		}
+	}
+}
+
+func TestWriteBenchDeterministic(t *testing.T) {
+	spec, _ := SpecByName("c432")
+	c, err := Generate(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := c.WriteBench(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBench(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteBench output not deterministic")
+	}
+}
+
+func TestSimulateXorParityWide(t *testing.T) {
+	c := New("parity")
+	var ins []int
+	for i := 0; i < 5; i++ {
+		id, _ := c.AddInput(string(rune('a' + i)))
+		ins = append(ins, id)
+	}
+	x, err := c.AddGate("x", Xor, ins...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.MarkOutput(x)
+	for m := 0; m < 32; m++ {
+		in := make([]bool, 5)
+		parity := false
+		for i := range in {
+			in[i] = m&(1<<i) != 0
+			parity = parity != in[i]
+		}
+		out, err := c.SimulateOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != parity {
+			t.Fatalf("parity(%05b) = %v, want %v", m, out[0], parity)
+		}
+	}
+}
+
+func TestLevelizeCycleDetection(t *testing.T) {
+	// Construct a cycle by editing fanin directly (the builder API cannot
+	// create one).
+	c := New("cyc")
+	a, _ := c.AddInput("a")
+	g1, _ := c.AddGate("g1", Not, a)
+	g2, _ := c.AddGate("g2", Not, g1)
+	_ = c.MarkOutput(g2)
+	c.Gates[g1].Fanin[0] = g2 // g1 <- g2 <- g1
+	c.invalidate()
+	if _, _, err := c.Levelize(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}

@@ -1,0 +1,292 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("small")
+	a, err := c.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.AddInput("b")
+	n1, err := c.AddGate("n1", Nand, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := c.AddGate("n2", Not, n1)
+	if err := c.MarkOutput(n2); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBasicConstruction(t *testing.T) {
+	c := buildSmall(t)
+	if c.NumNodes() != 4 || c.NumGates() != 2 || c.NumEdges() != 3 {
+		t.Fatalf("counts: nodes=%d gates=%d edges=%d", c.NumNodes(), c.NumGates(), c.NumEdges())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	id, ok := c.NodeByName("n1")
+	if !ok || c.Gates[id].Type != Nand {
+		t.Fatal("NodeByName failed")
+	}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	c := New("x")
+	if _, err := c.AddInput(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	a, _ := c.AddInput("a")
+	if _, err := c.AddInput("a"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := c.AddGate("g", Input, a); err == nil {
+		t.Fatal("AddGate with Input type accepted")
+	}
+	if _, err := c.AddGate("g", And, a); err == nil {
+		t.Fatal("1-input AND accepted")
+	}
+	if _, err := c.AddGate("g", Not, a, a); err == nil {
+		t.Fatal("2-input NOT accepted")
+	}
+	if _, err := c.AddGate("g", And); err == nil {
+		t.Fatal("0-input gate accepted")
+	}
+	if _, err := c.AddGate("g", And, a, 99); err == nil {
+		t.Fatal("unknown fanin accepted")
+	}
+	if err := c.MarkOutput(50); err == nil {
+		t.Fatal("MarkOutput of unknown node accepted")
+	}
+}
+
+func TestValidateDangling(t *testing.T) {
+	c := New("dangle")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	g, _ := c.AddGate("g", And, a, b)
+	_, _ = c.AddGate("h", Not, g) // h dangles
+	_ = c.MarkOutput(g)
+	if err := c.Validate(); err == nil {
+		t.Fatal("dangling gate not caught")
+	}
+}
+
+func TestValidateNoIO(t *testing.T) {
+	c := New("empty")
+	if err := c.Validate(); err == nil {
+		t.Fatal("no-PI circuit accepted")
+	}
+	_, _ = c.AddInput("a")
+	if err := c.Validate(); err == nil {
+		t.Fatal("no-PO circuit accepted")
+	}
+}
+
+func TestLevelize(t *testing.T) {
+	c := buildSmall(t)
+	order, levels, err := c.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("order len %d", len(order))
+	}
+	n1, _ := c.NodeByName("n1")
+	n2, _ := c.NodeByName("n2")
+	if levels[n1] != 1 || levels[n2] != 2 {
+		t.Fatalf("levels: n1=%d n2=%d", levels[n1], levels[n2])
+	}
+	d, _ := c.Depth()
+	if d != 2 {
+		t.Fatalf("depth %d", d)
+	}
+	// Topological property: every fanin precedes its gate.
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for id, g := range c.Gates {
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[id] {
+				t.Fatalf("order violates topology: %d before %d", id, f)
+			}
+		}
+	}
+}
+
+func TestSimulateC17(t *testing.T) {
+	c := C17()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// c17: out22 = NAND(n10, n16), out23 = NAND(n16, n19)
+	// with n10 = NAND(i1,i3), n11 = NAND(i3,i6), n16 = NAND(i2,n11),
+	// n19 = NAND(n11,i7). Check against direct evaluation for all 32 input
+	// combinations.
+	for m := 0; m < 32; m++ {
+		in := []bool{m&1 != 0, m&2 != 0, m&4 != 0, m&8 != 0, m&16 != 0}
+		got, err := c.SimulateOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i1, i2, i3, i6, i7 := in[0], in[1], in[2], in[3], in[4]
+		n10 := !(i1 && i3)
+		n11 := !(i3 && i6)
+		n16 := !(i2 && n11)
+		n19 := !(n11 && i7)
+		want22 := !(n10 && n16)
+		want23 := !(n16 && n19)
+		if got[0] != want22 || got[1] != want23 {
+			t.Fatalf("m=%d: got %v, want [%v %v]", m, got, want22, want23)
+		}
+	}
+}
+
+func TestSimulateGateTypes(t *testing.T) {
+	c := New("alltypes")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	gAnd, _ := c.AddGate("and", And, a, b)
+	gNand, _ := c.AddGate("nand", Nand, a, b)
+	gOr, _ := c.AddGate("or", Or, a, b)
+	gNor, _ := c.AddGate("nor", Nor, a, b)
+	gXor, _ := c.AddGate("xor", Xor, a, b)
+	gXnor, _ := c.AddGate("xnor", Xnor, a, b)
+	gNot, _ := c.AddGate("not", Not, a)
+	gBuf, _ := c.AddGate("buf", Buf, b)
+	for _, id := range []int{gAnd, gNand, gOr, gNor, gXor, gXnor, gNot, gBuf} {
+		_ = c.MarkOutput(id)
+	}
+	for m := 0; m < 4; m++ {
+		av, bv := m&1 != 0, m&2 != 0
+		got, err := c.SimulateOutputs([]bool{av, bv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []bool{av && bv, !(av && bv), av || bv, !(av || bv), av != bv, av == bv, !av, bv}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d output %d: got %v want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSimulateInputCountMismatch(t *testing.T) {
+	c := C17()
+	if _, err := c.Simulate([]bool{true}); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+}
+
+func TestStat(t *testing.T) {
+	c := C17()
+	s, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PIs != 5 || s.POs != 2 || s.Gates != 6 || s.Nodes != 11 || s.Edges != 12 || s.Depth != 3 {
+		t.Fatalf("c17 stats: %+v", s)
+	}
+	if s.MaxFan != 2 || s.AvgFan != 2 {
+		t.Fatalf("fan stats: %+v", s)
+	}
+}
+
+func TestMarkOutputIdempotent(t *testing.T) {
+	c := buildSmall(t)
+	n2, _ := c.NodeByName("n2")
+	if err := c.MarkOutput(n2); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POs) != 1 {
+		t.Fatalf("duplicate MarkOutput added PO: %v", c.POs)
+	}
+}
+
+func TestBenchRoundtrip(t *testing.T) {
+	orig := C17()
+	var sb strings.Builder
+	if err := orig.WriteBench(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBench("c17", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, _ := orig.Stat()
+	sp, _ := parsed.Stat()
+	sp.Name = so.Name
+	if so != sp {
+		t.Fatalf("roundtrip stats differ: %+v vs %+v", so, sp)
+	}
+	// Functional equivalence on all input patterns.
+	for m := 0; m < 32; m++ {
+		in := []bool{m&1 != 0, m&2 != 0, m&4 != 0, m&8 != 0, m&16 != 0}
+		a, _ := orig.SimulateOutputs(in)
+		b, err := parsed.SimulateOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("m=%d: outputs differ", m)
+			}
+		}
+	}
+}
+
+func TestParseBenchForwardReference(t *testing.T) {
+	src := `
+# forward reference: g2 defined before its fanin g1
+INPUT(a)
+INPUT(b)
+OUTPUT(g2)
+g2 = NOT(g1)
+g1 = AND(a, b)
+`
+	c, err := ParseBench("fwd", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"dff", "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"},
+		{"garbage", "INPUT(a)\nOUTPUT(a)\nnot a line\n"},
+		{"unknown gate", "INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = FROB(a, b)\n"},
+		{"undefined output", "INPUT(a)\nINPUT(b)\nOUTPUT(zz)\ng = AND(a, b)\n"},
+		{"undefined fanin", "INPUT(a)\nOUTPUT(g)\ng = NOT(qq)\n"},
+		{"malformed directive", "INPUT a\nOUTPUT(a)\n"},
+		{"empty arg", "INPUT()\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseBench(tc.name, strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if Nand.String() != "NAND" || Input.String() != "INPUT" {
+		t.Fatal("GateType.String wrong")
+	}
+	if GateType(200).String() == "" {
+		t.Fatal("out-of-range GateType.String empty")
+	}
+}

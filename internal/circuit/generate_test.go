@@ -1,0 +1,156 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateMatchesAllSpecs(t *testing.T) {
+	for _, spec := range ISCAS85Specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			c, err := Generate(spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := c.Stat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.PIs != spec.PIs {
+				t.Errorf("PIs = %d, want %d", s.PIs, spec.PIs)
+			}
+			if s.POs != spec.POs {
+				t.Errorf("POs = %d, want %d", s.POs, spec.POs)
+			}
+			if s.Gates != spec.Gates {
+				t.Errorf("Gates = %d, want %d", s.Gates, spec.Gates)
+			}
+			if s.Edges != spec.Edges {
+				t.Errorf("Edges (Eo) = %d, want %d", s.Edges, spec.Edges)
+			}
+			if s.Nodes != spec.Gates+spec.PIs {
+				t.Errorf("Nodes (Vo) = %d, want %d", s.Nodes, spec.Gates+spec.PIs)
+			}
+			if s.Depth != spec.Depth {
+				t.Errorf("Depth = %d, want %d", s.Depth, spec.Depth)
+			}
+			if err := c.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := SpecByName("c432")
+	a, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type || len(a.Gates[i].Fanin) != len(b.Gates[i].Fanin) {
+			t.Fatalf("gate %d differs between identical seeds", i)
+		}
+		for j := range a.Gates[i].Fanin {
+			if a.Gates[i].Fanin[j] != b.Gates[i].Fanin[j] {
+				t.Fatalf("gate %d fanin differs between identical seeds", i)
+			}
+		}
+	}
+	c, err := Generate(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Gates {
+		if a.Gates[i].Type != c.Gates[i].Type {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("warning: different seeds produced identical gate types (possible but unlikely)")
+	}
+}
+
+func TestGenerateDifferentSeedsAllValid(t *testing.T) {
+	spec, _ := SpecByName("c880")
+	for seed := int64(0); seed < 5; seed++ {
+		c, err := Generate(spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s, _ := c.Stat()
+		if s.Edges != spec.Edges || s.Depth != spec.Depth {
+			t.Fatalf("seed %d: Edges=%d Depth=%d", seed, s.Edges, s.Depth)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, ok := SpecByName("c6288"); !ok {
+		t.Fatal("c6288 missing")
+	}
+	if _, ok := SpecByName("c9999"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []TopoSpec{
+		{Name: "no-pi", PIs: 0, POs: 1, Gates: 5, Edges: 10, Depth: 2},
+		{Name: "deep", PIs: 2, POs: 1, Gates: 3, Edges: 6, Depth: 5},
+		{Name: "few-edges", PIs: 2, POs: 1, Gates: 5, Edges: 4, Depth: 2},
+		{Name: "many-edges", PIs: 2, POs: 1, Gates: 2, Edges: 100, Depth: 2},
+		{Name: "many-pos", PIs: 2, POs: 10, Gates: 5, Edges: 10, Depth: 2},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", s.Name)
+		}
+	}
+	if err := (TopoSpec{Name: "ok", PIs: 2, POs: 2, Gates: 6, Edges: 12, Depth: 3}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGenerateTinySpec(t *testing.T) {
+	spec := TopoSpec{Name: "tiny", PIs: 3, POs: 2, Gates: 6, Edges: 12, Depth: 3}
+	c, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.Stat()
+	if s.Gates != 6 || s.Edges != 12 || s.Depth != 3 || s.POs != 2 {
+		t.Fatalf("tiny stats: %+v", s)
+	}
+}
+
+func TestGenerateBenchRoundtrip(t *testing.T) {
+	spec, _ := SpecByName("c432")
+	c, err := Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.WriteBench(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBench(spec.Name, strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, _ := c.Stat()
+	sp, _ := parsed.Stat()
+	if so != sp {
+		t.Fatalf("roundtrip stats differ:\n%+v\n%+v", so, sp)
+	}
+}

@@ -1,0 +1,139 @@
+package circuit
+
+import "fmt"
+
+// ArrayMultiplier builds a structural n x n unsigned array multiplier:
+// n*n AND partial products reduced column-wise with full/half adders built
+// from XOR/AND/OR primitives, finished by a ripple-carry adder. c6288, the
+// module used in the paper's hierarchical experiment, is a 16x16 multiplier
+// (Hansen, Yalcin & Hayes); ArrayMultiplier(16) is its open structural
+// equivalent. The returned circuit has 2n inputs (a0..a(n-1), b0..b(n-1),
+// LSB first) and 2n product outputs (p0..p(2n-1)).
+func ArrayMultiplier(n int) (*Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuit: ArrayMultiplier width %d < 1", n)
+	}
+	c := New(fmt.Sprintf("mult%dx%d", n, n))
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if a[i], err = c.AddInput(fmt.Sprintf("a%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if b[i], err = c.AddInput(fmt.Sprintf("b%d", i)); err != nil {
+			return nil, err
+		}
+	}
+
+	gateSeq := 0
+	newGate := func(t GateType, fanin ...int) (int, error) {
+		gateSeq++
+		return c.AddGate(fmt.Sprintf("g%d_%s", gateSeq, t), t, fanin...)
+	}
+	halfAdder := func(x, y int) (sum, carry int, err error) {
+		if sum, err = newGate(Xor, x, y); err != nil {
+			return
+		}
+		carry, err = newGate(And, x, y)
+		return
+	}
+	fullAdder := func(x, y, z int) (sum, carry int, err error) {
+		t, err := newGate(Xor, x, y)
+		if err != nil {
+			return 0, 0, err
+		}
+		if sum, err = newGate(Xor, t, z); err != nil {
+			return 0, 0, err
+		}
+		c1, err := newGate(And, x, y)
+		if err != nil {
+			return 0, 0, err
+		}
+		c2, err := newGate(And, t, z)
+		if err != nil {
+			return 0, 0, err
+		}
+		carry, err = newGate(Or, c1, c2)
+		return sum, carry, err
+	}
+
+	// Partial products, bucketed by bit weight.
+	cols := make([][]int, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pp, err := newGate(And, a[j], b[i])
+			if err != nil {
+				return nil, err
+			}
+			cols[i+j] = append(cols[i+j], pp)
+		}
+	}
+
+	// Carry-save reduction: compress every column to at most two bits.
+	for w := 0; w < 2*n; w++ {
+		for len(cols[w]) >= 3 {
+			x, y, z := cols[w][0], cols[w][1], cols[w][2]
+			cols[w] = cols[w][3:]
+			sum, carry, err := fullAdder(x, y, z)
+			if err != nil {
+				return nil, err
+			}
+			cols[w] = append(cols[w], sum)
+			cols[w+1] = append(cols[w+1], carry)
+		}
+	}
+
+	// Final ripple-carry addition across columns.
+	carry := -1
+	product := make([]int, 0, 2*n)
+	for w := 0; w < 2*n; w++ {
+		bits := cols[w]
+		if carry >= 0 {
+			bits = append(bits, carry)
+			carry = -1
+		}
+		switch len(bits) {
+		case 0:
+			// Only possible for the top column of degenerate widths; the
+			// product bit is constant zero and is omitted.
+			continue
+		case 1:
+			product = append(product, bits[0])
+		case 2:
+			s, cy, err := halfAdder(bits[0], bits[1])
+			if err != nil {
+				return nil, err
+			}
+			product = append(product, s)
+			carry = cy
+		case 3:
+			s, cy, err := fullAdder(bits[0], bits[1], bits[2])
+			if err != nil {
+				return nil, err
+			}
+			product = append(product, s)
+			carry = cy
+		default:
+			return nil, fmt.Errorf("circuit: column %d kept %d bits after reduction", w, len(bits))
+		}
+	}
+	if carry >= 0 {
+		product = append(product, carry)
+	}
+	for i, p := range product {
+		// Give product bits stable names via buffers only when the node
+		// already drives other logic; plain renaming is not possible, so we
+		// simply mark the node as an output.
+		if err := c.MarkOutput(p); err != nil {
+			return nil, fmt.Errorf("circuit: product bit %d: %w", i, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: multiplier invalid: %w", err)
+	}
+	return c, nil
+}

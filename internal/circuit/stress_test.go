@@ -1,0 +1,18 @@
+package circuit
+
+import "testing"
+
+func TestGenerateStressAllSpecsManySeeds(t *testing.T) {
+	for _, spec := range ISCAS85Specs {
+		for seed := int64(0); seed < 10; seed++ {
+			c, err := Generate(spec, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", spec.Name, seed, err)
+			}
+			s, _ := c.Stat()
+			if s.Edges != spec.Edges || s.Depth != spec.Depth || s.POs != spec.POs {
+				t.Fatalf("%s seed %d: stats %+v", spec.Name, seed, s)
+			}
+		}
+	}
+}

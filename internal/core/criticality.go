@@ -1,0 +1,328 @@
+// Package core implements the paper's first contribution: statistical
+// timing-model extraction for combinational modules (Sections III and IV).
+//
+// The extraction pipeline (paper Fig. 3) is:
+//  1. compute the maximum criticality c_m of every edge over all
+//     input/output pairs (Definition 1/2, eqs. 13-15),
+//  2. remove edges with c_m below the threshold delta,
+//  3. apply serial and parallel merge operations iteratively (Figs. 1-2).
+//
+// The reduced graph is a gray-box timing model with (approximately) the
+// same statistical input-output delay matrix as the original module.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/canon"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// CriticalityResult bundles the outputs of the criticality engine.
+type CriticalityResult struct {
+	// Cm holds the maximum criticality of each edge over all IO pairs,
+	// aligned with g.Edges (paper Definition 2).
+	Cm []float64
+	// Protected marks edges on a per-pair statistically dominant path
+	// (greedy max-nominal backward walk). Removing only unprotected edges
+	// guarantees every originally connected pair stays connected.
+	Protected []bool
+}
+
+// EdgeCriticalities runs the all-pairs criticality analysis of Section IV-B
+// with `workers` concurrent per-input passes (<=0 means GOMAXPROCS).
+//
+// For every pair (i, j) and edge e it forms the edge path delay
+//
+//	de = a_e(i) + d(e) + r_e(j)            (paper eq. 15)
+//
+// and evaluates c_ij = P{de >= complement} (paper eqs. 13-14) with the
+// tightness probability of eq. 6.
+//
+// The complement max{d̄e} is constructed through level cutsets: every i->j
+// path crosses each logic-level boundary exactly once, so the edges
+// crossing a boundary partition the paths, and the complement of e is the
+// statistical max of de over the other crossing edges. Comparing de against
+// the *forward-propagated* M_ij instead (the literal reading of eq. 14)
+// makes an edge that carries every path of the pair come out near 0.5
+// rather than 1, because the canonical form cannot represent the
+// correlation between the lumped private-random parts of de and M_ij; the
+// cutset complement avoids that representation gap entirely and matches
+// Monte Carlo path tracing (see tests).
+func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nE := len(g.Edges)
+	if nE == 0 {
+		return &CriticalityResult{}, nil
+	}
+
+	// Vertex levels and level-boundary cutsets. An edge u->v with
+	// level(u) < k <= level(v) crosses boundary k; its criticality is
+	// evaluated at its home boundary level(u)+1.
+	order, err := g.Order()
+	if err != nil {
+		return nil, err
+	}
+	level := make([]int, g.NumVerts)
+	maxLevel := 0
+	for _, v := range order {
+		for _, ei := range g.In[v] {
+			if l := level[g.Edges[ei].From] + 1; l > level[v] {
+				level[v] = l
+			}
+		}
+		if level[v] > maxLevel {
+			maxLevel = level[v]
+		}
+	}
+	crossing := make([][]int32, maxLevel+1) // boundary k: 1..maxLevel
+	home := make([]int, nE)
+	for e := range g.Edges {
+		lf, lt := level[g.Edges[e].From], level[g.Edges[e].To]
+		home[e] = lf + 1
+		for k := lf + 1; k <= lt; k++ {
+			crossing[k] = append(crossing[k], int32(e))
+		}
+	}
+
+	// Backward passes: vertex-to-output-j delays for every output.
+	req := make([][]*canon.Form, len(g.Outputs))
+	{
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		errCh := make(chan error, 1)
+		for j := range g.Outputs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r, err := g.DelayToOutput(g.Outputs[j])
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				req[j] = r
+			}(j)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+	}
+
+	// Sparse per-vertex list of outputs reachable from each vertex.
+	_, toOut, err := g.Reachability()
+	if err != nil {
+		return nil, err
+	}
+	outsAt := make([][]int32, g.NumVerts)
+	for v := 0; v < g.NumVerts; v++ {
+		for j := range g.Outputs {
+			if toOut[v][j/64]&(1<<uint(j%64)) != 0 {
+				outsAt[v] = append(outsAt[v], int32(j))
+			}
+		}
+	}
+
+	type workerState struct {
+		cm        []float64
+		protected []bool
+	}
+	states := make([]*workerState, 0, workers)
+	inputCh := make(chan int)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	for w := 0; w < workers; w++ {
+		st := &workerState{cm: make([]float64, nE), protected: make([]bool, nE)}
+		states = append(states, st)
+		wg.Add(1)
+		go func(st *workerState) {
+			defer wg.Done()
+			arena := newFormArena(g.Space)
+			var des []*canon.Form
+			var eids []int32
+			for i := range inputCh {
+				in := g.Inputs[i]
+				arr, err := g.ArrivalFrom(in)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				for _, j := range outsAt[in] {
+					rq := req[j]
+					for k := 1; k <= maxLevel; k++ {
+						// Gather crossing edges alive for this pair.
+						des = des[:0]
+						eids = eids[:0]
+						arena.reset()
+						for _, e := range crossing[k] {
+							ed := &g.Edges[e]
+							af := arr[ed.From]
+							if af == nil {
+								continue
+							}
+							rf := rq[ed.To]
+							if rf == nil {
+								continue
+							}
+							de := arena.next()
+							canon.AddInto(de, af, ed.Delay)
+							canon.AddInto(de, de, rf)
+							des = append(des, de)
+							eids = append(eids, e)
+						}
+						m := len(des)
+						if m == 0 {
+							continue
+						}
+						if m == 1 {
+							// Single crossing edge: every path of the pair
+							// runs through it.
+							if home[eids[0]] == k {
+								st.cm[eids[0]] = 1
+							}
+							continue
+						}
+						// Prefix/suffix statistical maxima give each edge
+						// the exact complement within the cutset.
+						prefix := arena.block(m)
+						suffix := arena.block(m)
+						canon.Copy(prefix[0], des[0])
+						for t := 1; t < m; t++ {
+							canon.MaxInto(prefix[t], prefix[t-1], des[t])
+						}
+						canon.Copy(suffix[m-1], des[m-1])
+						for t := m - 2; t >= 0; t-- {
+							canon.MaxInto(suffix[t], suffix[t+1], des[t])
+						}
+						comp := arena.next()
+						for t := 0; t < m; t++ {
+							e := eids[t]
+							if home[e] != k {
+								continue
+							}
+							var c float64
+							switch t {
+							case 0:
+								c = canon.TightnessProb(des[t], suffix[1])
+							case m - 1:
+								c = canon.TightnessProb(des[t], prefix[m-2])
+							default:
+								canon.MaxInto(comp, prefix[t-1], suffix[t+1])
+								c = canon.TightnessProb(des[t], comp)
+							}
+							if c > st.cm[e] {
+								st.cm[e] = c
+							}
+						}
+					}
+					// Dominant-path protection: walk backward from the
+					// output along the max-nominal fanin chain.
+					out := g.Outputs[j]
+					if arr[out] == nil {
+						continue
+					}
+					v := out
+					for v != in {
+						bestEdge := -1
+						bestNom := 0.0
+						for _, ei := range g.In[v] {
+							ed := &g.Edges[ei]
+							if arr[ed.From] == nil {
+								continue
+							}
+							if nom := arr[ed.From].Nominal + ed.Delay.Nominal; bestEdge < 0 || nom > bestNom {
+								bestEdge, bestNom = int(ei), nom
+							}
+						}
+						if bestEdge < 0 {
+							break // defensive: unreachable on a live path
+						}
+						st.protected[bestEdge] = true
+						v = g.Edges[bestEdge].From
+					}
+				}
+			}
+		}(st)
+	}
+	for i := range g.Inputs {
+		inputCh <- i
+	}
+	close(inputCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &CriticalityResult{Cm: make([]float64, nE), Protected: make([]bool, nE)}
+	for _, st := range states {
+		for e := 0; e < nE; e++ {
+			if st.cm[e] > res.Cm[e] {
+				res.Cm[e] = st.cm[e]
+			}
+			if st.protected[e] {
+				res.Protected[e] = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// formArena reuses canonical forms across cutset evaluations to keep the
+// inner loop allocation-free.
+type formArena struct {
+	space canon.Space
+	forms []*canon.Form
+	used  int
+}
+
+func newFormArena(space canon.Space) *formArena {
+	return &formArena{space: space}
+}
+
+func (a *formArena) reset() { a.used = 0 }
+
+func (a *formArena) next() *canon.Form {
+	if a.used == len(a.forms) {
+		a.forms = append(a.forms, a.space.NewForm())
+	}
+	f := a.forms[a.used]
+	a.used++
+	return f
+}
+
+func (a *formArena) block(n int) []*canon.Form {
+	out := make([]*canon.Form, n)
+	for i := range out {
+		out[i] = a.next()
+	}
+	return out
+}
+
+// CriticalityHistogram bins the per-edge maximum criticalities (paper
+// Fig. 6 uses 20 bins over [0, 1]).
+func CriticalityHistogram(cm []float64, bins int) (*stats.Histogram, error) {
+	h, err := stats.NewHistogram(0, 1, bins)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cm {
+		h.Add(c)
+	}
+	return h, nil
+}

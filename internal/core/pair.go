@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/timing"
+)
+
+// PairCriticalities returns the per-edge criticality c_ij (paper
+// Definition 1) for a single input/output pair, given as indices into
+// g.Inputs and g.Outputs. Edges on no i->j path have criticality 0.
+//
+// It uses the same level-cutset complement construction as
+// EdgeCriticalities but evaluates an edge at *every* boundary it crosses
+// (taking the maximum), since a single pair is cheap enough not to need the
+// home-boundary optimization.
+func PairCriticalities(g *timing.Graph, i, j int) ([]float64, error) {
+	if i < 0 || i >= len(g.Inputs) {
+		return nil, fmt.Errorf("core: input index %d out of range", i)
+	}
+	if j < 0 || j >= len(g.Outputs) {
+		return nil, fmt.Errorf("core: output index %d out of range", j)
+	}
+	order, err := g.Order()
+	if err != nil {
+		return nil, err
+	}
+	arr, err := g.ArrivalFrom(g.Inputs[i])
+	if err != nil {
+		return nil, err
+	}
+	req, err := g.DelayToOutput(g.Outputs[j])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(g.Edges))
+	if arr[g.Outputs[j]] == nil {
+		return out, nil // pair unreachable: all zero
+	}
+
+	level := make([]int, g.NumVerts)
+	maxLevel := 0
+	for _, v := range order {
+		for _, ei := range g.In[v] {
+			if l := level[g.Edges[ei].From] + 1; l > level[v] {
+				level[v] = l
+			}
+		}
+		if level[v] > maxLevel {
+			maxLevel = level[v]
+		}
+	}
+	crossing := make([][]int32, maxLevel+1)
+	for e := range g.Edges {
+		lf, lt := level[g.Edges[e].From], level[g.Edges[e].To]
+		for k := lf + 1; k <= lt; k++ {
+			crossing[k] = append(crossing[k], int32(e))
+		}
+	}
+
+	arena := newFormArena(g.Space)
+	for k := 1; k <= maxLevel; k++ {
+		arena.reset()
+		var des []*canon.Form
+		var eids []int32
+		for _, e := range crossing[k] {
+			ed := &g.Edges[e]
+			af, rf := arr[ed.From], req[ed.To]
+			if af == nil || rf == nil {
+				continue
+			}
+			de := arena.next()
+			canon.AddInto(de, af, ed.Delay)
+			canon.AddInto(de, de, rf)
+			des = append(des, de)
+			eids = append(eids, e)
+		}
+		m := len(des)
+		switch {
+		case m == 0:
+			continue
+		case m == 1:
+			out[eids[0]] = 1
+			continue
+		}
+		prefix := arena.block(m)
+		suffix := arena.block(m)
+		canon.Copy(prefix[0], des[0])
+		for t := 1; t < m; t++ {
+			canon.MaxInto(prefix[t], prefix[t-1], des[t])
+		}
+		canon.Copy(suffix[m-1], des[m-1])
+		for t := m - 2; t >= 0; t-- {
+			canon.MaxInto(suffix[t], suffix[t+1], des[t])
+		}
+		comp := arena.next()
+		for t := 0; t < m; t++ {
+			var c float64
+			switch t {
+			case 0:
+				c = canon.TightnessProb(des[t], suffix[1])
+			case m - 1:
+				c = canon.TightnessProb(des[t], prefix[m-2])
+			default:
+				canon.MaxInto(comp, prefix[t-1], suffix[t+1])
+				c = canon.TightnessProb(des[t], comp)
+			}
+			if c > out[eids[t]] {
+				out[eids[t]] = c
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,453 @@
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/mat"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// Mode selects how inter-module correlation is handled at design level.
+type Mode int
+
+const (
+	// FullCorrelation is the paper's proposed method: heterogeneous
+	// design-level grids, PCA, and independent-variable replacement.
+	FullCorrelation Mode = iota
+	// GlobalOnly is the paper's baseline ("only correlation from global
+	// variation"): module-local components stay private per instance, so
+	// instances correlate only through the shared global variables.
+	GlobalOnly
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case FullCorrelation:
+		return "proposed (local+global correlation)"
+	case GlobalOnly:
+		return "global-variation correlation only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Partition is the heterogeneous design-level grid partition (paper Fig. 4).
+type Partition struct {
+	Centers   [][2]float64 // grid centers: instance grids first, filler last
+	InstStart []int        // offset of each instance's grid block in Centers
+	Filler    int          // number of filler grids
+	Grids     *variation.GridModel
+}
+
+// partition builds the design-level grids: each instance contributes its
+// module grids at its placed origin, and the uncovered die area is filled
+// with default-pitch grids whose centers do not fall inside any instance.
+func (d *Design) partition() (*Partition, error) {
+	p := &Partition{InstStart: make([]int, len(d.Instances))}
+	for i, inst := range d.Instances {
+		p.InstStart[i] = len(p.Centers)
+		m := inst.Module
+		for gy := 0; gy < m.NY; gy++ {
+			for gx := 0; gx < m.NX; gx++ {
+				p.Centers = append(p.Centers, [2]float64{
+					inst.OriginX + (float64(gx)+0.5)*m.Pitch,
+					inst.OriginY + (float64(gy)+0.5)*m.Pitch,
+				})
+			}
+		}
+	}
+	nx := int(d.Width/d.Pitch + 0.5)
+	ny := int(d.Height/d.Pitch + 0.5)
+	for gy := 0; gy < ny; gy++ {
+		for gx := 0; gx < nx; gx++ {
+			c := [2]float64{(float64(gx) + 0.5) * d.Pitch, (float64(gy) + 0.5) * d.Pitch}
+			if d.covered(c) {
+				continue
+			}
+			p.Centers = append(p.Centers, c)
+			p.Filler++
+		}
+	}
+	gm, err := variation.NewGridModelFromCenters(d.Pitch, d.Corr, p.Centers)
+	if err != nil {
+		return nil, fmt.Errorf("hier: design-level PCA: %w", err)
+	}
+	p.Grids = gm
+	return p, nil
+}
+
+func (d *Design) covered(c [2]float64) bool {
+	for _, inst := range d.Instances {
+		if c[0] >= inst.OriginX && c[0] < inst.OriginX+inst.Module.Width() &&
+			c[1] >= inst.OriginY && c[1] < inst.OriginY+inst.Module.Height() {
+			return true
+		}
+	}
+	return false
+}
+
+// Result of a hierarchical analysis.
+type Result struct {
+	Mode      Mode
+	Space     canon.Space
+	Partition *Partition // nil in GlobalOnly mode
+	Graph     *timing.Graph
+	// Delay is the statistical maximum delay over all primary outputs with
+	// all primary inputs arriving at time zero.
+	Delay *canon.Form
+	// OutputArrivals holds the arrival form per primary output (nil when
+	// unreachable).
+	OutputArrivals []*canon.Form
+	Elapsed        time.Duration
+}
+
+// Analyze runs the hierarchical timing analysis of paper Fig. 5.
+func (d *Design) Analyze(mode Mode) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := d.buildTop(mode, false)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := res.Graph.ArrivalAll()
+	if err != nil {
+		return nil, err
+	}
+	res.OutputArrivals = make([]*canon.Form, len(res.Graph.Outputs))
+	var reach []*canon.Form
+	for k, o := range res.Graph.Outputs {
+		res.OutputArrivals[k] = arr[o]
+		if arr[o] != nil {
+			reach = append(reach, arr[o])
+		}
+	}
+	if len(reach) == 0 {
+		return nil, errors.New("hier: no primary output reachable")
+	}
+	res.Delay, err = canon.MaxAll(reach)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Flatten builds the ground-truth flat timing graph of the design: every
+// instance's ORIGINAL timing graph embedded in the design-level space with
+// grid indices mapped into the heterogeneous partition. All modules must
+// carry their original graphs. The result supports both analytic
+// propagation and structural Monte Carlo.
+func (d *Design) Flatten() (*timing.Graph, *Partition, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	for _, inst := range d.Instances {
+		if inst.Module.Orig == nil {
+			return nil, nil, fmt.Errorf("hier: instance %q module has no original graph; cannot flatten", inst.Name)
+		}
+	}
+	res, err := d.buildTop(FullCorrelation, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Graph, res.Partition, nil
+}
+
+// buildTop stitches the instance graphs (models, or originals when useOrig)
+// into one top-level graph in the design space.
+func (d *Design) buildTop(mode Mode, useOrig bool) (*Result, error) {
+	var part *Partition
+	var space canon.Space
+	nP := len(d.Params)
+
+	// Per-instance replacement matrices (FullCorrelation) or component
+	// block offsets (GlobalOnly).
+	var repl []*mat.Dense
+	var instLocStart []int
+	switch mode {
+	case FullCorrelation:
+		var err error
+		part, err = d.partition()
+		if err != nil {
+			return nil, err
+		}
+		space = canon.Space{Globals: nP, Components: nP * part.Grids.Comps}
+		repl = make([]*mat.Dense, len(d.Instances))
+		for i, inst := range d.Instances {
+			r, err := replacementMatrix(inst.Module.gridModel(), part, i)
+			if err != nil {
+				return nil, fmt.Errorf("hier: instance %q: %w", inst.Name, err)
+			}
+			repl[i] = r
+		}
+	case GlobalOnly:
+		instLocStart = make([]int, len(d.Instances)+1)
+		for i, inst := range d.Instances {
+			instLocStart[i+1] = instLocStart[i] + nP*inst.Module.gridModel().Comps
+		}
+		space = canon.Space{Globals: nP, Components: instLocStart[len(d.Instances)]}
+	default:
+		return nil, fmt.Errorf("hier: unknown mode %d", mode)
+	}
+
+	// Count vertices and assign per-instance bases.
+	base := make([]int, len(d.Instances))
+	total := 0
+	for i, inst := range d.Instances {
+		base[i] = total
+		total += d.instGraph(inst, useOrig).NumVerts
+	}
+	top := timing.NewGraph(space, total, d.Params)
+	if part != nil {
+		top.Grids = part.Grids
+	}
+
+	// Load- and slew-aware model use (paper future work): output ports
+	// driving more than one net see extra load beyond characterization, and
+	// input ports driven by slower-than-reference transitions see extra
+	// delay on their fanout edges. Both adjustments scale the affected
+	// edges so relative sensitivities are preserved.
+	extraTo, extraFrom, err := d.boundaryExtras(useOrig)
+	if err != nil {
+		return nil, err
+	}
+
+	// Instance edges, rewritten into the design space.
+	for i, inst := range d.Instances {
+		ig := d.instGraph(inst, useOrig)
+		mgm := inst.Module.gridModel()
+		for _, e := range ig.Edges {
+			scale := 1.0
+			if ex := extraTo[i][e.To] + extraFrom[i][e.From]; ex != 0 && e.Delay.Nominal > 0 {
+				scale = (e.Delay.Nominal + ex) / e.Delay.Nominal
+				if scale < 0.1 {
+					scale = 0.1 // sharp external transitions cannot erase the arc
+				}
+			}
+			f := space.NewForm()
+			f.Nominal = e.Delay.Nominal * scale
+			for k, v := range e.Delay.Glob {
+				f.Glob[k] = v * scale
+			}
+			f.Rand = e.Delay.Rand * scale
+			switch mode {
+			case FullCorrelation:
+				// x = A^+ B_n x_t (eq. 19): coefficient vector per
+				// parameter block maps through R^T.
+				for p := 0; p < nP; p++ {
+					src := e.Delay.Loc[p*mgm.Comps : (p+1)*mgm.Comps]
+					dst, err := repl[i].MulVecT(src)
+					if err != nil {
+						return nil, err
+					}
+					out := f.Loc[p*part.Grids.Comps : (p+1)*part.Grids.Comps]
+					for k, v := range dst {
+						out[k] = v * scale
+					}
+				}
+			case GlobalOnly:
+				out := f.Loc[instLocStart[i]:instLocStart[i+1]]
+				for k, v := range e.Delay.Loc {
+					out[k] = v * scale
+				}
+			}
+			var lsens []float64
+			grid := 0
+			if useOrig && part != nil {
+				lsens = e.LSens
+				if scale != 1 && lsens != nil {
+					lsens = make([]float64, len(e.LSens))
+					for k, v := range e.LSens {
+						lsens[k] = v * scale
+					}
+				}
+				grid = part.InstStart[i] + e.Grid
+			}
+			if _, err := top.AddEdge(base[i]+e.From, base[i]+e.To, f, lsens, grid); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Net edges (constant wire delays).
+	lookup := func(p PortRef, wantInput bool) (int, error) {
+		inst, idx, err := d.instance(p.Instance)
+		if err != nil {
+			return 0, err
+		}
+		ig := d.instGraph(inst, useOrig)
+		names, verts := ig.OutputNames, ig.Outputs
+		if wantInput {
+			names, verts = ig.InputNames, ig.Inputs
+		}
+		for k, n := range names {
+			if n == p.Port {
+				return base[idx] + verts[k], nil
+			}
+		}
+		return 0, fmt.Errorf("hier: port %v not found", p)
+	}
+	for _, n := range d.Nets {
+		from, err := lookup(n.From, false)
+		if err != nil {
+			return nil, err
+		}
+		to, err := lookup(n.To, true)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := top.AddEdge(from, to, space.Const(n.Delay), nil, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Top-level IO.
+	ins := make([]int, len(d.PrimaryInputs))
+	inNames := make([]string, len(d.PrimaryInputs))
+	for k, p := range d.PrimaryInputs {
+		v, err := lookup(p, true)
+		if err != nil {
+			return nil, err
+		}
+		ins[k] = v
+		inNames[k] = p.Instance + "." + p.Port
+	}
+	outs := make([]int, len(d.PrimaryOutputs))
+	outNames := make([]string, len(d.PrimaryOutputs))
+	for k, p := range d.PrimaryOutputs {
+		v, err := lookup(p, false)
+		if err != nil {
+			return nil, err
+		}
+		outs[k] = v
+		outNames[k] = p.Instance + "." + p.Port
+	}
+	if err := top.SetIO(ins, outs, inNames, outNames); err != nil {
+		return nil, err
+	}
+	if _, err := top.Order(); err != nil {
+		return nil, fmt.Errorf("hier: stitched design: %w", err)
+	}
+	return &Result{Mode: mode, Space: space, Partition: part, Graph: top}, nil
+}
+
+func (d *Design) instGraph(inst *Instance, useOrig bool) *timing.Graph {
+	if useOrig {
+		return inst.Module.Orig
+	}
+	return inst.Module.Model.Graph
+}
+
+// boundaryExtras returns, per instance, the extra nominal delay (ps) to
+// bill at module boundaries:
+//
+//   - extraTo, keyed by local output-port vertex: the load adjustment when
+//     the port drives more than one net;
+//   - extraFrom, keyed by local input-port vertex: the slew adjustment when
+//     the driving port presents a transition different from the receiver's
+//     characterization reference.
+//
+// Instances without recorded boundary characterization are left unadjusted.
+func (d *Design) boundaryExtras(useOrig bool) (extraTo, extraFrom []map[int]float64, err error) {
+	extraTo = make([]map[int]float64, len(d.Instances))
+	extraFrom = make([]map[int]float64, len(d.Instances))
+	for i := range extraTo {
+		extraTo[i] = map[int]float64{}
+		extraFrom[i] = map[int]float64{}
+	}
+	fanout := make(map[PortRef]int)
+	for _, n := range d.Nets {
+		fanout[n.From]++
+	}
+	// Load adjustment at driving output ports.
+	for pr, cnt := range fanout {
+		if cnt <= 1 {
+			continue
+		}
+		inst, idx, err := d.instance(pr.Instance)
+		if err != nil {
+			return nil, nil, err
+		}
+		ig := d.instGraph(inst, useOrig)
+		if ig.OutputLoadSlopes == nil {
+			continue
+		}
+		if k := outPortIndex(ig, pr.Port); k >= 0 {
+			extraTo[idx][ig.Outputs[k]] = ig.OutputLoadSlopes[k] * float64(cnt-1)
+		}
+	}
+	// Slew adjustment at receiving input ports.
+	for _, n := range d.Nets {
+		fromInst, _, err := d.instance(n.From.Instance)
+		if err != nil {
+			return nil, nil, err
+		}
+		fg := d.instGraph(fromInst, useOrig)
+		if fg.OutputPortSlews == nil {
+			continue
+		}
+		k := outPortIndex(fg, n.From.Port)
+		if k < 0 {
+			continue
+		}
+		drvSlew := fg.OutputPortSlews[k]
+		if fg.OutputSlewSlopes != nil {
+			drvSlew += fg.OutputSlewSlopes[k] * float64(fanout[n.From]-1)
+		}
+		toInst, ti, err := d.instance(n.To.Instance)
+		if err != nil {
+			return nil, nil, err
+		}
+		tg := d.instGraph(toInst, useOrig)
+		if tg.InputSlewSlopes == nil || tg.RefSlew <= 0 {
+			continue
+		}
+		if kt := inPortIndex(tg, n.To.Port); kt >= 0 {
+			extraFrom[ti][tg.Inputs[kt]] += tg.InputSlewSlopes[kt] * (drvSlew - tg.RefSlew)
+		}
+	}
+	return extraTo, extraFrom, nil
+}
+
+func outPortIndex(g *timing.Graph, port string) int {
+	for k, name := range g.OutputNames {
+		if name == port {
+			return k
+		}
+	}
+	return -1
+}
+
+func inPortIndex(g *timing.Graph, port string) int {
+	for k, name := range g.InputNames {
+		if name == port {
+			return k
+		}
+	}
+	return -1
+}
+
+func (m *Module) gridModel() *variation.GridModel {
+	return m.Model.Graph.Grids
+}
+
+// replacementMatrix computes R = A^+ B_n for instance i: A^+ is the
+// module-level PCA pseudo-inverse, B_n the rows of the design-level factor
+// matrix belonging to the instance's grids (paper eqs. 16-19). R maps the
+// design-level independent set x_t to the module's x; a module coefficient
+// vector a becomes R^T a at design level.
+func replacementMatrix(mgm *variation.GridModel, part *Partition, instIdx int) (*mat.Dense, error) {
+	n := mgm.N()
+	bsel := mat.NewDense(n, part.Grids.Comps)
+	for g := 0; g < n; g++ {
+		copy(bsel.Row(g), part.Grids.A.Row(part.InstStart[instIdx]+g))
+	}
+	return mat.Mul(mgm.Ainv, bsel)
+}

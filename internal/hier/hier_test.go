@@ -1,0 +1,438 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// buildModule extracts a timing model from an n x n multiplier and keeps
+// the original graph for flattening.
+func buildModule(t *testing.T, name string, width int) *Module {
+	t.Helper()
+	c, err := circuit.ArrayMultiplier(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.Synthetic90nm()
+	plan, err := place.Topological(c, place.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, _ := variation.DefaultCorrelation()
+	gm, err := variation.NewGridModel(plan.NX, plan.NY, plan.Pitch, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := timing.Build(c, lib, plan, gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Extract(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModule(name, model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Orig = g
+	return mod
+}
+
+// twoByTwo builds the paper-style experiment at reduced scale: four
+// instances of one multiplier module in two columns, first-column outputs
+// cross-connected to second-column inputs.
+func twoByTwo(t *testing.T, mod *Module) *Design {
+	t.Helper()
+	corr, _ := variation.DefaultCorrelation()
+	w, h := mod.Width(), mod.Height()
+	d := &Design{
+		Name: "quad", Width: 2 * w, Height: 2 * h, Pitch: mod.Pitch,
+		Corr: corr, Params: variation.Nassif90nm(),
+		Instances: []*Instance{
+			{Name: "A", Module: mod, OriginX: 0, OriginY: 0},
+			{Name: "B", Module: mod, OriginX: 0, OriginY: h},
+			{Name: "C", Module: mod, OriginX: w, OriginY: 0},
+			{Name: "D", Module: mod, OriginX: w, OriginY: h},
+		},
+	}
+	outs := mod.Model.Graph.OutputNames
+	ins := mod.Model.Graph.InputNames
+	n := len(outs)
+	if len(ins) < n {
+		n = len(ins)
+	}
+	for k := 0; k < n; k++ {
+		// Cross connection: A -> D, B -> C.
+		d.Nets = append(d.Nets,
+			Net{From: PortRef{"A", outs[k]}, To: PortRef{"D", ins[k]}},
+			Net{From: PortRef{"B", outs[k]}, To: PortRef{"C", ins[k]}},
+		)
+	}
+	for _, in := range ins {
+		d.PrimaryInputs = append(d.PrimaryInputs, PortRef{"A", in}, PortRef{"B", in})
+	}
+	// Inputs of C and D not fed by nets become primary inputs too.
+	if len(ins) > n {
+		for _, in := range ins[n:] {
+			d.PrimaryInputs = append(d.PrimaryInputs, PortRef{"C", in}, PortRef{"D", in})
+		}
+	}
+	for _, out := range outs {
+		d.PrimaryOutputs = append(d.PrimaryOutputs, PortRef{"C", out}, PortRef{"D", out})
+	}
+	return d
+}
+
+func TestValidateAccepts(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	base := func() *Design { return twoByTwo(t, mod) }
+
+	d := base()
+	d.Instances[1].OriginX = 1 // overlaps instance A
+	d.Instances[1].OriginY = 0
+	if err := d.Validate(); err == nil {
+		t.Error("overlapping instances accepted")
+	}
+
+	d = base()
+	d.Instances[0].OriginX = d.Width // outside die
+	if err := d.Validate(); err == nil {
+		t.Error("instance outside die accepted")
+	}
+
+	d = base()
+	d.Nets = append(d.Nets, Net{From: PortRef{"A", "nope"}, To: PortRef{"D", d.Instances[0].Module.Model.Graph.InputNames[0]}})
+	if err := d.Validate(); err == nil {
+		t.Error("bogus port accepted")
+	}
+
+	d = base()
+	d.Nets = append(d.Nets, d.Nets[0]) // duplicate driver
+	if err := d.Validate(); err == nil {
+		t.Error("double-driven port accepted")
+	}
+
+	d = base()
+	d.PrimaryInputs = nil
+	if err := d.Validate(); err == nil {
+		t.Error("design without primary inputs accepted")
+	}
+
+	d = base()
+	d.Pitch = d.Pitch * 2 // module grids no longer preserved
+	if err := d.Validate(); err == nil {
+		t.Error("pitch mismatch accepted")
+	}
+}
+
+func TestPartitionGeometry(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	part, err := d.partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstGrids := 4 * mod.NX * mod.NY
+	if len(part.Centers) != wantInstGrids+part.Filler {
+		t.Fatalf("centers %d != inst %d + filler %d", len(part.Centers), wantInstGrids, part.Filler)
+	}
+	// The 2x2 abutted layout covers the die completely: no filler.
+	if part.Filler != 0 {
+		t.Fatalf("abutted layout should have no filler grids, got %d", part.Filler)
+	}
+	// Paper Section V: the sub-matrix of the design covariance belonging to
+	// one instance equals the module covariance (same grid distances).
+	mgm := mod.Model.Graph.Grids
+	n := mgm.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := part.Grids.C.At(part.InstStart[2]+i, part.InstStart[2]+j)
+			want := mgm.C.At(i, j)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("design C[%d,%d]=%g != module C=%g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitionWithFiller(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	corr, _ := variation.DefaultCorrelation()
+	d := &Design{
+		Name: "sparse", Width: 4 * mod.Width(), Height: 2 * mod.Height(), Pitch: mod.Pitch,
+		Corr: corr, Params: variation.Nassif90nm(),
+		Instances: []*Instance{
+			{Name: "A", Module: mod, OriginX: 0, OriginY: 0},
+			{Name: "B", Module: mod, OriginX: 3 * mod.Width(), OriginY: mod.Height()},
+		},
+	}
+	part, err := d.partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Filler == 0 {
+		t.Fatal("sparse layout should produce filler grids")
+	}
+	total := int(d.Width/d.Pitch) * int(d.Height/d.Pitch)
+	if got := len(part.Centers); got != total {
+		t.Fatalf("total grids %d != %d die cells (abutting grid-aligned modules)", got, total)
+	}
+}
+
+// TestReplacementPreservesIntraModuleStatistics is the core algebraic
+// property of eq. 19: rewriting a module's forms into the design space must
+// not change any within-module mean, variance or covariance.
+func TestReplacementPreservesIntraModuleStatistics(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	flat, _, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := mod.Orig
+	nE := len(orig.Edges)
+	// Instance A's edges occupy the first nE edges of the flat graph.
+	for k := 0; k < nE; k += 7 {
+		fo := orig.Edges[k].Delay
+		ff := flat.Edges[k].Delay
+		if math.Abs(fo.Mean()-ff.Mean()) > 1e-9 {
+			t.Fatalf("edge %d mean changed: %g -> %g", k, fo.Mean(), ff.Mean())
+		}
+		if math.Abs(fo.Variance()-ff.Variance()) > 1e-6*fo.Variance() {
+			t.Fatalf("edge %d variance changed: %g -> %g", k, fo.Variance(), ff.Variance())
+		}
+	}
+	// Pairwise covariances.
+	idx := []int{0, nE / 3, 2 * nE / 3, nE - 1}
+	for _, a := range idx {
+		for _, b := range idx {
+			co := canon.Cov(orig.Edges[a].Delay, orig.Edges[b].Delay)
+			cf := canon.Cov(flat.Edges[a].Delay, flat.Edges[b].Delay)
+			if math.Abs(co-cf) > 1e-6*(1+math.Abs(co)) {
+				t.Fatalf("cov(%d,%d) changed: %g -> %g", a, b, co, cf)
+			}
+		}
+	}
+}
+
+// TestReplacementCreatesInterModuleCorrelation checks the whole point of
+// the paper: corresponding edges of two instances of the same module must
+// correlate according to their grid distance once replaced.
+func TestReplacementCreatesInterModuleCorrelation(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	flat, part, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nE := len(mod.Orig.Edges)
+	corr, _ := variation.DefaultCorrelation()
+
+	// Same edge in instance A (block 0) and instance B (block 1).
+	for _, k := range []int{0, nE / 2, nE - 1} {
+		ea := flat.Edges[k]
+		eb := flat.Edges[nE+k]
+		// Expected correlation from the structural decomposition.
+		var gg, ll, rr float64
+		for _, v := range ea.Delay.Glob {
+			gg += v * v
+		}
+		for _, v := range ea.LSens {
+			ll += v * v
+		}
+		rr = ea.Delay.Rand * ea.Delay.Rand
+		ca := part.Centers[ea.Grid]
+		cb := part.Centers[eb.Grid]
+		dist := math.Hypot(ca[0]-cb[0], ca[1]-cb[1]) / d.Pitch
+		want := (gg + ll*corr.Local(dist)) / (gg + ll + rr)
+		got := canon.Corr(ea.Delay, eb.Delay)
+		if math.Abs(got-want) > 5e-3 {
+			t.Fatalf("edge %d: inter-instance corr %g, want %g (grid dist %g)", k, got, want, dist)
+		}
+		if got <= 0.3 {
+			t.Fatalf("edge %d: correlation %g suspiciously low", k, got)
+		}
+	}
+
+	// Without replacement (GlobalOnly) the correlation collapses to the
+	// global share only.
+	resG, err := d.buildTop(GlobalOnly, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := resG.Graph.Edges[0]
+	eb := resG.Graph.Edges[nE]
+	var gg, tot float64
+	for _, v := range ea.Delay.Glob {
+		gg += v * v
+	}
+	tot = ea.Delay.Variance()
+	want := gg / tot
+	got := canon.Corr(ea.Delay, eb.Delay)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("GlobalOnly corr %g, want pure global share %g", got, want)
+	}
+}
+
+func TestAnalyzeBothModes(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	full, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := d.Analyze(GlobalOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Delay == nil || glob.Delay == nil {
+		t.Fatal("nil delay")
+	}
+	// Means should be close (correlation mostly affects spread).
+	if rel := math.Abs(full.Delay.Mean()-glob.Delay.Mean()) / full.Delay.Mean(); rel > 0.05 {
+		t.Fatalf("mode means diverge: %g vs %g", full.Delay.Mean(), glob.Delay.Mean())
+	}
+	// The paper's Fig. 7: ignoring local correlation visibly changes the
+	// distribution — with cross-module paths the full-correlation delay has
+	// the larger spread.
+	if full.Delay.Std() <= glob.Delay.Std() {
+		t.Fatalf("expected Std(full)=%g > Std(globalOnly)=%g", full.Delay.Std(), glob.Delay.Std())
+	}
+	for _, f := range full.OutputArrivals {
+		if f == nil {
+			t.Fatal("unreachable primary output in full mode")
+		}
+	}
+}
+
+// TestHierarchicalMatchesFlatAnalytic compares the hierarchical result
+// (models + replacement) against flat SSTA on the flattened design.
+func TestHierarchicalMatchesFlatAnalytic(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	full, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := flat.MaxDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(full.Delay.Mean()-fg.Mean()) / fg.Mean(); rel > 0.02 {
+		t.Fatalf("hier mean %g vs flat %g (rel %g)", full.Delay.Mean(), fg.Mean(), rel)
+	}
+	if rel := math.Abs(full.Delay.Std()-fg.Std()) / fg.Std(); rel > 0.10 {
+		t.Fatalf("hier std %g vs flat %g (rel %g)", full.Delay.Std(), fg.Std(), rel)
+	}
+}
+
+func TestFlattenRequiresOrig(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	mod.Orig = nil
+	d := twoByTwo(t, mod)
+	if _, _, err := d.Flatten(); err == nil {
+		t.Fatal("Flatten without original graphs accepted")
+	}
+}
+
+func TestAnalyzeDetectsCycle(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	// Add a back edge D -> A creating a module-level cycle.
+	out := mod.Model.Graph.OutputNames[0]
+	in := mod.Model.Graph.InputNames[0]
+	d.Nets = append(d.Nets, Net{From: PortRef{"D", out}, To: PortRef{"A", in}})
+	// A.in[0] is also a primary input -> validation rejects double drive;
+	// drop it from the primary inputs first.
+	var pis []PortRef
+	for _, p := range d.PrimaryInputs {
+		if !(p.Instance == "A" && p.Port == in) {
+			pis = append(pis, p)
+		}
+	}
+	d.PrimaryInputs = pis
+	if _, err := d.Analyze(FullCorrelation); err == nil {
+		t.Fatal("cyclic design accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FullCorrelation.String() == "" || GlobalOnly.String() == "" || Mode(9).String() == "" {
+		t.Fatal("Mode.String empty")
+	}
+}
+
+func TestNewModuleValidation(t *testing.T) {
+	if _, err := NewModule("x", nil, &place.Plan{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	mod := buildModule(t, "ok", 4)
+	wrong := &place.Plan{NX: mod.NX + 1, NY: mod.NY, Pitch: mod.Pitch}
+	if _, err := NewModule("x", mod.Model, wrong); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+}
+
+func TestNetWithWireDelay(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	for i := range d.Nets {
+		d.Nets[i].Delay = 25 // ps of wire delay on every inter-module net
+	}
+	slow, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Nets {
+		d.Nets[i].Delay = 0
+	}
+	fast, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Delay.Mean() <= fast.Delay.Mean() {
+		t.Fatalf("wire delay did not slow the design: %g vs %g", slow.Delay.Mean(), fast.Delay.Mean())
+	}
+}
+
+func TestAnalyzeElapsedAndSpaces(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	res, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+	nP := len(d.Params)
+	if res.Space.Globals != nP {
+		t.Fatalf("globals = %d, want %d", res.Space.Globals, nP)
+	}
+	if res.Space.Components != nP*res.Partition.Grids.Comps {
+		t.Fatalf("components = %d, want %d", res.Space.Components, nP*res.Partition.Grids.Comps)
+	}
+	_ = fmt.Sprintf("%v", res.Mode)
+}

@@ -1,0 +1,139 @@
+package hier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/stats"
+	"repro/internal/variation"
+)
+
+// fanoutDesign builds a three-instance design in which every output port of
+// A drives `fan` downstream instances (load-aware model use, the paper's
+// stated future work).
+func fanoutDesign(t *testing.T, mod *Module, fan int) *Design {
+	t.Helper()
+	corr, _ := variation.DefaultCorrelation()
+	w, h := mod.Width(), mod.Height()
+	d := &Design{
+		Name: "fanout", Width: 3 * w, Height: 2 * h, Pitch: mod.Pitch,
+		Corr: corr, Params: variation.Nassif90nm(),
+		Instances: []*Instance{
+			{Name: "A", Module: mod, OriginX: 0, OriginY: 0},
+			{Name: "B", Module: mod, OriginX: w, OriginY: 0},
+			{Name: "C", Module: mod, OriginX: 2 * w, OriginY: 0},
+		},
+	}
+	ins := mod.Model.Graph.InputNames
+	outs := mod.Model.Graph.OutputNames
+	n := len(outs)
+	if len(ins) < n {
+		n = len(ins)
+	}
+	sinks := []string{"B", "C"}
+	for k := 0; k < n; k++ {
+		for s := 0; s < fan; s++ {
+			d.Nets = append(d.Nets, Net{
+				From: PortRef{Instance: "A", Port: outs[k]},
+				To:   PortRef{Instance: sinks[s], Port: ins[k]},
+			})
+		}
+	}
+	for _, in := range ins {
+		d.PrimaryInputs = append(d.PrimaryInputs, PortRef{Instance: "A", Port: in})
+	}
+	// Unconnected inputs of the sink instances are primary inputs.
+	if len(ins) > n {
+		for _, in := range ins[n:] {
+			d.PrimaryInputs = append(d.PrimaryInputs,
+				PortRef{Instance: "B", Port: in}, PortRef{Instance: "C", Port: in})
+		}
+	}
+	for _, out := range outs {
+		d.PrimaryOutputs = append(d.PrimaryOutputs, PortRef{Instance: "B", Port: out})
+		if fan > 1 {
+			d.PrimaryOutputs = append(d.PrimaryOutputs, PortRef{Instance: "C", Port: out})
+		}
+	}
+	if fan == 1 {
+		// Instance C would dangle; keep the design legal by driving it from
+		// primary inputs directly.
+		for _, in := range ins {
+			d.PrimaryInputs = append(d.PrimaryInputs, PortRef{Instance: "C", Port: in})
+		}
+		for _, out := range outs {
+			d.PrimaryOutputs = append(d.PrimaryOutputs, PortRef{Instance: "C", Port: out})
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLoadAwareModelsSlowWithFanout(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	if mod.Model.Graph.OutputLoadSlopes == nil {
+		t.Fatal("model lost the output load slopes")
+	}
+	d1 := fanoutDesign(t, mod, 1)
+	d2 := fanoutDesign(t, mod, 2)
+	r1, err := d1.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d2.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Delay.Mean() <= r1.Delay.Mean() {
+		t.Fatalf("double-loaded outputs should be slower: %g vs %g", r2.Delay.Mean(), r1.Delay.Mean())
+	}
+	// The adjustment is a boundary effect, not a rescale of the design.
+	if r2.Delay.Mean() > 1.10*r1.Delay.Mean() {
+		t.Fatalf("load adjustment too large: %g vs %g", r2.Delay.Mean(), r1.Delay.Mean())
+	}
+}
+
+func TestLoadAwareFlattenConsistent(t *testing.T) {
+	// The same load adjustment must apply to the flattened ground truth so
+	// hierarchical and Monte Carlo remain comparable.
+	mod := buildModule(t, "m4", 4)
+	d2 := fanoutDesign(t, mod, 2)
+	res, err := d2.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _, err := d2.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := mc.MaxDelaySamples(flat, mc.Config{Samples: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Summarize(samples)
+	if rel := math.Abs(res.Delay.Mean()-s.Mean) / s.Mean; rel > 0.02 {
+		t.Fatalf("hier mean %g vs MC %g (rel %g)", res.Delay.Mean(), s.Mean, rel)
+	}
+}
+
+func TestLoadAwareDisabledWithoutSlopes(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d2 := fanoutDesign(t, mod, 2)
+	base, err := d2.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the slopes: the adjustment must silently disable.
+	mod.Model.Graph.OutputLoadSlopes = nil
+	mod.Orig.OutputLoadSlopes = nil
+	off, err := d2.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Delay.Mean() >= base.Delay.Mean() {
+		t.Fatalf("disabling load slopes should reduce delay: %g vs %g", off.Delay.Mean(), base.Delay.Mean())
+	}
+}

@@ -1,0 +1,120 @@
+package hier
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlewCharacterizationPresent(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	g := mod.Model.Graph
+	if g.RefSlew <= 0 {
+		t.Fatal("model lost the reference slew")
+	}
+	if len(g.InputSlewSlopes) != len(g.Inputs) {
+		t.Fatalf("input slew slopes %d != inputs %d", len(g.InputSlewSlopes), len(g.Inputs))
+	}
+	if len(g.OutputPortSlews) != len(g.Outputs) || len(g.OutputSlewSlopes) != len(g.Outputs) {
+		t.Fatal("output slew characterization incomplete")
+	}
+	for k, s := range g.OutputPortSlews {
+		if s <= 0 {
+			t.Fatalf("output %d slew %g", k, s)
+		}
+	}
+}
+
+// TestSlewAdjustmentDirection: a module whose inputs are driven by a port
+// with slower-than-reference transition must get slower; sharper, faster.
+func TestSlewAdjustmentDirection(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+
+	base, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Make the drivers present a much slower transition.
+	slews := mod.Model.Graph.OutputPortSlews
+	orig := append([]float64(nil), slews...)
+	for k := range slews {
+		slews[k] = orig[k] + 40
+	}
+	slow, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Delay.Mean() <= base.Delay.Mean() {
+		t.Fatalf("slower driver transitions should slow the design: %g vs %g",
+			slow.Delay.Mean(), base.Delay.Mean())
+	}
+
+	// And a very sharp transition speeds it up.
+	for k := range slews {
+		slews[k] = 1
+	}
+	sharp, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharp.Delay.Mean() >= base.Delay.Mean() {
+		t.Fatalf("sharper driver transitions should speed the design: %g vs %g",
+			sharp.Delay.Mean(), base.Delay.Mean())
+	}
+	copy(slews, orig)
+}
+
+func TestSlewAdjustmentIsBoundaryScale(t *testing.T) {
+	// The adjustment must stay a boundary effect: doubling all driver slews
+	// shifts the design delay by much less than the module delay itself.
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	base, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slews := mod.Model.Graph.OutputPortSlews
+	orig := append([]float64(nil), slews...)
+	for k := range slews {
+		slews[k] *= 2
+	}
+	bumped, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(slews, orig)
+	rel := math.Abs(bumped.Delay.Mean()-base.Delay.Mean()) / base.Delay.Mean()
+	if rel > 0.10 {
+		t.Fatalf("slew adjustment moved the design delay by %.1f%% — not a boundary effect", 100*rel)
+	}
+}
+
+func TestSlewDisabledWithoutCharacterization(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	base, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Model.Graph.OutputPortSlews = nil // vendor shipped no slew data
+	off, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Model.Graph.InputSlewSlopes = nil
+	off2, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Delay.Mean() != off2.Delay.Mean() {
+		t.Fatal("partial slew data should behave like none")
+	}
+	// Without slew data the result is close to, but not necessarily equal,
+	// the slew-aware one (the multiplier ports here see near-reference
+	// transitions).
+	rel := math.Abs(off.Delay.Mean()-base.Delay.Mean()) / base.Delay.Mean()
+	if rel > 0.05 {
+		t.Fatalf("disabling slew data changed delay by %.1f%%", 100*rel)
+	}
+}

@@ -1,0 +1,183 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: A = V diag(L) V^T
+// with orthonormal eigenvector columns in V and eigenvalues L sorted in
+// descending order.
+type Eigen struct {
+	Values  []float64
+	Vectors *Dense // column j is the eigenvector for Values[j]
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence for
+// symmetric matrices is quadratic; well-conditioned covariance matrices
+// converge in well under 20 sweeps.
+const maxJacobiSweeps = 100
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. The input is not modified. It returns an error when
+// the matrix is not square/symmetric or the iteration fails to converge.
+func EigenSym(a *Dense) (*Eigen, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: EigenSym needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if !a.IsSymmetric(1e-9 * (1 + maxAbs(a))) {
+		return nil, errors.New("mat: EigenSym needs a symmetric matrix")
+	}
+	n := a.rows
+	w := a.Clone()
+	v := Identity(n)
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= 1e-14*(1+frobNorm(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Classic stable rotation computation (Golub & Van Loan).
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				applyJacobiRotation(w, v, p, q, c, s)
+			}
+		}
+		if sweep == maxJacobiSweeps-1 {
+			return nil, errors.New("mat: EigenSym did not converge")
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return &Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
+}
+
+// applyJacobiRotation applies the rotation J(p,q,c,s) as A <- J^T A J and
+// accumulates V <- V J.
+func applyJacobiRotation(a, v *Dense, p, q int, c, s float64) {
+	n := a.rows
+	for k := 0; k < n; k++ {
+		akp := a.At(k, p)
+		akq := a.At(k, q)
+		a.Set(k, p, c*akp-s*akq)
+		a.Set(k, q, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		apk := a.At(p, k)
+		aqk := a.At(q, k)
+		a.Set(p, k, c*apk-s*aqk)
+		a.Set(q, k, s*apk+c*aqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(a *Dense) float64 {
+	var s float64
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			if i != j {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func frobNorm(a *Dense) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func maxAbs(a *Dense) float64 {
+	var m float64
+	for _, v := range a.data {
+		m = math.Max(m, math.Abs(v))
+	}
+	return m
+}
+
+// Cholesky computes the lower-triangular factor L with A = L L^T for a
+// symmetric positive semi-definite matrix. Small negative pivots (within
+// tol of zero, as arise from clamped correlation models) are treated as
+// zero; a pivot below -tol is an error.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: Cholesky needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	tol := 1e-9 * (1 + maxAbs(a))
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var diag float64
+		{
+			s := a.At(j, j)
+			lrow := l.Row(j)
+			for k := 0; k < j; k++ {
+				s -= lrow[k] * lrow[k]
+			}
+			diag = s
+		}
+		switch {
+		case diag < -tol:
+			return nil, fmt.Errorf("mat: Cholesky pivot %d is negative (%g): matrix not PSD", j, diag)
+		case diag <= tol:
+			// Semi-definite direction: zero column.
+			l.Set(j, j, 0)
+			continue
+		}
+		d := math.Sqrt(diag)
+		l.Set(j, j, d)
+		ljrow := l.Row(j)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lirow := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lirow[k] * ljrow[k]
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,125 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenDiagonalMatrix(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, 5)
+	a.Set(1, 1, 2)
+	a.Set(2, 2, 9)
+	eig, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 5, 2}
+	for i, v := range want {
+		if math.Abs(eig.Values[i]-v) > 1e-12 {
+			t.Fatalf("eigenvalues = %v, want %v", eig.Values, want)
+		}
+	}
+}
+
+func TestEigenSize1(t *testing.T) {
+	a := NewDense(1, 1)
+	a.Set(0, 0, 4)
+	eig, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eig.Values[0] != 4 || math.Abs(eig.Vectors.At(0, 0)) != 1 {
+		t.Fatalf("1x1 eigen: %v %v", eig.Values, eig.Vectors.At(0, 0))
+	}
+}
+
+func TestCholeskyIdentity(t *testing.T) {
+	l, err := Cholesky(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := MaxAbsDiff(l, Identity(4))
+	if d > 1e-15 {
+		t.Fatal("Cholesky of identity should be identity")
+	}
+}
+
+// TestMulVecLinearity: M(ax + by) = a Mx + b My.
+func TestMulVecLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewDense(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 100), math.Mod(b, 100)
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, 6)
+		y := make([]float64, 6)
+		comb := make([]float64, 6)
+		for i := range x {
+			x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+			comb[i] = a*x[i] + b*y[i]
+		}
+		mc, err := m.MulVec(comb)
+		if err != nil {
+			return false
+		}
+		mx, _ := m.MulVec(x)
+		my, _ := m.MulVec(y)
+		for i := range mc {
+			want := a*mx[i] + b*my[i]
+			if math.Abs(mc[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	mk := func(r, c int) *Dense {
+		m := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return m
+	}
+	a, b, c := mk(3, 4), mk(4, 5), mk(5, 2)
+	ab, _ := Mul(a, b)
+	abc1, _ := Mul(ab, c)
+	bc, _ := Mul(b, c)
+	abc2, _ := Mul(a, bc)
+	d, _ := MaxAbsDiff(abc1, abc2)
+	if d > 1e-12 {
+		t.Fatalf("(AB)C != A(BC): %g", d)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewDense(3, 7)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 7; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	d, _ := MaxAbsDiff(m, m.T().T())
+	if d != 0 {
+		t.Fatal("T().T() changed the matrix")
+	}
+}

@@ -1,0 +1,390 @@
+// Package mc is the Monte Carlo reference engine used to validate the
+// analytic SSTA results (paper Section VI uses 10,000-iteration Monte Carlo
+// throughout).
+//
+// The structural sampler draws the *parameter space* directly: one global
+// standard normal per parameter, spatially correlated grid locals through
+// the Cholesky factor of the grid correlation matrix, and an independent
+// standard normal per delay edge. Scalar edge delays then follow from the
+// edges' structural sensitivities, and circuit delays from scalar
+// longest-path propagation. This path is deliberately independent of the
+// PCA decomposition and the Clark max that it validates.
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/timing"
+)
+
+// Config controls a Monte Carlo run.
+type Config struct {
+	Samples int
+	Seed    int64
+	Workers int // <=0: GOMAXPROCS
+}
+
+func (c Config) normalize() Config {
+	if c.Samples <= 0 {
+		c.Samples = 10000
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// sampler holds per-worker scratch state for structural sampling.
+type sampler struct {
+	g     *timing.Graph
+	chol  *mat.Dense
+	nGrid int
+	nPar  int
+
+	glob   []float64   // per parameter
+	locs   [][]float64 // per parameter x per grid
+	z      []float64
+	delays []float64
+	arr    []float64
+	order  []int
+}
+
+func newSampler(g *timing.Graph) (*sampler, error) {
+	if g.Grids == nil {
+		return nil, errors.New("mc: graph has no grid model; structural sampling needs the original graph")
+	}
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		if e.LSens != nil {
+			continue
+		}
+		for _, v := range e.Delay.Loc {
+			if v != 0 {
+				return nil, fmt.Errorf("mc: edge %d has correlated coefficients but no structural sensitivities (extracted model graphs cannot be sampled structurally)", ei)
+			}
+		}
+	}
+	chol, err := g.Grids.CholeskyLocal()
+	if err != nil {
+		return nil, fmt.Errorf("mc: grid Cholesky: %w", err)
+	}
+	order, err := g.Order()
+	if err != nil {
+		return nil, err
+	}
+	nPar := len(g.Params)
+	if nPar == 0 {
+		nPar = g.Space.Globals
+	}
+	s := &sampler{
+		g: g, chol: chol, nGrid: g.Grids.N(), nPar: nPar,
+		glob:   make([]float64, g.Space.Globals),
+		locs:   make([][]float64, nPar),
+		z:      make([]float64, g.Grids.N()),
+		delays: make([]float64, len(g.Edges)),
+		arr:    make([]float64, g.NumVerts),
+		order:  order,
+	}
+	for p := range s.locs {
+		s.locs[p] = make([]float64, s.nGrid)
+	}
+	return s, nil
+}
+
+// draw fills scalar edge delays for one sample.
+func (s *sampler) draw(rng *rand.Rand) {
+	for i := range s.glob {
+		s.glob[i] = rng.NormFloat64()
+	}
+	for p := 0; p < s.nPar; p++ {
+		for i := range s.z {
+			s.z[i] = rng.NormFloat64()
+		}
+		// locs[p] = chol * z: correlated grid locals.
+		loc := s.locs[p]
+		for i := 0; i < s.nGrid; i++ {
+			row := s.chol.Row(i)
+			var v float64
+			for k := 0; k <= i; k++ {
+				v += row[k] * s.z[k]
+			}
+			loc[i] = v
+		}
+	}
+	for ei := range s.g.Edges {
+		e := &s.g.Edges[ei]
+		d := e.Delay.Nominal
+		for p, c := range e.Delay.Glob {
+			d += c * s.glob[p]
+		}
+		for p, c := range e.LSens {
+			d += c * s.locs[p][e.Grid]
+		}
+		if e.Delay.Rand != 0 {
+			d += e.Delay.Rand * rng.NormFloat64()
+		}
+		s.delays[ei] = d
+	}
+}
+
+// longestFrom runs a scalar longest-path pass from the given source
+// vertices and returns the arrival array (shared scratch; valid until next
+// call).
+func (s *sampler) longestFrom(sources []int) []float64 {
+	for i := range s.arr {
+		s.arr[i] = math.Inf(-1)
+	}
+	for _, src := range sources {
+		s.arr[src] = 0
+	}
+	for _, v := range s.order {
+		av := s.arr[v]
+		if math.IsInf(av, -1) {
+			continue
+		}
+		for _, ei := range s.g.Out[v] {
+			e := &s.g.Edges[ei]
+			if cand := av + s.delays[ei]; cand > s.arr[e.To] {
+				s.arr[e.To] = cand
+			}
+		}
+	}
+	return s.arr
+}
+
+// MaxDelaySamples draws cfg.Samples realizations of the circuit delay (max
+// over outputs, all inputs at time zero). Samples are deterministic in
+// cfg.Seed regardless of worker count.
+func MaxDelaySamples(g *timing.Graph, cfg Config) ([]float64, error) {
+	cfg = cfg.normalize()
+	out := make([]float64, cfg.Samples)
+	err := forEachSample(g, cfg, func(s *sampler, idx int, rng *rand.Rand) {
+		s.draw(rng)
+		arr := s.longestFrom(s.g.Inputs)
+		best := math.Inf(-1)
+		for _, o := range s.g.Outputs {
+			if arr[o] > best {
+				best = arr[o]
+			}
+		}
+		out[idx] = best
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PairStats accumulates mean/std of the all-pairs input-output delays.
+type PairStats struct {
+	Inputs  int
+	Outputs int
+	Samples int
+	Mean    [][]float64
+	Std     [][]float64
+	// Reachable marks pairs with a structural path.
+	Reachable [][]bool
+}
+
+// AllPairsStats estimates the mean and standard deviation of every
+// input-output delay M_ij by exclusive scalar propagation per input — the
+// reference for the paper's Table I merr/verr columns.
+func AllPairsStats(g *timing.Graph, cfg Config) (*PairStats, error) {
+	cfg = cfg.normalize()
+	nI, nO := len(g.Inputs), len(g.Outputs)
+	sum := newMatrix(nI, nO)
+	sumSq := newMatrix(nI, nO)
+	var mu sync.Mutex
+
+	err := forEachSampleAggregated(g, cfg,
+		func() interface{} {
+			return struct{ s, s2 [][]float64 }{newMatrix(nI, nO), newMatrix(nI, nO)}
+		},
+		func(acc interface{}, s *sampler, idx int, rng *rand.Rand) {
+			a := acc.(struct{ s, s2 [][]float64 })
+			s.draw(rng)
+			for i, in := range s.g.Inputs {
+				arr := s.longestFrom([]int{in})
+				for j, o := range s.g.Outputs {
+					if v := arr[o]; !math.IsInf(v, -1) {
+						a.s[i][j] += v
+						a.s2[i][j] += v * v
+					}
+				}
+			}
+		},
+		func(acc interface{}) {
+			a := acc.(struct{ s, s2 [][]float64 })
+			mu.Lock()
+			defer mu.Unlock()
+			for i := 0; i < nI; i++ {
+				for j := 0; j < nO; j++ {
+					sum[i][j] += a.s[i][j]
+					sumSq[i][j] += a.s2[i][j]
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	ps := &PairStats{
+		Inputs: nI, Outputs: nO, Samples: cfg.Samples,
+		Mean: newMatrix(nI, nO), Std: newMatrix(nI, nO),
+		Reachable: make([][]bool, nI),
+	}
+	// Structural reachability decides which pairs exist.
+	_, toOut, err := g.Reachability()
+	if err != nil {
+		return nil, err
+	}
+	n := float64(cfg.Samples)
+	for i := 0; i < nI; i++ {
+		ps.Reachable[i] = make([]bool, nO)
+		for j := 0; j < nO; j++ {
+			if toOut[g.Inputs[i]][j/64]&(1<<uint(j%64)) == 0 {
+				continue
+			}
+			ps.Reachable[i][j] = true
+			m := sum[i][j] / n
+			ps.Mean[i][j] = m
+			v := sumSq[i][j]/n - m*m
+			if v < 0 {
+				v = 0
+			}
+			ps.Std[i][j] = math.Sqrt(v)
+		}
+	}
+	return ps, nil
+}
+
+func newMatrix(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+// forEachSample fans samples out over workers; each sample re-seeds from
+// cfg.Seed + index so results are independent of scheduling.
+func forEachSample(g *timing.Graph, cfg Config, fn func(*sampler, int, *rand.Rand)) error {
+	return forEachSampleAggregated(g, cfg,
+		func() interface{} { return nil },
+		func(_ interface{}, s *sampler, idx int, rng *rand.Rand) { fn(s, idx, rng) },
+		func(interface{}) {})
+}
+
+func forEachSampleAggregated(g *timing.Graph, cfg Config,
+	newAcc func() interface{},
+	fn func(acc interface{}, s *sampler, idx int, rng *rand.Rand),
+	merge func(acc interface{})) error {
+
+	if _, err := newSampler(g); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	errCh := make(chan error, 1)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := newSampler(g)
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+			acc := newAcc()
+			for idx := range idxCh {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*7919))
+				fn(acc, s, idx, rng)
+			}
+			merge(acc)
+		}()
+	}
+	for i := 0; i < cfg.Samples; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// CanonicalMaxDelaySamples samples the canonical space directly (iid
+// standard normal globals, PCA components and private randoms) — validating
+// only the propagation/Clark machinery, not the PCA fidelity. Works on any
+// graph including extracted models.
+func CanonicalMaxDelaySamples(g *timing.Graph, cfg Config) ([]float64, error) {
+	cfg = cfg.normalize()
+	order, err := g.Order()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, cfg.Samples)
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			glob := make([]float64, g.Space.Globals)
+			loc := make([]float64, g.Space.Components)
+			arr := make([]float64, g.NumVerts)
+			for idx := range idxCh {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*7919))
+				for i := range glob {
+					glob[i] = rng.NormFloat64()
+				}
+				for i := range loc {
+					loc[i] = rng.NormFloat64()
+				}
+				for i := range arr {
+					arr[i] = math.Inf(-1)
+				}
+				for _, in := range g.Inputs {
+					arr[in] = 0
+				}
+				for _, v := range order {
+					if math.IsInf(arr[v], -1) {
+						continue
+					}
+					for _, ei := range g.Out[v] {
+						e := &g.Edges[ei]
+						d := e.Delay.Sample(glob, loc, rng.NormFloat64())
+						if cand := arr[v] + d; cand > arr[e.To] {
+							arr[e.To] = cand
+						}
+					}
+				}
+				best := math.Inf(-1)
+				for _, o := range g.Outputs {
+					if arr[o] > best {
+						best = arr[o]
+					}
+				}
+				out[idx] = best
+			}
+		}()
+	}
+	for i := 0; i < cfg.Samples; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return out, nil
+}

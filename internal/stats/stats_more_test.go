@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormCDFMonotoneQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		a, b = math.Mod(a, 20), math.Mod(b, 20)
+		if a > b {
+			a, b = b, a
+		}
+		return NormCDF(a) <= NormCDF(b)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormCDFSymmetry(t *testing.T) {
+	for _, x := range []float64{0.1, 0.7, 1.5, 2.5, 4} {
+		if d := math.Abs(NormCDF(x) + NormCDF(-x) - 1); d > 1e-14 {
+			t.Fatalf("CDF(%g)+CDF(-%g)-1 = %g", x, x, d)
+		}
+	}
+}
+
+func TestSummarizeMatchesECDFQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	xs := make([]float64, 10001)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	s := Summarize(xs)
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := e.Quantile(0.5); math.Abs(med-s.Mean) > 0.15 {
+		t.Fatalf("median %g far from mean %g for symmetric sample", med, s.Mean)
+	}
+	if e.Min() != s.Min || e.Max() != s.Max {
+		t.Fatal("extremes disagree between Summary and ECDF")
+	}
+}
+
+func TestHistogramTotalInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram(-2, 2, 1+rng.Intn(30))
+		if err != nil {
+			return false
+		}
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64() * 3)
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == n && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFEvalAtSamplePoints(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 1, 2, 3})
+	// Duplicates: CDF at 1 counts both.
+	if got := e.Eval(1); got != 0.5 {
+		t.Fatalf("Eval(1) = %g, want 0.5", got)
+	}
+}
+
+func TestKSAgainstSelfQuantiles(t *testing.T) {
+	// ECDF against its own empirical distribution function: the statistic
+	// also probes the left limit of each step, so the distance is exactly
+	// 1/n, never zero.
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	e, _ := NewECDF(xs)
+	d := e.KSAgainst(func(x float64) float64 { return e.Eval(x) })
+	if d > 1.0/float64(len(xs))+1e-12 {
+		t.Fatalf("KS against self = %g, want <= 1/n = %g", d, 1.0/float64(len(xs)))
+	}
+}
+
+func TestNormQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		q := NormQuantile(p)
+		if q <= prev {
+			t.Fatalf("quantile not increasing at p=%g", p)
+		}
+		prev = q
+	}
+}

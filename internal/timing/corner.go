@@ -1,0 +1,100 @@
+package timing
+
+import (
+	"errors"
+	"math"
+)
+
+// CornerDelay computes the deterministic corner-based STA delay that the
+// paper's introduction criticizes as overly pessimistic: every variation
+// source of every edge is simultaneously pushed to its +k-sigma value and
+// the worst path delay is taken.
+//
+// For edges with structural data the per-edge corner is
+//
+//	d = nominal + k * (sum_p |global_p| + sum_p |local_p| + rand)
+//
+// treating each physical source (global, per-grid local, private random) as
+// an independently worst-cased variable. Model edges without structural
+// sensitivities use the PCA block norm per parameter instead, which is the
+// closest equivalent. Correlations between edges are ignored — that is the
+// point of a corner.
+func (g *Graph) CornerDelay(k float64) (float64, error) {
+	if k < 0 {
+		return 0, errors.New("timing: corner sigma multiplier must be non-negative")
+	}
+	order, err := g.Order()
+	if err != nil {
+		return 0, err
+	}
+	corner := make([]float64, len(g.Edges))
+	for ei := range g.Edges {
+		corner[ei] = g.edgeCorner(ei, k)
+	}
+	arr := make([]float64, g.NumVerts)
+	for i := range arr {
+		arr[i] = math.Inf(-1)
+	}
+	for _, in := range g.Inputs {
+		arr[in] = 0
+	}
+	for _, v := range order {
+		if math.IsInf(arr[v], -1) {
+			continue
+		}
+		for _, ei := range g.Out[v] {
+			e := &g.Edges[ei]
+			if cand := arr[v] + corner[ei]; cand > arr[e.To] {
+				arr[e.To] = cand
+			}
+		}
+	}
+	best := math.Inf(-1)
+	for _, o := range g.Outputs {
+		if arr[o] > best {
+			best = arr[o]
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0, errors.New("timing: no output reachable")
+	}
+	return best, nil
+}
+
+func (g *Graph) edgeCorner(ei int, k float64) float64 {
+	e := &g.Edges[ei]
+	var spread float64
+	for _, v := range e.Delay.Glob {
+		spread += math.Abs(v)
+	}
+	if e.LSens != nil {
+		for _, v := range e.LSens {
+			spread += math.Abs(v)
+		}
+	} else if g.Space.Components > 0 {
+		// Model edge: per-parameter block norm of the PCA coefficients is
+		// the sigma of that parameter's correlated part.
+		nP := g.Space.Globals
+		if nP == 0 {
+			nP = 1
+		}
+		block := g.Space.Components / nP
+		if block == 0 {
+			block = g.Space.Components
+		}
+		for p := 0; p*block < len(e.Delay.Loc); p++ {
+			var s2 float64
+			for _, v := range e.Delay.Loc[p*block : (p+1)*block] {
+				s2 += v * v
+			}
+			spread += math.Sqrt(s2)
+		}
+	}
+	spread += e.Delay.Rand
+	return e.Delay.Nominal + k*spread
+}
+
+// NominalDelay is the zero-variation longest path (the k = 0 corner).
+func (g *Graph) NominalDelay() (float64, error) {
+	return g.CornerDelay(0)
+}

@@ -1,0 +1,90 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCornerDelayPessimism(t *testing.T) {
+	// The point of SSTA (paper introduction): the all-sources 3-sigma
+	// corner is more pessimistic than the statistical 3-sigma quantile,
+	// because it ignores that independent variations rarely align.
+	g := buildBench(t, "c880", 1)
+	corner, err := g.CornerDelay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := g.MaxDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3 := md.Quantile(0.99865) // 3-sigma yield point
+	if corner <= q3 {
+		t.Fatalf("corner %g not above statistical 3-sigma point %g", corner, q3)
+	}
+	pessimism := (corner - q3) / q3
+	if pessimism < 0.02 {
+		t.Fatalf("pessimism %g suspiciously small", pessimism)
+	}
+	if pessimism > 1.0 {
+		t.Fatalf("pessimism %g implausibly large", pessimism)
+	}
+}
+
+func TestCornerDelayZeroIsNominal(t *testing.T) {
+	g := buildC17(t)
+	c0, err := g.CornerDelay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, err := g.NominalDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 != nom {
+		t.Fatalf("CornerDelay(0)=%g != NominalDelay()=%g", c0, nom)
+	}
+	// The nominal longest path equals the nominal of the max-delay form
+	// only up to the Clark mean bump, so compare loosely from below.
+	md, _ := g.MaxDelay()
+	if nom > md.Mean()+1e-9 {
+		t.Fatalf("nominal %g exceeds statistical mean %g", nom, md.Mean())
+	}
+	if nom < 0.8*md.Mean() {
+		t.Fatalf("nominal %g far below statistical mean %g", nom, md.Mean())
+	}
+}
+
+func TestCornerDelayMonotoneInK(t *testing.T) {
+	g := buildC17(t)
+	prev := -math.MaxFloat64
+	for _, k := range []float64{0, 0.5, 1, 2, 3, 6} {
+		c, err := g.CornerDelay(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Fatalf("corner not strictly increasing at k=%g: %g <= %g", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCornerDelayRejectsNegativeK(t *testing.T) {
+	g := buildC17(t)
+	if _, err := g.CornerDelay(-1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestOutputLoadSlopesRecorded(t *testing.T) {
+	g := buildC17(t)
+	if len(g.OutputLoadSlopes) != len(g.Outputs) {
+		t.Fatalf("load slopes %d != outputs %d", len(g.OutputLoadSlopes), len(g.Outputs))
+	}
+	for k, s := range g.OutputLoadSlopes {
+		if s <= 0 {
+			t.Fatalf("output %d load slope %g", k, s)
+		}
+	}
+}

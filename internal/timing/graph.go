@@ -1,0 +1,292 @@
+// Package timing implements the statistical timing graph of the paper's
+// Section II: vertices are circuit pins (one per gate output and primary
+// input), edges carry canonical first-order delay forms, and arrival times
+// are propagated with statistical sum and Clark max.
+//
+// Besides the canonical form, every edge also carries the structural
+// ground-truth data (nominal, per-parameter sensitivities, grid index,
+// private-random sigma) so the Monte Carlo engine can sample the parameter
+// space directly — independent of the PCA machinery it validates.
+package timing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/canon"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/place"
+	"repro/internal/variation"
+)
+
+// Edge is one delay edge of the timing graph.
+type Edge struct {
+	From, To int
+	Delay    *canon.Form
+
+	// Ground-truth structural data for Monte Carlo (see package comment).
+	// LSens[p] is the absolute delay sensitivity (ps) to the grid-local part
+	// of parameter p; the sampled local value of grid Grid multiplies it.
+	LSens []float64
+	Grid  int
+}
+
+// Graph is a statistical timing graph.
+type Graph struct {
+	Space  canon.Space
+	Params []variation.Parameter
+	Grids  *variation.GridModel // nil for hand-built graphs without spatial model
+
+	NumVerts int
+	Edges    []Edge
+	In       [][]int32 // fanin edge indices per vertex
+	Out      [][]int32 // fanout edge indices per vertex
+
+	Inputs  []int
+	Outputs []int
+	// Port names in Inputs/Outputs order, used to stitch module models into
+	// a hierarchical design.
+	InputNames  []string
+	OutputNames []string
+
+	// OutputLoadSlopes optionally holds, per output port, the additional
+	// nominal delay (ps) the driving cell incurs per extra fanout beyond the
+	// single load assumed during characterization. It enables load-aware
+	// model use at design level — the paper's stated future work.
+	OutputLoadSlopes []float64
+
+	// Slew (slope) characterization at the module boundary, the other half
+	// of the paper's future work. RefSlew is the input transition assumed
+	// at the module's inputs during characterization; InputSlewSlopes holds
+	// the delay added per ps of input transition beyond RefSlew, per input
+	// port; OutputPortSlews the nominal output transition per output port;
+	// OutputSlewSlopes the transition added per extra external load.
+	RefSlew          float64
+	InputSlewSlopes  []float64
+	OutputPortSlews  []float64
+	OutputSlewSlopes []float64
+
+	order []int
+}
+
+// NewGraph creates an empty graph with nverts vertices.
+func NewGraph(space canon.Space, nverts int, params []variation.Parameter) *Graph {
+	return &Graph{
+		Space:    space,
+		Params:   params,
+		NumVerts: nverts,
+		In:       make([][]int32, nverts),
+		Out:      make([][]int32, nverts),
+	}
+}
+
+// AddEdge appends a delay edge and returns its index. The delay form must
+// belong to the graph's space.
+func (g *Graph) AddEdge(from, to int, delay *canon.Form, lsens []float64, grid int) (int, error) {
+	if from < 0 || from >= g.NumVerts || to < 0 || to >= g.NumVerts {
+		return 0, fmt.Errorf("timing: edge %d->%d outside vertex range %d", from, to, g.NumVerts)
+	}
+	if from == to {
+		return 0, fmt.Errorf("timing: self-loop on vertex %d", from)
+	}
+	if !delay.In(g.Space) {
+		return 0, fmt.Errorf("timing: edge %d->%d delay form not in graph space", from, to)
+	}
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Delay: delay, LSens: lsens, Grid: grid})
+	g.Out[from] = append(g.Out[from], int32(idx))
+	g.In[to] = append(g.In[to], int32(idx))
+	g.order = nil
+	return idx, nil
+}
+
+// SetIO declares the input and output vertices with their port names.
+func (g *Graph) SetIO(inputs, outputs []int, inNames, outNames []string) error {
+	if len(inputs) != len(inNames) || len(outputs) != len(outNames) {
+		return errors.New("timing: port name count mismatch")
+	}
+	g.Inputs = append([]int(nil), inputs...)
+	g.Outputs = append([]int(nil), outputs...)
+	g.InputNames = append([]string(nil), inNames...)
+	g.OutputNames = append([]string(nil), outNames...)
+	return nil
+}
+
+// Order returns a topological order of the vertices, computing and caching
+// it on first use.
+func (g *Graph) Order() ([]int, error) {
+	if g.order != nil {
+		return g.order, nil
+	}
+	indeg := make([]int, g.NumVerts)
+	for v := range g.In {
+		indeg[v] = len(g.In[v])
+	}
+	queue := make([]int, 0, g.NumVerts)
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.NumVerts)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range g.Out[v] {
+			to := g.Edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != g.NumVerts {
+		return nil, errors.New("timing: graph contains a cycle")
+	}
+	g.order = order
+	return order, nil
+}
+
+// Build constructs the statistical timing graph of a placed circuit against
+// a cell library and grid model: one vertex per circuit node, one edge per
+// gate fanin connection (paper Section II). The canonical space has one
+// global per parameter and one component block per parameter.
+func Build(c *circuit.Circuit, lib *cell.Library, plan *place.Plan, gm *variation.GridModel) (*Graph, error) {
+	if len(lib.Params) == 0 {
+		return nil, errors.New("timing: library has no variation parameters")
+	}
+	if gm == nil {
+		return nil, errors.New("timing: nil grid model")
+	}
+	space := canon.Space{Globals: len(lib.Params), Components: len(lib.Params) * gm.Comps}
+	g := NewGraph(space, c.NumNodes(), lib.Params)
+	g.Grids = gm
+	g.RefSlew = cell.RefSlew
+	fanout := c.Fanout()
+
+	// Nominal output transition per node: primary inputs arrive at the
+	// reference transition; gates regenerate according to their cell spec
+	// and fanout. The slew model is first order (output slew independent of
+	// input slew), so one local pass suffices.
+	outSlew := make([]float64, c.NumNodes())
+	for id, gate := range c.Gates {
+		if gate.Type == circuit.Input {
+			outSlew[id] = cell.RefSlew
+			continue
+		}
+		nf := len(fanout[id])
+		if nf < 1 {
+			nf = 1
+		}
+		s, err := lib.OutputSlew(gate.Type, nf)
+		if err != nil {
+			return nil, fmt.Errorf("timing: gate %q: %w", gate.Name, err)
+		}
+		outSlew[id] = s
+	}
+
+	for id, gate := range c.Gates {
+		if gate.Type == circuit.Input {
+			continue
+		}
+		nf := len(fanout[id])
+		if nf < 1 {
+			nf = 1 // primary output drives one (virtual) load
+		}
+		grid := plan.Grid[id]
+		if grid < 0 || grid >= gm.N() {
+			return nil, fmt.Errorf("timing: gate %d grid %d outside model (%d grids)", id, grid, gm.N())
+		}
+		for pin, src := range gate.Fanin {
+			arc, err := lib.ArcAtSlew(gate.Type, pin, nf, outSlew[src])
+			if err != nil {
+				return nil, fmt.Errorf("timing: gate %q: %w", gate.Name, err)
+			}
+			delay, lsens := formFromArc(space, lib.Params, gm, arc, grid)
+			if _, err := g.AddEdge(src, id, delay, lsens, grid); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	inNames := make([]string, len(c.PIs))
+	for i, pi := range c.PIs {
+		inNames[i] = c.Gates[pi].Name
+	}
+	outNames := make([]string, len(c.POs))
+	for i, po := range c.POs {
+		outNames[i] = c.Gates[po].Name
+	}
+	if err := g.SetIO(c.PIs, c.POs, inNames, outNames); err != nil {
+		return nil, err
+	}
+	// Record the boundary characterization for load- and slew-aware model
+	// use at design level (paper future work): delay added per extra
+	// external fanout, per-input-port delay slope against input transition,
+	// and the nominal transition each output port presents downstream.
+	g.OutputLoadSlopes = make([]float64, len(c.POs))
+	g.OutputPortSlews = make([]float64, len(c.POs))
+	g.OutputSlewSlopes = make([]float64, len(c.POs))
+	for i, po := range c.POs {
+		if spec, err := lib.Spec(c.Gates[po].Type); err == nil {
+			g.OutputLoadSlopes[i] = spec.LoadSlope
+			g.OutputPortSlews[i] = outSlew[po]
+			g.OutputSlewSlopes[i] = spec.OutSlewSlope
+		}
+	}
+	g.InputSlewSlopes = make([]float64, len(c.PIs))
+	for i, pi := range c.PIs {
+		// Mean slew sensitivity of the arcs the port feeds.
+		var sum float64
+		var n int
+		for _, consumer := range fanout[pi] {
+			if spec, err := lib.Spec(c.Gates[consumer].Type); err == nil {
+				sum += spec.SlewSens
+				n++
+			}
+		}
+		if n > 0 {
+			g.InputSlewSlopes[i] = sum / float64(n)
+		}
+	}
+	if _, err := g.Order(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// formFromArc converts a cell arc at a grid location into the canonical
+// form (paper eq. 3) plus the MC structural sensitivities.
+func formFromArc(space canon.Space, params []variation.Parameter, gm *variation.GridModel, arc cell.Arc, grid int) (*canon.Form, []float64) {
+	f := space.NewForm()
+	f.Nominal = arc.Nominal
+	lsens := make([]float64, len(params))
+	var rand2 float64
+	row := gm.CoeffRow(grid)
+	for p, par := range params {
+		abs := arc.Sens[p] * par.Sigma
+		f.Glob[p] = abs * sqrt(par.GlobalShare)
+		ls := abs * sqrt(par.LocalShare)
+		lsens[p] = ls
+		base := p * gm.Comps
+		for k, a := range row {
+			f.Loc[base+k] = ls * a
+		}
+		r := abs * sqrt(par.RandomShare)
+		rand2 += r * r
+	}
+	rand2 += arc.LoadAbs * arc.LoadAbs
+	f.Rand = sqrt(rand2)
+	return f, lsens
+}
+
+// sqrt clamps tiny negative share values (from float rounding) to zero.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

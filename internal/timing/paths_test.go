@@ -1,0 +1,120 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopPathsC17(t *testing.T) {
+	g := buildC17(t)
+	paths, err := g.TopPaths(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	md, _ := g.MaxDelay()
+	prev := math.Inf(1)
+	for i, p := range paths {
+		// Structure: consecutive edges must chain between the vertices.
+		if len(p.Edges) != len(p.Vertices)-1 {
+			t.Fatalf("path %d: %d edges for %d vertices", i, len(p.Edges), len(p.Vertices))
+		}
+		for k, ei := range p.Edges {
+			e := g.Edges[ei]
+			if e.From != p.Vertices[k] || e.To != p.Vertices[k+1] {
+				t.Fatalf("path %d: edge %d does not chain", i, k)
+			}
+		}
+		if p.Vertices[0] != g.Inputs[p.Input] || p.Vertices[len(p.Vertices)-1] != g.Outputs[p.Output] {
+			t.Fatalf("path %d does not run input->output", i)
+		}
+		// Ranking is by descending criticality.
+		if p.Criticality > prev+1e-12 {
+			t.Fatalf("paths not sorted by criticality: %g after %g", p.Criticality, prev)
+		}
+		prev = p.Criticality
+		// A single path cannot out-delay the circuit distribution by much.
+		if p.Delay.Mean() > md.Mean()+1e-9 {
+			t.Fatalf("path %d mean %g above circuit delay %g", i, p.Delay.Mean(), md.Mean())
+		}
+		if p.Criticality < 0 || p.Criticality > 1 {
+			t.Fatalf("path %d criticality %g", i, p.Criticality)
+		}
+	}
+	// The top path should be a strong contender for the circuit maximum.
+	if paths[0].Criticality < 0.2 {
+		t.Fatalf("top path criticality %g suspiciously low", paths[0].Criticality)
+	}
+}
+
+func TestTopPathsTruncation(t *testing.T) {
+	g := buildBench(t, "c432", 1)
+	p3, err := g.TopPaths(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p3) != 3 {
+		t.Fatalf("got %d paths, want 3", len(p3))
+	}
+	if _, err := g.TopPaths(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSlacksSignAndMonotonicity(t *testing.T) {
+	g := buildC17(t)
+	md, _ := g.MaxDelay()
+	// Generous required time: all slacks comfortably positive.
+	loose, err := g.Slacks(md.Mean() + 10*md.Std())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range loose {
+		if s == nil {
+			continue
+		}
+		if s.Mean() <= 0 {
+			t.Fatalf("vertex %d slack %g under loose constraint", v, s.Mean())
+		}
+	}
+	// Impossible required time: the critical vertices go negative.
+	tight, err := g.Slacks(md.Mean() - 10*md.Std())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNegative := false
+	for _, s := range tight {
+		if s != nil && s.Mean() < 0 {
+			sawNegative = true
+		}
+	}
+	if !sawNegative {
+		t.Fatal("no negative slack under impossible constraint")
+	}
+	// Slack variance equals the path-delay variance (required time is
+	// deterministic).
+	for v, s := range loose {
+		if s == nil || tight[v] == nil {
+			continue
+		}
+		if math.Abs(s.Std()-tight[v].Std()) > 1e-9 {
+			t.Fatal("slack sigma should not depend on the required time")
+		}
+	}
+}
+
+func TestSlacksCoverage(t *testing.T) {
+	g := buildC17(t)
+	slacks, err := g.Slacks(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex of c17 lies on some input-output path.
+	for v, s := range slacks {
+		if s == nil {
+			t.Fatalf("vertex %d has no slack but c17 has no dead logic", v)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package timing
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/canon"
+)
+
+// ArrivalAll propagates arrival times from all inputs simultaneously (every
+// input at time zero) and returns the arrival form per vertex. Vertices not
+// reachable from any input have a nil entry.
+func (g *Graph) ArrivalAll() ([]*canon.Form, error) {
+	return g.arrivalFrom(g.Inputs)
+}
+
+// ArrivalFrom propagates arrival times exclusively from one input vertex
+// (paper Section IV-B: arrival "exclusively from vi"). Unreachable vertices
+// are nil.
+func (g *Graph) ArrivalFrom(src int) ([]*canon.Form, error) {
+	return g.arrivalFrom([]int{src})
+}
+
+func (g *Graph) arrivalFrom(sources []int) ([]*canon.Form, error) {
+	order, err := g.Order()
+	if err != nil {
+		return nil, err
+	}
+	arr := make([]*canon.Form, g.NumVerts)
+	for _, s := range sources {
+		if s < 0 || s >= g.NumVerts {
+			return nil, fmt.Errorf("timing: source vertex %d out of range", s)
+		}
+		arr[s] = g.Space.Const(0)
+	}
+	scratch := g.Space.NewForm()
+	for _, v := range order {
+		av := arr[v]
+		if av == nil {
+			continue
+		}
+		for _, ei := range g.Out[v] {
+			e := &g.Edges[ei]
+			canon.AddInto(scratch, av, e.Delay)
+			if cur := arr[e.To]; cur == nil {
+				arr[e.To] = scratch.Clone()
+			} else {
+				canon.MaxInto(cur, cur, scratch)
+			}
+		}
+	}
+	return arr, nil
+}
+
+// DelayToOutput computes, for every vertex, the maximum statistical delay
+// from that vertex to the given output vertex — the negated required time
+// of the paper's eq. 15 when the required time at the output is zero.
+// Vertices that cannot reach the output are nil.
+func (g *Graph) DelayToOutput(out int) ([]*canon.Form, error) {
+	if out < 0 || out >= g.NumVerts {
+		return nil, fmt.Errorf("timing: output vertex %d out of range", out)
+	}
+	order, err := g.Order()
+	if err != nil {
+		return nil, err
+	}
+	req := make([]*canon.Form, g.NumVerts)
+	req[out] = g.Space.Const(0)
+	scratch := g.Space.NewForm()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, ei := range g.Out[v] {
+			e := &g.Edges[ei]
+			rt := req[e.To]
+			if rt == nil {
+				continue
+			}
+			canon.AddInto(scratch, rt, e.Delay)
+			if cur := req[v]; cur == nil {
+				req[v] = scratch.Clone()
+			} else {
+				canon.MaxInto(cur, cur, scratch)
+			}
+		}
+	}
+	return req, nil
+}
+
+// MaxDelay returns the statistical maximum delay over all outputs with all
+// inputs arriving at time zero — the circuit delay distribution.
+func (g *Graph) MaxDelay() (*canon.Form, error) {
+	arr, err := g.ArrivalAll()
+	if err != nil {
+		return nil, err
+	}
+	var forms []*canon.Form
+	for _, o := range g.Outputs {
+		if arr[o] != nil {
+			forms = append(forms, arr[o])
+		}
+	}
+	if len(forms) == 0 {
+		return nil, errors.New("timing: no output reachable from any input")
+	}
+	return canon.MaxAll(forms)
+}
+
+// AllPairs holds the maximum input-output delay forms M_ij (paper eq. 12).
+// M[i][j] is nil when output j is not reachable from input i.
+type AllPairs struct {
+	Inputs  []int
+	Outputs []int
+	M       [][]*canon.Form
+}
+
+// AllPairsDelays computes the full delay matrix with one exclusive forward
+// propagation per input (Sapatnekar's all-pairs scheme), fanning the passes
+// out over `workers` goroutines (<=0 means GOMAXPROCS).
+func (g *Graph) AllPairsDelays(workers int) (*AllPairs, error) {
+	if _, err := g.Order(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ap := &AllPairs{
+		Inputs:  append([]int(nil), g.Inputs...),
+		Outputs: append([]int(nil), g.Outputs...),
+		M:       make([][]*canon.Form, len(g.Inputs)),
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	sem := make(chan struct{}, workers)
+	for i := range g.Inputs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			arr, err := g.ArrivalFrom(g.Inputs[i])
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+			row := make([]*canon.Form, len(g.Outputs))
+			for j, o := range g.Outputs {
+				row[j] = arr[o]
+			}
+			ap.M[i] = row
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return ap, nil
+}
+
+// Reachability returns per-vertex bitsets marking which inputs reach each
+// vertex (forward) — used to prune criticality work.
+func (g *Graph) Reachability() (fromInput [][]uint64, toOutput [][]uint64, err error) {
+	order, err := g.Order()
+	if err != nil {
+		return nil, nil, err
+	}
+	wIn := (len(g.Inputs) + 63) / 64
+	wOut := (len(g.Outputs) + 63) / 64
+	fromInput = make([][]uint64, g.NumVerts)
+	toOutput = make([][]uint64, g.NumVerts)
+	for v := 0; v < g.NumVerts; v++ {
+		fromInput[v] = make([]uint64, wIn)
+		toOutput[v] = make([]uint64, wOut)
+	}
+	for i, in := range g.Inputs {
+		fromInput[in][i/64] |= 1 << uint(i%64)
+	}
+	for _, v := range order {
+		fv := fromInput[v]
+		for _, ei := range g.Out[v] {
+			tv := fromInput[g.Edges[ei].To]
+			for w := range fv {
+				tv[w] |= fv[w]
+			}
+		}
+	}
+	for j, out := range g.Outputs {
+		toOutput[out][j/64] |= 1 << uint(j%64)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		tv := toOutput[v]
+		for _, ei := range g.In[v] {
+			sv := toOutput[g.Edges[ei].From]
+			for w := range tv {
+				sv[w] |= tv[w]
+			}
+		}
+	}
+	return fromInput, toOutput, nil
+}

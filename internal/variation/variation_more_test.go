@@ -1,0 +1,113 @@
+package variation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorrelationAlternativeParameters(t *testing.T) {
+	// The fit must work across a range of plausible setups, not just the
+	// paper's numbers.
+	cases := []struct{ neighbor, floor, rng float64 }{
+		{0.90, 0.30, 10},
+		{0.80, 0.10, 20},
+		{0.60, 0.05, 5},
+		{0.96, 0.50, 30},
+	}
+	for _, c := range cases {
+		m, err := NewCorrelationModel(c.neighbor, c.floor, c.rng)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got := m.Total(1); math.Abs(got-c.neighbor) > 1e-6 {
+			t.Errorf("%+v: Total(1) = %g", c, got)
+		}
+		if got := m.Total(c.rng); math.Abs(got-c.floor) > 1e-6 {
+			t.Errorf("%+v: Total(range) = %g", c, got)
+		}
+		if m.Local(0) != 1 {
+			t.Errorf("%+v: Local(0) = %g", c, m.Local(0))
+		}
+	}
+}
+
+func TestCorrelationInfeasibleFit(t *testing.T) {
+	// local(1) must stay below (range-1)/range for the convex
+	// shifted-exponential family; the error must say so.
+	_, err := NewCorrelationModel(0.95, 0.30, 10) // needs local(1)=0.93 > 0.9
+	if err == nil {
+		t.Fatal("infeasible correlation accepted")
+	}
+	// The paper's own numbers sit safely inside the feasible region.
+	if _, err := NewCorrelationModel(0.92, 0.42, 15); err != nil {
+		t.Fatalf("paper parameters rejected: %v", err)
+	}
+}
+
+func TestCorrelationQuickMonotone(t *testing.T) {
+	m, err := DefaultCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 20))
+		b = math.Abs(math.Mod(b, 20))
+		if a > b {
+			a, b = b, a
+		}
+		return m.Local(a) >= m.Local(b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridModel1x1(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	gm, err := NewGridModel(1, 1, 50, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.N() != 1 || gm.Comps != 1 {
+		t.Fatalf("1x1 grid: n=%d comps=%d", gm.N(), gm.Comps)
+	}
+	if math.Abs(gm.A.At(0, 0)) != 1 {
+		t.Fatalf("1x1 factor = %g, want +-1", gm.A.At(0, 0))
+	}
+}
+
+func TestGridModelLongStripRankDeficiency(t *testing.T) {
+	// A long strip spans far past the correlation range; the clamped tail
+	// can shave eigenvalues but every grid variable must keep unit
+	// variance through the retained components.
+	corr, _ := DefaultCorrelation()
+	gm, err := NewGridModel(40, 1, 50, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Comps < 1 || gm.Comps > gm.N() {
+		t.Fatalf("comps = %d of %d", gm.Comps, gm.N())
+	}
+	for i := 0; i < gm.N(); i++ {
+		var s float64
+		for _, v := range gm.CoeffRow(i) {
+			s += v * v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("grid %d reconstructed variance %g", i, s)
+		}
+	}
+}
+
+func TestGridModelFarGridsUncorrelated(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	centers := [][2]float64{{25, 25}, {25 + 16*50, 25}} // 16 pitches apart
+	gm, err := NewGridModelFromCenters(50, corr, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gm.C.At(0, 1); got != 0 {
+		t.Fatalf("beyond-range local correlation = %g, want 0", got)
+	}
+}

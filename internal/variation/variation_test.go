@@ -1,0 +1,229 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestParameterValidate(t *testing.T) {
+	for _, p := range Nassif90nm() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := Parameter{Name: "x", Sigma: 0.1, GlobalShare: 0.5, LocalShare: 0.5, RandomShare: 0.5}
+	if bad.Validate() == nil {
+		t.Fatal("shares summing to 1.5 accepted")
+	}
+	neg := Parameter{Name: "x", Sigma: -1, GlobalShare: 1}
+	if neg.Validate() == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	outside := Parameter{Name: "x", Sigma: 0.1, GlobalShare: -0.2, LocalShare: 1.2, RandomShare: 0}
+	if outside.Validate() == nil {
+		t.Fatal("share outside [0,1] accepted")
+	}
+}
+
+func TestNassif90nmValues(t *testing.T) {
+	ps := Nassif90nm()
+	if len(ps) != 3 {
+		t.Fatalf("want 3 parameters, got %d", len(ps))
+	}
+	want := map[string]float64{"Leff": 0.157, "Tox": 0.053, "Vth": 0.044}
+	for _, p := range ps {
+		if want[p.Name] != p.Sigma {
+			t.Errorf("%s sigma = %g, want %g", p.Name, p.Sigma, want[p.Name])
+		}
+	}
+}
+
+func TestCorrelationModelEndpoints(t *testing.T) {
+	m, err := DefaultCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Local(0) != 1 {
+		t.Fatalf("Local(0) = %g, want 1", m.Local(0))
+	}
+	// Total(1) must be the quoted neighbor correlation 0.92.
+	if got := m.Total(1); math.Abs(got-0.92) > 1e-9 {
+		t.Fatalf("Total(1) = %g, want 0.92", got)
+	}
+	// At and beyond the range, only the global floor remains.
+	if got := m.Total(15); math.Abs(got-0.42) > 1e-9 {
+		t.Fatalf("Total(15) = %g, want 0.42", got)
+	}
+	if got := m.Total(40); got != 0.42 {
+		t.Fatalf("Total(40) = %g, want 0.42", got)
+	}
+	if m.Local(15) != 0 || m.Local(100) != 0 {
+		t.Fatal("Local beyond range should be exactly 0")
+	}
+}
+
+func TestCorrelationMonotoneDecreasing(t *testing.T) {
+	m, err := DefaultCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for d := 0.0; d <= 20; d += 0.25 {
+		v := m.Local(d)
+		if v > prev+1e-12 {
+			t.Fatalf("Local not monotone at d=%g: %g > %g", d, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("Local(%g) = %g outside [0,1]", d, v)
+		}
+		prev = v
+	}
+}
+
+func TestNewCorrelationModelValidation(t *testing.T) {
+	if _, err := NewCorrelationModel(0.3, 0.42, 15); err == nil {
+		t.Fatal("floor > neighbor accepted")
+	}
+	if _, err := NewCorrelationModel(1.2, 0.42, 15); err == nil {
+		t.Fatal("neighbor > 1 accepted")
+	}
+	if _, err := NewCorrelationModel(0.92, 0.42, 0.5); err == nil {
+		t.Fatal("range <= 1 accepted")
+	}
+}
+
+func TestGridModelReconstructsCorrelation(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	gm, err := NewGridModel(4, 3, 50, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.N() != 12 {
+		t.Fatalf("N = %d, want 12", gm.N())
+	}
+	// A A^T must reproduce the (PSD-clamped) correlation matrix.
+	rec, err := mat.Mul(gm.A, gm.A.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mat.MaxAbsDiff(rec, gm.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-6 {
+		t.Fatalf("A A^T deviates from C by %g", d)
+	}
+}
+
+func TestGridModelPseudoInverse(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	gm, err := NewGridModel(3, 3, 50, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ainv * A = identity on the retained components.
+	prod, err := mat.Mul(gm.Ainv, gm.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mat.MaxAbsDiff(prod, mat.Identity(gm.Comps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-8 {
+		t.Fatalf("Ainv A deviates from identity by %g", d)
+	}
+}
+
+func TestGridModelNeighborCorrelation(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	gm, err := NewGridModel(5, 1, 50, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid 0 and grid 1 are at distance 1 pitch.
+	want := corr.Local(1)
+	if got := gm.C.At(0, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("neighbor local correlation = %g, want %g", got, want)
+	}
+	// Distance 4 along the row.
+	want4 := corr.Local(4)
+	if got := gm.C.At(0, 4); math.Abs(got-want4) > 1e-12 {
+		t.Fatalf("distance-4 correlation = %g, want %g", got, want4)
+	}
+}
+
+func TestGridModelFromCenters(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	centers := [][2]float64{{25, 25}, {75, 25}, {25, 75}, {300, 300}}
+	gm, err := NewGridModelFromCenters(50, corr, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.N() != 4 {
+		t.Fatalf("N = %d", gm.N())
+	}
+	// The far grid is beyond the correlation range from grid 0:
+	// distance = hypot(275,275)/50 = 7.78 pitches -> within range 15, so
+	// correlation is positive but small; distance from (25,25) to (75,25)
+	// is exactly 1 pitch.
+	if got := gm.C.At(0, 1); math.Abs(got-corr.Local(1)) > 1e-12 {
+		t.Fatalf("center-based neighbor correlation wrong: %g", got)
+	}
+	if _, err := NewGridModelFromCenters(50, corr, nil); err == nil {
+		t.Fatal("empty centers accepted")
+	}
+}
+
+func TestGridModelValidation(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	if _, err := NewGridModel(0, 3, 50, corr); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+	if _, err := NewGridModel(2, 2, 0, corr); err == nil {
+		t.Fatal("invalid pitch accepted")
+	}
+}
+
+func TestCholeskyLocal(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	gm, err := NewGridModel(4, 4, 50, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := gm.CholeskyLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := mat.Mul(l, l.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mat.MaxAbsDiff(rec, gm.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-6 {
+		t.Fatalf("Cholesky reconstruction error %g", d)
+	}
+}
+
+func TestGridCoeffRowVariance(t *testing.T) {
+	corr, _ := DefaultCorrelation()
+	gm, err := NewGridModel(6, 6, 50, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each grid's local variable has unit variance: |row of A|^2 = 1.
+	for i := 0; i < gm.N(); i++ {
+		var s float64
+		for _, v := range gm.CoeffRow(i) {
+			s += v * v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("grid %d variance = %g, want 1", i, s)
+		}
+	}
+}

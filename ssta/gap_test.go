@@ -1,0 +1,107 @@
+package ssta
+
+import (
+	"testing"
+)
+
+// buildTestModule extracts a small multiplier module with its original
+// graph attached.
+func buildTestModule(t *testing.T, width int) *Module {
+	t.Helper()
+	flow := DefaultFlow()
+	mult, err := ArrayMultiplier(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, plan, err := flow.Graph(mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := flow.Extract(g, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModule("m", model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Orig = g
+	return mod
+}
+
+func TestQuadDesignGapGeometry(t *testing.T) {
+	flow := DefaultFlow()
+	mod := buildTestModule(t, 4)
+	d0, err := flow.QuadDesignGap("abut", mod, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := flow.QuadDesignGap("spread", mod, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Width <= d0.Width || d3.Height <= d0.Height {
+		t.Fatal("gap did not grow the die")
+	}
+	if _, err := flow.QuadDesignGap("bad", mod, -1); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+// TestGapReducesInterModuleCorrelationEffect is the E5 ablation: as modules
+// move apart, the local-correlation contribution decays, so the proposed
+// analysis converges toward the global-only baseline.
+func TestGapReducesInterModuleCorrelationEffect(t *testing.T) {
+	flow := DefaultFlow()
+	mod := buildTestModule(t, 4)
+
+	gapEffect := func(gap int) float64 {
+		d, err := flow.QuadDesignGap("g", mod, gap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := d.Analyze(FullCorrelation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		glob, err := d.Analyze(GlobalOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Effect size: relative std gap between the two modes.
+		return (full.Delay.Std() - glob.Delay.Std()) / glob.Delay.Std()
+	}
+
+	abut := gapEffect(0)
+	spread := gapEffect(12)
+	if abut <= 0 {
+		t.Fatalf("abutted effect %g should be positive", abut)
+	}
+	if spread >= abut {
+		t.Fatalf("correlation effect should decay with distance: abut %g, spread %g", abut, spread)
+	}
+}
+
+func TestGapDesignHasFillerGrids(t *testing.T) {
+	flow := DefaultFlow()
+	mod := buildTestModule(t, 4)
+	d, err := flow.QuadDesignGap("g", mod, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition.Filler == 0 {
+		t.Fatal("spread design should produce filler grids (paper Fig. 4 heterogeneous partition)")
+	}
+	// Total grids = instance grids + filler.
+	instGrids := 0
+	for _, inst := range d.Instances {
+		instGrids += inst.Module.NX * inst.Module.NY
+	}
+	if len(res.Partition.Centers) != instGrids+res.Partition.Filler {
+		t.Fatal("partition bookkeeping inconsistent")
+	}
+}

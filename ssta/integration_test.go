@@ -1,0 +1,120 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mc"
+)
+
+// TestTableOneInvariantsEndToEnd runs the full Table-I pipeline (generate,
+// place, extract, Monte Carlo reference) on two small benchmarks and
+// asserts the paper's qualitative claims as hard invariants.
+func TestTableOneInvariantsEndToEnd(t *testing.T) {
+	flow := DefaultFlow()
+	for _, name := range []string{"c432", "c880"} {
+		spec, _ := SpecByName(name)
+		g, _, err := flow.BenchGraph(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Structural identity with the paper's Eo/Vo columns.
+		if len(g.Edges) != spec.Edges || g.NumVerts != spec.Gates+spec.PIs {
+			t.Fatalf("%s: graph %d/%d, want %d/%d", name,
+				len(g.Edges), g.NumVerts, spec.Edges, spec.Gates+spec.PIs)
+		}
+		model, err := flow.Extract(g, ExtractOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Substantial compression at delta = 0.05.
+		if model.Stats.PE() > 0.6 || model.Stats.PV() > 0.6 {
+			t.Fatalf("%s: compression pe=%.2f pv=%.2f too weak", name,
+				model.Stats.PE(), model.Stats.PV())
+		}
+		// Model accuracy against Monte Carlo on the original netlist:
+		// worst-case mean error small, sigma error moderate (the paper
+		// reports <=1.21% and <=1.6%).
+		ref, err := mc.AllPairsStats(g, mc.Config{Samples: 4000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := model.Graph.AllPairsDelays(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var merr, verr float64
+		for i := range ap.M {
+			for j, f := range ap.M[i] {
+				if f == nil || !ref.Reachable[i][j] {
+					continue
+				}
+				merr = math.Max(merr, math.Abs(f.Mean()-ref.Mean[i][j])/ref.Mean[i][j])
+				if ref.Std[i][j] > 0 {
+					verr = math.Max(verr, math.Abs(f.Std()-ref.Std[i][j])/ref.Std[i][j])
+				}
+			}
+		}
+		if merr > 0.02 {
+			t.Errorf("%s: merr %.4f above 2%%", name, merr)
+		}
+		if verr > 0.06 {
+			t.Errorf("%s: verr %.4f above 6%%", name, verr)
+		}
+		// Reachability of the model matches the original exactly.
+		for i := range ap.M {
+			for j := range ap.M[i] {
+				if (ap.M[i][j] != nil) != ref.Reachable[i][j] {
+					t.Fatalf("%s: pair (%d,%d) reachability drift", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFigSevenInvariantsEndToEnd asserts the Fig. 7 ordering at a small
+// scale: KS(proposed) < KS(globalOnly) and the global-only sigma is
+// understated.
+func TestFigSevenInvariantsEndToEnd(t *testing.T) {
+	flow := DefaultFlow()
+	mod := buildTestModule(t, 4)
+	d, err := flow.QuadDesign("quad", mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := d.Analyze(GlobalOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := MaxDelaySamples(flat, MCConfig{Samples: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, m2 float64
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	for _, s := range samples {
+		m2 += (s - mean) * (s - mean)
+	}
+	std := math.Sqrt(m2 / float64(len(samples)))
+
+	if rel := math.Abs(full.Delay.Mean()-mean) / mean; rel > 0.02 {
+		t.Errorf("proposed mean off MC by %.2f%%", 100*rel)
+	}
+	if glob.Delay.Std() >= full.Delay.Std() {
+		t.Error("global-only sigma should be understated")
+	}
+	if math.Abs(full.Delay.Std()-std)/std > math.Abs(glob.Delay.Std()-std)/std {
+		t.Error("proposed sigma should be closer to MC than global-only")
+	}
+}

@@ -1,0 +1,236 @@
+// Package ssta is the public facade of the hierarchical statistical static
+// timing analysis library (reproduction of Li et al., "On Hierarchical
+// Statistical Static Timing Analysis", DATE 2009).
+//
+// It bundles the default analysis flow — synthetic 90nm library, the
+// paper's variation setup, grid-based spatial correlation with PCA — and
+// re-exports the domain types. A typical session:
+//
+//	flow := ssta.DefaultFlow()
+//	ckt := ssta.C17()
+//	g, plan, err := flow.Graph(ckt)
+//	delay, err := g.MaxDelay()             // statistical circuit delay
+//	model, err := flow.Extract(g, ssta.ExtractOptions{})
+//	mod, err := ssta.NewModule("ip", model, plan)
+//
+// See the examples directory for complete programs, including the paper's
+// hierarchical four-multiplier experiment.
+package ssta
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/canon"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/mc"
+	"repro/internal/place"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// Re-exported domain types. The underlying packages carry the full
+// documentation.
+type (
+	// Circuit is a combinational gate-level netlist.
+	Circuit = circuit.Circuit
+	// TopoSpec describes the structural footprint of a generated benchmark.
+	TopoSpec = circuit.TopoSpec
+	// Graph is a statistical timing graph.
+	Graph = timing.Graph
+	// Form is a canonical first-order delay expression.
+	Form = canon.Form
+	// Model is an extracted gray-box timing model.
+	Model = core.Model
+	// ExtractOptions controls model extraction.
+	ExtractOptions = core.Options
+	// Module is a pre-characterized timing model with placement geometry.
+	Module = hier.Module
+	// Instance is a placed module occurrence.
+	Instance = hier.Instance
+	// Design is a hierarchical top-level design.
+	Design = hier.Design
+	// PortRef names an instance port.
+	PortRef = hier.PortRef
+	// Net is a point-to-point inter-module connection.
+	Net = hier.Net
+	// HierResult is the outcome of a hierarchical analysis.
+	HierResult = hier.Result
+	// MCConfig controls Monte Carlo runs.
+	MCConfig = mc.Config
+	// Plan is a placement with grid binning.
+	Plan = place.Plan
+	// Library is a standard-cell timing library.
+	Library = cell.Library
+	// Parameter is a process parameter with variation.
+	Parameter = variation.Parameter
+	// CorrelationModel is the distance-based grid correlation.
+	CorrelationModel = variation.CorrelationModel
+)
+
+// Hierarchical analysis modes.
+const (
+	// FullCorrelation is the paper's proposed method (variable replacement).
+	FullCorrelation = hier.FullCorrelation
+	// GlobalOnly keeps only global-variation correlation between modules.
+	GlobalOnly = hier.GlobalOnly
+)
+
+// Re-exported constructors.
+var (
+	// C17 returns the embedded ISCAS85 c17 netlist.
+	C17 = circuit.C17
+	// ParseBench reads an ISCAS85 .bench netlist.
+	ParseBench = circuit.ParseBench
+	// Generate builds a topology-matched pseudo-random benchmark.
+	Generate = circuit.Generate
+	// SpecByName looks up one of the ten ISCAS85 structural specs.
+	SpecByName = circuit.SpecByName
+	// ISCAS85Specs lists the structural specs behind the paper's Table I.
+	ISCAS85Specs = circuit.ISCAS85Specs
+	// ArrayMultiplier builds a structural n x n multiplier (c6288 is 16x16).
+	ArrayMultiplier = circuit.ArrayMultiplier
+	// NewModule bundles an extracted model with its placement geometry.
+	NewModule = hier.NewModule
+	// MaxDelaySamples runs structural Monte Carlo on a flat graph.
+	MaxDelaySamples = mc.MaxDelaySamples
+	// AllPairsMCStats estimates Monte Carlo means/stds of all IO delays.
+	AllPairsMCStats = mc.AllPairsStats
+	// EdgeCriticalities runs the all-pairs criticality engine.
+	EdgeCriticalities = core.EdgeCriticalities
+	// ReadModelJSON loads a serialized timing model.
+	ReadModelJSON = core.ReadJSON
+)
+
+// Flow bundles the analysis context: cell library, variation parameters and
+// spatial-correlation setup.
+type Flow struct {
+	Lib   *cell.Library
+	Corr  *variation.CorrelationModel
+	Pitch float64
+}
+
+// DefaultFlow returns the paper's Section VI setup: synthetic 90nm library,
+// sigma(Leff/Tox/Vth) = 15.7%/5.3%/4.4%, load sigma 15%, neighbor-grid
+// correlation 0.92 decaying to the 0.42 global floor at grid distance 15,
+// grids holding fewer than 100 cells.
+func DefaultFlow() *Flow {
+	corr, err := variation.DefaultCorrelation()
+	if err != nil {
+		// The default parameters are compile-time constants; failure here is
+		// a programming error.
+		panic(fmt.Sprintf("ssta: default correlation: %v", err))
+	}
+	return &Flow{Lib: cell.Synthetic90nm(), Corr: corr, Pitch: place.DefaultPitch}
+}
+
+// Graph places the circuit, builds the grid-based spatial model, and
+// constructs the statistical timing graph.
+func (f *Flow) Graph(c *Circuit) (*Graph, *Plan, error) {
+	plan, err := place.Topological(c, f.Pitch)
+	if err != nil {
+		return nil, nil, err
+	}
+	gm, err := variation.NewGridModel(plan.NX, plan.NY, plan.Pitch, f.Corr)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := timing.Build(c, f.Lib, plan, gm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, plan, nil
+}
+
+// Extract runs timing-model extraction (paper Sections III-IV).
+func (f *Flow) Extract(g *Graph, opt ExtractOptions) (*Model, error) {
+	return core.Extract(g, opt)
+}
+
+// BenchGraph generates the named ISCAS85-like benchmark and its timing
+// graph in one call.
+func (f *Flow) BenchGraph(name string, seed int64) (*Graph, *Plan, error) {
+	spec, ok := circuit.SpecByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("ssta: unknown benchmark %q", name)
+	}
+	c, err := circuit.Generate(spec, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Graph(c)
+}
+
+// LoadBench parses a .bench netlist and builds its timing graph.
+func (f *Flow) LoadBench(name string, r io.Reader) (*Graph, *Plan, error) {
+	c, err := circuit.ParseBench(name, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Graph(c)
+}
+
+// QuadDesign builds the paper's hierarchical experiment topology (Section
+// VI-B): four instances of one module in two columns placed in abutment,
+// with the first-column outputs cross-connected to the second-column inputs
+// (A feeds D, B feeds C). Column-1 inputs become primary inputs, column-2
+// outputs primary outputs.
+func (f *Flow) QuadDesign(name string, mod *Module) (*Design, error) {
+	return f.QuadDesignGap(name, mod, 0)
+}
+
+// QuadDesignGap is QuadDesign with the instances separated by gap grid
+// pitches instead of abutted. The paper maximizes correlation by abutment;
+// spreading the modules apart is the corresponding ablation — the
+// uncovered area becomes filler grids and the inter-module correlation
+// decays with distance.
+func (f *Flow) QuadDesignGap(name string, mod *Module, gap int) (*Design, error) {
+	if gap < 0 {
+		return nil, fmt.Errorf("ssta: negative gap %d", gap)
+	}
+	w, h := mod.Width(), mod.Height()
+	gp := float64(gap) * mod.Pitch
+	d := &Design{
+		Name: name, Width: 2*w + gp, Height: 2*h + gp, Pitch: mod.Pitch,
+		Corr: f.Corr, Params: f.Lib.Params,
+		Instances: []*Instance{
+			{Name: "A", Module: mod, OriginX: 0, OriginY: 0},
+			{Name: "B", Module: mod, OriginX: 0, OriginY: h + gp},
+			{Name: "C", Module: mod, OriginX: w + gp, OriginY: 0},
+			{Name: "D", Module: mod, OriginX: w + gp, OriginY: h + gp},
+		},
+	}
+	ins := mod.Model.Graph.InputNames
+	outs := mod.Model.Graph.OutputNames
+	n := len(outs)
+	if len(ins) < n {
+		n = len(ins)
+	}
+	for k := 0; k < n; k++ {
+		d.Nets = append(d.Nets,
+			Net{From: PortRef{Instance: "A", Port: outs[k]}, To: PortRef{Instance: "D", Port: ins[k]}},
+			Net{From: PortRef{Instance: "B", Port: outs[k]}, To: PortRef{Instance: "C", Port: ins[k]}},
+		)
+	}
+	for _, in := range ins {
+		d.PrimaryInputs = append(d.PrimaryInputs,
+			PortRef{Instance: "A", Port: in}, PortRef{Instance: "B", Port: in})
+	}
+	if len(ins) > n {
+		for _, in := range ins[n:] {
+			d.PrimaryInputs = append(d.PrimaryInputs,
+				PortRef{Instance: "C", Port: in}, PortRef{Instance: "D", Port: in})
+		}
+	}
+	for _, out := range outs {
+		d.PrimaryOutputs = append(d.PrimaryOutputs,
+			PortRef{Instance: "C", Port: out}, PortRef{Instance: "D", Port: out})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,121 @@
+package ssta
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultFlowEndToEnd(t *testing.T) {
+	flow := DefaultFlow()
+	g, plan, err := flow.Graph(C17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || g.NumVerts != 11 {
+		t.Fatalf("unexpected graph: %d verts", g.NumVerts)
+	}
+	delay, err := g.MaxDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay.Mean() <= 0 || delay.Std() <= 0 {
+		t.Fatalf("degenerate delay %v", delay)
+	}
+	model, err := flow.Extract(g, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Stats.EdgesModel > model.Stats.EdgesOrig {
+		t.Fatal("extraction grew the graph")
+	}
+}
+
+func TestFlowBenchGraph(t *testing.T) {
+	flow := DefaultFlow()
+	g, _, err := flow.BenchGraph("c432", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 336 {
+		t.Fatalf("c432 Eo = %d, want 336", len(g.Edges))
+	}
+	if _, _, err := flow.BenchGraph("c9999", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFlowLoadBench(t *testing.T) {
+	flow := DefaultFlow()
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n"
+	g, _, err := flow.LoadBench("mini", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Inputs) != 2 || len(g.Outputs) != 1 {
+		t.Fatal("IO mismatch")
+	}
+}
+
+func TestQuadDesignTopology(t *testing.T) {
+	flow := DefaultFlow()
+	mult, err := ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, plan, err := flow.Graph(mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := flow.Extract(g, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModule("mult4", model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Orig = g
+	d, err := flow.QuadDesign("quad", mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Instances) != 4 {
+		t.Fatalf("instances = %d", len(d.Instances))
+	}
+	// 8 outputs cross-connected twice (A->D, B->C).
+	if len(d.Nets) != 16 {
+		t.Fatalf("nets = %d, want 16", len(d.Nets))
+	}
+	res, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chained design must be roughly twice as slow as one module.
+	single, err := g.MaxDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Delay.Mean() / single.Mean()
+	if r < 1.5 || r > 2.5 {
+		t.Fatalf("quad/single delay ratio %g outside [1.5, 2.5]", r)
+	}
+	if math.IsNaN(res.Delay.Std()) {
+		t.Fatal("NaN std")
+	}
+}
+
+func TestMCThroughFacade(t *testing.T) {
+	flow := DefaultFlow()
+	g, _, err := flow.Graph(C17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := MaxDelaySamples(g, MCConfig{Samples: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 500 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+}

@@ -202,6 +202,95 @@ func BenchmarkReplacement(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeParallel measures the hierarchical analysis engine at
+// fixed worker counts on the multi-instance quad design, with the
+// geometry/PCA prep cache warm so the measured work is the parallelized
+// stitching + propagation. Speedup at 4 workers over 1 is the engine's
+// scaling headline.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	d := fig7Design(b)
+	// Warm the prep cache so every measured iteration is a cache hit.
+	if _, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 0}); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("%dworkers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzePrepCache quantifies the model-cache win: cold recomputes
+// the design partition, PCA and replacement matrices on every analysis
+// (the seed behavior), warm reuses the cached prep.
+func BenchmarkAnalyzePrepCache(b *testing.B) {
+	d := fig7Design(b)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1, DisableCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtractCacheHit measures the memoized extraction path: after
+// the first call, Flow.Extract is a map lookup regardless of module size.
+func BenchmarkExtractCacheHit(b *testing.B) {
+	flow := ssta.DefaultFlow()
+	g, _, err := flow.BenchGraph("c1908", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := flow.Extract(g, ssta.ExtractOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Extract(g, ssta.ExtractOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeBatch measures multi-circuit sweep throughput through
+// the batch scheduler at different widths.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	flow := ssta.DefaultFlow()
+	items := []ssta.BatchItem{
+		{Bench: "c432", Seed: 1},
+		{Bench: "c499", Seed: 1},
+		{Bench: "c880", Seed: 1},
+		{Bench: "c1355", Seed: 1},
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dworkers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: workers}) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAllPairs measures the all-pairs delay-matrix computation used by
 // both Table I accuracy columns.
 func BenchmarkAllPairs(b *testing.B) {

@@ -4,9 +4,13 @@
 // failing endpoints under a required time — the SSTA analogue of a timing
 // tool's report_timing.
 //
+// Multiple circuits (comma-separated -gen) are analyzed concurrently
+// through ssta.AnalyzeBatch and reported in order.
+//
 // Usage:
 //
 //	go run ./cmd/report -gen c880 [-paths 5] [-treq 1200]
+//	go run ./cmd/report -gen c432,c880,c1908 -workers 4
 package main
 
 import (
@@ -21,41 +25,52 @@ import (
 
 func main() {
 	benchFile := flag.String("bench", "", "path to a .bench netlist")
-	gen := flag.String("gen", "", "ISCAS85 benchmark name to generate")
+	gen := flag.String("gen", "", "ISCAS85 benchmark name(s) to generate, comma-separated")
 	seed := flag.Int64("seed", 1, "generator seed")
 	nPaths := flag.Int("paths", 5, "number of critical paths to report")
 	treq := flag.Float64("treq", 0, "required time (ps); 0 = statistical mean + 1 sigma")
+	workers := flag.Int("workers", 0, "concurrent analyses in a batch (0: all cores)")
 	flag.Parse()
 
 	flow := ssta.DefaultFlow()
-	var (
-		g    *ssta.Graph
-		name string
-		err  error
-	)
+	var items []ssta.BatchItem
 	switch {
 	case *benchFile != "":
 		f, ferr := os.Open(*benchFile)
 		fatal(ferr)
 		defer f.Close()
-		name = *benchFile
-		g, _, err = flow.LoadBench(name, f)
+		c, cerr := ssta.ParseBench(*benchFile, f)
+		fatal(cerr)
+		items = append(items, ssta.BatchItem{Name: *benchFile, Circuit: c})
 	case *gen != "":
-		name = *gen
-		g, _, err = flow.BenchGraph(name, *seed)
+		for _, name := range ssta.ParseNameList(*gen) {
+			items = append(items, ssta.BatchItem{Bench: name, Seed: *seed})
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "select an input: -bench or -gen")
 		os.Exit(2)
 	}
-	fatal(err)
+	if len(items) == 0 {
+		fmt.Fprintln(os.Stderr, "no circuits named; select an input: -bench or -gen")
+		os.Exit(2)
+	}
 
-	delay, err := g.MaxDelay()
-	fatal(err)
+	results := flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: *workers})
+	for i, r := range results {
+		fatal(r.Err)
+		if i > 0 {
+			fmt.Println()
+		}
+		report(r.Name, r.Graph, r.Delay, *nPaths, *treq)
+	}
+}
+
+func report(name string, g *ssta.Graph, delay *ssta.Form, nPaths int, treq float64) {
 	fmt.Printf("timing report for %s (%d vertices, %d edges)\n", name, g.NumVerts, len(g.Edges))
 	fmt.Printf("circuit delay: mean %.2f ps, sigma %.2f ps, 99.87%% point %.2f ps\n\n",
 		delay.Mean(), delay.Std(), delay.Quantile(0.99865))
 
-	paths, err := g.TopPaths(*nPaths)
+	paths, err := g.TopPaths(nPaths)
 	fatal(err)
 	fmt.Printf("top %d statistically critical paths:\n", len(paths))
 	for i, p := range paths {
@@ -64,7 +79,7 @@ func main() {
 			p.Delay.Mean(), p.Delay.Std(), p.Criticality, len(p.Edges))
 	}
 
-	req := *treq
+	req := treq
 	if req <= 0 {
 		req = delay.Mean() + delay.Std()
 	}

@@ -1,16 +1,19 @@
-// Command ssta runs flat statistical static timing analysis on a
-// combinational circuit and reports the delay distribution.
+// Command ssta runs flat statistical static timing analysis on one or more
+// combinational circuits and reports the delay distributions. Multiple
+// circuits fan out across a bounded worker pool through ssta.AnalyzeBatch.
 //
 // Input selection (one of):
 //
 //	-bench file.bench   parse an ISCAS85 .bench netlist
-//	-gen c1908          generate a topology-matched ISCAS85-like benchmark
+//	-gen c1908          generate topology-matched ISCAS85-like benchmarks
+//	                    (comma-separated list for a batch sweep)
 //	-c17                use the embedded c17
 //	-mult 16            use a structural n x n array multiplier
 //
 // Usage:
 //
 //	go run ./cmd/ssta -gen c880 [-seed 1] [-mc 0] [-outputs]
+//	go run ./cmd/ssta -gen c432,c880,c1908 -workers 4
 package main
 
 import (
@@ -24,48 +27,71 @@ import (
 
 func main() {
 	benchFile := flag.String("bench", "", "path to a .bench netlist")
-	gen := flag.String("gen", "", "ISCAS85 benchmark name to generate")
+	gen := flag.String("gen", "", "ISCAS85 benchmark name(s) to generate, comma-separated")
 	useC17 := flag.Bool("c17", false, "use the embedded c17")
 	mult := flag.Int("mult", 0, "width of a structural array multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
 	mcIters := flag.Int("mc", 0, "also run Monte Carlo with this many iterations")
 	perOutput := flag.Bool("outputs", false, "print per-output arrival statistics")
+	workers := flag.Int("workers", 0, "concurrent analyses in a batch (0: all cores)")
 	flag.Parse()
 
 	flow := ssta.DefaultFlow()
-	var (
-		g    *ssta.Graph
-		name string
-		err  error
-	)
+	var items []ssta.BatchItem
 	switch {
 	case *benchFile != "":
 		f, ferr := os.Open(*benchFile)
 		fatal(ferr)
 		defer f.Close()
-		name = *benchFile
-		g, _, err = flow.LoadBench(name, f)
+		c, cerr := ssta.ParseBench(*benchFile, f)
+		fatal(cerr)
+		items = append(items, ssta.BatchItem{Name: *benchFile, Circuit: c})
 	case *gen != "":
-		name = *gen
-		g, _, err = flow.BenchGraph(name, *seed)
+		for _, name := range ssta.ParseNameList(*gen) {
+			items = append(items, ssta.BatchItem{Bench: name, Seed: *seed})
+		}
 	case *mult > 0:
 		c, merr := ssta.ArrayMultiplier(*mult)
 		fatal(merr)
-		name = c.Name
-		g, _, err = flow.Graph(c)
+		items = append(items, ssta.BatchItem{Circuit: c})
 	case *useC17:
-		name = "c17"
-		g, _, err = flow.Graph(ssta.C17())
+		items = append(items, ssta.BatchItem{Name: "c17", Circuit: ssta.C17()})
 	default:
 		fmt.Fprintln(os.Stderr, "select an input: -bench, -gen, -mult or -c17")
 		os.Exit(2)
 	}
-	fatal(err)
+	if len(items) == 0 {
+		fmt.Fprintln(os.Stderr, "no circuits named; select an input: -bench, -gen, -mult or -c17")
+		os.Exit(2)
+	}
 
-	delay, err := g.MaxDelay()
-	fatal(err)
+	results := flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: *workers})
+
+	if len(results) > 1 {
+		if *mcIters > 0 || *perOutput {
+			fmt.Fprintln(os.Stderr, "note: -mc and -outputs apply to single-circuit runs only; ignored for the batch sweep")
+		}
+		// Batch sweep: one summary line per circuit.
+		fmt.Printf("%-10s %8s %8s %10s %9s %12s %9s\n",
+			"circuit", "verts", "edges", "mean(ps)", "std(ps)", "99.87%(ps)", "t(ms)")
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %8d %8d %10.2f %9.2f %12.2f %9.1f\n",
+				r.Name, r.Graph.NumVerts, len(r.Graph.Edges),
+				r.Delay.Mean(), r.Delay.Std(), r.Delay.Quantile(0.99865),
+				float64(r.Elapsed.Microseconds())/1000)
+		}
+		return
+	}
+
+	r := results[0]
+	fatal(r.Err)
+	g, delay := r.Graph, r.Delay
 	fmt.Printf("circuit %s: %d vertices, %d edges, %d inputs, %d outputs\n",
-		name, g.NumVerts, len(g.Edges), len(g.Inputs), len(g.Outputs))
+		r.Name, g.NumVerts, len(g.Edges), len(g.Inputs), len(g.Outputs))
 	fmt.Printf("\nstatistical circuit delay: mean %.2f ps, std %.2f ps\n", delay.Mean(), delay.Std())
 	for _, p := range []float64{0.01, 0.5, 0.95, 0.99, 0.9987} {
 		fmt.Printf("  %6.2f%% yield at %8.2f ps\n", 100*p, delay.Quantile(p))
@@ -85,7 +111,7 @@ func main() {
 	}
 
 	if *mcIters > 0 {
-		samples, err := ssta.MaxDelaySamples(g, ssta.MCConfig{Samples: *mcIters, Seed: *seed})
+		samples, err := ssta.MaxDelaySamples(g, ssta.MCConfig{Samples: *mcIters, Seed: *seed, Workers: *workers})
 		fatal(err)
 		s := stats.Summarize(samples)
 		fmt.Printf("\nMonte Carlo (%d iters): mean %.2f ps, std %.2f ps (SSTA error: mean %+.2f%%, std %+.2f%%)\n",

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strings"
 
 	"repro/internal/mc"
 	"repro/ssta"
@@ -30,7 +29,11 @@ func main() {
 
 	names := make([]string, 0, len(ssta.ISCAS85Specs))
 	if *circuits != "" {
-		names = strings.Split(*circuits, ",")
+		names = ssta.ParseNameList(*circuits)
+		if len(names) == 0 {
+			fmt.Fprintln(os.Stderr, "-circuits named no circuits")
+			os.Exit(2)
+		}
 	} else {
 		for _, s := range ssta.ISCAS85Specs {
 			names = append(names, s.Name)
@@ -43,19 +46,34 @@ func main() {
 	fmt.Printf("%-8s %6s %6s %6s %6s %5s %5s %7s %7s %9s\n",
 		"Circuit", "Eo", "Vo", "Em", "Vm", "pe", "pv", "merr", "verr", "T(s)")
 
+	// Graph generation and extraction fan out across circuits through the
+	// batch API with the flow's shared extraction cache; the Monte Carlo
+	// accuracy columns run per circuit afterwards (parallel internally).
+	// -workers is spent at one level only: across circuits for a sweep,
+	// inside the extraction for a single circuit.
+	innerWorkers := 1
+	if len(names) == 1 {
+		innerWorkers = *workers
+	}
+	items := make([]ssta.BatchItem, len(names))
+	for i, name := range names {
+		items[i] = ssta.BatchItem{
+			Bench: name, Seed: *seed,
+			Extract:        true,
+			ExtractOptions: ssta.ExtractOptions{Delta: *delta, Workers: innerWorkers},
+		}
+	}
+	results := flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: *workers})
+
 	var sumPE, sumPV, sumMerr, sumVerr float64
 	count := 0
-	for _, name := range names {
-		g, _, err := flow.BenchGraph(name, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	for _, r := range results {
+		name := r.Name
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, r.Err)
 			os.Exit(1)
 		}
-		model, err := flow.Extract(g, ssta.ExtractOptions{Delta: *delta, Workers: *workers})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: extract: %v\n", name, err)
-			os.Exit(1)
-		}
+		g, model := r.Graph, r.Model
 		merr, verr, err := modelErrors(g, model, mc.Config{Samples: *samples, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: monte carlo: %v\n", name, err)

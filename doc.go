@@ -3,7 +3,48 @@
 // Analysis" (DATE 2009, DOI 10.1109/DATE.2009.5090869).
 //
 // The public API lives in the ssta package; the experiment harnesses that
-// regenerate the paper's Table I and Figures 6-7 live under cmd/. See
-// README.md for the layout and DESIGN.md for the system inventory and the
-// paper-to-module mapping.
+// regenerate the paper's Table I and Figures 6-7 live under cmd/.
+//
+// # Package layout
+//
+//	ssta                the public facade: default flow, batch scheduler,
+//	                    re-exported domain types
+//	internal/canon      canonical first-order delay forms (Clark max,
+//	                    tightness probabilities)
+//	internal/timing     statistical timing graphs, propagation, all-pairs
+//	                    delays, the shared bounded worker pool (ParallelFor)
+//	internal/core       timing-model extraction (criticality filter +
+//	                    merges) and the thread-safe extraction cache
+//	internal/hier       hierarchical design-level analysis: heterogeneous
+//	                    grid partition, eq. 19 variable replacement, the
+//	                    cached+parallel stitching engine
+//	internal/variation  process parameters, grid correlation, PCA
+//	internal/circuit    netlists: ISCAS85-like generator, multipliers, c17
+//	internal/cell       synthetic 90nm cell library
+//	internal/place      topological placement and grid binning
+//	internal/mc         Monte Carlo ground truth
+//	internal/mat,stats  small dense-matrix and statistics kernels
+//
+// # Concurrency and caching
+//
+// The analysis engine is concurrent and cache-aware end to end:
+//
+//   - timing.ParallelFor is the one bounded worker pool used by all-pairs
+//     delay passes, the criticality engine, the hierarchical stitcher and
+//     the batch scheduler. Workers == 1 always degenerates to a strictly
+//     serial loop, so every parallel path has a bit-identical serial twin.
+//   - core.ExtractCache memoizes timing-model extraction per (module
+//     graph, options) with singleflight coalescing; ssta.DefaultFlow
+//     installs one shared cache on the flow.
+//   - hier.Design caches its per-mode analysis prep (die partition, PCA,
+//     per-instance replacement matrices) behind a geometry fingerprint, so
+//     repeated analyses of one design — across modes, corners or batch
+//     items — pay the eigendecomposition once.
+//   - ssta.AnalyzeBatch fans flat and hierarchical analyses out across a
+//     bounded pool with those caches shared, which is the one scheduling
+//     path used by cmd/ssta, cmd/report, cmd/table1 and examples/corners.
+//
+// Parallel and cached runs produce results identical (within 1e-9, in
+// practice bitwise) to the serial engine; see internal/hier's equivalence
+// tests. See README.md for how to run the tests and benchmarks.
 package repro

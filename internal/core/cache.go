@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/timing"
+)
+
+// extractKey identifies one extraction: the module timing graph (by
+// identity — graphs are immutable once built) plus the options that change
+// the result. Workers is deliberately excluded: it affects only the
+// schedule, never the extracted model.
+type extractKey struct {
+	graph    *timing.Graph
+	delta    float64
+	noGuard  bool
+	maxIters int
+}
+
+func newExtractKey(g *timing.Graph, opt Options) extractKey {
+	delta := opt.Delta
+	if delta == 0 {
+		delta = DefaultDelta
+	}
+	return extractKey{graph: g, delta: delta, noGuard: opt.DisablePathProtection, maxIters: opt.MaxMergeIters}
+}
+
+// extractEntry is a singleflight slot: the first caller computes, everyone
+// else blocks on done and reads the shared result.
+type extractEntry struct {
+	done  chan struct{}
+	model *Model
+	err   error
+}
+
+// ExtractCache memoizes timing-model extraction so each distinct module is
+// extracted exactly once per option set, no matter how many instances,
+// corners or concurrent analyses reference it. It is safe for concurrent
+// use; duplicate concurrent requests for the same key are coalesced into a
+// single extraction (singleflight).
+type ExtractCache struct {
+	mu      sync.Mutex
+	entries map[extractKey]*extractEntry
+	hits    int64
+	misses  int64
+}
+
+// NewExtractCache returns an empty cache.
+func NewExtractCache() *ExtractCache {
+	return &ExtractCache{entries: make(map[extractKey]*extractEntry)}
+}
+
+// Extract returns the memoized model for (g, opt), running the extraction
+// pipeline on a miss. The returned *Model is shared between callers and
+// must be treated as immutable.
+func (c *ExtractCache) Extract(g *timing.Graph, opt Options) (*Model, error) {
+	if c == nil {
+		return Extract(g, opt)
+	}
+	key := newExtractKey(g, opt)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.model, e.err
+	}
+	e := &extractEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.model, e.err = Extract(g, opt)
+	close(e.done)
+	if e.err != nil {
+		// Do not pin failures: a later retry may succeed (e.g. transient
+		// resource exhaustion) and a stale error must not poison the cache.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.model, e.err
+}
+
+// Stats reports cache hits and misses so far.
+func (c *ExtractCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached models.
+func (c *ExtractCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExtractCacheHit(t *testing.T) {
+	g := buildGraph(t, "c432", 1)
+	c := NewExtractCache()
+
+	m1, err := c.Extract(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.Extract(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("second extraction did not hit the cache")
+	}
+	// Delta 0 normalizes to DefaultDelta: same key.
+	m3, err := c.Extract(g, Options{Delta: DefaultDelta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 != m1 {
+		t.Fatal("Delta=0 and Delta=DefaultDelta should share a cache entry")
+	}
+	// Workers is schedule-only and must not split the key.
+	m4, err := c.Extract(g, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4 != m1 {
+		t.Fatal("Workers changed the cache key")
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 3 {
+		t.Fatalf("stats = %d hits / %d misses, want 3/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestExtractCacheKeyedByOptions(t *testing.T) {
+	g := buildGraph(t, "c432", 1)
+	c := NewExtractCache()
+	loose, err := c.Extract(g, Options{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := c.Extract(g, Options{Delta: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose == tight {
+		t.Fatal("different deltas share one cache entry")
+	}
+	if loose.Stats.EdgesModel <= tight.Stats.EdgesModel {
+		t.Fatalf("delta 0.01 model (%d edges) not larger than delta 0.20 (%d)",
+			loose.Stats.EdgesModel, tight.Stats.EdgesModel)
+	}
+	// Distinct graphs are distinct keys even with equal options.
+	g2 := buildGraph(t, "c432", 2)
+	other, err := c.Extract(g2, Options{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == loose {
+		t.Fatal("different graphs share one cache entry")
+	}
+}
+
+// TestExtractCacheConcurrent hammers one key from many goroutines: all
+// callers must observe the same model and the pipeline must run once.
+// Run with -race.
+func TestExtractCacheConcurrent(t *testing.T) {
+	g := buildGraph(t, "c432", 1)
+	c := NewExtractCache()
+	const goroutines = 16
+	models := make([]*Model, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			models[k], errs[k] = c.Extract(g, Options{})
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < goroutines; k++ {
+		if errs[k] != nil {
+			t.Fatal(errs[k])
+		}
+		if models[k] != models[0] {
+			t.Fatalf("goroutine %d got a different model", k)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 {
+		t.Fatalf("extraction ran %d times, want 1 (hits %d)", misses, hits)
+	}
+}
+
+func TestExtractCacheMatchesDirect(t *testing.T) {
+	g := buildGraph(t, "c432", 1)
+	direct, err := Extract(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewExtractCache().Extract(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Stats.EdgesModel != direct.Stats.EdgesModel ||
+		cached.Stats.VertsModel != direct.Stats.VertsModel {
+		t.Fatalf("cached model shape %d/%d differs from direct %d/%d",
+			cached.Stats.EdgesModel, cached.Stats.VertsModel,
+			direct.Stats.EdgesModel, direct.Stats.VertsModel)
+	}
+}
+
+func TestExtractCacheNilReceiver(t *testing.T) {
+	g := buildGraph(t, "c432", 1)
+	var c *ExtractCache
+	if _, err := c.Extract(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractCacheErrorNotPinned(t *testing.T) {
+	c := NewExtractCache()
+	if _, err := c.Extract(nil, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed extraction left a cache entry")
+	}
+}

@@ -91,33 +91,16 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 
 	// Backward passes: vertex-to-output-j delays for every output.
 	req := make([][]*canon.Form, len(g.Outputs))
-	{
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		errCh := make(chan error, 1)
-		for j := range g.Outputs {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(j int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				r, err := g.DelayToOutput(g.Outputs[j])
-				if err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-				req[j] = r
-			}(j)
+	err = timing.ParallelFor(len(g.Outputs), workers, func(j int) error {
+		r, err := g.DelayToOutput(g.Outputs[j])
+		if err != nil {
+			return err
 		}
-		wg.Wait()
-		select {
-		case err := <-errCh:
-			return nil, err
-		default:
-		}
+		req[j] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Sparse per-vertex list of outputs reachable from each vertex.

@@ -106,13 +106,32 @@ type Result struct {
 	Elapsed        time.Duration
 }
 
-// Analyze runs the hierarchical timing analysis of paper Fig. 5.
+// AnalyzeOptions tunes the analysis engine without changing its result:
+// parallel and cached runs are numerically identical to the serial path.
+type AnalyzeOptions struct {
+	// Workers bounds the goroutines used for replacement matrices,
+	// boundary-condition assembly and instance-edge rewriting.
+	// <=0 selects GOMAXPROCS; 1 runs strictly serially.
+	Workers int
+	// DisableCache recomputes the partition/PCA/replacement prep instead of
+	// reusing the design's cached prep. Exposed for benchmarking and for
+	// callers that mutate state the design fingerprint cannot see.
+	DisableCache bool
+}
+
+// Analyze runs the hierarchical timing analysis of paper Fig. 5 serially
+// (with prep caching). Use AnalyzeOpt to run on a worker pool.
 func (d *Design) Analyze(mode Mode) (*Result, error) {
+	return d.AnalyzeOpt(mode, AnalyzeOptions{Workers: 1})
+}
+
+// AnalyzeOpt is Analyze with explicit engine options.
+func (d *Design) AnalyzeOpt(mode Mode, opt AnalyzeOptions) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := d.buildTop(mode, false)
+	res, err := d.buildTop(mode, false, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +164,11 @@ func (d *Design) Analyze(mode Mode) (*Result, error) {
 // carry their original graphs. The result supports both analytic
 // propagation and structural Monte Carlo.
 func (d *Design) Flatten() (*timing.Graph, *Partition, error) {
+	return d.FlattenOpt(AnalyzeOptions{Workers: 1})
+}
+
+// FlattenOpt is Flatten with explicit engine options.
+func (d *Design) FlattenOpt(opt AnalyzeOptions) (*timing.Graph, *Partition, error) {
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -153,48 +177,96 @@ func (d *Design) Flatten() (*timing.Graph, *Partition, error) {
 			return nil, nil, fmt.Errorf("hier: instance %q module has no original graph; cannot flatten", inst.Name)
 		}
 	}
-	res, err := d.buildTop(FullCorrelation, true)
+	res, err := d.buildTop(FullCorrelation, true, opt)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Graph, res.Partition, nil
 }
 
-// buildTop stitches the instance graphs (models, or originals when useOrig)
-// into one top-level graph in the design space.
-func (d *Design) buildTop(mode Mode, useOrig bool) (*Result, error) {
-	var part *Partition
-	var space canon.Space
-	nP := len(d.Params)
+// preppedEdge is one instance edge rewritten into the design space,
+// produced on the worker pool and committed to the top graph serially so
+// edge order (and therefore every downstream result) is deterministic.
+type preppedEdge struct {
+	from, to int
+	f        *canon.Form
+	lsens    []float64
+	grid     int
+}
 
-	// Per-instance replacement matrices (FullCorrelation) or component
-	// block offsets (GlobalOnly).
-	var repl []*mat.Dense
-	var instLocStart []int
-	switch mode {
-	case FullCorrelation:
-		var err error
-		part, err = d.partition()
-		if err != nil {
-			return nil, err
+// rewriteEdge maps one instance edge into the design space: the mode's
+// variable replacement (eq. 19 for FullCorrelation, private block placement
+// for GlobalOnly) plus the boundary load/slew scale.
+func rewriteEdge(e *timing.Edge, i int, pp *prep, nP int, mgmComps int,
+	extraTo, extraFrom map[int]float64, useOrig bool) (preppedEdge, error) {
+	scale := 1.0
+	if ex := extraTo[e.To] + extraFrom[e.From]; ex != 0 && e.Delay.Nominal > 0 {
+		scale = (e.Delay.Nominal + ex) / e.Delay.Nominal
+		if scale < 0.1 {
+			scale = 0.1 // sharp external transitions cannot erase the arc
 		}
-		space = canon.Space{Globals: nP, Components: nP * part.Grids.Comps}
-		repl = make([]*mat.Dense, len(d.Instances))
-		for i, inst := range d.Instances {
-			r, err := replacementMatrix(inst.Module.gridModel(), part, i)
+	}
+	f := pp.space.NewForm()
+	f.Nominal = e.Delay.Nominal * scale
+	for k, v := range e.Delay.Glob {
+		f.Glob[k] = v * scale
+	}
+	f.Rand = e.Delay.Rand * scale
+	switch pp.mode {
+	case FullCorrelation:
+		// x = A^+ B_n x_t (eq. 19): coefficient vector per
+		// parameter block maps through R^T.
+		for p := 0; p < nP; p++ {
+			src := e.Delay.Loc[p*mgmComps : (p+1)*mgmComps]
+			dst, err := pp.repl[i].MulVecT(src)
 			if err != nil {
-				return nil, fmt.Errorf("hier: instance %q: %w", inst.Name, err)
+				return preppedEdge{}, err
 			}
-			repl[i] = r
+			out := f.Loc[p*pp.part.Grids.Comps : (p+1)*pp.part.Grids.Comps]
+			for k, v := range dst {
+				out[k] = v * scale
+			}
 		}
 	case GlobalOnly:
-		instLocStart = make([]int, len(d.Instances)+1)
-		for i, inst := range d.Instances {
-			instLocStart[i+1] = instLocStart[i] + nP*inst.Module.gridModel().Comps
+		out := f.Loc[pp.instLocStart[i]:pp.instLocStart[i+1]]
+		for k, v := range e.Delay.Loc {
+			out[k] = v * scale
 		}
-		space = canon.Space{Globals: nP, Components: instLocStart[len(d.Instances)]}
-	default:
-		return nil, fmt.Errorf("hier: unknown mode %d", mode)
+	}
+	pe := preppedEdge{from: e.From, to: e.To, f: f}
+	if useOrig && pp.part != nil {
+		pe.lsens = e.LSens
+		if scale != 1 && pe.lsens != nil {
+			pe.lsens = make([]float64, len(e.LSens))
+			for k, v := range e.LSens {
+				pe.lsens[k] = v * scale
+			}
+		}
+		pe.grid = pp.part.InstStart[i] + e.Grid
+	}
+	return pe, nil
+}
+
+// rewriteChunkSize is the number of edges one pool task rewrites; small
+// enough to balance unequal instances, large enough to amortize dispatch.
+const rewriteChunkSize = 128
+
+// buildTop stitches the instance graphs (models, or originals when useOrig)
+// into one top-level graph in the design space. The geometry prep comes
+// from the design's model cache; the per-instance rewriting and the
+// boundary-condition assembly fan out over opt.Workers goroutines.
+func (d *Design) buildTop(mode Mode, useOrig bool, opt AnalyzeOptions) (*Result, error) {
+	nP := len(d.Params)
+	pp, err := d.getPrep(mode, opt)
+	if err != nil {
+		return nil, err
+	}
+	space, part := pp.space, pp.part
+
+	// Instance name index: O(1) port lookups during stitching.
+	instIdx := make(map[string]int, len(d.Instances))
+	for i, inst := range d.Instances {
+		instIdx[inst.Name] = i
 	}
 
 	// Count vertices and assign per-instance bases.
@@ -214,63 +286,49 @@ func (d *Design) buildTop(mode Mode, useOrig bool) (*Result, error) {
 	// input ports driven by slower-than-reference transitions see extra
 	// delay on their fanout edges. Both adjustments scale the affected
 	// edges so relative sensitivities are preserved.
-	extraTo, extraFrom, err := d.boundaryExtras(useOrig)
+	extraTo, extraFrom, err := d.boundaryExtras(useOrig, instIdx, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
 
-	// Instance edges, rewritten into the design space.
+	// Instance edges, rewritten into the design space on the worker pool.
+	// Work is split into per-instance edge chunks; each task writes only
+	// its own slots, and the serial commit below preserves edge order.
+	prepared := make([][]preppedEdge, len(d.Instances))
+	type chunk struct{ inst, lo, hi int }
+	var chunks []chunk
 	for i, inst := range d.Instances {
-		ig := d.instGraph(inst, useOrig)
-		mgm := inst.Module.gridModel()
-		for _, e := range ig.Edges {
-			scale := 1.0
-			if ex := extraTo[i][e.To] + extraFrom[i][e.From]; ex != 0 && e.Delay.Nominal > 0 {
-				scale = (e.Delay.Nominal + ex) / e.Delay.Nominal
-				if scale < 0.1 {
-					scale = 0.1 // sharp external transitions cannot erase the arc
-				}
+		nE := len(d.instGraph(inst, useOrig).Edges)
+		prepared[i] = make([]preppedEdge, nE)
+		for lo := 0; lo < nE; lo += rewriteChunkSize {
+			hi := lo + rewriteChunkSize
+			if hi > nE {
+				hi = nE
 			}
-			f := space.NewForm()
-			f.Nominal = e.Delay.Nominal * scale
-			for k, v := range e.Delay.Glob {
-				f.Glob[k] = v * scale
+			chunks = append(chunks, chunk{inst: i, lo: lo, hi: hi})
+		}
+	}
+	err = timing.ParallelFor(len(chunks), opt.Workers, func(c int) error {
+		ch := chunks[c]
+		i := ch.inst
+		ig := d.instGraph(d.Instances[i], useOrig)
+		mgmComps := d.Instances[i].Module.gridModel().Comps
+		for k := ch.lo; k < ch.hi; k++ {
+			pe, err := rewriteEdge(&ig.Edges[k], i, pp, nP, mgmComps, extraTo[i], extraFrom[i], useOrig)
+			if err != nil {
+				return err
 			}
-			f.Rand = e.Delay.Rand * scale
-			switch mode {
-			case FullCorrelation:
-				// x = A^+ B_n x_t (eq. 19): coefficient vector per
-				// parameter block maps through R^T.
-				for p := 0; p < nP; p++ {
-					src := e.Delay.Loc[p*mgm.Comps : (p+1)*mgm.Comps]
-					dst, err := repl[i].MulVecT(src)
-					if err != nil {
-						return nil, err
-					}
-					out := f.Loc[p*part.Grids.Comps : (p+1)*part.Grids.Comps]
-					for k, v := range dst {
-						out[k] = v * scale
-					}
-				}
-			case GlobalOnly:
-				out := f.Loc[instLocStart[i]:instLocStart[i+1]]
-				for k, v := range e.Delay.Loc {
-					out[k] = v * scale
-				}
-			}
-			var lsens []float64
-			grid := 0
-			if useOrig && part != nil {
-				lsens = e.LSens
-				if scale != 1 && lsens != nil {
-					lsens = make([]float64, len(e.LSens))
-					for k, v := range e.LSens {
-						lsens[k] = v * scale
-					}
-				}
-				grid = part.InstStart[i] + e.Grid
-			}
-			if _, err := top.AddEdge(base[i]+e.From, base[i]+e.To, f, lsens, grid); err != nil {
+			prepared[i][k] = pe
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range d.Instances {
+		for k := range prepared[i] {
+			pe := &prepared[i][k]
+			if _, err := top.AddEdge(base[i]+pe.from, base[i]+pe.to, pe.f, pe.lsens, pe.grid); err != nil {
 				return nil, err
 			}
 		}
@@ -278,11 +336,11 @@ func (d *Design) buildTop(mode Mode, useOrig bool) (*Result, error) {
 
 	// Net edges (constant wire delays).
 	lookup := func(p PortRef, wantInput bool) (int, error) {
-		inst, idx, err := d.instance(p.Instance)
-		if err != nil {
-			return 0, err
+		idx, ok := instIdx[p.Instance]
+		if !ok {
+			return 0, fmt.Errorf("hier: unknown instance %q", p.Instance)
 		}
-		ig := d.instGraph(inst, useOrig)
+		ig := d.instGraph(d.Instances[idx], useOrig)
 		names, verts := ig.OutputNames, ig.Outputs
 		if wantInput {
 			names, verts = ig.InputNames, ig.Inputs
@@ -355,7 +413,11 @@ func (d *Design) instGraph(inst *Instance, useOrig bool) *timing.Graph {
 //     characterization reference.
 //
 // Instances without recorded boundary characterization are left unadjusted.
-func (d *Design) boundaryExtras(useOrig bool) (extraTo, extraFrom []map[int]float64, err error) {
+//
+// The per-net conditions are evaluated on the worker pool; contributions
+// are then merged serially in net order, so the floating-point accumulation
+// order — and hence the result — is identical to a serial run.
+func (d *Design) boundaryExtras(useOrig bool, instIdx map[string]int, workers int) (extraTo, extraFrom []map[int]float64, err error) {
 	extraTo = make([]map[int]float64, len(d.Instances))
 	extraFrom = make([]map[int]float64, len(d.Instances))
 	for i := range extraTo {
@@ -366,16 +428,23 @@ func (d *Design) boundaryExtras(useOrig bool) (extraTo, extraFrom []map[int]floa
 	for _, n := range d.Nets {
 		fanout[n.From]++
 	}
-	// Load adjustment at driving output ports.
+	graphOf := func(name string) (*timing.Graph, int, error) {
+		idx, ok := instIdx[name]
+		if !ok {
+			return nil, 0, fmt.Errorf("hier: unknown instance %q", name)
+		}
+		return d.instGraph(d.Instances[idx], useOrig), idx, nil
+	}
+	// Load adjustment at driving output ports. Each driving port gets an
+	// independent assignment, so map iteration order does not matter.
 	for pr, cnt := range fanout {
 		if cnt <= 1 {
 			continue
 		}
-		inst, idx, err := d.instance(pr.Instance)
+		ig, idx, err := graphOf(pr.Instance)
 		if err != nil {
 			return nil, nil, err
 		}
-		ig := d.instGraph(inst, useOrig)
 		if ig.OutputLoadSlopes == nil {
 			continue
 		}
@@ -383,34 +452,53 @@ func (d *Design) boundaryExtras(useOrig bool) (extraTo, extraFrom []map[int]floa
 			extraTo[idx][ig.Outputs[k]] = ig.OutputLoadSlopes[k] * float64(cnt-1)
 		}
 	}
-	// Slew adjustment at receiving input ports.
-	for _, n := range d.Nets {
-		fromInst, _, err := d.instance(n.From.Instance)
+	// Slew adjustment at receiving input ports: evaluate per net in
+	// parallel, accumulate in net order.
+	type slewContrib struct {
+		inst, vert int
+		delta      float64
+		ok         bool
+	}
+	contrib := make([]slewContrib, len(d.Nets))
+	err = timing.ParallelFor(len(d.Nets), workers, func(ni int) error {
+		n := d.Nets[ni]
+		fg, _, err := graphOf(n.From.Instance)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		fg := d.instGraph(fromInst, useOrig)
 		if fg.OutputPortSlews == nil {
-			continue
+			return nil
 		}
 		k := outPortIndex(fg, n.From.Port)
 		if k < 0 {
-			continue
+			return nil
 		}
 		drvSlew := fg.OutputPortSlews[k]
 		if fg.OutputSlewSlopes != nil {
 			drvSlew += fg.OutputSlewSlopes[k] * float64(fanout[n.From]-1)
 		}
-		toInst, ti, err := d.instance(n.To.Instance)
+		tg, ti, err := graphOf(n.To.Instance)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		tg := d.instGraph(toInst, useOrig)
 		if tg.InputSlewSlopes == nil || tg.RefSlew <= 0 {
-			continue
+			return nil
 		}
 		if kt := inPortIndex(tg, n.To.Port); kt >= 0 {
-			extraFrom[ti][tg.Inputs[kt]] += tg.InputSlewSlopes[kt] * (drvSlew - tg.RefSlew)
+			contrib[ni] = slewContrib{
+				inst: ti, vert: tg.Inputs[kt],
+				delta: tg.InputSlewSlopes[kt] * (drvSlew - tg.RefSlew),
+				ok:    true,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range contrib {
+		if c.ok {
+			extraFrom[c.inst][c.vert] += c.delta
 		}
 	}
 	return extraTo, extraFrom, nil

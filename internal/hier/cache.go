@@ -1,0 +1,156 @@
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/mat"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// prep is the per-design, per-mode analysis model: everything Analyze
+// derives from the design geometry alone, independent of the per-call
+// propagation. For FullCorrelation that is the heterogeneous partition, its
+// PCA and the per-instance replacement matrices (the dominant setup cost);
+// for GlobalOnly the per-instance component block offsets. A prep is
+// immutable once built and safe to share between concurrent analyses.
+type prep struct {
+	mode         Mode
+	space        canon.Space
+	part         *Partition   // FullCorrelation only
+	repl         []*mat.Dense // FullCorrelation only, one per instance
+	instLocStart []int        // GlobalOnly only, len(instances)+1
+}
+
+// prepSlot is a singleflight cache slot: the first analysis for a mode
+// computes the prep, concurrent analyses block on done and share it.
+type prepSlot struct {
+	fp   designFP
+	done chan struct{}
+	p    *prep
+	err  error
+}
+
+// designFP captures every design property the prep depends on, so a
+// mutated design (moved instance, swapped module) transparently invalidates
+// the cached prep instead of serving stale grids. It retains the Module and
+// CorrelationModel pointers it compares, so a pointer match can never be a
+// recycled allocation at the same address.
+type designFP struct {
+	width, height, pitch float64
+	corr                 *variation.CorrelationModel
+	nParams              int
+	insts                []instFP
+}
+
+type instFP struct {
+	name   string
+	module *Module
+	x, y   float64
+}
+
+func (d *Design) fingerprint() designFP {
+	fp := designFP{
+		width: d.Width, height: d.Height, pitch: d.Pitch,
+		corr: d.Corr, nParams: len(d.Params),
+		insts: make([]instFP, len(d.Instances)),
+	}
+	for i, inst := range d.Instances {
+		fp.insts[i] = instFP{name: inst.Name, module: inst.Module, x: inst.OriginX, y: inst.OriginY}
+	}
+	return fp
+}
+
+func (a designFP) equal(b designFP) bool {
+	if a.width != b.width || a.height != b.height || a.pitch != b.pitch ||
+		a.corr != b.corr || a.nParams != b.nParams || len(a.insts) != len(b.insts) {
+		return false
+	}
+	for i := range a.insts {
+		if a.insts[i] != b.insts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// getPrep returns the cached prep for the mode, computing it on first use
+// or after the design changed. Concurrent callers for the same mode are
+// coalesced into one computation.
+func (d *Design) getPrep(mode Mode, opt AnalyzeOptions) (*prep, error) {
+	if opt.DisableCache {
+		return d.computePrep(mode, opt.Workers)
+	}
+	fp := d.fingerprint()
+	d.prepMu.Lock()
+	if d.preps == nil {
+		d.preps = make(map[Mode]*prepSlot)
+	}
+	if s := d.preps[mode]; s != nil && s.fp.equal(fp) {
+		d.prepMu.Unlock()
+		<-s.done
+		return s.p, s.err
+	}
+	s := &prepSlot{fp: fp, done: make(chan struct{})}
+	d.preps[mode] = s
+	d.prepMu.Unlock()
+
+	s.p, s.err = d.computePrep(mode, opt.Workers)
+	close(s.done)
+	if s.err != nil {
+		d.prepMu.Lock()
+		if d.preps[mode] == s {
+			delete(d.preps, mode)
+		}
+		d.prepMu.Unlock()
+	}
+	return s.p, s.err
+}
+
+// InvalidatePrep drops any cached analysis prep. Analyze detects geometry
+// changes on its own via the design fingerprint; this is only needed after
+// mutations the fingerprint cannot see, such as editing a module's model
+// graph in place.
+func (d *Design) InvalidatePrep() {
+	d.prepMu.Lock()
+	d.preps = nil
+	d.prepMu.Unlock()
+}
+
+// computePrep derives the per-mode analysis model, fanning the
+// per-instance replacement matrices out over the worker pool.
+func (d *Design) computePrep(mode Mode, workers int) (*prep, error) {
+	nP := len(d.Params)
+	p := &prep{mode: mode}
+	switch mode {
+	case FullCorrelation:
+		part, err := d.partition()
+		if err != nil {
+			return nil, err
+		}
+		p.part = part
+		p.space = canon.Space{Globals: nP, Components: nP * part.Grids.Comps}
+		p.repl = make([]*mat.Dense, len(d.Instances))
+		err = timing.ParallelFor(len(d.Instances), workers, func(i int) error {
+			r, err := replacementMatrix(d.Instances[i].Module.gridModel(), part, i)
+			if err != nil {
+				return fmt.Errorf("hier: instance %q: %w", d.Instances[i].Name, err)
+			}
+			p.repl[i] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	case GlobalOnly:
+		p.instLocStart = make([]int, len(d.Instances)+1)
+		for i, inst := range d.Instances {
+			p.instLocStart[i+1] = p.instLocStart[i] + nP*inst.Module.gridModel().Comps
+		}
+		p.space = canon.Space{Globals: nP, Components: p.instLocStart[len(d.Instances)]}
+	default:
+		return nil, fmt.Errorf("hier: unknown mode %d", mode)
+	}
+	return p, nil
+}

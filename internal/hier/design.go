@@ -20,6 +20,7 @@ package hier
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/place"
@@ -97,6 +98,12 @@ type Design struct {
 	// PrimaryInputs and PrimaryOutputs expose instance ports at the top.
 	PrimaryInputs  []PortRef
 	PrimaryOutputs []PortRef
+
+	// Cached per-mode analysis prep (partition, PCA, replacement matrices),
+	// keyed by mode and guarded by a design fingerprint so geometry edits
+	// invalidate it. See cache.go.
+	prepMu sync.Mutex
+	preps  map[Mode]*prepSlot
 }
 
 // instance returns the instance with the given name.

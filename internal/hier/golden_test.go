@@ -1,0 +1,111 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// genModule builds a timing model from a generated pseudo-random circuit,
+// keeping the original graph for ground-truth flattening.
+func genModule(t *testing.T, spec circuit.TopoSpec, seed int64) *Module {
+	t.Helper()
+	c, err := circuit.Generate(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.Synthetic90nm()
+	plan, err := place.Topological(c, place.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, _ := variation.DefaultCorrelation()
+	gm, err := variation.NewGridModel(plan.NX, plan.NY, plan.Pitch, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := timing.Build(c, lib, plan, gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Extract(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModule(spec.Name, model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Orig = g
+	return mod
+}
+
+// TestGoldenHierMatchesFlatten is the table-driven golden equivalence
+// suite: on generated circuits of several sizes and seeds, the
+// hierarchical analysis (serial, parallel and cached) must match the
+// Flatten-based flat analysis within tolerance, and the engine variants
+// must match each other to 1e-9.
+func TestGoldenHierMatchesFlatten(t *testing.T) {
+	specs := []circuit.TopoSpec{
+		{Name: "g60", PIs: 8, POs: 4, Gates: 60, Edges: 130, Depth: 8},
+		{Name: "g140", PIs: 12, POs: 6, Gates: 140, Edges: 300, Depth: 12},
+		{Name: "g240", PIs: 16, POs: 8, Gates: 240, Edges: 500, Depth: 16},
+	}
+	seeds := []int64{1, 7}
+	const (
+		meanTol = 0.03 // model extraction approximates; paper-level accuracy
+		stdTol  = 0.15
+	)
+	for _, spec := range specs {
+		for _, seed := range seeds {
+			spec, seed := spec, seed
+			t.Run(fmt.Sprintf("%s/seed%d", spec.Name, seed), func(t *testing.T) {
+				mod := genModule(t, spec, seed)
+				d := twoByTwo(t, mod)
+
+				flat, _, err := d.Flatten()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := flat.MaxDelay()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				serial, err := d.AnalyzeOpt(FullCorrelation, AnalyzeOptions{Workers: 1, DisableCache: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parallel, err := d.AnalyzeOpt(FullCorrelation, AnalyzeOptions{Workers: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cached, err := d.AnalyzeOpt(FullCorrelation, AnalyzeOptions{Workers: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Engine variants agree exactly.
+				assertResultsIdentical(t, "parallel vs serial", serial, parallel)
+				assertResultsIdentical(t, "cached vs serial", serial, cached)
+
+				// Hierarchical vs flat ground truth within model tolerance.
+				if rel := math.Abs(serial.Delay.Mean()-want.Mean()) / want.Mean(); rel > meanTol {
+					t.Errorf("mean: hier %g vs flat %g (rel %.4f > %.2f)",
+						serial.Delay.Mean(), want.Mean(), rel, meanTol)
+				}
+				if rel := math.Abs(serial.Delay.Std()-want.Std()) / want.Std(); rel > stdTol {
+					t.Errorf("std: hier %g vs flat %g (rel %.4f > %.2f)",
+						serial.Delay.Std(), want.Std(), rel, stdTol)
+				}
+			})
+		}
+	}
+}

@@ -274,7 +274,7 @@ func TestReplacementCreatesInterModuleCorrelation(t *testing.T) {
 
 	// Without replacement (GlobalOnly) the correlation collapses to the
 	// global share only.
-	resG, err := d.buildTop(GlobalOnly, true)
+	resG, err := d.buildTop(GlobalOnly, true, AnalyzeOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

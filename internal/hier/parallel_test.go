@@ -1,0 +1,203 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/canon"
+)
+
+// formsAgree reports the maximum absolute coefficient difference between
+// two canonical forms.
+func formsAgree(a, b *canon.Form) float64 {
+	if a == nil || b == nil {
+		if a == b {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	d := math.Abs(a.Nominal - b.Nominal)
+	for k := range a.Glob {
+		if v := math.Abs(a.Glob[k] - b.Glob[k]); v > d {
+			d = v
+		}
+	}
+	for k := range a.Loc {
+		if v := math.Abs(a.Loc[k] - b.Loc[k]); v > d {
+			d = v
+		}
+	}
+	if v := math.Abs(a.Rand - b.Rand); v > d {
+		d = v
+	}
+	return d
+}
+
+// assertResultsIdentical checks two analysis results coefficient-by-
+// coefficient: the engine options must never change the numbers.
+func assertResultsIdentical(t *testing.T, label string, ref, got *Result) {
+	t.Helper()
+	const tol = 1e-9
+	if d := formsAgree(ref.Delay, got.Delay); d > tol {
+		t.Fatalf("%s: delay form differs by %g", label, d)
+	}
+	if len(ref.OutputArrivals) != len(got.OutputArrivals) {
+		t.Fatalf("%s: %d output arrivals, want %d", label, len(got.OutputArrivals), len(ref.OutputArrivals))
+	}
+	for k := range ref.OutputArrivals {
+		if d := formsAgree(ref.OutputArrivals[k], got.OutputArrivals[k]); d > tol {
+			t.Fatalf("%s: output %d arrival differs by %g", label, k, d)
+		}
+	}
+	if len(ref.Graph.Edges) != len(got.Graph.Edges) {
+		t.Fatalf("%s: stitched graph has %d edges, want %d", label, len(got.Graph.Edges), len(ref.Graph.Edges))
+	}
+}
+
+// TestParallelAndCachedMatchSerial is the core engine equivalence: for both
+// modes, every engine configuration (serial uncached reference vs cached,
+// parallel, cached+parallel) produces identical results to 1e-9.
+func TestParallelAndCachedMatchSerial(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	for _, mode := range []Mode{FullCorrelation, GlobalOnly} {
+		ref, err := d.AnalyzeOpt(mode, AnalyzeOptions{Workers: 1, DisableCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants := []AnalyzeOptions{
+			{Workers: 1},                     // serial, cached (cold then warm below)
+			{Workers: 4},                     // parallel, cached
+			{Workers: 0},                     // GOMAXPROCS
+			{Workers: 4, DisableCache: true}, // parallel, uncached
+			{Workers: 1},                     // serial again: warm cache hit
+		}
+		for vi, opt := range variants {
+			got, err := d.AnalyzeOpt(mode, opt)
+			if err != nil {
+				t.Fatalf("mode %v variant %d: %v", mode, vi, err)
+			}
+			assertResultsIdentical(t, fmt.Sprintf("mode %v variant %d (%+v)", mode, vi, opt), ref, got)
+		}
+	}
+}
+
+// TestFlattenParallelMatchesSerial checks the flattening path (originals +
+// replacement) edge-by-edge across engine options.
+func TestFlattenParallelMatchesSerial(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	ref, _, err := d.FlattenOpt(AnalyzeOptions{Workers: 1, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := d.FlattenOpt(AnalyzeOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Edges) != len(par.Edges) {
+		t.Fatalf("edge count %d != %d", len(par.Edges), len(ref.Edges))
+	}
+	for k := range ref.Edges {
+		if d := formsAgree(ref.Edges[k].Delay, par.Edges[k].Delay); d > 1e-9 {
+			t.Fatalf("edge %d delay differs by %g", k, d)
+		}
+		if ref.Edges[k].Grid != par.Edges[k].Grid {
+			t.Fatalf("edge %d grid %d != %d", k, par.Edges[k].Grid, ref.Edges[k].Grid)
+		}
+	}
+}
+
+// TestPrepCacheReusedAndInvalidated pins the caching contract: repeated
+// analyses share one prep, geometry edits rebuild it.
+func TestPrepCacheReusedAndInvalidated(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	if _, err := d.Analyze(FullCorrelation); err != nil {
+		t.Fatal(err)
+	}
+	first := d.preps[FullCorrelation]
+	if first == nil || first.p == nil {
+		t.Fatal("prep not cached after Analyze")
+	}
+	if _, err := d.Analyze(FullCorrelation); err != nil {
+		t.Fatal(err)
+	}
+	if d.preps[FullCorrelation] != first {
+		t.Fatal("second Analyze recomputed the prep")
+	}
+	// Flatten shares the FullCorrelation prep with Analyze.
+	if _, _, err := d.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+	if d.preps[FullCorrelation] != first {
+		t.Fatal("Flatten recomputed the prep")
+	}
+
+	// Geometry edit: widen the die. The fingerprint changes, the partition
+	// gains filler grids, and the prep must be rebuilt.
+	d.Width += 4 * d.Pitch
+	res, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.preps[FullCorrelation] == first {
+		t.Fatal("geometry change did not invalidate the prep cache")
+	}
+	if res.Partition.Filler == 0 {
+		t.Fatal("widened die should produce filler grids")
+	}
+
+	// Explicit invalidation drops everything.
+	d.InvalidatePrep()
+	if d.preps != nil {
+		t.Fatal("InvalidatePrep left entries behind")
+	}
+}
+
+// TestConcurrentAnalyze hammers one design from many goroutines across
+// modes and worker counts; every result must match the serial reference.
+// Run with -race to exercise the prep singleflight.
+func TestConcurrentAnalyze(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	refs := map[Mode]*Result{}
+	for _, mode := range []Mode{FullCorrelation, GlobalOnly} {
+		r, err := d.AnalyzeOpt(mode, AnalyzeOptions{Workers: 1, DisableCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[mode] = r
+	}
+	d.InvalidatePrep() // force the concurrent run to race on prep creation
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			mode := FullCorrelation
+			if k%2 == 1 {
+				mode = GlobalOnly
+			}
+			got, err := d.AnalyzeOpt(mode, AnalyzeOptions{Workers: 1 + k%3})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			ref := refs[mode]
+			if dd := formsAgree(ref.Delay, got.Delay); dd > 1e-9 {
+				errCh <- fmt.Errorf("goroutine %d mode %v: delay differs by %g", k, mode, dd)
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -3,8 +3,6 @@ package timing
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/canon"
 )
@@ -122,43 +120,25 @@ func (g *Graph) AllPairsDelays(workers int) (*AllPairs, error) {
 	if _, err := g.Order(); err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	ap := &AllPairs{
 		Inputs:  append([]int(nil), g.Inputs...),
 		Outputs: append([]int(nil), g.Outputs...),
 		M:       make([][]*canon.Form, len(g.Inputs)),
 	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, 1)
-	sem := make(chan struct{}, workers)
-	for i := range g.Inputs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			arr, err := g.ArrivalFrom(g.Inputs[i])
-			if err != nil {
-				select {
-				case errCh <- err:
-				default:
-				}
-				return
-			}
-			row := make([]*canon.Form, len(g.Outputs))
-			for j, o := range g.Outputs {
-				row[j] = arr[o]
-			}
-			ap.M[i] = row
-		}(i)
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	err := ParallelFor(len(g.Inputs), workers, func(i int) error {
+		arr, err := g.ArrivalFrom(g.Inputs[i])
+		if err != nil {
+			return err
+		}
+		row := make([]*canon.Form, len(g.Outputs))
+		for j, o := range g.Outputs {
+			row[j] = arr[o]
+		}
+		ap.M[i] = row
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 	return ap, nil
 }

@@ -1,0 +1,93 @@
+package timing
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0, 100); got < 1 {
+		t.Fatalf("Workers(0, 100) = %d", got)
+	}
+	if got := Workers(-3, 100); got < 1 {
+		t.Fatalf("Workers(-3, 100) = %d", got)
+	}
+	if got := Workers(16, 4); got != 4 {
+		t.Fatalf("Workers(16, 4) = %d, want 4 (clamped to n)", got)
+	}
+	if got := Workers(2, 100); got != 2 {
+		t.Fatalf("Workers(2, 100) = %d, want 2", got)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		err := ParallelFor(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForSerialOrder(t *testing.T) {
+	var order []int
+	err := ParallelFor(10, 1, func(i int) error {
+		order = append(order, i) // no lock: workers=1 must be single-threaded
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ParallelFor(100, workers, func(i int) error {
+			if i == 42 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestParallelForErrorStopsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	err := ParallelFor(1_000_000, 2, func(i int) error {
+		calls.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n > 1000 {
+		t.Fatalf("error did not stop distribution: %d calls", n)
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	if err := ParallelFor(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package ssta_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/ssta"
+)
+
+func quadDesign(t *testing.T) (*ssta.Flow, *ssta.Design) {
+	t.Helper()
+	flow := ssta.DefaultFlow()
+	c, err := ssta.ArrayMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, plan, err := flow.Graph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := flow.Extract(g, ssta.ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ssta.NewModule("mult4", model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := flow.QuadDesign("quad", mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flow, d
+}
+
+// TestAnalyzeBatchMatchesSerial runs a mixed batch (flat benches, a
+// circuit, a hierarchical design in both modes) in parallel and asserts
+// every delay matches the one computed by the serial single-item path.
+func TestAnalyzeBatchMatchesSerial(t *testing.T) {
+	flow, d := quadDesign(t)
+	items := []ssta.BatchItem{
+		{Bench: "c432", Seed: 1},
+		{Bench: "c880", Seed: 1},
+		{Name: "c17", Circuit: ssta.C17()},
+		{Design: d, Mode: ssta.FullCorrelation},
+		{Design: d, Mode: ssta.GlobalOnly},
+	}
+	batch := flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: 4})
+	if len(batch) != len(items) {
+		t.Fatalf("got %d results for %d items", len(batch), len(items))
+	}
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("item %d (%s): %v", i, r.Name, r.Err)
+		}
+		if r.Delay == nil {
+			t.Fatalf("item %d (%s): nil delay", i, r.Name)
+		}
+	}
+
+	// Serial references.
+	for i, item := range items {
+		var wantMean, wantStd float64
+		switch {
+		case item.Design != nil:
+			res, err := item.Design.AnalyzeOpt(item.Mode, ssta.AnalyzeOptions{Workers: 1, DisableCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMean, wantStd = res.Delay.Mean(), res.Delay.Std()
+		case item.Circuit != nil:
+			g, _, err := flow.Graph(item.Circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delay, err := g.MaxDelay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMean, wantStd = delay.Mean(), delay.Std()
+		default:
+			g, _, err := flow.BenchGraph(item.Bench, item.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delay, err := g.MaxDelay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMean, wantStd = delay.Mean(), delay.Std()
+		}
+		if got := batch[i].Delay.Mean(); math.Abs(got-wantMean) > 1e-9 {
+			t.Errorf("item %d (%s): mean %g != serial %g", i, batch[i].Name, got, wantMean)
+		}
+		if got := batch[i].Delay.Std(); math.Abs(got-wantStd) > 1e-9 {
+			t.Errorf("item %d (%s): std %g != serial %g", i, batch[i].Name, got, wantStd)
+		}
+	}
+
+	// Labels default to the input names, hierarchical items carry the full
+	// result.
+	if batch[0].Name != "c432" || batch[2].Name != "c17" || batch[3].Name != "quad" {
+		t.Errorf("names = %q, %q, %q", batch[0].Name, batch[2].Name, batch[3].Name)
+	}
+	if batch[3].Hier == nil || batch[4].Hier == nil {
+		t.Error("hierarchical items missing Hier result")
+	}
+	if batch[3].Hier.Delay.Std() <= batch[4].Hier.Delay.Std() {
+		t.Error("FullCorrelation should have larger spread than GlobalOnly on cross-module paths")
+	}
+}
+
+// TestAnalyzeBatchSharedExtractCache: many items extracting the same graph
+// must share one cached model.
+func TestAnalyzeBatchSharedExtractCache(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	g, _, err := flow.BenchGraph("c432", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]ssta.BatchItem, 8)
+	for i := range items {
+		items[i] = ssta.BatchItem{Name: "c432", Graph: g, Extract: true}
+	}
+	batch := flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: 8})
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Model == nil {
+			t.Fatalf("item %d: no model", i)
+		}
+		if r.Model != batch[0].Model {
+			t.Fatalf("item %d: extraction not shared through the cache", i)
+		}
+	}
+	hits, misses := flow.Cache.Stats()
+	if misses != 1 {
+		t.Fatalf("extraction ran %d times for 8 identical items (hits %d)", misses, hits)
+	}
+}
+
+// TestAnalyzeBatchErrorIsolation: a failing item reports its error without
+// aborting the rest of the batch.
+func TestAnalyzeBatchErrorIsolation(t *testing.T) {
+	batch := ssta.AnalyzeBatch([]ssta.BatchItem{
+		{Bench: "c432", Seed: 1},
+		{Bench: "no-such-bench"},
+		{}, // no input at all
+	}, ssta.BatchOptions{Workers: 2})
+	if batch[0].Err != nil {
+		t.Fatalf("healthy item failed: %v", batch[0].Err)
+	}
+	if batch[1].Err == nil || batch[2].Err == nil {
+		t.Fatal("failing items did not report errors")
+	}
+}
+
+// TestAnalyzeBatchConcurrentCallers hammers one flow (and one design) from
+// several concurrent batches. Run with -race.
+func TestAnalyzeBatchConcurrentCallers(t *testing.T) {
+	flow, d := quadDesign(t)
+	ref, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := flow.AnalyzeBatch([]ssta.BatchItem{
+				{Design: d, Mode: ssta.FullCorrelation},
+				{Design: d, Mode: ssta.GlobalOnly},
+				{Bench: "c432", Seed: 1},
+			}, ssta.BatchOptions{Workers: 3, ItemWorkers: 2})
+			for _, r := range batch {
+				if r.Err != nil {
+					errCh <- r.Err
+					return
+				}
+			}
+			if got := batch[0].Delay.Mean(); math.Abs(got-ref.Delay.Mean()) > 1e-9 {
+				errCh <- fmt.Errorf("batch delay mean %g != serial %g", got, ref.Delay.Mean())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -47,6 +47,12 @@ type (
 	Model = core.Model
 	// ExtractOptions controls model extraction.
 	ExtractOptions = core.Options
+	// ExtractCache memoizes model extraction (thread-safe, singleflight).
+	ExtractCache = core.ExtractCache
+	// Mode selects the hierarchical correlation treatment.
+	Mode = hier.Mode
+	// AnalyzeOptions tunes the hierarchical engine (workers, caching).
+	AnalyzeOptions = hier.AnalyzeOptions
 	// Module is a pre-characterized timing model with placement geometry.
 	Module = hier.Module
 	// Instance is a placed module occurrence.
@@ -103,14 +109,20 @@ var (
 	EdgeCriticalities = core.EdgeCriticalities
 	// ReadModelJSON loads a serialized timing model.
 	ReadModelJSON = core.ReadJSON
+	// NewExtractCache returns an empty thread-safe extraction cache.
+	NewExtractCache = core.NewExtractCache
 )
 
 // Flow bundles the analysis context: cell library, variation parameters and
-// spatial-correlation setup.
+// spatial-correlation setup, plus a shared extraction cache so each
+// distinct module graph is extracted at most once per option set.
 type Flow struct {
 	Lib   *cell.Library
 	Corr  *variation.CorrelationModel
 	Pitch float64
+	// Cache memoizes Extract results. DefaultFlow installs one; a nil
+	// cache makes Extract run the pipeline unconditionally.
+	Cache *core.ExtractCache
 }
 
 // DefaultFlow returns the paper's Section VI setup: synthetic 90nm library,
@@ -124,7 +136,12 @@ func DefaultFlow() *Flow {
 		// a programming error.
 		panic(fmt.Sprintf("ssta: default correlation: %v", err))
 	}
-	return &Flow{Lib: cell.Synthetic90nm(), Corr: corr, Pitch: place.DefaultPitch}
+	return &Flow{
+		Lib:   cell.Synthetic90nm(),
+		Corr:  corr,
+		Pitch: place.DefaultPitch,
+		Cache: core.NewExtractCache(),
+	}
 }
 
 // Graph places the circuit, builds the grid-based spatial model, and
@@ -145,8 +162,14 @@ func (f *Flow) Graph(c *Circuit) (*Graph, *Plan, error) {
 	return g, plan, nil
 }
 
-// Extract runs timing-model extraction (paper Sections III-IV).
+// Extract runs timing-model extraction (paper Sections III-IV). When the
+// flow carries a cache, repeated extraction of the same graph with the
+// same options returns the memoized model; the result must be treated as
+// immutable either way.
 func (f *Flow) Extract(g *Graph, opt ExtractOptions) (*Model, error) {
+	if f.Cache != nil {
+		return f.Cache.Extract(g, opt)
+	}
 	return core.Extract(g, opt)
 }
 

@@ -10,6 +10,9 @@
 //	BenchmarkReplacement       — eq. 19 variable replacement (E5)
 //	BenchmarkPropagate/*       — flat SSTA propagation (substrate)
 //	BenchmarkSum/BenchmarkMax  — canonical-form micro-operations (substrate)
+//	BenchmarkViewSum/ViewMax   — fused flat-view kernels (arena substrate)
+//	BenchmarkArrivalPass/*     — pooled-arena exclusive passes (run with
+//	                             -benchmem: allocs/op must stay O(1))
 //
 // The cmd/table1, cmd/fig6 and cmd/fig7 binaries print the corresponding
 // tables/series; these benches measure the runtimes.
@@ -67,6 +70,58 @@ func BenchmarkMax(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		canon.MaxInto(dst, x, y)
+	}
+}
+
+func BenchmarkViewSum(b *testing.B) {
+	space := canon.Space{Globals: 3, Components: 108}
+	rng := rand.New(rand.NewSource(1))
+	bank := canon.NewBank(space, 3)
+	x, y, dst := bank.Take(), bank.Take(), bank.Take()
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon.AddViews(dst, x, y)
+	}
+}
+
+func BenchmarkViewMax(b *testing.B) {
+	space := canon.Space{Globals: 3, Components: 108}
+	rng := rand.New(rand.NewSource(1))
+	bank := canon.NewBank(space, 3)
+	x, y, dst := bank.Take(), bank.Take(), bank.Take()
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	x.SetNominal(100)
+	y.SetNominal(101)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon.MaxViews(dst, x, y)
+	}
+}
+
+// BenchmarkArrivalPass measures one pooled-arena exclusive forward pass —
+// the unit of work the all-pairs extraction scheme repeats per input. With
+// -benchmem the allocs/op column is the tentpole contract: O(1), not
+// O(vertices).
+func BenchmarkArrivalPass(b *testing.B) {
+	for _, name := range []string{"c432", "c1908", "c7552"} {
+		g := benchGraph(b, name)
+		in := g.Inputs[0]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := g.AcquirePass()
+				if err := p.Arrivals(in); err != nil {
+					b.Fatal(err)
+				}
+				p.Release()
+			}
+		})
 	}
 }
 

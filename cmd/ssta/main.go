@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/stats"
 	"repro/ssta"
@@ -34,7 +36,14 @@ func main() {
 	mcIters := flag.Int("mc", 0, "also run Monte Carlo with this many iterations")
 	perOutput := flag.Bool("outputs", false, "print per-output arrival statistics")
 	workers := flag.Int("workers", 0, "concurrent analyses in a batch (0: all cores)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	// Profiles are flushed through stopProfiles so they survive both the
+	// normal return and the fatal()/exit error paths (os.Exit skips defers).
+	startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	flow := ssta.DefaultFlow()
 	var items []ssta.BatchItem
@@ -58,11 +67,11 @@ func main() {
 		items = append(items, ssta.BatchItem{Name: "c17", Circuit: ssta.C17()})
 	default:
 		fmt.Fprintln(os.Stderr, "select an input: -bench, -gen, -mult or -c17")
-		os.Exit(2)
+		exit(2)
 	}
 	if len(items) == 0 {
 		fmt.Fprintln(os.Stderr, "no circuits named; select an input: -bench, -gen, -mult or -c17")
-		os.Exit(2)
+		exit(2)
 	}
 
 	results := flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: *workers})
@@ -77,7 +86,7 @@ func main() {
 		for _, r := range results {
 			if r.Err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Printf("%-10s %8d %8d %10.2f %9.2f %12.2f %9.1f\n",
 				r.Name, r.Graph.NumVerts, len(r.Graph.Edges),
@@ -123,6 +132,49 @@ func main() {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
+	}
+}
+
+// exit flushes any active profiles before terminating, so -cpuprofile and
+// -memprofile produce usable output even when a run fails.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+var profileStop []func()
+
+func startProfiles(cpuPath, memPath string) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		profileStop = append(profileStop, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		profileStop = append(profileStop, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		})
+	}
+}
+
+func stopProfiles() {
+	stops := profileStop
+	profileStop = nil // idempotent: defer + exit both call this
+	for _, stop := range stops {
+		stop()
 	}
 }

@@ -10,9 +10,13 @@
 //	ssta                the public facade: default flow, batch scheduler,
 //	                    re-exported domain types
 //	internal/canon      canonical first-order delay forms (Clark max,
-//	                    tightness probabilities)
-//	internal/timing     statistical timing graphs, propagation, all-pairs
-//	                    delays, the shared bounded worker pool (ParallelFor)
+//	                    tightness probabilities) in two representations:
+//	                    pointer-based *Form at API boundaries, and the flat
+//	                    Bank/View arena (contiguous SoA storage + fused
+//	                    allocation-free kernels) the hot path runs on
+//	internal/timing     statistical timing graphs, pooled-arena propagation
+//	                    passes (Pass), all-pairs delays, the shared bounded
+//	                    worker pool (ParallelFor)
 //	internal/core       timing-model extraction (criticality filter +
 //	                    merges) and the thread-safe extraction cache
 //	internal/hier       hierarchical design-level analysis: heterogeneous
@@ -46,5 +50,16 @@
 //
 // Parallel and cached runs produce results identical (within 1e-9, in
 // practice bitwise) to the serial engine; see internal/hier's equivalence
-// tests. See README.md for how to run the tests and benchmarks.
+// tests.
+//
+// # The arena hot path
+//
+// The propagation kernels run on flat storage: canon.Bank is a contiguous
+// structure-of-arrays arena of canonical forms (stride dim+2), canon.View
+// one form inside it, and the fused view kernels (AddViews, MaxViews,
+// VarCovViews, TightnessProbViews) match the pointer-based kernels at
+// 1e-12. timing.Pass wraps a pooled per-graph arena so forward/backward
+// passes — including the one-pass-per-input all-pairs scheme and the
+// criticality engine's cutset evaluation — perform O(1) allocations per
+// pass. See README.md ("Performance") and BENCH_2.json for measurements.
 package repro

@@ -1,0 +1,290 @@
+package canon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file is the flat structure-of-arrays representation of canonical
+// forms: a Bank is one contiguous []float64 arena holding many forms at a
+// fixed stride, and a View is one form inside it. The fused View kernels
+// below (AddViews, MaxViews, VarCovViews, ...) are numerically identical to
+// the pointer-based Form kernels — they perform the same floating-point
+// operations in the same order — but touch a single cache-friendly slice
+// per operand and never allocate. The propagation hot path (timing.Pass,
+// the criticality engine, the hierarchical stitcher) runs entirely on
+// Views; *Form stays the boundary representation for construction,
+// serialization and reporting.
+
+// View is one canonical form in flat storage. Layout, for a space with
+// d = Dim() shared variables:
+//
+//	v[0]        Nominal
+//	v[1 : 1+d]  shared coefficients, Glob followed by Loc
+//	v[1+d]      Rand (coefficient of the private N(0,1); always >= 0)
+//
+// A View is only valid against other Views of the same space; the kernels
+// panic (via slice bounds) on mismatched lengths.
+type View []float64
+
+// Stride returns the number of float64 slots one form of the space
+// occupies in flat storage.
+func (s Space) Stride() int { return s.Dim() + 2 }
+
+// Nominal returns the mean of the viewed form.
+func (v View) Nominal() float64 { return v[0] }
+
+// SetNominal overwrites the nominal value.
+func (v View) SetNominal(x float64) { v[0] = x }
+
+// Rand returns the private-random coefficient.
+func (v View) Rand() float64 { return v[len(v)-1] }
+
+// Coeffs returns the shared coefficient slice (Glob followed by Loc).
+func (v View) Coeffs() []float64 { return v[1 : len(v)-1] }
+
+// SetConst overwrites the view with a deterministic form of value c.
+func (v View) SetConst(c float64) {
+	for i := range v {
+		v[i] = 0
+	}
+	v[0] = c
+}
+
+// Variance returns the variance of the viewed form.
+func (v View) Variance() float64 {
+	var s float64
+	for _, c := range v[1:] {
+		s += c * c
+	}
+	return s
+}
+
+// Std returns the standard deviation of the viewed form.
+func (v View) Std() float64 { return math.Sqrt(v.Variance()) }
+
+// LoadForm copies a pointer-based form into the view.
+func (v View) LoadForm(f *Form) {
+	v[0] = f.Nominal
+	n := copy(v[1:], f.Glob)
+	copy(v[1+n:], f.Loc)
+	v[len(v)-1] = f.Rand
+}
+
+// Form materializes the view as a heap-allocated pointer form of the space.
+func (v View) Form(s Space) *Form {
+	f := s.NewForm()
+	f.Nominal = v[0]
+	n := copy(f.Glob, v[1:])
+	copy(f.Loc, v[1+n:])
+	f.Rand = v[len(v)-1]
+	return f
+}
+
+// CopyView copies src into dst.
+func CopyView(dst, src View) { copy(dst, src) }
+
+// AddViews computes a+b into dst in one fused pass. dst may alias a (but
+// not b). Private random parts combine by root-sum-of-squares.
+func AddViews(dst, a, b View) {
+	n := len(dst) - 1
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] + b[i]
+	}
+	ra, rb := a[n], b[n]
+	dst[n] = math.Sqrt(ra*ra + rb*rb)
+}
+
+// AddFormView computes a+f into dst, reading the second operand from a
+// pointer form — the kernel of a graph's first propagation pass, before
+// the flat edge-delay bank has proven worth building. Identical operation
+// order to AddViews on f's flat image. dst may alias a.
+func AddFormView(dst, a View, f *Form) {
+	dst[0] = a[0] + f.Nominal
+	o := 1
+	for i, v := range f.Glob {
+		dst[o+i] = a[o+i] + v
+	}
+	o += len(f.Glob)
+	for i, v := range f.Loc {
+		dst[o+i] = a[o+i] + v
+	}
+	n := len(dst) - 1
+	dst[n] = math.Sqrt(a[n]*a[n] + f.Rand*f.Rand)
+}
+
+// VarCovViews returns Var(a), Var(b) and Cov(a, b) in a single fused pass
+// over the coefficient slices.
+func VarCovViews(a, b View) (va, vb, cov float64) {
+	n := len(a) - 1
+	for i := 1; i < n; i++ {
+		x, y := a[i], b[i]
+		va += x * x
+		vb += y * y
+		cov += x * y
+	}
+	va += a[n] * a[n]
+	vb += b[n] * b[n]
+	return va, vb, cov
+}
+
+// CovViews returns the covariance of two views.
+func CovViews(a, b View) float64 {
+	var s float64
+	n := len(a) - 1
+	for i := 1; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// TightnessProbViews returns TP = P(A >= B) per paper eq. 6, matching
+// TightnessProb on the equivalent pointer forms.
+func TightnessProbViews(a, b View) float64 {
+	va, vb, cov := VarCovViews(a, b)
+	t2 := va + vb - 2*cov
+	if t2 < 0 {
+		t2 = 0
+	}
+	theta := math.Sqrt(t2)
+	if theta < thetaEps {
+		switch {
+		case a[0] > b[0]:
+			return 1
+		case a[0] < b[0]:
+			return 0
+		default:
+			return 0.5
+		}
+	}
+	return stats.NormCDF((a[0] - b[0]) / theta)
+}
+
+// MaxViews computes Clark's moment-matched max(a, b) into dst (paper
+// eqs. 6-9) in one fused pass: variances, covariance, tightness, blend and
+// variance matching without any intermediate allocation. dst may alias a
+// (but not b).
+func MaxViews(dst, a, b View) {
+	va, vb, cov := VarCovViews(a, b)
+	t2 := va + vb - 2*cov
+	if t2 < 0 {
+		t2 = 0
+	}
+	theta := math.Sqrt(t2)
+	if theta < thetaEps {
+		// Operands are essentially the same random variable up to a mean
+		// shift: max is whichever has the larger mean.
+		src := a
+		if b[0] > a[0] {
+			src = b
+		}
+		copy(dst, src)
+		return
+	}
+	z := (a[0] - b[0]) / theta
+	tp := stats.NormCDF(z)
+	phi := stats.NormPDF(z)
+
+	mean := tp*a[0] + (1-tp)*b[0] + theta*phi
+	second := tp*(va+a[0]*a[0]) + (1-tp)*(vb+b[0]*b[0]) +
+		(a[0]+b[0])*theta*phi
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+
+	// Blend shared coefficients (eq. 9) — preserves covariances with other
+	// forms to first order (Clark 1961).
+	var shared float64
+	n := len(dst) - 1
+	for i := 1; i < n; i++ {
+		c := tp*a[i] + (1-tp)*b[i]
+		dst[i] = c
+		shared += c * c
+	}
+	dst[0] = mean
+	rest := variance - shared
+	if rest < 0 {
+		// The blended shared part already exceeds the Clark variance; the
+		// closest representable form drops the private part. This
+		// over-estimates variance slightly and is the standard fix.
+		rest = 0
+	}
+	dst[n] = math.Sqrt(rest)
+}
+
+// Bank is a flat arena of canonical forms: one contiguous backing slice of
+// capacity*Stride() float64s, forms addressed by slot index. Banks are the
+// allocation-free storage of the propagation hot path — a full forward or
+// backward pass writes into one pre-sized bank instead of cloning a form
+// per reached vertex.
+//
+// A Bank is not safe for concurrent use; give each worker its own.
+type Bank struct {
+	space  Space
+	stride int
+	data   []float64
+	used   int // sequential-Take() high-water mark
+}
+
+// NewBank returns a bank with the given number of form slots, all zero.
+func NewBank(s Space, capacity int) *Bank {
+	return &Bank{space: s, stride: s.Stride(), data: make([]float64, capacity*s.Stride())}
+}
+
+// NewBankOver returns a bank of the given capacity backed by buf when buf
+// has enough capacity, allocating fresh storage otherwise. The buffer's
+// previous contents are left in place — every kernel fully overwrites its
+// destination slot, so recycled storage needs no zeroing. This is how the
+// propagation pass pool hands slabs from retired graphs to new ones.
+func NewBankOver(s Space, capacity int, buf []float64) *Bank {
+	need := capacity * s.Stride()
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	return &Bank{space: s, stride: s.Stride(), data: buf[:need]}
+}
+
+// Data exposes the backing slab, e.g. for returning it to a recycling
+// pool. The bank must not be used afterwards.
+func (b *Bank) Data() []float64 { return b.data }
+
+// Space returns the space the bank's forms live in.
+func (b *Bank) Space() Space { return b.space }
+
+// Cap returns the number of form slots.
+func (b *Bank) Cap() int { return len(b.data) / b.stride }
+
+// View returns the view of slot i. Views remain valid for the lifetime of
+// the bank (banks never grow).
+func (b *Bank) View(i int) View {
+	return b.data[i*b.stride : (i+1)*b.stride]
+}
+
+// Reset rewinds the sequential allocator; existing slot contents are
+// retained but will be handed out again by Take.
+func (b *Bank) Reset() { b.used = 0 }
+
+// Take hands out the next sequential slot. The slot's previous contents
+// are undefined — callers must fully overwrite it (every kernel with the
+// slot as dst does). Take panics when the bank is exhausted: size banks to
+// their workload with NewBank, they never grow.
+func (b *Bank) Take() View {
+	if (b.used+1)*b.stride > len(b.data) {
+		panic(fmt.Sprintf("canon: Bank exhausted (%d slots)", b.Cap()))
+	}
+	v := b.View(b.used)
+	b.used++
+	return v
+}
+
+// TakeBlock hands out n consecutive slots as one view per slot.
+func (b *Bank) TakeBlock(n int) []View {
+	out := make([]View, n)
+	for i := range out {
+		out[i] = b.Take()
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package canon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const kernelTol = 1e-12
+
+// relDiff is |a-b| scaled by max(1, |a|, |b|).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d / scale
+}
+
+func viewOf(b *Bank, f *Form) View {
+	v := b.Take()
+	v.LoadForm(f)
+	return v
+}
+
+func formsEqual(t *testing.T, what string, f *Form, v View, s Space) {
+	t.Helper()
+	g := v.Form(s)
+	if relDiff(f.Nominal, g.Nominal) > kernelTol {
+		t.Fatalf("%s: Nominal %g vs %g", what, f.Nominal, g.Nominal)
+	}
+	if relDiff(f.Rand, g.Rand) > kernelTol {
+		t.Fatalf("%s: Rand %g vs %g", what, f.Rand, g.Rand)
+	}
+	for i := range f.Glob {
+		if relDiff(f.Glob[i], g.Glob[i]) > kernelTol {
+			t.Fatalf("%s: Glob[%d] %g vs %g", what, i, f.Glob[i], g.Glob[i])
+		}
+	}
+	for i := range f.Loc {
+		if relDiff(f.Loc[i], g.Loc[i]) > kernelTol {
+			t.Fatalf("%s: Loc[%d] %g vs %g", what, i, f.Loc[i], g.Loc[i])
+		}
+	}
+}
+
+// TestViewKernelsMatchFormKernels drives the fused flat kernels and the
+// pointer-based reference kernels over the same random operands and
+// requires agreement at 1e-12 — the arena engine's numerical contract.
+func TestViewKernelsMatchFormKernels(t *testing.T) {
+	space := Space{Globals: 3, Components: 7}
+	rng := rand.New(rand.NewSource(7))
+	bank := NewBank(space, 8)
+	for iter := 0; iter < 500; iter++ {
+		a, b := randomForm(rng, space), randomForm(rng, space)
+		// Delay-like means so Max exercises both branches of the blend.
+		a.Nominal = 50 + 20*rng.Float64()
+		b.Nominal = 50 + 20*rng.Float64()
+
+		bank.Reset()
+		av, bv := viewOf(bank, a), viewOf(bank, b)
+		formsEqual(t, "LoadForm/Form roundtrip", a, av, space)
+
+		if relDiff(a.Variance(), av.Variance()) > kernelTol {
+			t.Fatalf("Variance: %g vs %g", a.Variance(), av.Variance())
+		}
+		va, vb, cov := VarCov(a, b)
+		wa, wb, wcov := VarCovViews(av, bv)
+		if relDiff(va, wa) > kernelTol || relDiff(vb, wb) > kernelTol || relDiff(cov, wcov) > kernelTol {
+			t.Fatalf("VarCov: (%g,%g,%g) vs (%g,%g,%g)", va, vb, cov, wa, wb, wcov)
+		}
+		if relDiff(Cov(a, b), CovViews(av, bv)) > kernelTol {
+			t.Fatalf("Cov: %g vs %g", Cov(a, b), CovViews(av, bv))
+		}
+
+		sum := Add(a, b)
+		sv := bank.Take()
+		AddViews(sv, av, bv)
+		formsEqual(t, "Add", sum, sv, space)
+
+		// The mixed-operand kernel (first-pass path) must agree too.
+		fv := bank.Take()
+		AddFormView(fv, av, b)
+		for i := range sv {
+			if fv[i] != sv[i] {
+				t.Fatalf("AddFormView slot %d: %g vs AddViews %g", i, fv[i], sv[i])
+			}
+		}
+
+		mx := Max(a, b)
+		mv := bank.Take()
+		MaxViews(mv, av, bv)
+		formsEqual(t, "Max", mx, mv, space)
+
+		tp := TightnessProb(a, b)
+		tpv := TightnessProbViews(av, bv)
+		if relDiff(tp, tpv) > kernelTol {
+			t.Fatalf("TightnessProb: %g vs %g", tp, tpv)
+		}
+	}
+}
+
+// TestViewKernelsAliasing checks the documented dst==a aliasing of the
+// fused kernels against out-of-place references.
+func TestViewKernelsAliasing(t *testing.T) {
+	space := Space{Globals: 2, Components: 4}
+	rng := rand.New(rand.NewSource(11))
+	bank := NewBank(space, 4)
+	a, b := randomForm(rng, space), randomForm(rng, space)
+	a.Nominal, b.Nominal = 10, 11
+
+	bank.Reset()
+	av, bv := viewOf(bank, a), viewOf(bank, b)
+	want := bank.Take()
+	AddViews(want, av, bv)
+	AddViews(av, av, bv) // aliased
+	for i := range want {
+		if av[i] != want[i] {
+			t.Fatalf("AddViews aliasing: slot %d: %g vs %g", i, av[i], want[i])
+		}
+	}
+
+	bank.Reset()
+	av, bv = viewOf(bank, a), viewOf(bank, b)
+	want = bank.Take()
+	MaxViews(want, av, bv)
+	MaxViews(av, av, bv) // aliased
+	for i := range want {
+		if av[i] != want[i] {
+			t.Fatalf("MaxViews aliasing: slot %d: %g vs %g", i, av[i], want[i])
+		}
+	}
+}
+
+// TestViewDegenerateMax mirrors the pointer kernels' theta~0 tie-breaking.
+func TestViewDegenerateMax(t *testing.T) {
+	space := Space{Globals: 1, Components: 1}
+	bank := NewBank(space, 3)
+	a, b := space.Const(5), space.Const(7)
+	a.Glob[0], b.Glob[0] = 1, 1 // identical shared parts: theta = 0
+	av, bv := viewOf(bank, a), viewOf(bank, b)
+	dst := bank.Take()
+	MaxViews(dst, av, bv)
+	formsEqual(t, "degenerate max", Max(a, b), dst, space)
+	if dst.Nominal() != 7 {
+		t.Fatalf("degenerate max picked %g, want 7", dst.Nominal())
+	}
+	if got := TightnessProbViews(av, bv); got != 0 {
+		t.Fatalf("degenerate TP = %g, want 0", got)
+	}
+}
+
+// TestAddSqrtMatchesHypot is the regression fence for replacing math.Hypot
+// with Sqrt(a*a+b*b) in the add kernels: over the whole magnitude range of
+// delay coefficients the two agree to 1e-12 relative.
+func TestAddSqrtMatchesHypot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200000; i++ {
+		// ps-scale delay sigmas: from sub-femtosecond noise to microseconds.
+		ea, eb := rng.Float64()*18-9, rng.Float64()*18-9
+		a := rng.Float64() * math.Pow(10, ea)
+		b := rng.Float64() * math.Pow(10, eb)
+		want := math.Hypot(a, b)
+		got := math.Sqrt(a*a + b*b)
+		if relDiff(want, got) > 1e-12 {
+			t.Fatalf("sqrt(a²+b²) diverges from hypot at a=%g b=%g: %g vs %g", a, b, got, want)
+		}
+	}
+	// The zero corner stays exact.
+	if math.Sqrt(0*0+0*0) != 0 {
+		t.Fatal("zero corner")
+	}
+}
+
+func TestBankTakeResetExhaustion(t *testing.T) {
+	space := Space{Globals: 1, Components: 2}
+	bank := NewBank(space, 2)
+	if bank.Cap() != 2 || bank.Space() != space {
+		t.Fatalf("bank shape: cap=%d space=%+v", bank.Cap(), bank.Space())
+	}
+	v := bank.Take()
+	if len(v) != space.Stride() {
+		t.Fatalf("stride %d, want %d", len(v), space.Stride())
+	}
+	v.SetConst(3)
+	if v.Nominal() != 3 || v.Variance() != 0 {
+		t.Fatalf("SetConst: %+v", v)
+	}
+	bank.Take()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Take past capacity did not panic")
+			}
+		}()
+		bank.Take()
+	}()
+	bank.Reset()
+	if got := bank.Take(); got.Nominal() != 3 {
+		t.Fatal("Reset did not rewind to slot 0")
+	}
+	bank.Reset()
+	if vs := bank.TakeBlock(2); len(vs) != 2 || len(vs[0]) != space.Stride() {
+		t.Fatalf("TakeBlock: %v", vs)
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	space := Space{Globals: 2, Components: 3}
+	f := space.NewForm()
+	f.Nominal, f.Rand = 4, 2
+	f.Glob[1], f.Loc[2] = 5, 6
+	bank := NewBank(space, 1)
+	v := viewOf(bank, f)
+	if v.Nominal() != 4 || v.Rand() != 2 {
+		t.Fatalf("accessors: %+v", v)
+	}
+	if c := v.Coeffs(); len(c) != space.Dim() || c[1] != 5 || c[4] != 6 {
+		t.Fatalf("Coeffs: %v", v.Coeffs())
+	}
+	v.SetNominal(9)
+	if v.Nominal() != 9 {
+		t.Fatal("SetNominal")
+	}
+	if v.Std() != math.Sqrt(4+25+36) {
+		t.Fatalf("Std: %g", v.Std())
+	}
+}

@@ -88,15 +88,31 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 			crossing[k] = append(crossing[k], int32(e))
 		}
 	}
+	maxCross := 0
+	for _, c := range crossing {
+		if len(c) > maxCross {
+			maxCross = len(c)
+		}
+	}
+	delays := g.EdgeDelays() // build the flat delay bank before fanning out
 
-	// Backward passes: vertex-to-output-j delays for every output.
-	req := make([][]*canon.Form, len(g.Outputs))
+	// Backward passes: vertex-to-output-j delay arenas for every output,
+	// held flat for the whole run.
+	req := make([]*timing.Pass, len(g.Outputs))
+	defer func() {
+		for _, p := range req {
+			if p != nil {
+				p.Release()
+			}
+		}
+	}()
 	err = timing.ParallelFor(len(g.Outputs), workers, func(j int) error {
-		r, err := g.DelayToOutput(g.Outputs[j])
-		if err != nil {
+		p := g.AcquirePass()
+		if err := p.Required(g.Outputs[j]); err != nil {
+			p.Release()
 			return err
 		}
-		req[j] = r
+		req[j] = p
 		return nil
 	})
 	if err != nil {
@@ -131,13 +147,18 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 		wg.Add(1)
 		go func(st *workerState) {
 			defer wg.Done()
-			arena := newFormArena(g.Space)
-			var des []*canon.Form
+			// All cutset forms of one boundary live in this flat scratch
+			// bank: m path-delay forms, m prefix maxima, m suffix maxima
+			// and one complement slot. Sized once to the widest boundary,
+			// so the inner loop never allocates.
+			scratch := canon.NewBank(g.Space, 3*maxCross+1)
+			var des, prefix, suffix []canon.View
 			var eids []int32
+			arrP := g.AcquirePass()
+			defer arrP.Release()
 			for i := range inputCh {
 				in := g.Inputs[i]
-				arr, err := g.ArrivalFrom(in)
-				if err != nil {
+				if err := arrP.Arrivals(in); err != nil {
 					select {
 					case errCh <- err:
 					default:
@@ -150,20 +171,15 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 						// Gather crossing edges alive for this pair.
 						des = des[:0]
 						eids = eids[:0]
-						arena.reset()
+						scratch.Reset()
 						for _, e := range crossing[k] {
 							ed := &g.Edges[e]
-							af := arr[ed.From]
-							if af == nil {
+							if !arrP.Reached(ed.From) || !rq.Reached(ed.To) {
 								continue
 							}
-							rf := rq[ed.To]
-							if rf == nil {
-								continue
-							}
-							de := arena.next()
-							canon.AddInto(de, af, ed.Delay)
-							canon.AddInto(de, de, rf)
+							de := scratch.Take()
+							canon.AddViews(de, arrP.At(ed.From), delays.View(int(e)))
+							canon.AddViews(de, de, rq.At(ed.To))
 							des = append(des, de)
 							eids = append(eids, e)
 						}
@@ -181,17 +197,20 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 						}
 						// Prefix/suffix statistical maxima give each edge
 						// the exact complement within the cutset.
-						prefix := arena.block(m)
-						suffix := arena.block(m)
-						canon.Copy(prefix[0], des[0])
+						prefix, suffix = prefix[:0], suffix[:0]
+						for t := 0; t < m; t++ {
+							prefix = append(prefix, scratch.Take())
+							suffix = append(suffix, scratch.Take())
+						}
+						canon.CopyView(prefix[0], des[0])
 						for t := 1; t < m; t++ {
-							canon.MaxInto(prefix[t], prefix[t-1], des[t])
+							canon.MaxViews(prefix[t], prefix[t-1], des[t])
 						}
-						canon.Copy(suffix[m-1], des[m-1])
+						canon.CopyView(suffix[m-1], des[m-1])
 						for t := m - 2; t >= 0; t-- {
-							canon.MaxInto(suffix[t], suffix[t+1], des[t])
+							canon.MaxViews(suffix[t], suffix[t+1], des[t])
 						}
-						comp := arena.next()
+						comp := scratch.Take()
 						for t := 0; t < m; t++ {
 							e := eids[t]
 							if home[e] != k {
@@ -200,12 +219,12 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 							var c float64
 							switch t {
 							case 0:
-								c = canon.TightnessProb(des[t], suffix[1])
+								c = canon.TightnessProbViews(des[t], suffix[1])
 							case m - 1:
-								c = canon.TightnessProb(des[t], prefix[m-2])
+								c = canon.TightnessProbViews(des[t], prefix[m-2])
 							default:
-								canon.MaxInto(comp, prefix[t-1], suffix[t+1])
-								c = canon.TightnessProb(des[t], comp)
+								canon.MaxViews(comp, prefix[t-1], suffix[t+1])
+								c = canon.TightnessProbViews(des[t], comp)
 							}
 							if c > st.cm[e] {
 								st.cm[e] = c
@@ -215,7 +234,7 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 					// Dominant-path protection: walk backward from the
 					// output along the max-nominal fanin chain.
 					out := g.Outputs[j]
-					if arr[out] == nil {
+					if !arrP.Reached(out) {
 						continue
 					}
 					v := out
@@ -224,10 +243,10 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 						bestNom := 0.0
 						for _, ei := range g.In[v] {
 							ed := &g.Edges[ei]
-							if arr[ed.From] == nil {
+							if !arrP.Reached(ed.From) {
 								continue
 							}
-							if nom := arr[ed.From].Nominal + ed.Delay.Nominal; bestEdge < 0 || nom > bestNom {
+							if nom := arrP.At(ed.From).Nominal() + ed.Delay.Nominal; bestEdge < 0 || nom > bestNom {
 								bestEdge, bestNom = int(ei), nom
 							}
 						}
@@ -264,37 +283,6 @@ func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error)
 		}
 	}
 	return res, nil
-}
-
-// formArena reuses canonical forms across cutset evaluations to keep the
-// inner loop allocation-free.
-type formArena struct {
-	space canon.Space
-	forms []*canon.Form
-	used  int
-}
-
-func newFormArena(space canon.Space) *formArena {
-	return &formArena{space: space}
-}
-
-func (a *formArena) reset() { a.used = 0 }
-
-func (a *formArena) next() *canon.Form {
-	if a.used == len(a.forms) {
-		a.forms = append(a.forms, a.space.NewForm())
-	}
-	f := a.forms[a.used]
-	a.used++
-	return f
-}
-
-func (a *formArena) block(n int) []*canon.Form {
-	out := make([]*canon.Form, n)
-	for i := range out {
-		out[i] = a.next()
-	}
-	return out
 }
 
 // CriticalityHistogram bins the per-edge maximum criticalities (paper

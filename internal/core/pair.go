@@ -26,18 +26,21 @@ func PairCriticalities(g *timing.Graph, i, j int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	arr, err := g.ArrivalFrom(g.Inputs[i])
-	if err != nil {
+	arr := g.AcquirePass()
+	defer arr.Release()
+	if err := arr.Arrivals(g.Inputs[i]); err != nil {
 		return nil, err
 	}
-	req, err := g.DelayToOutput(g.Outputs[j])
-	if err != nil {
+	req := g.AcquirePass()
+	defer req.Release()
+	if err := req.Required(g.Outputs[j]); err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(g.Edges))
-	if arr[g.Outputs[j]] == nil {
+	if !arr.Reached(g.Outputs[j]) {
 		return out, nil // pair unreachable: all zero
 	}
+	delays := g.EdgeDelays()
 
 	level := make([]int, g.NumVerts)
 	maxLevel := 0
@@ -52,27 +55,31 @@ func PairCriticalities(g *timing.Graph, i, j int) ([]float64, error) {
 		}
 	}
 	crossing := make([][]int32, maxLevel+1)
+	maxCross := 0
 	for e := range g.Edges {
 		lf, lt := level[g.Edges[e].From], level[g.Edges[e].To]
 		for k := lf + 1; k <= lt; k++ {
 			crossing[k] = append(crossing[k], int32(e))
+			if len(crossing[k]) > maxCross {
+				maxCross = len(crossing[k])
+			}
 		}
 	}
 
-	arena := newFormArena(g.Space)
+	scratch := canon.NewBank(g.Space, 3*maxCross+1)
+	var des, prefix, suffix []canon.View
+	var eids []int32
 	for k := 1; k <= maxLevel; k++ {
-		arena.reset()
-		var des []*canon.Form
-		var eids []int32
+		scratch.Reset()
+		des, eids = des[:0], eids[:0]
 		for _, e := range crossing[k] {
 			ed := &g.Edges[e]
-			af, rf := arr[ed.From], req[ed.To]
-			if af == nil || rf == nil {
+			if !arr.Reached(ed.From) || !req.Reached(ed.To) {
 				continue
 			}
-			de := arena.next()
-			canon.AddInto(de, af, ed.Delay)
-			canon.AddInto(de, de, rf)
+			de := scratch.Take()
+			canon.AddViews(de, arr.At(ed.From), delays.View(int(e)))
+			canon.AddViews(de, de, req.At(ed.To))
 			des = append(des, de)
 			eids = append(eids, e)
 		}
@@ -84,27 +91,30 @@ func PairCriticalities(g *timing.Graph, i, j int) ([]float64, error) {
 			out[eids[0]] = 1
 			continue
 		}
-		prefix := arena.block(m)
-		suffix := arena.block(m)
-		canon.Copy(prefix[0], des[0])
+		prefix, suffix = prefix[:0], suffix[:0]
+		for t := 0; t < m; t++ {
+			prefix = append(prefix, scratch.Take())
+			suffix = append(suffix, scratch.Take())
+		}
+		canon.CopyView(prefix[0], des[0])
 		for t := 1; t < m; t++ {
-			canon.MaxInto(prefix[t], prefix[t-1], des[t])
+			canon.MaxViews(prefix[t], prefix[t-1], des[t])
 		}
-		canon.Copy(suffix[m-1], des[m-1])
+		canon.CopyView(suffix[m-1], des[m-1])
 		for t := m - 2; t >= 0; t-- {
-			canon.MaxInto(suffix[t], suffix[t+1], des[t])
+			canon.MaxViews(suffix[t], suffix[t+1], des[t])
 		}
-		comp := arena.next()
+		comp := scratch.Take()
 		for t := 0; t < m; t++ {
 			var c float64
 			switch t {
 			case 0:
-				c = canon.TightnessProb(des[t], suffix[1])
+				c = canon.TightnessProbViews(des[t], suffix[1])
 			case m - 1:
-				c = canon.TightnessProb(des[t], prefix[m-2])
+				c = canon.TightnessProbViews(des[t], prefix[m-2])
 			default:
-				canon.MaxInto(comp, prefix[t-1], suffix[t+1])
-				c = canon.TightnessProb(des[t], comp)
+				canon.MaxViews(comp, prefix[t-1], suffix[t+1])
+				c = canon.TightnessProbViews(des[t], comp)
 			}
 			if c > out[eids[t]] {
 				out[eids[t]] = c

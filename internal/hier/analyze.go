@@ -135,16 +135,19 @@ func (d *Design) AnalyzeOpt(mode Mode, opt AnalyzeOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	arr, err := res.Graph.ArrivalAll()
-	if err != nil {
+	// The design-level forward pass runs in a flat propagation arena; only
+	// the per-output forms surfaced in the result are materialized.
+	p := res.Graph.AcquirePass()
+	defer p.Release()
+	if err := p.Arrivals(res.Graph.Inputs...); err != nil {
 		return nil, err
 	}
 	res.OutputArrivals = make([]*canon.Form, len(res.Graph.Outputs))
-	var reach []*canon.Form
+	reach := make([]*canon.Form, 0, len(res.Graph.Outputs))
 	for k, o := range res.Graph.Outputs {
-		res.OutputArrivals[k] = arr[o]
-		if arr[o] != nil {
-			reach = append(reach, arr[o])
+		res.OutputArrivals[k] = p.Form(o)
+		if res.OutputArrivals[k] != nil {
+			reach = append(reach, res.OutputArrivals[k])
 		}
 	}
 	if len(reach) == 0 {

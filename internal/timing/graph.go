@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/canon"
 	"repro/internal/cell"
@@ -68,7 +70,21 @@ type Graph struct {
 	OutputPortSlews  []float64
 	OutputSlewSlopes []float64
 
-	order []int
+	// orderMu guards the lazy computation of order so concurrent passes
+	// on a shared graph (AnalyzeBatch reusing one item.Graph, parallel
+	// MaxDelay queries) publish it safely. AddEdge still must not run
+	// concurrently with any reader.
+	orderMu sync.Mutex
+	order   []int
+
+	// delayMu guards delayBank, the lazily built flat copy of the edge
+	// delay forms the propagation kernels run on (see EdgeDelays).
+	delayMu   sync.Mutex
+	delayBank *canon.Bank
+
+	// passes counts propagation passes run on this graph; the flat delay
+	// bank is built once a second pass shows the build cost will amortize.
+	passes atomic.Int64
 }
 
 // NewGraph creates an empty graph with nverts vertices.
@@ -102,21 +118,59 @@ func (g *Graph) AddEdge(from, to int, delay *canon.Form, lsens []float64, grid i
 	return idx, nil
 }
 
-// SetIO declares the input and output vertices with their port names.
+// EdgeDelays returns the flat bank holding a copy of every edge delay form,
+// one slot per edge index, building it on first use. The propagation and
+// criticality kernels read edge delays from this bank so the innermost
+// loops run over contiguous memory instead of chasing per-edge pointers.
+//
+// The bank is a cache: a stale bank is detected by edge count, so plain
+// AddEdge growth rebuilds it transparently (AddEdge itself stays
+// lock-free), but callers that mutate an existing Edge.Delay form in place
+// must call InvalidateDelays themselves. The returned bank is shared —
+// treat it as read-only.
+func (g *Graph) EdgeDelays() *canon.Bank {
+	g.delayMu.Lock()
+	defer g.delayMu.Unlock()
+	if g.delayBank == nil || g.delayBank.Cap() != len(g.Edges) {
+		b := canon.NewBank(g.Space, len(g.Edges))
+		for i := range g.Edges {
+			b.View(i).LoadForm(g.Edges[i].Delay)
+		}
+		g.delayBank = b
+	}
+	return g.delayBank
+}
+
+// InvalidateDelays drops the cached flat edge-delay bank; the next
+// propagation rebuilds it. Required after mutating an Edge.Delay in place.
+func (g *Graph) InvalidateDelays() {
+	g.delayMu.Lock()
+	g.delayBank = nil
+	g.delayMu.Unlock()
+}
+
+// SetIO declares the input and output vertices with their port names. The
+// copies are allocated capacity-exactly (append-to-nil rounds capacity up
+// to a size class).
 func (g *Graph) SetIO(inputs, outputs []int, inNames, outNames []string) error {
 	if len(inputs) != len(inNames) || len(outputs) != len(outNames) {
 		return errors.New("timing: port name count mismatch")
 	}
-	g.Inputs = append([]int(nil), inputs...)
-	g.Outputs = append([]int(nil), outputs...)
-	g.InputNames = append([]string(nil), inNames...)
-	g.OutputNames = append([]string(nil), outNames...)
+	g.Inputs = exactInts(inputs)
+	g.Outputs = exactInts(outputs)
+	g.InputNames = make([]string, len(inNames))
+	copy(g.InputNames, inNames)
+	g.OutputNames = make([]string, len(outNames))
+	copy(g.OutputNames, outNames)
 	return nil
 }
 
 // Order returns a topological order of the vertices, computing and caching
-// it on first use.
+// it on first use. Safe for concurrent readers; the returned slice is
+// immutable once published.
 func (g *Graph) Order() ([]int, error) {
+	g.orderMu.Lock()
+	defer g.orderMu.Unlock()
 	if g.order != nil {
 		return g.order, nil
 	}

@@ -3,106 +3,278 @@ package timing
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/canon"
 )
+
+// Pass is a reusable propagation arena: one flat canon.Bank with a slot per
+// vertex plus one scratch slot, and a per-vertex reached mask. A forward
+// (Arrivals) or backward (Required) pass writes its result forms into the
+// bank in place, so a full pass over the graph performs no per-vertex
+// allocations — the paper's all-pairs extraction scheme (eq. 12) runs one
+// such pass per input, and pooled passes make that loop allocation-free.
+//
+// Acquire with Graph.AcquirePass, give it back with Release. A Pass is
+// bound to the graph that created it and is not safe for concurrent use;
+// concurrent workers each acquire their own. Backing slabs are recycled
+// through a global pool, so both repeated passes over one graph (the
+// all-pairs workers) and passes over a stream of fresh graphs (the
+// hierarchical engine, the batch scheduler) stay at O(1) allocations —
+// and reused slabs are never re-zeroed.
+type Pass struct {
+	g     *Graph
+	bank  *canon.Bank
+	reach []bool
+}
+
+// The pass pools are global so arena slabs outlive individual graphs: a
+// flow that builds a fresh top-level graph per analysis (the hierarchical
+// engine, the batch scheduler) still recycles the same storage instead of
+// allocating and zeroing megabyte slabs each time. Slab contents are never
+// zeroed on reuse — every kernel fully overwrites its destination slot and
+// the reach mask is reset at the start of each pass.
+var (
+	passSlabPool = sync.Pool{} // *[]float64 — bank backing storage
+	passMaskPool = sync.Pool{} // *[]bool   — reach masks
+)
+
+// AcquirePass returns a propagation arena for the graph, recycling pooled
+// storage when available.
+func (g *Graph) AcquirePass() *Pass {
+	var slab []float64
+	if s, ok := passSlabPool.Get().(*[]float64); ok {
+		slab = *s
+	}
+	var mask []bool
+	if m, ok := passMaskPool.Get().(*[]bool); ok && cap(*m) >= g.NumVerts {
+		mask = (*m)[:g.NumVerts]
+	} else {
+		mask = make([]bool, g.NumVerts)
+	}
+	return &Pass{
+		g:     g,
+		bank:  canon.NewBankOver(g.Space, g.NumVerts+1, slab),
+		reach: mask,
+	}
+}
+
+// Release returns the pass's storage to the pool. The pass and every View
+// obtained from it must not be used afterwards.
+func (p *Pass) Release() {
+	slab, mask := p.bank.Data(), p.reach
+	passSlabPool.Put(&slab)
+	passMaskPool.Put(&mask)
+	p.bank, p.reach = nil, nil
+}
+
+// Reached reports whether the last pass reached vertex v.
+func (p *Pass) Reached(v int) bool { return p.reach[v] }
+
+// At returns the flat view of vertex v's form from the last pass. The
+// contents are meaningful only when Reached(v); the view is invalidated by
+// the next pass or Release.
+func (p *Pass) At(v int) canon.View { return p.bank.View(v) }
+
+// Scratch returns the pass's spare slot — free for caller-side folds (e.g.
+// a running max over outputs) between passes.
+func (p *Pass) Scratch() canon.View { return p.bank.View(p.g.NumVerts) }
+
+// Form materializes vertex v's form from the last pass, or nil when the
+// pass did not reach v.
+func (p *Pass) Form(v int) *canon.Form {
+	if !p.reach[v] {
+		return nil
+	}
+	return p.bank.View(v).Form(p.g.Space)
+}
+
+// Forms materializes the whole pass as a per-vertex pointer-form slice with
+// nil entries for unreached vertices — the pointer-based API shape.
+func (p *Pass) Forms() []*canon.Form {
+	out := make([]*canon.Form, p.g.NumVerts)
+	for v := range out {
+		if p.reach[v] {
+			out[v] = p.bank.View(v).Form(p.g.Space)
+		}
+	}
+	return out
+}
+
+// delaySource decides where a pass reads edge delays from. A graph's first
+// pass reads the pointer forms directly — building the flat bank costs one
+// extra sweep over every edge and only pays off when passes repeat (the
+// all-pairs scheme, criticality, repeated queries). From the second pass on
+// the cached flat bank is used. Both paths perform identical floating-point
+// operations, so the choice never changes results.
+func (p *Pass) delaySource() *canon.Bank {
+	g := p.g
+	if g.passes.Add(1) > 1 || g.hasDelayBank() {
+		return g.EdgeDelays()
+	}
+	return nil
+}
+
+func (g *Graph) hasDelayBank() bool {
+	g.delayMu.Lock()
+	defer g.delayMu.Unlock()
+	return g.delayBank != nil
+}
+
+// Arrivals runs a forward propagation from the given source vertices (all
+// arriving at time zero) into the pass arena. With a single source this is
+// the paper's exclusive propagation ("arrival exclusively from vi",
+// Section IV-B).
+func (p *Pass) Arrivals(sources ...int) error {
+	g := p.g
+	order, err := g.Order()
+	if err != nil {
+		return err
+	}
+	delays := p.delaySource()
+	for i := range p.reach {
+		p.reach[i] = false
+	}
+	for _, s := range sources {
+		if s < 0 || s >= g.NumVerts {
+			return fmt.Errorf("timing: source vertex %d out of range", s)
+		}
+		p.bank.View(s).SetConst(0)
+		p.reach[s] = true
+	}
+	scratch := p.Scratch()
+	for _, v := range order {
+		if !p.reach[v] {
+			continue
+		}
+		av := p.bank.View(v)
+		for _, ei := range g.Out[v] {
+			to := g.Edges[ei].To
+			if delays != nil {
+				canon.AddViews(scratch, av, delays.View(int(ei)))
+			} else {
+				canon.AddFormView(scratch, av, g.Edges[ei].Delay)
+			}
+			tv := p.bank.View(to)
+			if !p.reach[to] {
+				canon.CopyView(tv, scratch)
+				p.reach[to] = true
+			} else {
+				canon.MaxViews(tv, tv, scratch)
+			}
+		}
+	}
+	return nil
+}
+
+// Required runs a backward propagation into the pass arena: after it, At(v)
+// holds the maximum statistical delay from v to any of the given output
+// vertices — the negated required time of the paper's eq. 15 when the
+// required time at the outputs is zero.
+func (p *Pass) Required(outputs ...int) error {
+	g := p.g
+	order, err := g.Order()
+	if err != nil {
+		return err
+	}
+	delays := p.delaySource()
+	for i := range p.reach {
+		p.reach[i] = false
+	}
+	for _, o := range outputs {
+		if o < 0 || o >= g.NumVerts {
+			return fmt.Errorf("timing: output vertex %d out of range", o)
+		}
+		p.bank.View(o).SetConst(0)
+		p.reach[o] = true
+	}
+	scratch := p.Scratch()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		vv := p.bank.View(v)
+		for _, ei := range g.Out[v] {
+			to := g.Edges[ei].To
+			if !p.reach[to] {
+				continue
+			}
+			if delays != nil {
+				canon.AddViews(scratch, p.bank.View(to), delays.View(int(ei)))
+			} else {
+				canon.AddFormView(scratch, p.bank.View(to), g.Edges[ei].Delay)
+			}
+			if !p.reach[v] {
+				canon.CopyView(vv, scratch)
+				p.reach[v] = true
+			} else {
+				canon.MaxViews(vv, vv, scratch)
+			}
+		}
+	}
+	return nil
+}
 
 // ArrivalAll propagates arrival times from all inputs simultaneously (every
 // input at time zero) and returns the arrival form per vertex. Vertices not
 // reachable from any input have a nil entry.
 func (g *Graph) ArrivalAll() ([]*canon.Form, error) {
-	return g.arrivalFrom(g.Inputs)
+	return g.arrivalForms(g.Inputs)
 }
 
 // ArrivalFrom propagates arrival times exclusively from one input vertex
 // (paper Section IV-B: arrival "exclusively from vi"). Unreachable vertices
 // are nil.
 func (g *Graph) ArrivalFrom(src int) ([]*canon.Form, error) {
-	return g.arrivalFrom([]int{src})
+	return g.arrivalForms([]int{src})
 }
 
-func (g *Graph) arrivalFrom(sources []int) ([]*canon.Form, error) {
-	order, err := g.Order()
-	if err != nil {
+func (g *Graph) arrivalForms(sources []int) ([]*canon.Form, error) {
+	p := g.AcquirePass()
+	defer p.Release()
+	if err := p.Arrivals(sources...); err != nil {
 		return nil, err
 	}
-	arr := make([]*canon.Form, g.NumVerts)
-	for _, s := range sources {
-		if s < 0 || s >= g.NumVerts {
-			return nil, fmt.Errorf("timing: source vertex %d out of range", s)
-		}
-		arr[s] = g.Space.Const(0)
-	}
-	scratch := g.Space.NewForm()
-	for _, v := range order {
-		av := arr[v]
-		if av == nil {
-			continue
-		}
-		for _, ei := range g.Out[v] {
-			e := &g.Edges[ei]
-			canon.AddInto(scratch, av, e.Delay)
-			if cur := arr[e.To]; cur == nil {
-				arr[e.To] = scratch.Clone()
-			} else {
-				canon.MaxInto(cur, cur, scratch)
-			}
-		}
-	}
-	return arr, nil
+	return p.Forms(), nil
 }
 
 // DelayToOutput computes, for every vertex, the maximum statistical delay
-// from that vertex to the given output vertex — the negated required time
-// of the paper's eq. 15 when the required time at the output is zero.
-// Vertices that cannot reach the output are nil.
+// from that vertex to the given output vertex. Vertices that cannot reach
+// the output are nil.
 func (g *Graph) DelayToOutput(out int) ([]*canon.Form, error) {
-	if out < 0 || out >= g.NumVerts {
-		return nil, fmt.Errorf("timing: output vertex %d out of range", out)
-	}
-	order, err := g.Order()
-	if err != nil {
+	p := g.AcquirePass()
+	defer p.Release()
+	if err := p.Required(out); err != nil {
 		return nil, err
 	}
-	req := make([]*canon.Form, g.NumVerts)
-	req[out] = g.Space.Const(0)
-	scratch := g.Space.NewForm()
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		for _, ei := range g.Out[v] {
-			e := &g.Edges[ei]
-			rt := req[e.To]
-			if rt == nil {
-				continue
-			}
-			canon.AddInto(scratch, rt, e.Delay)
-			if cur := req[v]; cur == nil {
-				req[v] = scratch.Clone()
-			} else {
-				canon.MaxInto(cur, cur, scratch)
-			}
-		}
-	}
-	return req, nil
+	return p.Forms(), nil
 }
 
 // MaxDelay returns the statistical maximum delay over all outputs with all
-// inputs arriving at time zero — the circuit delay distribution.
+// inputs arriving at time zero — the circuit delay distribution. The fold
+// over outputs runs in the pass arena, so the whole computation allocates
+// only the returned form.
 func (g *Graph) MaxDelay() (*canon.Form, error) {
-	arr, err := g.ArrivalAll()
-	if err != nil {
+	p := g.AcquirePass()
+	defer p.Release()
+	if err := p.Arrivals(g.Inputs...); err != nil {
 		return nil, err
 	}
-	var forms []*canon.Form
+	acc := p.Scratch()
+	first := true
 	for _, o := range g.Outputs {
-		if arr[o] != nil {
-			forms = append(forms, arr[o])
+		if !p.Reached(o) {
+			continue
+		}
+		if first {
+			canon.CopyView(acc, p.At(o))
+			first = false
+		} else {
+			canon.MaxViews(acc, acc, p.At(o))
 		}
 	}
-	if len(forms) == 0 {
+	if first {
 		return nil, errors.New("timing: no output reachable from any input")
 	}
-	return canon.MaxAll(forms)
+	return acc.Form(g.Space), nil
 }
 
 // AllPairs holds the maximum input-output delay forms M_ij (paper eq. 12).
@@ -115,24 +287,27 @@ type AllPairs struct {
 
 // AllPairsDelays computes the full delay matrix with one exclusive forward
 // propagation per input (Sapatnekar's all-pairs scheme), fanning the passes
-// out over `workers` goroutines (<=0 means GOMAXPROCS).
+// out over `workers` goroutines (<=0 means GOMAXPROCS). Each pass runs in a
+// pooled arena, so the per-input cost allocates only the output row.
 func (g *Graph) AllPairsDelays(workers int) (*AllPairs, error) {
 	if _, err := g.Order(); err != nil {
 		return nil, err
 	}
+	g.EdgeDelays() // build the flat delay bank before fanning out
 	ap := &AllPairs{
-		Inputs:  append([]int(nil), g.Inputs...),
-		Outputs: append([]int(nil), g.Outputs...),
+		Inputs:  exactInts(g.Inputs),
+		Outputs: exactInts(g.Outputs),
 		M:       make([][]*canon.Form, len(g.Inputs)),
 	}
 	err := ParallelFor(len(g.Inputs), workers, func(i int) error {
-		arr, err := g.ArrivalFrom(g.Inputs[i])
-		if err != nil {
+		p := g.AcquirePass()
+		defer p.Release()
+		if err := p.Arrivals(g.Inputs[i]); err != nil {
 			return err
 		}
 		row := make([]*canon.Form, len(g.Outputs))
 		for j, o := range g.Outputs {
-			row[j] = arr[o]
+			row[j] = p.Form(o)
 		}
 		ap.M[i] = row
 		return nil
@@ -184,4 +359,11 @@ func (g *Graph) Reachability() (fromInput [][]uint64, toOutput [][]uint64, err e
 		}
 	}
 	return fromInput, toOutput, nil
+}
+
+// exactInts copies a slice with exact capacity (append-to-nil rounds up).
+func exactInts(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	return out
 }

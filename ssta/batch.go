@@ -155,6 +155,9 @@ func (f *Flow) runItem(item BatchItem, itemWorkers int) (res BatchResult) {
 		return res
 	}
 
+	// MaxDelay folds the whole forward pass inside the graph's pooled
+	// propagation arena, so repeated batch items against one graph reuse
+	// the same flat storage and allocate only the returned form.
 	delay, err := res.Graph.MaxDelay()
 	if err != nil {
 		res.Err = fmt.Errorf("ssta: %s: %w", res.Name, err)

@@ -1,0 +1,95 @@
+// Command sstad is the long-running statistical static timing analysis
+// service: the ssta batch/cache engine behind an HTTP/JSON API. It accepts
+// generated benchmarks, inline .bench netlists, array multipliers and
+// hierarchical quad designs, runs them on a bounded job queue with
+// per-request deadlines, and exposes health and metrics endpoints.
+//
+// Usage:
+//
+//	go run ./cmd/sstad -addr :8080 -concurrency 2 -cache-entries 256
+//
+// Endpoints (see internal/server for the wire schema):
+//
+//	POST /v1/analyze     synchronous batch analysis
+//	POST /v1/jobs        asynchronous submit; GET/DELETE /v1/jobs/{id}
+//	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus text metrics
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/analyze -d '{"items":[{"bench":"c432","seed":1}]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/ssta"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", 2, "analyses running at once (sync + jobs)")
+	workers := flag.Int("workers", 1, "default per-batch item workers when the request sets none")
+	queueDepth := flag.Int("queue", 64, "async job queue depth")
+	jobWorkers := flag.Int("job-workers", 1, "goroutines draining the job queue")
+	cacheEntries := flag.Int("cache-entries", 256, "extraction-cache entry cap (0: unbounded)")
+	cacheCost := flag.Int64("cache-bytes", 0, "extraction-cache cost budget in bytes (0: unbounded)")
+	graphEntries := flag.Int("graph-cache-entries", 64, "built-graph cache entry cap")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper clamp on client-requested deadlines")
+	maxItems := flag.Int("max-items", 256, "maximum items per request")
+	flag.Parse()
+
+	flow := ssta.DefaultFlow()
+	flow.Cache = ssta.NewExtractCacheSized(*cacheEntries, *cacheCost)
+	srv := server.New(server.Config{
+		Flow:              flow,
+		MaxConcurrent:     *concurrency,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		JobWorkers:        *jobWorkers,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxItems:          *maxItems,
+		GraphCacheEntries: *graphEntries,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("sstad listening on %s (concurrency %d, queue %d, cache %d entries)",
+		*addr, *concurrency, *queueDepth, *cacheEntries)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sstad: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("sstad shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Printf("sstad: shutdown: %v", err)
+		}
+		srv.Close()
+	}
+}

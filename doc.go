@@ -3,7 +3,8 @@
 // Analysis" (DATE 2009, DOI 10.1109/DATE.2009.5090869).
 //
 // The public API lives in the ssta package; the experiment harnesses that
-// regenerate the paper's Table I and Figures 6-7 live under cmd/.
+// regenerate the paper's Table I and Figures 6-7 live under cmd/, and
+// cmd/sstad serves the engine as a long-running HTTP daemon.
 //
 // # Package layout
 //
@@ -18,10 +19,12 @@
 //	                    passes (Pass), all-pairs delays, the shared bounded
 //	                    worker pool (ParallelFor)
 //	internal/core       timing-model extraction (criticality filter +
-//	                    merges) and the thread-safe extraction cache
+//	                    merges) and the LRU-bounded extraction cache
 //	internal/hier       hierarchical design-level analysis: heterogeneous
 //	                    grid partition, eq. 19 variable replacement, the
 //	                    cached+parallel stitching engine
+//	internal/server     the sstad serving layer: HTTP/JSON batch analysis,
+//	                    async jobs, admission control, health + metrics
 //	internal/variation  process parameters, grid correlation, PCA
 //	internal/circuit    netlists: ISCAS85-like generator, multipliers, c17
 //	internal/cell       synthetic 90nm cell library
@@ -37,8 +40,12 @@
 //     delay passes, the criticality engine, the hierarchical stitcher and
 //     the batch scheduler. Workers == 1 always degenerates to a strictly
 //     serial loop, so every parallel path has a bit-identical serial twin.
+//     ParallelForCtx adds cooperative cancellation, and worker panics are
+//     captured and re-panicked on the calling goroutine instead of killing
+//     the process.
 //   - core.ExtractCache memoizes timing-model extraction per (module
-//     graph, options) with singleflight coalescing; ssta.DefaultFlow
+//     graph, options) with singleflight coalescing and an LRU bound
+//     (configurable entry cap + byte-cost budget); ssta.DefaultFlow
 //     installs one shared cache on the flow.
 //   - hier.Design caches its per-mode analysis prep (die partition, PCA,
 //     per-instance replacement matrices) behind a geometry fingerprint, so
@@ -46,11 +53,26 @@
 //     items — pay the eigendecomposition once.
 //   - ssta.AnalyzeBatch fans flat and hierarchical analyses out across a
 //     bounded pool with those caches shared, which is the one scheduling
-//     path used by cmd/ssta, cmd/report, cmd/table1 and examples/corners.
+//     path used by cmd/ssta, cmd/report, cmd/table1, examples/corners and
+//     the sstad serving layer. AnalyzeBatchCtx threads a context through
+//     the whole stack — batch items, hierarchical stitching, and the
+//     per-vertex propagation loops — so cancellation and deadlines are
+//     honored mid-analysis.
 //
 // Parallel and cached runs produce results identical (within 1e-9, in
 // practice bitwise) to the serial engine; see internal/hier's equivalence
 // tests.
+//
+// # Serving (sstad)
+//
+// cmd/sstad wraps the batch engine in a daemon (internal/server): POST
+// /v1/analyze runs a batch synchronously under a per-request deadline,
+// POST /v1/jobs queues it on a bounded async job queue (poll/cancel via
+// GET/DELETE /v1/jobs/{id}), and /healthz and /metrics expose liveness,
+// cache hit rates, queue depth and per-item latency. Admission is bounded
+// by an analysis-slot semaphore and the fixed-depth job queue; request
+// cancellation propagates down to individual graph vertices. See the
+// internal/server package docs for the wire schema.
 //
 // # The arena hot path
 //

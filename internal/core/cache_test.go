@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -139,5 +141,102 @@ func TestExtractCacheErrorNotPinned(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Fatal("failed extraction left a cache entry")
+	}
+}
+
+// TestExtractCacheEviction is the regression test for the unbounded-growth
+// leak: under a cap of N the cache holds at most N entries after 2N
+// distinct extractions, and the overflow shows up as evictions.
+func TestExtractCacheEviction(t *testing.T) {
+	const cap = 4
+	c := NewExtractCacheSized(cap, 0)
+	for i := 0; i < 2*cap; i++ {
+		// Each call builds a fresh graph: distinct pointer, distinct key.
+		if _, err := c.Extract(buildGraph(t, "c17", 1), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got > cap {
+		t.Fatalf("cache holds %d entries after %d distinct extractions, cap %d", got, 2*cap, cap)
+	}
+	m := c.Metrics()
+	if m.Evictions != cap {
+		t.Fatalf("evictions = %d, want %d", m.Evictions, cap)
+	}
+	if m.Misses != 2*cap || m.Hits != 0 {
+		t.Fatalf("stats = %d hits / %d misses, want 0/%d", m.Hits, m.Misses, 2*cap)
+	}
+	if m.MaxEntries != cap {
+		t.Fatalf("MaxEntries = %d, want %d", m.MaxEntries, cap)
+	}
+}
+
+// TestExtractCacheLRUOrder: a hit refreshes recency, so the least recently
+// *used* entry is the one evicted.
+func TestExtractCacheLRUOrder(t *testing.T) {
+	c := NewExtractCacheSized(2, 0)
+	g1 := buildGraph(t, "c17", 1)
+	g2 := buildGraph(t, "c17", 1)
+	m1, err := c.Extract(g1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Extract(g2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch g1 so g2 becomes least recently used, then overflow the cap.
+	if m, err := c.Extract(g1, Options{}); err != nil || m != m1 {
+		t.Fatalf("g1 hit: model %p want %p (err %v)", m, m1, err)
+	}
+	if _, err := c.Extract(buildGraph(t, "c17", 1), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := c.Extract(g1, Options{}); err != nil || m != m1 {
+		t.Fatalf("recently used g1 was evicted (model %p want %p, err %v)", m, m1, err)
+	}
+	before := c.Metrics().Misses
+	if _, err := c.Extract(g2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Metrics().Misses; after != before+1 {
+		t.Fatal("least recently used g2 survived the eviction")
+	}
+}
+
+// TestExtractCacheCostBound: a byte budget evicts down to the most recent
+// entry instead of thrashing to zero.
+func TestExtractCacheCostBound(t *testing.T) {
+	c := NewExtractCacheSized(0, 1) // every real model exceeds one byte
+	g1 := buildGraph(t, "c17", 1)
+	g2 := buildGraph(t, "c17", 1)
+	if _, err := c.Extract(g1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.Extract(g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("cost bound kept %d entries, want 1", got)
+	}
+	if m, err := c.Extract(g2, Options{}); err != nil || m != m2 {
+		t.Fatal("most recent entry was not the retained one")
+	}
+	if m := c.Metrics(); m.Cost <= 0 || m.Evictions != 1 {
+		t.Fatalf("metrics after cost eviction: %+v", m)
+	}
+}
+
+// TestExtractCacheCtxCancelled: a cancelled caller neither computes nor
+// leaves residue in the cache.
+func TestExtractCacheCtxCancelled(t *testing.T) {
+	c := NewExtractCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExtractCtx(ctx, buildGraph(t, "c17", 1), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("cancelled extraction left a cache entry")
 	}
 }

@@ -1,6 +1,7 @@
 package hier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -127,17 +128,25 @@ func (d *Design) Analyze(mode Mode) (*Result, error) {
 
 // AnalyzeOpt is Analyze with explicit engine options.
 func (d *Design) AnalyzeOpt(mode Mode, opt AnalyzeOptions) (*Result, error) {
+	return d.AnalyzeCtx(context.Background(), mode, opt)
+}
+
+// AnalyzeCtx is AnalyzeOpt with cooperative cancellation: the stitching
+// pool, the prep computation and the design-level forward pass all observe
+// ctx, so a long-running analysis driven by a served request stops promptly
+// once the request is cancelled or times out.
+func (d *Design) AnalyzeCtx(ctx context.Context, mode Mode, opt AnalyzeOptions) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := d.buildTop(mode, false, opt)
+	res, err := d.buildTop(ctx, mode, false, opt)
 	if err != nil {
 		return nil, err
 	}
 	// The design-level forward pass runs in a flat propagation arena; only
 	// the per-output forms surfaced in the result are materialized.
-	p := res.Graph.AcquirePass()
+	p := res.Graph.AcquirePass().WithContext(ctx)
 	defer p.Release()
 	if err := p.Arrivals(res.Graph.Inputs...); err != nil {
 		return nil, err
@@ -180,7 +189,7 @@ func (d *Design) FlattenOpt(opt AnalyzeOptions) (*timing.Graph, *Partition, erro
 			return nil, nil, fmt.Errorf("hier: instance %q module has no original graph; cannot flatten", inst.Name)
 		}
 	}
-	res, err := d.buildTop(FullCorrelation, true, opt)
+	res, err := d.buildTop(context.Background(), FullCorrelation, true, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -258,9 +267,9 @@ const rewriteChunkSize = 128
 // into one top-level graph in the design space. The geometry prep comes
 // from the design's model cache; the per-instance rewriting and the
 // boundary-condition assembly fan out over opt.Workers goroutines.
-func (d *Design) buildTop(mode Mode, useOrig bool, opt AnalyzeOptions) (*Result, error) {
+func (d *Design) buildTop(ctx context.Context, mode Mode, useOrig bool, opt AnalyzeOptions) (*Result, error) {
 	nP := len(d.Params)
-	pp, err := d.getPrep(mode, opt)
+	pp, err := d.getPrep(ctx, mode, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +298,7 @@ func (d *Design) buildTop(mode Mode, useOrig bool, opt AnalyzeOptions) (*Result,
 	// input ports driven by slower-than-reference transitions see extra
 	// delay on their fanout edges. Both adjustments scale the affected
 	// edges so relative sensitivities are preserved.
-	extraTo, extraFrom, err := d.boundaryExtras(useOrig, instIdx, opt.Workers)
+	extraTo, extraFrom, err := d.boundaryExtras(ctx, useOrig, instIdx, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +320,7 @@ func (d *Design) buildTop(mode Mode, useOrig bool, opt AnalyzeOptions) (*Result,
 			chunks = append(chunks, chunk{inst: i, lo: lo, hi: hi})
 		}
 	}
-	err = timing.ParallelFor(len(chunks), opt.Workers, func(c int) error {
+	err = timing.ParallelForCtx(ctx, len(chunks), opt.Workers, func(_ context.Context, c int) error {
 		ch := chunks[c]
 		i := ch.inst
 		ig := d.instGraph(d.Instances[i], useOrig)
@@ -420,7 +429,7 @@ func (d *Design) instGraph(inst *Instance, useOrig bool) *timing.Graph {
 // The per-net conditions are evaluated on the worker pool; contributions
 // are then merged serially in net order, so the floating-point accumulation
 // order — and hence the result — is identical to a serial run.
-func (d *Design) boundaryExtras(useOrig bool, instIdx map[string]int, workers int) (extraTo, extraFrom []map[int]float64, err error) {
+func (d *Design) boundaryExtras(ctx context.Context, useOrig bool, instIdx map[string]int, workers int) (extraTo, extraFrom []map[int]float64, err error) {
 	extraTo = make([]map[int]float64, len(d.Instances))
 	extraFrom = make([]map[int]float64, len(d.Instances))
 	for i := range extraTo {
@@ -463,7 +472,7 @@ func (d *Design) boundaryExtras(useOrig bool, instIdx map[string]int, workers in
 		ok         bool
 	}
 	contrib := make([]slewContrib, len(d.Nets))
-	err = timing.ParallelFor(len(d.Nets), workers, func(ni int) error {
+	err = timing.ParallelForCtx(ctx, len(d.Nets), workers, func(_ context.Context, ni int) error {
 		n := d.Nets[ni]
 		fg, _, err := graphOf(n.From.Instance)
 		if err != nil {

@@ -1,6 +1,8 @@
 package hier
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/canon"
@@ -77,35 +79,55 @@ func (a designFP) equal(b designFP) bool {
 
 // getPrep returns the cached prep for the mode, computing it on first use
 // or after the design changed. Concurrent callers for the same mode are
-// coalesced into one computation.
-func (d *Design) getPrep(mode Mode, opt AnalyzeOptions) (*prep, error) {
+// coalesced into one computation; a waiter whose ctx fires stops waiting.
+// The computing caller runs under its own ctx — a cancellation there
+// surfaces as an error and removes the failed slot. A waiter that
+// coalesced onto such an aborted computation must not inherit the other
+// caller's context error: if its own ctx is still live it retries against
+// the (now empty) slot instead of failing spuriously.
+func (d *Design) getPrep(ctx context.Context, mode Mode, opt AnalyzeOptions) (*prep, error) {
 	if opt.DisableCache {
-		return d.computePrep(mode, opt.Workers)
+		return d.computePrep(ctx, mode, opt.Workers)
 	}
 	fp := d.fingerprint()
-	d.prepMu.Lock()
-	if d.preps == nil {
-		d.preps = make(map[Mode]*prepSlot)
-	}
-	if s := d.preps[mode]; s != nil && s.fp.equal(fp) {
+	for {
+		d.prepMu.Lock()
+		if d.preps == nil {
+			d.preps = make(map[Mode]*prepSlot)
+		}
+		if s := d.preps[mode]; s != nil && s.fp.equal(fp) {
+			d.prepMu.Unlock()
+			select {
+			case <-s.done:
+				if errors.Is(s.err, context.Canceled) || errors.Is(s.err, context.DeadlineExceeded) {
+					if ctx.Err() == nil {
+						continue // the computer was cancelled, we were not: retry
+					}
+					return nil, ctx.Err()
+				}
+				return s.p, s.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		s := &prepSlot{fp: fp, done: make(chan struct{})}
+		d.preps[mode] = s
 		d.prepMu.Unlock()
-		<-s.done
+
+		s.p, s.err = d.computePrep(ctx, mode, opt.Workers)
+		if s.err != nil {
+			// Remove the failed slot BEFORE waking waiters: a retrying
+			// waiter must find an empty slot (and recompute), not loop on
+			// this one until we win the mutex again.
+			d.prepMu.Lock()
+			if d.preps[mode] == s {
+				delete(d.preps, mode)
+			}
+			d.prepMu.Unlock()
+		}
+		close(s.done)
 		return s.p, s.err
 	}
-	s := &prepSlot{fp: fp, done: make(chan struct{})}
-	d.preps[mode] = s
-	d.prepMu.Unlock()
-
-	s.p, s.err = d.computePrep(mode, opt.Workers)
-	close(s.done)
-	if s.err != nil {
-		d.prepMu.Lock()
-		if d.preps[mode] == s {
-			delete(d.preps, mode)
-		}
-		d.prepMu.Unlock()
-	}
-	return s.p, s.err
 }
 
 // InvalidatePrep drops any cached analysis prep. Analyze detects geometry
@@ -120,7 +142,7 @@ func (d *Design) InvalidatePrep() {
 
 // computePrep derives the per-mode analysis model, fanning the
 // per-instance replacement matrices out over the worker pool.
-func (d *Design) computePrep(mode Mode, workers int) (*prep, error) {
+func (d *Design) computePrep(ctx context.Context, mode Mode, workers int) (*prep, error) {
 	nP := len(d.Params)
 	p := &prep{mode: mode}
 	switch mode {
@@ -132,7 +154,7 @@ func (d *Design) computePrep(mode Mode, workers int) (*prep, error) {
 		p.part = part
 		p.space = canon.Space{Globals: nP, Components: nP * part.Grids.Comps}
 		p.repl = make([]*mat.Dense, len(d.Instances))
-		err = timing.ParallelFor(len(d.Instances), workers, func(i int) error {
+		err = timing.ParallelForCtx(ctx, len(d.Instances), workers, func(_ context.Context, i int) error {
 			r, err := replacementMatrix(d.Instances[i].Module.gridModel(), part, i)
 			if err != nil {
 				return fmt.Errorf("hier: instance %q: %w", d.Instances[i].Name, err)

@@ -1,6 +1,7 @@
 package hier
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -274,7 +275,7 @@ func TestReplacementCreatesInterModuleCorrelation(t *testing.T) {
 
 	// Without replacement (GlobalOnly) the correlation collapses to the
 	// global share only.
-	resG, err := d.buildTop(GlobalOnly, true, AnalyzeOptions{Workers: 1})
+	resG, err := d.buildTop(context.Background(), GlobalOnly, true, AnalyzeOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package hier
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -199,5 +201,23 @@ func TestConcurrentAnalyze(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Error(err)
+	}
+}
+
+// TestAnalyzeCtxCancelled: a dead context stops the analysis — prep,
+// stitching and the forward pass all observe it — and a later analysis
+// with a live context is unaffected (the aborted prep is not cached).
+func TestAnalyzeCtxCancelled(t *testing.T) {
+	mod := buildModule(t, "m4ctx", 4)
+	d := twoByTwo(t, mod)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := d.AnalyzeCtx(ctx, FullCorrelation, AnalyzeOptions{Workers: workers}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if _, err := d.AnalyzeCtx(context.Background(), FullCorrelation, AnalyzeOptions{Workers: 1}); err != nil {
+		t.Fatalf("analysis after cancelled attempt: %v", err)
 	}
 }

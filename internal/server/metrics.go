@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the serving-layer counters surfaced on /metrics in
+// Prometheus text exposition format. All counters are monotonic except the
+// gauges (active analyses, queue depth) which are sampled at scrape time.
+type metrics struct {
+	start time.Time
+
+	analyzeRequests atomic.Int64 // POST /v1/analyze accepted
+	jobRequests     atomic.Int64 // POST /v1/jobs accepted
+	rejected        atomic.Int64 // requests refused at admission (429/503)
+	badRequests     atomic.Int64 // malformed bodies / invalid specs
+
+	itemsTotal atomic.Int64 // batch items completed by the engine
+	itemErrors atomic.Int64 // batch items finished with an error
+	// itemsRejected counts items refused before the engine ran (bad spec
+	// or expired deadline); they stay out of the latency histogram so a
+	// rejection burst cannot drag the reported mean toward zero.
+	itemsRejected atomic.Int64
+
+	// Per-item latency: sum/count for the mean, max tracked under a lock
+	// (atomics cannot do floating-point max).
+	latMu    sync.Mutex
+	latSum   float64
+	latCount int64
+	latMax   float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// observeItem records one finished batch item.
+func (m *metrics) observeItem(d time.Duration, failed bool) {
+	m.itemsTotal.Add(1)
+	if failed {
+		m.itemErrors.Add(1)
+	}
+	sec := d.Seconds()
+	m.latMu.Lock()
+	m.latSum += sec
+	m.latCount++
+	if sec > m.latMax {
+		m.latMax = sec
+	}
+	m.latMu.Unlock()
+}
+
+// handleMetrics renders the scrape. The gauges come from the server so the
+// text reflects live admission and queue state.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	m.latMu.Lock()
+	latSum, latCount, latMax := m.latSum, m.latCount, m.latMax
+	m.latMu.Unlock()
+	cache := s.flow.Cache.Metrics()
+	gHits, gMisses := s.graphs.stats()
+	queued, running, finished := s.jobs.counts()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+	p("# HELP sstad_uptime_seconds Seconds since the server started.")
+	p("sstad_uptime_seconds %g", time.Since(m.start).Seconds())
+	p("# HELP sstad_requests_total Accepted analysis requests by endpoint.")
+	p(`sstad_requests_total{endpoint="analyze"} %d`, m.analyzeRequests.Load())
+	p(`sstad_requests_total{endpoint="jobs"} %d`, m.jobRequests.Load())
+	p("# HELP sstad_requests_rejected_total Requests refused at admission (full queue or shutdown).")
+	p("sstad_requests_rejected_total %d", m.rejected.Load())
+	p("# HELP sstad_bad_requests_total Malformed or invalid requests.")
+	p("sstad_bad_requests_total %d", m.badRequests.Load())
+	p("# HELP sstad_items_total Batch items completed.")
+	p("sstad_items_total %d", m.itemsTotal.Load())
+	p("sstad_item_errors_total %d", m.itemErrors.Load())
+	p("# HELP sstad_items_rejected_total Items refused before analysis (bad spec or expired deadline).")
+	p("sstad_items_rejected_total %d", m.itemsRejected.Load())
+	p("# HELP sstad_item_latency_seconds Per-item wall-clock latency.")
+	p("sstad_item_latency_seconds_sum %g", latSum)
+	p("sstad_item_latency_seconds_count %d", latCount)
+	p("sstad_item_latency_seconds_max %g", latMax)
+	p("# HELP sstad_active_analyses Requests currently holding an analysis slot.")
+	p("sstad_active_analyses %d", s.activeAnalyses())
+	p("# HELP sstad_analysis_slots Configured concurrent-analysis bound.")
+	p("sstad_analysis_slots %d", cap(s.sem))
+	p("# HELP sstad_jobs Queue depth and lifecycle counts of async jobs.")
+	p(`sstad_jobs{state="queued"} %d`, queued)
+	p(`sstad_jobs{state="running"} %d`, running)
+	p(`sstad_jobs{state="finished"} %d`, finished)
+	p("# HELP sstad_extract_cache Extraction-cache counters (hit rate = hits / (hits+misses)).")
+	p("sstad_extract_cache_hits_total %d", cache.Hits)
+	p("sstad_extract_cache_misses_total %d", cache.Misses)
+	p("sstad_extract_cache_evictions_total %d", cache.Evictions)
+	p("sstad_extract_cache_entries %d", cache.Entries)
+	p("sstad_extract_cache_cost_bytes %d", cache.Cost)
+	p("sstad_extract_cache_entry_cap %d", cache.MaxEntries)
+	p("# HELP sstad_graph_cache Built-graph cache counters.")
+	p("sstad_graph_cache_hits_total %d", gHits)
+	p("sstad_graph_cache_misses_total %d", gMisses)
+}

@@ -1,0 +1,391 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/ssta"
+)
+
+// AnalyzeRequest is the body of POST /v1/analyze and POST /v1/jobs: a batch
+// of independent analyses plus scheduling knobs.
+type AnalyzeRequest struct {
+	// Items are the analyses to run; results come back in item order.
+	Items []ItemSpec `json:"items"`
+	// Workers bounds how many items run concurrently (<=0: server default).
+	Workers int `json:"workers,omitempty"`
+	// ItemWorkers bounds the goroutines inside one hierarchical analysis.
+	ItemWorkers int `json:"item_workers,omitempty"`
+	// TimeoutMS caps the wall-clock time of the whole batch. Zero selects
+	// the server default; values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ItemSpec describes one analysis over the wire. Exactly one input —
+// bench, netlist, mult or quad — must be set, mirroring ssta.BatchItem.
+type ItemSpec struct {
+	// Name labels the result; defaults to the input's own name.
+	Name string `json:"name,omitempty"`
+
+	// Bench generates a topology-matched ISCAS85-like benchmark.
+	Bench string `json:"bench,omitempty"`
+	// Seed is the generator seed for bench and quad items.
+	Seed int64 `json:"seed,omitempty"`
+	// Netlist is an inline ISCAS85 .bench netlist.
+	Netlist string `json:"netlist,omitempty"`
+	// Mult builds a structural n x n array multiplier.
+	Mult int `json:"mult,omitempty"`
+	// Quad builds and analyzes the paper's four-instance hierarchical
+	// design around an extracted benchmark model.
+	Quad *QuadSpec `json:"quad,omitempty"`
+
+	// Mode selects the hierarchical correlation treatment for quad items:
+	// "full" (default, the paper's proposed method) or "global".
+	Mode string `json:"mode,omitempty"`
+	// Extract additionally runs cached timing-model extraction on flat
+	// items and reports the reduced model size.
+	Extract bool `json:"extract,omitempty"`
+}
+
+// QuadSpec names the module of a hierarchical quad-design item: the module
+// graph is generated from the benchmark spec, extracted (through the shared
+// extraction cache) and instantiated four times as in paper Section VI-B.
+type QuadSpec struct {
+	Bench string `json:"bench"`
+	Seed  int64  `json:"seed,omitempty"`
+	// Gap separates the instances by this many grid pitches (0: abutted).
+	Gap int `json:"gap,omitempty"`
+}
+
+// AnalyzeResponse is the body returned by /v1/analyze and stored for
+// finished jobs.
+type AnalyzeResponse struct {
+	Results   []ItemResult `json:"results"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// ItemResult is the outcome of one item. Error is set when the item
+// failed; the statistical fields are the delay distribution over all
+// primary outputs.
+type ItemResult struct {
+	Name       string  `json:"name"`
+	Error      string  `json:"error,omitempty"`
+	MeanPS     float64 `json:"mean_ps,omitempty"`
+	StdPS      float64 `json:"std_ps,omitempty"`
+	P9987PS    float64 `json:"p9987_ps,omitempty"`
+	Verts      int     `json:"verts,omitempty"`
+	Edges      int     `json:"edges,omitempty"`
+	ModelVerts int     `json:"model_verts,omitempty"`
+	ModelEdges int     `json:"model_edges,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// parseMode maps the wire mode names onto hier modes.
+func parseMode(s string) (ssta.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "full", "proposed":
+		return ssta.FullCorrelation, nil
+	case "global", "globalonly", "global-only":
+		return ssta.GlobalOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want \"full\" or \"global\")", s)
+	}
+}
+
+// countInputs returns the populated input selectors of the spec.
+func (s *ItemSpec) inputs() []string {
+	var set []string
+	if s.Bench != "" {
+		set = append(set, "bench")
+	}
+	if s.Netlist != "" {
+		set = append(set, "netlist")
+	}
+	if s.Mult > 0 {
+		set = append(set, "mult")
+	}
+	if s.Quad != nil {
+		set = append(set, "quad")
+	}
+	return set
+}
+
+// prepareItem converts one wire spec into a runnable ssta.BatchItem.
+// Flat graphs come out of the server's bounded graph cache, so a repeated
+// bench/mult/quad request reuses one *Graph — which is also what makes the
+// extraction cache hit on repeats (it is keyed by graph identity).
+func (s *Server) prepareItem(ctx context.Context, spec *ItemSpec) (ssta.BatchItem, error) {
+	set := spec.inputs()
+	switch len(set) {
+	case 0:
+		return ssta.BatchItem{}, fmt.Errorf("item has no input: set one of bench, netlist, mult or quad")
+	case 1:
+	default:
+		return ssta.BatchItem{}, fmt.Errorf("item sets %d inputs (%s); exactly one of bench, netlist, mult or quad must be set",
+			len(set), strings.Join(set, ", "))
+	}
+	mode, err := parseMode(spec.Mode)
+	if err != nil {
+		return ssta.BatchItem{}, err
+	}
+
+	item := ssta.BatchItem{Name: spec.Name, Extract: spec.Extract}
+	switch {
+	case spec.Quad != nil:
+		d, err := s.quadDesign(ctx, spec.Quad)
+		if err != nil {
+			return ssta.BatchItem{}, err
+		}
+		item.Design = d
+		item.Mode = mode
+		if item.Name == "" {
+			item.Name = d.Name
+		}
+		item.Extract = false // extraction applies to flat items only
+
+	case spec.Netlist != "":
+		c, err := ssta.ParseBench(spec.Name, strings.NewReader(spec.Netlist))
+		if err != nil {
+			return ssta.BatchItem{}, fmt.Errorf("netlist: %w", err)
+		}
+		item.Circuit = c
+		if item.Name == "" {
+			item.Name = c.Name
+		}
+
+	default: // bench or mult: served from the graph cache
+		g, err := s.cachedGraph(ctx, graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult})
+		if err != nil {
+			return ssta.BatchItem{}, err
+		}
+		item.Graph = g
+		if item.Name == "" {
+			if spec.Bench != "" {
+				item.Name = spec.Bench
+			} else {
+				item.Name = fmt.Sprintf("mult%d", spec.Mult)
+			}
+		}
+	}
+	return item, nil
+}
+
+// itemResult flattens one BatchResult into its wire form.
+func itemResult(r *ssta.BatchResult) ItemResult {
+	out := ItemResult{Name: r.Name, ElapsedMS: float64(r.Elapsed.Microseconds()) / 1000}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	if r.Delay != nil {
+		out.MeanPS = r.Delay.Mean()
+		out.StdPS = r.Delay.Std()
+		out.P9987PS = r.Delay.Quantile(0.99865)
+	}
+	if r.Graph != nil {
+		out.Verts = r.Graph.NumVerts
+		out.Edges = len(r.Graph.Edges)
+	} else if r.Hier != nil && r.Hier.Graph != nil {
+		out.Verts = r.Hier.Graph.NumVerts
+		out.Edges = len(r.Hier.Graph.Edges)
+	}
+	if r.Model != nil && r.Model.Graph != nil {
+		out.ModelVerts = r.Model.Graph.NumVerts
+		out.ModelEdges = len(r.Model.Graph.Edges)
+	}
+	return out
+}
+
+// graphKey identifies one server-built flat graph.
+type graphKey struct {
+	bench string
+	seed  int64
+	mult  int
+}
+
+// graphEntry is a singleflight slot in the graph cache.
+type graphEntry struct {
+	key  graphKey
+	done chan struct{}
+	g    *ssta.Graph
+	plan *ssta.Plan
+	err  error
+	elem *list.Element // nil while in flight
+}
+
+// graphCache memoizes built timing graphs by benchmark identity with LRU
+// eviction — the serving-layer analogue of core.ExtractCache one level up
+// the pipeline. Holding graph identity stable across requests is also what
+// lets the extraction cache recognize repeats.
+type graphCache struct {
+	mu      sync.Mutex
+	entries map[graphKey]*graphEntry
+	lru     list.List
+	max     int
+	// filling/maxFill bound detached build goroutines exactly like
+	// core.ExtractCache: at saturation, misses build inline on the caller
+	// (which holds an analysis slot), so abandoned short-deadline requests
+	// cannot amplify into unbounded background work.
+	filling int
+	maxFill int
+	hits    int64
+	misses  int64
+}
+
+func newGraphCache(max int) *graphCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &graphCache{
+		entries: make(map[graphKey]*graphEntry),
+		max:     max,
+		maxFill: runtime.GOMAXPROCS(0),
+	}
+}
+
+func (c *graphCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// get returns the cached graph for the key, building it on a miss. Like
+// core.ExtractCache, the build runs to completion on a detached goroutine
+// (warming the cache for followers) while every caller's wait — including
+// the initiator's — honors its own ctx.
+func (c *graphCache) get(ctx context.Context, flow *ssta.Flow, key graphKey) (*ssta.Graph, *ssta.Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+	} else {
+		e = &graphEntry{key: key, done: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		detach := c.filling < c.maxFill
+		if detach {
+			c.filling++
+		}
+		c.mu.Unlock()
+		fill := func() {
+			e.g, e.plan, e.err = buildGraph(flow, key)
+			c.mu.Lock()
+			if detach {
+				c.filling--
+			}
+			if c.entries[key] == e {
+				if e.err != nil {
+					delete(c.entries, key)
+				} else {
+					e.elem = c.lru.PushFront(e)
+					for c.lru.Len() > c.max {
+						back := c.lru.Back()
+						old := back.Value.(*graphEntry)
+						c.lru.Remove(back)
+						delete(c.entries, old.key)
+					}
+				}
+			}
+			c.mu.Unlock()
+			close(e.done)
+		}
+		if !detach {
+			fill()
+			return e.g, e.plan, e.err
+		}
+		go fill()
+	}
+	select {
+	case <-e.done:
+		return e.g, e.plan, e.err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+func buildGraph(flow *ssta.Flow, key graphKey) (*ssta.Graph, *ssta.Plan, error) {
+	if key.mult > 0 {
+		c, err := ssta.ArrayMultiplier(key.mult)
+		if err != nil {
+			return nil, nil, err
+		}
+		return flow.Graph(c)
+	}
+	return flow.BenchGraph(key.bench, key.seed)
+}
+
+func (s *Server) cachedGraph(ctx context.Context, key graphKey) (*ssta.Graph, error) {
+	g, _, err := s.graphs.get(ctx, s.flow, key)
+	return g, err
+}
+
+// quadDesign builds (or reuses) the four-instance hierarchical design for
+// the spec: module graph from the graph cache, model through the shared
+// extraction cache, design through the design cache so its per-mode
+// analysis prep survives across requests.
+func (s *Server) quadDesign(ctx context.Context, q *QuadSpec) (*ssta.Design, error) {
+	if q.Bench == "" {
+		return nil, fmt.Errorf("quad: bench must be set")
+	}
+	if q.Gap < 0 {
+		return nil, fmt.Errorf("quad: negative gap %d", q.Gap)
+	}
+	key := quadKey{graphKey{bench: q.Bench, seed: q.Seed, mult: 0}, q.Gap}
+	s.quadMu.Lock()
+	if d, ok := s.quads[key]; ok {
+		s.quadMu.Unlock()
+		return d, nil
+	}
+	s.quadMu.Unlock()
+
+	g, plan, err := s.graphs.get(ctx, s.flow, key.graphKey)
+	if err != nil {
+		return nil, err
+	}
+	model, err := s.flow.ExtractCtx(ctx, g, ssta.ExtractOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("quad: extract %s: %w", q.Bench, err)
+	}
+	mod, err := ssta.NewModule(q.Bench, model, plan)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("quad-%s-%d", q.Bench, q.Seed)
+	if q.Gap > 0 {
+		name = fmt.Sprintf("%s-gap%d", name, q.Gap)
+	}
+	d, err := s.flow.QuadDesignGap(name, mod, q.Gap)
+	if err != nil {
+		return nil, err
+	}
+	s.quadMu.Lock()
+	if prev, ok := s.quads[key]; ok {
+		d = prev // lost the build race: share the winner and its prep cache
+	} else {
+		if len(s.quads) >= s.maxQuads {
+			// Designs are small next to their modules (which live in the
+			// graph/extract caches); dropping the whole map on overflow
+			// keeps the bound without LRU bookkeeping.
+			s.quads = make(map[quadKey]*ssta.Design)
+		}
+		s.quads[key] = d
+	}
+	s.quadMu.Unlock()
+	return d, nil
+}
+
+type quadKey struct {
+	graphKey
+	gap int
+}

@@ -1,0 +1,364 @@
+// Package server is the sstad serving layer: a long-running HTTP/JSON
+// front end over the ssta batch engine, the paper's model-reuse story
+// turned into a daemon. Extract a module's timing model once, then answer
+// many analyses against it cheaply — here the "many analyses" arrive as
+// requests, and the reuse lives in three bounded caches (built graphs,
+// extracted models, per-design analysis preps).
+//
+// Endpoints:
+//
+//	POST /v1/analyze     run a batch synchronously (per-request deadline)
+//	POST /v1/jobs        submit the same body asynchronously
+//	GET  /v1/jobs/{id}   poll status/result
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text: cache hit rates, queue depth,
+//	                     per-item latency
+//
+// Admission is bounded end to end: a semaphore caps concurrently running
+// analyses (sync requests wait on it under their deadline, 429 on
+// overload), the async queue is a fixed-depth channel (503 when full), and
+// every batch runs under a context whose cancellation reaches individual
+// graph vertices via ssta.AnalyzeBatchCtx.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/ssta"
+)
+
+// Config tunes the server. The zero value serves with sane defaults.
+type Config struct {
+	// Flow is the analysis context; nil selects ssta.DefaultFlow() with a
+	// bounded extraction cache.
+	Flow *ssta.Flow
+	// MaxConcurrent caps analyses running at once across sync requests and
+	// job workers (<=0: 2).
+	MaxConcurrent int
+	// AdmissionWait caps how long a sync request may wait for an analysis
+	// slot before 429 (<=0: half its deadline).
+	AdmissionWait time.Duration
+	// QueueDepth bounds the async job queue (<=0: 64).
+	QueueDepth int
+	// JobWorkers is the number of job-draining goroutines (<=0: 1).
+	JobWorkers int
+	// MaxFinishedJobs bounds retained finished jobs (<=0: 256).
+	MaxFinishedJobs int
+	// DefaultTimeout applies to requests that set no timeout_ms (<=0: 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (<=0: 10m).
+	MaxTimeout time.Duration
+	// MaxItems bounds items per request (<=0: 256).
+	MaxItems int
+	// MaxBodyBytes bounds request bodies (<=0: 8 MiB).
+	MaxBodyBytes int64
+	// GraphCacheEntries bounds the built-graph cache (<=0: 64).
+	GraphCacheEntries int
+	// Workers is the default per-batch worker count when the request sets
+	// none (<=0: 1; keep small, item concurrency is already bounded by
+	// MaxConcurrent).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxItems <= 0 {
+		c.MaxItems = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.GraphCacheEntries <= 0 {
+		c.GraphCacheEntries = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Server is the sstad daemon state. Create with New, expose via Handler,
+// stop with Close.
+type Server struct {
+	cfg     Config
+	flow    *ssta.Flow
+	mux     *http.ServeMux
+	sem     chan struct{} // analysis slots; len(sem) = running analyses
+	graphs  *graphCache
+	jobs    *jobStore
+	metrics *metrics
+
+	quadMu   sync.Mutex
+	quads    map[quadKey]*ssta.Design
+	maxQuads int
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// New builds a server and starts its job workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	flow := cfg.Flow
+	if flow == nil {
+		flow = ssta.DefaultFlow()
+	}
+	if flow.Cache == nil {
+		// The serving layer relies on the extraction cache for both reuse
+		// and its /metrics story; install a bounded one if the flow came
+		// without.
+		flow.Cache = ssta.NewExtractCache()
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		flow:     flow,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		graphs:   newGraphCache(cfg.GraphCacheEntries),
+		jobs:     newJobStore(cfg.QueueDepth, cfg.MaxFinishedJobs),
+		metrics:  newMetrics(),
+		quads:    make(map[quadKey]*ssta.Design),
+		maxQuads: cfg.GraphCacheEntries,
+		baseCtx:  base,
+		baseStop: stop,
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobPoll)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for w := 0; w < cfg.JobWorkers; w++ {
+		s.wg.Add(1)
+		go s.runJobs(base)
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the job workers and waits for them to drain. In-flight
+// batches observe the cancellation cooperatively.
+func (s *Server) Close() {
+	s.baseStop()
+	s.wg.Wait()
+}
+
+func (s *Server) activeAnalyses() int { return len(s.sem) }
+
+// requestCtx derives the batch context honoring the client deadline knob.
+func (s *Server) requestCtx(parent context.Context, req *AnalyzeRequest) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// decodeRequest parses and structurally validates an analyze body.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (AnalyzeRequest, bool) {
+	var req AnalyzeRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return req, false
+	}
+	if len(req.Items) == 0 {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "request has no items")
+		return req, false
+	}
+	if len(req.Items) > s.cfg.MaxItems {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("request has %d items, limit %d", len(req.Items), s.cfg.MaxItems))
+		return req, false
+	}
+	return req, true
+}
+
+// runBatch prepares the wire items and runs them through the batch engine
+// under ctx, holding one analysis slot for the duration. admissionWait > 0
+// bounds how long the call may block waiting for a slot (jobs pass 0: a
+// job worker owns its turn and only gives up with its context). Per-item
+// failures (including spec errors and cancellation) land in the item
+// results; the returned error is reserved for request-level failures.
+func (s *Server) runBatch(ctx context.Context, admissionWait time.Duration, req AnalyzeRequest) (*AnalyzeResponse, error) {
+	admitCtx := ctx
+	if admissionWait > 0 {
+		var cancel context.CancelFunc
+		admitCtx, cancel = context.WithTimeout(ctx, admissionWait)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-admitCtx.Done():
+		return nil, fmt.Errorf("no analysis slot: %w", admitCtx.Err())
+	}
+
+	start := time.Now()
+	resp := &AnalyzeResponse{Results: make([]ItemResult, len(req.Items))}
+	items := make([]ssta.BatchItem, 0, len(req.Items))
+	batchIdx := make([]int, 0, len(req.Items)) // batch position -> request position
+	for k := range req.Items {
+		item, err := ssta.BatchItem{}, ctx.Err() // stop preparing once the deadline fires
+		if err == nil {
+			item, err = s.prepareItem(ctx, &req.Items[k])
+		}
+		if err != nil {
+			name := req.Items[k].Name
+			if name == "" {
+				name = fmt.Sprintf("item[%d]", k)
+			}
+			resp.Results[k] = ItemResult{Name: name, Error: err.Error()}
+			s.metrics.itemsRejected.Add(1)
+			continue
+		}
+		items = append(items, item)
+		batchIdx = append(batchIdx, k)
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	results := s.flow.AnalyzeBatchCtx(ctx, items, ssta.BatchOptions{
+		Workers:     workers,
+		ItemWorkers: req.ItemWorkers,
+		OnItemDone: func(_ int, r *ssta.BatchResult) {
+			// Items the engine cut short on cancellation are rejections,
+			// not latency samples — a deadline burst must not drag the
+			// reported mean toward zero.
+			if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+				s.metrics.itemsRejected.Add(1)
+				return
+			}
+			s.metrics.observeItem(r.Elapsed, r.Err != nil)
+		},
+	})
+	for b, r := range results {
+		resp.Results[batchIdx[b]] = itemResult(&r)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	s.metrics.analyzeRequests.Add(1)
+	ctx, cancel := s.requestCtx(r.Context(), &req)
+	defer cancel()
+	// AdmissionWait (default: half the deadline) bounds the slot wait so an
+	// overloaded server sheds load with 429 instead of queueing work that
+	// will blow its deadline anyway.
+	wait := s.cfg.AdmissionWait
+	if wait <= 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			wait = time.Until(dl) / 2
+		}
+	}
+	resp, err := s.runBatch(ctx, wait, req)
+	if err != nil {
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	s.metrics.jobRequests.Add(1)
+	j, err := s.jobs.submit(req)
+	if err != nil {
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	v, _ := s.jobs.view(j.id)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleJobPoll(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.view(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running, _ := s.jobs.counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"uptime_seconds":  time.Since(s.metrics.start).Seconds(),
+		"active_analyses": s.activeAnalyses(),
+		"queued_jobs":     queued,
+		"running_jobs":    running,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg, "status": strconv.Itoa(code)})
+}

@@ -1,6 +1,8 @@
 package timing
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -345,5 +347,29 @@ func TestEdgeDelaysInvalidation(t *testing.T) {
 	g.InvalidateDelays()
 	if got := g.EdgeDelays().View(0).Nominal(); got != 9 {
 		t.Fatalf("delay bank after InvalidateDelays: %g, want 9", got)
+	}
+}
+
+// TestMaxDelayCtxCancelled: a cancelled context stops the forward pass
+// between vertices instead of running it to completion.
+func TestMaxDelayCtxCancelled(t *testing.T) {
+	space := canon.Space{Globals: 1, Components: 1}
+	const n = 600 // > ctxCheckStride so mid-pass polls are exercised
+	g := NewGraph(space, n, nil)
+	for v := 0; v+1 < n; v++ {
+		if _, err := g.AddEdge(v, v+1, space.Const(1), nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetIO([]int{0}, []int{n - 1}, []string{"a"}, []string{"z"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MaxDelayCtx(context.Background()); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.MaxDelayCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package timing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,6 +27,31 @@ type Pass struct {
 	g     *Graph
 	bank  *canon.Bank
 	reach []bool
+	// ctx, when set via WithContext, is polled every ctxCheckStride
+	// vertices during Arrivals/Required so a long pass observes
+	// cancellation between vertices instead of running to completion.
+	ctx context.Context
+}
+
+// ctxCheckStride is how many vertices a pass processes between context
+// polls: frequent enough for sub-millisecond cancellation latency on any
+// realistic graph, rare enough that the atomic load never shows up in
+// profiles.
+const ctxCheckStride = 256
+
+// WithContext attaches a cancellation context to the pass and returns it.
+// A nil ctx (the AcquirePass default) disables polling entirely.
+func (p *Pass) WithContext(ctx context.Context) *Pass {
+	p.ctx = ctx
+	return p
+}
+
+// checkCtx polls the pass context on stride boundaries.
+func (p *Pass) checkCtx(step int) error {
+	if p.ctx != nil && step%ctxCheckStride == 0 {
+		return p.ctx.Err()
+	}
+	return nil
 }
 
 // The pass pools are global so arena slabs outlive individual graphs: a
@@ -65,7 +91,7 @@ func (p *Pass) Release() {
 	slab, mask := p.bank.Data(), p.reach
 	passSlabPool.Put(&slab)
 	passMaskPool.Put(&mask)
-	p.bank, p.reach = nil, nil
+	p.bank, p.reach, p.ctx = nil, nil, nil
 }
 
 // Reached reports whether the last pass reached vertex v.
@@ -143,7 +169,10 @@ func (p *Pass) Arrivals(sources ...int) error {
 		p.reach[s] = true
 	}
 	scratch := p.Scratch()
-	for _, v := range order {
+	for step, v := range order {
+		if err := p.checkCtx(step); err != nil {
+			return err
+		}
 		if !p.reach[v] {
 			continue
 		}
@@ -190,6 +219,9 @@ func (p *Pass) Required(outputs ...int) error {
 	}
 	scratch := p.Scratch()
 	for i := len(order) - 1; i >= 0; i-- {
+		if err := p.checkCtx(len(order) - 1 - i); err != nil {
+			return err
+		}
 		v := order[i]
 		vv := p.bank.View(v)
 		for _, ei := range g.Out[v] {
@@ -253,7 +285,14 @@ func (g *Graph) DelayToOutput(out int) ([]*canon.Form, error) {
 // over outputs runs in the pass arena, so the whole computation allocates
 // only the returned form.
 func (g *Graph) MaxDelay() (*canon.Form, error) {
-	p := g.AcquirePass()
+	return g.MaxDelayCtx(nil)
+}
+
+// MaxDelayCtx is MaxDelay with cooperative cancellation: the forward pass
+// polls ctx between vertices and returns its error once it fires. A nil
+// ctx disables polling (MaxDelay calls through with nil).
+func (g *Graph) MaxDelayCtx(ctx context.Context) (*canon.Form, error) {
+	p := g.AcquirePass().WithContext(ctx)
 	defer p.Release()
 	if err := p.Arrivals(g.Inputs...); err != nil {
 		return nil, err

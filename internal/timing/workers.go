@@ -1,7 +1,10 @@
 package timing
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -21,49 +24,127 @@ func Workers(workers, n int) int {
 	return workers
 }
 
+// PanicError is a panic captured on a pooled worker goroutine: the panic
+// value plus the stack of the worker at the point of the panic. ParallelFor
+// re-panics it on the calling goroutine, so a panicking task crashes the
+// caller (who may recover) instead of the whole process.
+type PanicError struct {
+	Index int    // work-item index whose fn panicked
+	Value any    // the original panic value
+	Stack []byte // worker stack at the point of the panic
+}
+
+// Error formats the panic with its worker stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("timing: panic in parallel task %d: %v\n\nworker stack:\n%s", e.Index, e.Value, e.Stack)
+}
+
 // ParallelFor runs fn(i) for every i in [0, n) on a bounded pool of
+// `workers` goroutines (<=0: GOMAXPROCS). It is ParallelForCtx with a
+// background context; see there for error and panic semantics.
+func ParallelFor(n, workers int, fn func(i int) error) error {
+	return ParallelForCtx(context.Background(), n, workers, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ParallelForCtx runs fn(ctx, i) for every i in [0, n) on a bounded pool of
 // `workers` goroutines (<=0: GOMAXPROCS). With workers == 1 the calls run
 // serially on the calling goroutine in index order, so a serial reference
-// path and the parallel path share one implementation. The first error
-// stops the distribution of further indices and is returned; fn must be
-// safe to call concurrently for distinct indices.
-func ParallelFor(n, workers int, fn func(i int) error) error {
+// path and the parallel path share one implementation.
+//
+// Cancellation is cooperative. The ctx passed to fn is derived from the
+// caller's: it is cancelled as soon as the caller's ctx is done or any task
+// fails, so a long-running or blocking fn can observe pool-wide shutdown.
+// Unclaimed indices are never started once the derived ctx is cancelled.
+// The first task error is returned; when the pool stops because the
+// caller's ctx was done before every index completed, the ctx error is
+// returned. fn must be safe to call concurrently for distinct indices.
+//
+// A panicking task does not kill the process: the panic is captured as a
+// *PanicError (carrying the worker stack), cancels the pool, and is
+// re-panicked on the calling goroutine once the pool has drained. With
+// workers == 1 the panic propagates natively, the calling goroutine being
+// the one that ran fn.
+func ParallelForCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	workers = Workers(workers, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		errOnce sync.Once
-		firstE  error
-		wg      sync.WaitGroup
+		next      atomic.Int64
+		once      sync.Once
+		firstE    error
+		panicOnce sync.Once
+		panicE    *PanicError
+		wg        sync.WaitGroup
 	)
+	// fail records the pool's result error exactly once and cancels the
+	// derived ctx so in-flight tasks and unclaimed indices stop promptly.
+	// Workers that subsequently observe the cancelled ctx report ctx.Err(),
+	// but once keeps the original cause; only when the caller's own ctx
+	// expires first is the ctx error itself the result. Panics are tracked
+	// in their own slot so a panic arriving after a routine error (or a
+	// cancellation) is never silently downgraded — it must resurface on
+	// the caller, whatever else went wrong first.
+	fail := func(err error) {
+		if pe, ok := err.(*PanicError); ok {
+			panicOnce.Do(func() { panicE = pe })
+		} else {
+			once.Do(func() { firstE = err })
+		}
+		cancel()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
-					errOnce.Do(func() { firstE = err })
-					failed.Store(true)
+				// Claim-then-check: an index abandoned because the pool is
+				// shutting down must surface as an error, never as a
+				// silently skipped item.
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := protectedCall(ctx, i, fn); err != nil {
+					fail(err)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if panicE != nil {
+		panic(panicE)
+	}
 	return firstE
+}
+
+// protectedCall invokes fn(ctx, i), converting a panic into a *PanicError
+// so one bad task cancels the pool instead of crashing the process.
+func protectedCall(ctx context.Context, i int, fn func(context.Context, int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
 }

@@ -1,9 +1,11 @@
 package timing
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersNormalization(t *testing.T) {
@@ -90,4 +92,140 @@ func TestParallelForEmpty(t *testing.T) {
 	if err := ParallelFor(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestParallelForPanicIsRecaught(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if pe.Value != "boom" || pe.Index != 7 {
+					t.Fatalf("workers=%d: PanicError = {%v %v}", workers, pe.Index, pe.Value)
+				}
+				if len(pe.Stack) == 0 {
+					t.Fatalf("workers=%d: PanicError carries no worker stack", workers)
+				}
+			}()
+			_ = ParallelFor(100, workers, func(i int) error {
+				if i == 7 {
+					panic("boom")
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: ParallelFor returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestParallelForPanicStopsDistribution(t *testing.T) {
+	var calls atomic.Int32
+	func() {
+		defer func() { _ = recover() }()
+		_ = ParallelFor(1_000_000, 2, func(i int) error {
+			calls.Add(1)
+			panic("boom")
+		})
+	}()
+	if n := calls.Load(); n > 1000 {
+		t.Fatalf("panic did not stop distribution: %d calls", n)
+	}
+}
+
+func TestParallelForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ParallelForCtx(ctx, 100, workers, func(context.Context, int) error {
+			t.Fatal("task ran under a cancelled context")
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// A blocking task must observe the deadline through the derived ctx: the
+// pool returns promptly with the ctx error instead of waiting one full fn.
+func TestParallelForCtxBlockingFnObservesDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := ParallelForCtx(ctx, 8, 4, func(ctx context.Context, i int) error {
+		<-ctx.Done() // simulate work that blocks until cancelled
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("pool took %v to observe a 30ms deadline", d)
+	}
+}
+
+// One failing task must cancel the derived ctx so concurrently blocking
+// tasks unblock; the first real error wins over the induced ctx errors.
+func TestParallelForCtxErrorCancelsInFlight(t *testing.T) {
+	boom := errors.New("boom")
+	err := ParallelForCtx(context.Background(), 4, 4, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// Indices abandoned because the caller's ctx expired must surface as an
+// error — a partial sweep must never look like a completed one.
+func TestParallelForCtxAbandonedIndicesError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	err := ParallelForCtx(ctx, 1000, 2, func(ctx context.Context, i int) error {
+		if calls.Add(1) == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (calls=%d)", err, calls.Load())
+	}
+	if n := calls.Load(); int(n) >= 1000 {
+		t.Fatalf("cancellation did not stop distribution: %d calls", n)
+	}
+}
+
+// A panic must resurface on the caller even when a routine error (or the
+// cancellation it triggers) was recorded first — a real fault is never
+// downgraded to a cancellation.
+func TestParallelForCtxPanicNotSwallowedByError(t *testing.T) {
+	boom := errors.New("boom")
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok || pe.Value != "late panic" {
+			t.Fatalf("recovered %v, want *PanicError{late panic}", r)
+		}
+	}()
+	started := make(chan struct{})
+	_ = ParallelForCtx(context.Background(), 2, 2, func(ctx context.Context, i int) error {
+		if i == 0 {
+			<-started   // task 1 is in flight before the error is recorded
+			return boom // recorded first, cancels the pool
+		}
+		close(started)
+		<-ctx.Done() // guarantee the error came first
+		panic("late panic")
+	})
+	t.Fatal("ParallelForCtx returned instead of re-panicking")
 }

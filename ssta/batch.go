@@ -1,8 +1,10 @@
 package ssta
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -79,6 +81,11 @@ type BatchOptions struct {
 	// (<=0: 1, i.e. serial per item). Total concurrency is roughly
 	// Workers x ItemWorkers; keep ItemWorkers at 1 for wide batches.
 	ItemWorkers int
+	// OnItemDone, when set, is invoked from the item's worker goroutine
+	// right after its result (including Elapsed and Err) is final. The
+	// serving layer uses it for per-item latency metrics; it must be safe
+	// to call concurrently for distinct items.
+	OnItemDone func(k int, r *BatchResult)
 }
 
 // AnalyzeBatch fans the items out across a bounded worker pool with the
@@ -87,15 +94,30 @@ type BatchOptions struct {
 // and never abort the rest of the batch. Items must not share a mutable
 // Design with outside writers while the batch runs.
 func (f *Flow) AnalyzeBatch(items []BatchItem, opt BatchOptions) []BatchResult {
+	return f.AnalyzeBatchCtx(context.Background(), items, opt)
+}
+
+// AnalyzeBatchCtx is AnalyzeBatch with cooperative cancellation. Once ctx
+// is done, items that have not started report ctx.Err() in their
+// BatchResult.Err, in-flight items observe the cancellation between
+// vertices (flat propagation) or pool tasks (hierarchical analysis), and
+// already-completed items keep their results. The call itself still
+// returns a result per item, never an error.
+func (f *Flow) AnalyzeBatchCtx(ctx context.Context, items []BatchItem, opt BatchOptions) []BatchResult {
 	results := make([]BatchResult, len(items))
 	itemWorkers := opt.ItemWorkers
 	if itemWorkers <= 0 {
 		itemWorkers = 1
 	}
 	// ParallelFor only fails when a task errors; runItem reports all
-	// failures through BatchResult.Err, so the error here is always nil.
+	// failures — including cancellation and recovered panics — through
+	// BatchResult.Err, so the error here is always nil and every index is
+	// visited even after ctx fires.
 	_ = timing.ParallelFor(len(items), opt.Workers, func(k int) error {
-		results[k] = f.runItem(items[k], itemWorkers)
+		results[k] = f.runItem(ctx, items[k], itemWorkers)
+		if opt.OnItemDone != nil {
+			opt.OnItemDone(k, &results[k])
+		}
 		return nil
 	})
 	return results
@@ -106,17 +128,72 @@ func AnalyzeBatch(items []BatchItem, opt BatchOptions) []BatchResult {
 	return DefaultFlow().AnalyzeBatch(items, opt)
 }
 
-func (f *Flow) runItem(item BatchItem, itemWorkers int) (res BatchResult) {
+// AnalyzeBatchCtx runs the batch on DefaultFlow with cancellation.
+func AnalyzeBatchCtx(ctx context.Context, items []BatchItem, opt BatchOptions) []BatchResult {
+	return DefaultFlow().AnalyzeBatchCtx(ctx, items, opt)
+}
+
+// validateItemInput enforces the BatchItem contract that exactly one input
+// is set, returning an error naming every populated input on ambiguity.
+func validateItemInput(item BatchItem) error {
+	var set []string
+	if item.Design != nil {
+		set = append(set, "Design")
+	}
+	if item.Graph != nil {
+		set = append(set, "Graph")
+	}
+	if item.Circuit != nil {
+		set = append(set, "Circuit")
+	}
+	if item.Bench != "" {
+		set = append(set, "Bench")
+	}
+	switch len(set) {
+	case 0:
+		return errors.New("ssta: batch item has no input (set Bench, Circuit, Graph or Design)")
+	case 1:
+		return nil
+	default:
+		return fmt.Errorf("ssta: batch item sets %d inputs (%s); exactly one of Bench, Circuit, Graph or Design must be set",
+			len(set), strings.Join(set, ", "))
+	}
+}
+
+func (f *Flow) runItem(ctx context.Context, item BatchItem, itemWorkers int) (res BatchResult) {
 	start := time.Now()
 	res = BatchResult{Name: item.Name}
-	defer func() { res.Elapsed = time.Since(start) }()
+	defer func() {
+		// Panic isolation: one faulting item must not take down the batch
+		// (or, in the serving layer, the process). ParallelFor converts
+		// worker panics into a *timing.PanicError re-panicked on this
+		// goroutine; anything else is a direct panic out of the item's own
+		// serial code path.
+		if r := recover(); r != nil {
+			if pe, ok := r.(*timing.PanicError); ok {
+				res.Err = fmt.Errorf("ssta: %s: %w", res.Name, pe)
+			} else {
+				res.Err = fmt.Errorf("ssta: %s: panic: %v\n%s", res.Name, r, debug.Stack())
+			}
+		}
+		res.Elapsed = time.Since(start)
+	}()
+
+	if err := validateItemInput(item); err != nil {
+		res.Err = err
+		return res
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
 
 	switch {
 	case item.Design != nil:
 		if res.Name == "" {
 			res.Name = item.Design.Name
 		}
-		hr, err := item.Design.AnalyzeOpt(item.Mode, AnalyzeOptions{Workers: itemWorkers})
+		hr, err := item.Design.AnalyzeCtx(ctx, item.Mode, AnalyzeOptions{Workers: itemWorkers})
 		if err != nil {
 			res.Err = err
 			return res
@@ -149,16 +226,12 @@ func (f *Flow) runItem(item BatchItem, itemWorkers int) (res BatchResult) {
 			return res
 		}
 		res.Graph, res.Plan = g, plan
-
-	default:
-		res.Err = errors.New("ssta: batch item has no input (set Bench, Circuit, Graph or Design)")
-		return res
 	}
 
 	// MaxDelay folds the whole forward pass inside the graph's pooled
 	// propagation arena, so repeated batch items against one graph reuse
 	// the same flat storage and allocate only the returned form.
-	delay, err := res.Graph.MaxDelay()
+	delay, err := res.Graph.MaxDelayCtx(ctx)
 	if err != nil {
 		res.Err = fmt.Errorf("ssta: %s: %w", res.Name, err)
 		return res
@@ -166,7 +239,7 @@ func (f *Flow) runItem(item BatchItem, itemWorkers int) (res BatchResult) {
 	res.Delay = delay
 
 	if item.Extract {
-		model, err := f.Extract(res.Graph, item.ExtractOptions)
+		model, err := f.ExtractCtx(ctx, res.Graph, item.ExtractOptions)
 		if err != nil {
 			res.Err = fmt.Errorf("ssta: %s: extract: %w", res.Name, err)
 			return res

@@ -18,6 +18,7 @@
 package ssta
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -47,8 +48,11 @@ type (
 	Model = core.Model
 	// ExtractOptions controls model extraction.
 	ExtractOptions = core.Options
-	// ExtractCache memoizes model extraction (thread-safe, singleflight).
+	// ExtractCache memoizes model extraction (thread-safe, singleflight,
+	// LRU-bounded).
 	ExtractCache = core.ExtractCache
+	// CacheMetrics is a snapshot of the extraction-cache counters.
+	CacheMetrics = core.CacheMetrics
 	// Mode selects the hierarchical correlation treatment.
 	Mode = hier.Mode
 	// AnalyzeOptions tunes the hierarchical engine (workers, caching).
@@ -109,8 +113,12 @@ var (
 	EdgeCriticalities = core.EdgeCriticalities
 	// ReadModelJSON loads a serialized timing model.
 	ReadModelJSON = core.ReadJSON
-	// NewExtractCache returns an empty thread-safe extraction cache.
+	// NewExtractCache returns an empty thread-safe extraction cache with
+	// the default entry bound.
 	NewExtractCache = core.NewExtractCache
+	// NewExtractCacheSized returns an extraction cache with an explicit
+	// entry cap and cost budget (0 disables the respective bound).
+	NewExtractCacheSized = core.NewExtractCacheSized
 )
 
 // Flow bundles the analysis context: cell library, variation parameters and
@@ -167,8 +175,19 @@ func (f *Flow) Graph(c *Circuit) (*Graph, *Plan, error) {
 // same options returns the memoized model; the result must be treated as
 // immutable either way.
 func (f *Flow) Extract(g *Graph, opt ExtractOptions) (*Model, error) {
+	return f.ExtractCtx(context.Background(), g, opt)
+}
+
+// ExtractCtx is Extract with cancellable cache waiting: a caller coalesced
+// onto another caller's in-flight extraction stops waiting when ctx fires.
+func (f *Flow) ExtractCtx(ctx context.Context, g *Graph, opt ExtractOptions) (*Model, error) {
 	if f.Cache != nil {
-		return f.Cache.Extract(g, opt)
+		return f.Cache.ExtractCtx(ctx, g, opt)
+	}
+	// The uncached pipeline is not interruptible; at least refuse to start
+	// under a dead context so both paths agree at the entry point.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return core.Extract(g, opt)
 }

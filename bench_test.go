@@ -19,6 +19,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -344,6 +345,120 @@ func BenchmarkAnalyzeBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkIncrementalEdit measures one single-edge ECO cycle — edit, then
+// re-analyze — on the largest ISCAS-like benchmark. "full" re-runs a
+// complete forward pass per edit (the stateless pre-session behavior);
+// "incremental" maintains persistent session state and re-propagates only
+// the edited edge's fan-out cone. The recomputed-vertices metric is the
+// structural side of the win; the ns/op ratio is the latency side
+// (recorded in BENCH_3.json).
+func BenchmarkIncrementalEdit(b *testing.B) {
+	base := benchGraph(b, "c7552")
+	scales := [2]float64{2, 0.5} // exact inverses: the graph never drifts
+	// The win is proportional to the edited edge's fan-out cone, so both
+	// ends of the spectrum are measured: "local" is a late-stage fix right
+	// before the outputs (the common ECO — tiny cone), "midcone" an edit in
+	// the thick of the graph (cone ~25% of all vertices on this benchmark).
+	for _, tc := range []struct {
+		name string
+		edge int
+	}{
+		{"local", len(base.Edges) - 1},
+		{"midcone", len(base.Edges) / 2},
+	} {
+		b.Run(tc.name+"/full", func(b *testing.B) {
+			g := base.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.ScaleEdgeDelay(tc.edge, scales[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := g.MaxDelay(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/incremental", func(b *testing.B) {
+			g := base.Clone()
+			inc, err := g.NewIncremental()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var recomputed int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.ScaleEdgeDelay(tc.edge, scales[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				st, err := inc.Update(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := inc.MaxDelay(); err != nil {
+					b.Fatal(err)
+				}
+				recomputed += st.Forward
+			}
+			b.ReportMetric(float64(recomputed)/float64(b.N), "reverts/op")
+			b.ReportMetric(float64(base.NumVerts), "verts")
+		})
+	}
+}
+
+// BenchmarkSessionSwapModule measures the hierarchical ECO: swapping one
+// instance of the quad design between two characterizations of its module
+// (extracted at different reduction thresholds — same ports, different
+// model) through a design session (per-instance restitch from caches +
+// full re-propagation) versus a from-scratch Analyze of an equivalently
+// mutated design.
+func BenchmarkSessionSwapModule(b *testing.B) {
+	flow := ssta.DefaultFlow()
+	g, plan, err := flow.BenchGraph("c1355", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkMod := func(delta float64) *ssta.Module {
+		model, err := flow.Extract(g, ssta.ExtractOptions{Delta: delta})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := ssta.NewModule("c1355", model, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mod
+	}
+	mods := [2]*ssta.Module{mkMod(0.05), mkMod(0.08)}
+	d, err := flow.QuadDesign("quad", mods[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("analyze", func(b *testing.B) {
+		mirror := d.CopyStructure()
+		for i := 0; i < b.N; i++ {
+			mirror.Instances[1].Module = mods[(i+1)%2]
+			if _, err := mirror.Analyze(ssta.FullCorrelation); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		sess, err := flow.NewDesignSession(context.Background(), d, ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Apply(context.Background(), []ssta.Edit{
+				{Op: ssta.EditSwapModule, Instance: "B", Module: mods[(i+1)%2]},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAllPairs measures the all-pairs delay-matrix computation used by

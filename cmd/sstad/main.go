@@ -10,14 +10,20 @@
 //
 // Endpoints (see internal/server for the wire schema):
 //
-//	POST /v1/analyze     synchronous batch analysis
-//	POST /v1/jobs        asynchronous submit; GET/DELETE /v1/jobs/{id}
-//	GET  /healthz        liveness probe
-//	GET  /metrics        Prometheus text metrics
+//	POST /v1/analyze             synchronous batch analysis
+//	POST /v1/jobs                asynchronous submit; GET/DELETE /v1/jobs/{id}
+//	POST /v1/sessions            create an incremental timing session
+//	POST /v1/sessions/{id}/edits apply an edit batch, re-analyzed incrementally
+//	GET/DELETE /v1/sessions/{id} inspect / drop a session
+//	GET  /healthz                liveness probe
+//	GET  /metrics                Prometheus text metrics
 //
 // Example:
 //
 //	curl -s localhost:8080/v1/analyze -d '{"items":[{"bench":"c432","seed":1}]}'
+//	curl -s localhost:8080/v1/sessions -d '{"bench":"c432","seed":1}'
+//	curl -s localhost:8080/v1/sessions/sess-1/edits \
+//	    -d '{"edits":[{"op":"scale_delay","edge":5,"scale":1.2}]}'
 package main
 
 import (
@@ -48,6 +54,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper clamp on client-requested deadlines")
 	maxItems := flag.Int("max-items", 256, "maximum items per request")
+	maxSessions := flag.Int("max-sessions", 64, "maximum live timing sessions")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle timing sessions are evicted after this")
 	flag.Parse()
 
 	flow := ssta.DefaultFlow()
@@ -62,6 +70,8 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		MaxItems:          *maxItems,
 		GraphCacheEntries: *graphEntries,
+		MaxSessions:       *maxSessions,
+		SessionTTL:        *sessionTTL,
 	})
 
 	hs := &http.Server{

@@ -84,4 +84,37 @@
 // passes — including the one-pass-per-input all-pairs scheme and the
 // criticality engine's cutset evaluation — perform O(1) allocations per
 // pass. See README.md ("Performance") and BENCH_2.json for measurements.
+//
+// # Incremental analysis: the edit and invalidation model
+//
+// The paper's ECO argument — change one module, re-extract one model,
+// restitch — extends down to single edits. timing.Graph is mutable through
+// an edit API (SetEdgeDelay, ScaleEdgeDelay, SetEdgeNominal, AddEdgeLive,
+// RemoveEdge, RetargetIO) with a layered invalidation contract:
+//
+//   - The flat edge-delay bank is never allowed to go stale: delay edits
+//     patch the affected slot in place, edge additions invalidate the bank
+//     structurally (capacity mismatch forces a rebuild), and removed edges
+//     leave unreferenced slots behind tombstones so edge indices stay
+//     stable.
+//   - The cached topological order survives every edit that provably keeps
+//     it valid (delay edits, removals, order-respecting additions). An
+//     order-violating addition — the one edit that would reorder Clark-max
+//     operands at vertices far outside its cone — conservatively marks the
+//     whole graph dirty instead.
+//   - Every edit records dirty seed vertices. timing.Incremental owns
+//     persistent arrival/required banks and absorbs the seeds in Update,
+//     re-propagating only the affected fan-out/fan-in cones in an
+//     operation order that reproduces a full pass bit for bit, with early
+//     termination once a recomputed form matches the stored one at 1e-12.
+//
+// One level up, hier.Session splits the analysis prep into per-instance
+// units: swapping or re-characterizing one instance recomputes only that
+// instance's replacement matrix and rewritten-edge cache, recommitting the
+// other instances from cache (models come through the shared
+// ExtractCache). ssta.Session is the public stateful facade over both, and
+// internal/server exposes it as HTTP sessions (POST /v1/sessions, POST
+// /v1/sessions/{id}/edits) with idle-TTL eviction — clients pay one full
+// analysis per session and incremental cost per edit batch. See README.md
+// ("Incremental analysis & sessions") and BENCH_3.json.
 package repro

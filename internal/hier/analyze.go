@@ -208,22 +208,32 @@ type preppedEdge struct {
 
 // rewriteEdge maps one instance edge into the design space: the mode's
 // variable replacement (eq. 19 for FullCorrelation, private block placement
-// for GlobalOnly) plus the boundary load/slew scale.
+// for GlobalOnly) plus the boundary load/slew scale. It is the composition
+// of rewriteEdgeRaw (the expensive replacement, cacheable per instance
+// because it is independent of the boundary conditions) and scaleEdge (the
+// cheap per-stitch boundary adjustment); scaling after rewriting is
+// bit-identical to the fused computation because every component is scaled
+// elementwise.
 func rewriteEdge(e *timing.Edge, i int, pp *prep, nP int, mgmComps int,
 	extraTo, extraFrom map[int]float64, useOrig bool) (preppedEdge, error) {
-	scale := 1.0
-	if ex := extraTo[e.To] + extraFrom[e.From]; ex != 0 && e.Delay.Nominal > 0 {
-		scale = (e.Delay.Nominal + ex) / e.Delay.Nominal
-		if scale < 0.1 {
-			scale = 0.1 // sharp external transitions cannot erase the arc
-		}
+	pe, err := rewriteEdgeRaw(e, i, pp, nP, mgmComps, useOrig)
+	if err != nil {
+		return pe, err
 	}
+	if scale := boundaryScale(e, extraTo, extraFrom); scale != 1 {
+		pe = scaleEdge(pe, scale)
+	}
+	return pe, nil
+}
+
+// rewriteEdgeRaw maps one instance edge into the design space without any
+// boundary scale. The returned edge may be cached and shared; scaleEdge
+// never mutates it.
+func rewriteEdgeRaw(e *timing.Edge, i int, pp *prep, nP int, mgmComps int, useOrig bool) (preppedEdge, error) {
 	f := pp.space.NewForm()
-	f.Nominal = e.Delay.Nominal * scale
-	for k, v := range e.Delay.Glob {
-		f.Glob[k] = v * scale
-	}
-	f.Rand = e.Delay.Rand * scale
+	f.Nominal = e.Delay.Nominal
+	copy(f.Glob, e.Delay.Glob)
+	f.Rand = e.Delay.Rand
 	switch pp.mode {
 	case FullCorrelation:
 		// x = A^+ B_n x_t (eq. 19): coefficient vector per
@@ -234,29 +244,52 @@ func rewriteEdge(e *timing.Edge, i int, pp *prep, nP int, mgmComps int,
 			if err != nil {
 				return preppedEdge{}, err
 			}
-			out := f.Loc[p*pp.part.Grids.Comps : (p+1)*pp.part.Grids.Comps]
-			for k, v := range dst {
-				out[k] = v * scale
-			}
+			copy(f.Loc[p*pp.part.Grids.Comps:(p+1)*pp.part.Grids.Comps], dst)
 		}
 	case GlobalOnly:
-		out := f.Loc[pp.instLocStart[i]:pp.instLocStart[i+1]]
-		for k, v := range e.Delay.Loc {
-			out[k] = v * scale
-		}
+		copy(f.Loc[pp.instLocStart[i]:pp.instLocStart[i+1]], e.Delay.Loc)
 	}
 	pe := preppedEdge{from: e.From, to: e.To, f: f}
 	if useOrig && pp.part != nil {
 		pe.lsens = e.LSens
-		if scale != 1 && pe.lsens != nil {
-			pe.lsens = make([]float64, len(e.LSens))
-			for k, v := range e.LSens {
-				pe.lsens[k] = v * scale
-			}
-		}
 		pe.grid = pp.part.InstStart[i] + e.Grid
 	}
 	return pe, nil
+}
+
+// boundaryScale returns the load/slew adjustment factor for an edge given
+// the instance's boundary-extra maps.
+func boundaryScale(e *timing.Edge, extraTo, extraFrom map[int]float64) float64 {
+	if ex := extraTo[e.To] + extraFrom[e.From]; ex != 0 && e.Delay.Nominal > 0 {
+		s := (e.Delay.Nominal + ex) / e.Delay.Nominal
+		if s < 0.1 {
+			s = 0.1 // sharp external transitions cannot erase the arc
+		}
+		return s
+	}
+	return 1
+}
+
+// scaleEdge returns a scaled copy of a raw prepped edge, leaving the input
+// (a potential cache entry) untouched.
+func scaleEdge(pe preppedEdge, scale float64) preppedEdge {
+	f := pe.f.Clone()
+	f.Nominal *= scale
+	for k := range f.Glob {
+		f.Glob[k] *= scale
+	}
+	for k := range f.Loc {
+		f.Loc[k] *= scale
+	}
+	f.Rand *= scale
+	out := preppedEdge{from: pe.from, to: pe.to, f: f, grid: pe.grid}
+	if pe.lsens != nil {
+		out.lsens = make([]float64, len(pe.lsens))
+		for k, v := range pe.lsens {
+			out.lsens[k] = v * scale
+		}
+	}
+	return out
 }
 
 // rewriteChunkSize is the number of edges one pool task rewrites; small
@@ -275,11 +308,13 @@ func (d *Design) buildTop(ctx context.Context, mode Mode, useOrig bool, opt Anal
 	}
 	space, part := pp.space, pp.part
 
-	// Instance name index: O(1) port lookups during stitching.
+	// Instance name index and per-graph port maps: O(1) lookups during
+	// stitching instead of per-net linear scans over ports.
 	instIdx := make(map[string]int, len(d.Instances))
 	for i, inst := range d.Instances {
 		instIdx[inst.Name] = i
 	}
+	ports := d.portIndexes(useOrig)
 
 	// Count vertices and assign per-instance bases.
 	base := make([]int, len(d.Instances))
@@ -298,7 +333,7 @@ func (d *Design) buildTop(ctx context.Context, mode Mode, useOrig bool, opt Anal
 	// input ports driven by slower-than-reference transitions see extra
 	// delay on their fanout edges. Both adjustments scale the affected
 	// edges so relative sensitivities are preserved.
-	extraTo, extraFrom, err := d.boundaryExtras(ctx, useOrig, instIdx, opt.Workers)
+	extraTo, extraFrom, err := d.boundaryExtras(ctx, useOrig, instIdx, ports, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -353,14 +388,13 @@ func (d *Design) buildTop(ctx context.Context, mode Mode, useOrig bool, opt Anal
 			return 0, fmt.Errorf("hier: unknown instance %q", p.Instance)
 		}
 		ig := d.instGraph(d.Instances[idx], useOrig)
-		names, verts := ig.OutputNames, ig.Outputs
+		pm := ports[ig]
 		if wantInput {
-			names, verts = ig.InputNames, ig.Inputs
-		}
-		for k, n := range names {
-			if n == p.Port {
-				return base[idx] + verts[k], nil
+			if k, ok := pm.in[p.Port]; ok {
+				return base[idx] + ig.Inputs[k], nil
 			}
+		} else if k, ok := pm.out[p.Port]; ok {
+			return base[idx] + ig.Outputs[k], nil
 		}
 		return 0, fmt.Errorf("hier: port %v not found", p)
 	}
@@ -429,7 +463,7 @@ func (d *Design) instGraph(inst *Instance, useOrig bool) *timing.Graph {
 // The per-net conditions are evaluated on the worker pool; contributions
 // are then merged serially in net order, so the floating-point accumulation
 // order — and hence the result — is identical to a serial run.
-func (d *Design) boundaryExtras(ctx context.Context, useOrig bool, instIdx map[string]int, workers int) (extraTo, extraFrom []map[int]float64, err error) {
+func (d *Design) boundaryExtras(ctx context.Context, useOrig bool, instIdx map[string]int, ports map[*timing.Graph]portIndex, workers int) (extraTo, extraFrom []map[int]float64, err error) {
 	extraTo = make([]map[int]float64, len(d.Instances))
 	extraFrom = make([]map[int]float64, len(d.Instances))
 	for i := range extraTo {
@@ -460,7 +494,7 @@ func (d *Design) boundaryExtras(ctx context.Context, useOrig bool, instIdx map[s
 		if ig.OutputLoadSlopes == nil {
 			continue
 		}
-		if k := outPortIndex(ig, pr.Port); k >= 0 {
+		if k, ok := ports[ig].out[pr.Port]; ok {
 			extraTo[idx][ig.Outputs[k]] = ig.OutputLoadSlopes[k] * float64(cnt-1)
 		}
 	}
@@ -481,8 +515,8 @@ func (d *Design) boundaryExtras(ctx context.Context, useOrig bool, instIdx map[s
 		if fg.OutputPortSlews == nil {
 			return nil
 		}
-		k := outPortIndex(fg, n.From.Port)
-		if k < 0 {
+		k, ok := ports[fg].out[n.From.Port]
+		if !ok {
 			return nil
 		}
 		drvSlew := fg.OutputPortSlews[k]
@@ -496,7 +530,7 @@ func (d *Design) boundaryExtras(ctx context.Context, useOrig bool, instIdx map[s
 		if tg.InputSlewSlopes == nil || tg.RefSlew <= 0 {
 			return nil
 		}
-		if kt := inPortIndex(tg, n.To.Port); kt >= 0 {
+		if kt, ok := ports[tg].in[n.To.Port]; ok {
 			contrib[ni] = slewContrib{
 				inst: ti, vert: tg.Inputs[kt],
 				delta: tg.InputSlewSlopes[kt] * (drvSlew - tg.RefSlew),
@@ -516,22 +550,35 @@ func (d *Design) boundaryExtras(ctx context.Context, useOrig bool, instIdx map[s
 	return extraTo, extraFrom, nil
 }
 
-func outPortIndex(g *timing.Graph, port string) int {
-	for k, name := range g.OutputNames {
-		if name == port {
-			return k
-		}
-	}
-	return -1
+// portIndex maps port names to port positions for one instance graph —
+// built once per stitch so the per-net and per-boundary-edge lookups are
+// O(1) instead of linear scans over the port name lists.
+type portIndex struct {
+	in, out map[string]int
 }
 
-func inPortIndex(g *timing.Graph, port string) int {
-	for k, name := range g.InputNames {
-		if name == port {
-			return k
+// portIndexes builds the per-graph port maps for every distinct instance
+// graph of the design; instances sharing one module graph share one entry.
+func (d *Design) portIndexes(useOrig bool) map[*timing.Graph]portIndex {
+	idx := make(map[*timing.Graph]portIndex, len(d.Instances))
+	for _, inst := range d.Instances {
+		ig := d.instGraph(inst, useOrig)
+		if _, ok := idx[ig]; ok {
+			continue
 		}
+		pi := portIndex{
+			in:  make(map[string]int, len(ig.InputNames)),
+			out: make(map[string]int, len(ig.OutputNames)),
+		}
+		for k, n := range ig.InputNames {
+			pi.in[n] = k
+		}
+		for k, n := range ig.OutputNames {
+			pi.out[n] = k
+		}
+		idx[ig] = pi
 	}
-	return -1
+	return idx
 }
 
 func (m *Module) gridModel() *variation.GridModel {

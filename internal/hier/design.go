@@ -106,6 +106,27 @@ type Design struct {
 	preps  map[Mode]*prepSlot
 }
 
+// CopyStructure returns an independent structural copy of the design for
+// session-style mutation: the instance and net lists are deep copied (so a
+// module swap or net-delay edit cannot leak into the original), while the
+// immutable heavyweights — modules, correlation model, parameters — are
+// shared. The copy starts with an empty prep cache.
+func (d *Design) CopyStructure() *Design {
+	nd := &Design{
+		Name: d.Name, Width: d.Width, Height: d.Height, Pitch: d.Pitch,
+		Corr: d.Corr, Params: d.Params,
+		Instances:      make([]*Instance, len(d.Instances)),
+		Nets:           append([]Net(nil), d.Nets...),
+		PrimaryInputs:  append([]PortRef(nil), d.PrimaryInputs...),
+		PrimaryOutputs: append([]PortRef(nil), d.PrimaryOutputs...),
+	}
+	for i, inst := range d.Instances {
+		cp := *inst
+		nd.Instances[i] = &cp
+	}
+	return nd
+}
+
 // instance returns the instance with the given name.
 func (d *Design) instance(name string) (*Instance, int, error) {
 	for i, inst := range d.Instances {

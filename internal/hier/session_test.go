@@ -1,0 +1,161 @@
+package hier
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+var sessionSpec = circuit.TopoSpec{Name: "g90", PIs: 10, POs: 5, Gates: 90, Edges: 190, Depth: 10}
+
+// sessionDesign builds a quad design around a generated module plus a
+// same-footprint replacement module (same spec, different seed).
+func sessionDesign(t *testing.T) (*Design, *Module, *Module) {
+	t.Helper()
+	mod := genModule(t, sessionSpec, 1)
+	alt := genModule(t, sessionSpec, 2)
+	if alt.NX != mod.NX || alt.NY != mod.NY || alt.Pitch != mod.Pitch {
+		t.Fatalf("generated modules differ in footprint: %dx%d vs %dx%d",
+			mod.NX, mod.NY, alt.NX, alt.NY)
+	}
+	return twoByTwo(t, mod), mod, alt
+}
+
+func sessionDelayDiff(t *testing.T, s *Session, want *Design, mode Mode) float64 {
+	t.Helper()
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.MaxDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := want.Analyze(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return formsAgree(got, res.Delay)
+}
+
+func TestSessionMatchesAnalyze(t *testing.T) {
+	d, _, _ := sessionDesign(t)
+	for _, mode := range []Mode{FullCorrelation, GlobalOnly} {
+		s, err := NewSession(context.Background(), d.CopyStructure(), mode, AnalyzeOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := sessionDelayDiff(t, s, d, mode); diff > 1e-9 {
+			t.Fatalf("mode %v: session stitch differs from Analyze by %g", mode, diff)
+		}
+	}
+}
+
+func TestSessionSwapModule(t *testing.T) {
+	d, mod, alt := sessionDesign(t)
+	for _, mode := range []Mode{FullCorrelation, GlobalOnly} {
+		s, err := NewSession(context.Background(), d.CopyStructure(), mode, AnalyzeOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Swap instance B to the re-characterized module; the from-scratch
+		// reference is a fresh design with the same swap applied.
+		if err := s.SwapModule(context.Background(), "B", alt); err != nil {
+			t.Fatal(err)
+		}
+		want := d.CopyStructure()
+		want.Instances[1].Module = alt
+		if diff := sessionDelayDiff(t, s, want, mode); diff > 1e-9 {
+			t.Fatalf("mode %v: post-swap session differs from Analyze by %g", mode, diff)
+		}
+		// Swap back: the session must return to the original answer.
+		if err := s.SwapModule(context.Background(), "B", mod); err != nil {
+			t.Fatal(err)
+		}
+		if diff := sessionDelayDiff(t, s, d, mode); diff > 1e-9 {
+			t.Fatalf("mode %v: swap round-trip differs from Analyze by %g", mode, diff)
+		}
+	}
+}
+
+func TestSessionSwapUnknownInstance(t *testing.T) {
+	d, _, alt := sessionDesign(t)
+	s, err := NewSession(context.Background(), d.CopyStructure(), FullCorrelation, AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapModule(context.Background(), "nope", alt); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+	if err := s.SwapModule(context.Background(), "A", nil); err == nil {
+		t.Fatal("nil module accepted")
+	}
+	// The failed swaps must not have corrupted the session.
+	if diff := sessionDelayDiff(t, s, d, FullCorrelation); diff > 1e-9 {
+		t.Fatalf("failed swap corrupted the session (diff %g)", diff)
+	}
+}
+
+// TestSessionSwapInterrupted checks the transactional contract: a swap
+// cancelled mid-derivation must leave the session fully on its previous
+// state — design, prep, caches and top graph — and a later swap succeeds.
+func TestSessionSwapInterrupted(t *testing.T) {
+	d, _, alt := sessionDesign(t)
+	s, err := NewSession(context.Background(), d.CopyStructure(), FullCorrelation, AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.SwapModule(ctx, "B", alt); err == nil {
+		t.Fatal("cancelled swap reported success")
+	}
+	if s.Stale() {
+		t.Fatal("failed swap left the session stale")
+	}
+	if s.Design().Instances[1].Module == alt {
+		t.Fatal("failed swap committed the module")
+	}
+	if diff := sessionDelayDiff(t, s, d, FullCorrelation); diff > 1e-9 {
+		t.Fatalf("failed swap corrupted the session (diff %g)", diff)
+	}
+	// The same swap applies cleanly afterwards.
+	if err := s.SwapModule(context.Background(), "B", alt); err != nil {
+		t.Fatal(err)
+	}
+	want := d.CopyStructure()
+	want.Instances[1].Module = alt
+	if diff := sessionDelayDiff(t, s, want, FullCorrelation); diff > 1e-9 {
+		t.Fatalf("post-recovery swap differs from Analyze by %g", diff)
+	}
+}
+
+func TestSessionSetNetDelay(t *testing.T) {
+	d, _, _ := sessionDesign(t)
+	s, err := NewSession(context.Background(), d.CopyStructure(), FullCorrelation, AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetNetDelay(0, 35); err != nil {
+		t.Fatal(err)
+	}
+	want := d.CopyStructure()
+	want.Nets[0].Delay = 35
+	if diff := sessionDelayDiff(t, s, want, FullCorrelation); diff > 1e-9 {
+		t.Fatalf("net-delay edit differs from Analyze by %g", diff)
+	}
+	if err := s.SetNetDelay(-1, 1); err == nil {
+		t.Fatal("negative net index accepted")
+	}
+	if err := s.SetNetDelay(0, -5); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	// A restitch (module swap) must preserve the edited net delay.
+	if err := s.SwapModule(context.Background(), "A", s.Design().Instances[0].Module); err != nil {
+		t.Fatal(err)
+	}
+	if diff := sessionDelayDiff(t, s, want, FullCorrelation); diff > 1e-9 {
+		t.Fatalf("restitch lost the net-delay edit (diff %g)", diff)
+	}
+}

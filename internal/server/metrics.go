@@ -32,6 +32,17 @@ type metrics struct {
 	latSum   float64
 	latCount int64
 	latMax   float64
+
+	// Session lifecycle and incremental-reanalysis latency.
+	sessionsCreated atomic.Int64
+	sessionsDeleted atomic.Int64
+	sessionsEvicted atomic.Int64
+	editsApplied    atomic.Int64 // individual edits across all batches
+
+	reanMu    sync.Mutex
+	reanSum   float64 // seconds, per applied edit batch
+	reanCount int64
+	reanMax   float64
 }
 
 func newMetrics() *metrics {
@@ -52,6 +63,19 @@ func (m *metrics) observeItem(d time.Duration, failed bool) {
 		m.latMax = sec
 	}
 	m.latMu.Unlock()
+}
+
+// observeReanalysis records one applied session edit batch.
+func (m *metrics) observeReanalysis(d time.Duration, edits int) {
+	m.editsApplied.Add(int64(edits))
+	sec := d.Seconds()
+	m.reanMu.Lock()
+	m.reanSum += sec
+	m.reanCount++
+	if sec > m.reanMax {
+		m.reanMax = sec
+	}
+	m.reanMu.Unlock()
 }
 
 // handleMetrics renders the scrape. The gauges come from the server so the
@@ -103,4 +127,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP sstad_graph_cache Built-graph cache counters.")
 	p("sstad_graph_cache_hits_total %d", gHits)
 	p("sstad_graph_cache_misses_total %d", gMisses)
+	m.reanMu.Lock()
+	reanSum, reanCount, reanMax := m.reanSum, m.reanCount, m.reanMax
+	m.reanMu.Unlock()
+	p("# HELP sstad_sessions Live timing sessions.")
+	p("sstad_sessions %d", s.sessions.len())
+	p("# HELP sstad_sessions_lifecycle_total Session lifecycle counters.")
+	p(`sstad_sessions_lifecycle_total{event="created"} %d`, m.sessionsCreated.Load())
+	p(`sstad_sessions_lifecycle_total{event="deleted"} %d`, m.sessionsDeleted.Load())
+	p(`sstad_sessions_lifecycle_total{event="evicted"} %d`, m.sessionsEvicted.Load())
+	p("# HELP sstad_session_edits_total Individual edits applied across all batches.")
+	p("sstad_session_edits_total %d", m.editsApplied.Load())
+	p("# HELP sstad_session_reanalysis_seconds Incremental re-analysis latency per edit batch.")
+	p("sstad_session_reanalysis_seconds_sum %g", reanSum)
+	p("sstad_session_reanalysis_seconds_count %d", reanCount)
+	p("sstad_session_reanalysis_seconds_max %g", reanMax)
 }

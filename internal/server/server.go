@@ -66,6 +66,10 @@ type Config struct {
 	// none (<=0: 1; keep small, item concurrency is already bounded by
 	// MaxConcurrent).
 	Workers int
+	// MaxSessions bounds live timing sessions (<=0: 64).
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (<=0: 15m).
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,19 +103,26 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
 	return c
 }
 
 // Server is the sstad daemon state. Create with New, expose via Handler,
 // stop with Close.
 type Server struct {
-	cfg     Config
-	flow    *ssta.Flow
-	mux     *http.ServeMux
-	sem     chan struct{} // analysis slots; len(sem) = running analyses
-	graphs  *graphCache
-	jobs    *jobStore
-	metrics *metrics
+	cfg      Config
+	flow     *ssta.Flow
+	mux      *http.ServeMux
+	sem      chan struct{} // analysis slots; len(sem) = running analyses
+	graphs   *graphCache
+	jobs     *jobStore
+	sessions *sessionStore
+	metrics  *metrics
 
 	quadMu   sync.Mutex
 	quads    map[quadKey]*ssta.Design
@@ -143,6 +154,7 @@ func New(cfg Config) *Server {
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		graphs:   newGraphCache(cfg.GraphCacheEntries),
 		jobs:     newJobStore(cfg.QueueDepth, cfg.MaxFinishedJobs),
+		sessions: newSessionStore(cfg.MaxSessions, cfg.SessionTTL),
 		metrics:  newMetrics(),
 		quads:    make(map[quadKey]*ssta.Design),
 		maxQuads: cfg.GraphCacheEntries,
@@ -153,12 +165,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobPoll)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/edits", s.handleSessionEdits)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for w := 0; w < cfg.JobWorkers; w++ {
 		s.wg.Add(1)
 		go s.runJobs(base)
 	}
+	s.wg.Add(1)
+	go s.runSessionJanitor(base)
 	return s
 }
 
@@ -348,7 +366,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"active_analyses": s.activeAnalyses(),
 		"queued_jobs":     queued,
 		"running_jobs":    running,
+		"sessions":        s.sessions.len(),
 	})
+}
+
+// decodeJSONStrict decodes a request body rejecting unknown fields.
+func decodeJSONStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

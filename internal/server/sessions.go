@@ -1,0 +1,524 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/ssta"
+)
+
+// This file is the stateful half of the daemon: timing sessions. A client
+// creates a session (paying one full analysis), then streams edit batches
+// against it; every batch is re-analyzed incrementally — only the edited
+// fan-out cones are re-propagated, or a per-instance restitch for module
+// swaps — and answered with the delta. Sessions are evicted after an idle
+// TTL so abandoned clients cannot pin graphs forever.
+//
+//	POST   /v1/sessions            create (body: one item spec)
+//	GET    /v1/sessions/{id}       inspect
+//	POST   /v1/sessions/{id}/edits apply an edit batch, return the delta
+//	DELETE /v1/sessions/{id}       drop
+//
+// Edit ops over the wire (see EditSpec): scale_delay, set_nominal,
+// add_edge, remove_edge on flat sessions; set_net_delay, swap_module on
+// hierarchical (quad) sessions.
+
+// SessionCreateRequest is the body of POST /v1/sessions: the same item
+// vocabulary as /v1/analyze (exactly one of bench, netlist, mult, quad),
+// analyzed once to seed the session.
+type SessionCreateRequest struct {
+	ItemSpec
+	// TimeoutMS caps the initial full analysis. Zero: server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// EditSpec is one edit of a session batch.
+type EditSpec struct {
+	// Op is the edit kind: "scale_delay", "set_nominal", "add_edge",
+	// "remove_edge" (flat sessions), "set_net_delay", "swap_module"
+	// (hierarchical sessions).
+	Op string `json:"op"`
+	// Edge is the target edge index for scale_delay/set_nominal/remove_edge.
+	Edge int `json:"edge,omitempty"`
+	// Scale is the positive delay factor for scale_delay.
+	Scale float64 `json:"scale,omitempty"`
+	// ValuePS is the nominal delay for set_nominal, the constant delay for
+	// add_edge, and the wire delay for set_net_delay.
+	ValuePS float64 `json:"value_ps,omitempty"`
+	// From/To are the endpoints for add_edge.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Net is the design net index for set_net_delay.
+	Net int `json:"net,omitempty"`
+	// Instance names the target instance for swap_module; Bench/Seed name
+	// the replacement module, which is generated, extracted (through the
+	// shared extraction cache) and stitched in.
+	Instance string `json:"instance,omitempty"`
+	Bench    string `json:"bench,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// SessionEditRequest is the body of POST /v1/sessions/{id}/edits.
+type SessionEditRequest struct {
+	Edits     []EditSpec `json:"edits"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+}
+
+// SessionView is the wire representation of a session.
+type SessionView struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"` // "flat" or "hier"
+	Verts      int     `json:"verts"`
+	Edges      int     `json:"edges"`
+	MeanPS     float64 `json:"mean_ps"`
+	StdPS      float64 `json:"std_ps"`
+	P9987PS    float64 `json:"p9987_ps"`
+	Edits      int64   `json:"edits"`
+	CreatedMS  int64   `json:"created_unix_ms"`
+	LastUsedMS int64   `json:"last_used_unix_ms"`
+	// ElapsedMS is the wall-clock cost of the initial full analysis (on the
+	// create response) — the price edits then amortize.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// SessionEditResponse is the delta returned for one applied edit batch.
+type SessionEditResponse struct {
+	Applied         int     `json:"applied"`
+	MeanPS          float64 `json:"mean_ps"`
+	StdPS           float64 `json:"std_ps"`
+	P9987PS         float64 `json:"p9987_ps"`
+	RecomputedVerts int     `json:"recomputed_verts"`
+	TotalVerts      int     `json:"total_verts"`
+	FullReprop      bool    `json:"full_reprop,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// srvSession is one live session plus its bookkeeping.
+type srvSession struct {
+	id      string
+	seq     int64
+	name    string
+	sess    *ssta.Session
+	created time.Time
+
+	mu       sync.Mutex // guards lastUsed/edits (the session serializes itself)
+	lastUsed time.Time
+	edits    int64
+}
+
+func (s *srvSession) touch() {
+	s.mu.Lock()
+	s.lastUsed = time.Now()
+	s.mu.Unlock()
+}
+
+// sessionStore is the bounded session registry with idle-TTL eviction.
+type sessionStore struct {
+	mu       sync.Mutex
+	sessions map[string]*srvSession
+	seq      int64
+	max      int
+	ttl      time.Duration
+}
+
+func newSessionStore(max int, ttl time.Duration) *sessionStore {
+	if max <= 0 {
+		max = 64
+	}
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	return &sessionStore{sessions: make(map[string]*srvSession), max: max, ttl: ttl}
+}
+
+// add registers a session, failing when the table is full (429 upstream).
+func (st *sessionStore) add(name string, sess *ssta.Session) (*srvSession, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.sessions) >= st.max {
+		return nil, fmt.Errorf("session table full (%d live)", len(st.sessions))
+	}
+	st.seq++
+	now := time.Now()
+	s := &srvSession{
+		id:      fmt.Sprintf("sess-%d", st.seq),
+		seq:     st.seq,
+		name:    name,
+		sess:    sess,
+		created: now,
+	}
+	s.lastUsed = now
+	st.sessions[s.id] = s
+	return s, nil
+}
+
+func (st *sessionStore) get(id string) (*srvSession, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
+	return s, ok
+}
+
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sessions[id]; !ok {
+		return false
+	}
+	delete(st.sessions, id)
+	return true
+}
+
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// full reports whether the table is at capacity — the cheap admission
+// precheck; add remains the authoritative bound.
+func (st *sessionStore) full() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions) >= st.max
+}
+
+// evictIdle drops sessions idle beyond the TTL, oldest first, and returns
+// how many were evicted.
+func (st *sessionStore) evictIdle(now time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var idle []*srvSession
+	for _, s := range st.sessions {
+		s.mu.Lock()
+		last := s.lastUsed
+		s.mu.Unlock()
+		if now.Sub(last) > st.ttl {
+			idle = append(idle, s)
+		}
+	}
+	sort.Slice(idle, func(a, b int) bool { return idle[a].seq < idle[b].seq })
+	for _, s := range idle {
+		delete(st.sessions, s.id)
+	}
+	return len(idle)
+}
+
+// runSessionJanitor periodically evicts idle sessions until shutdown.
+func (s *Server) runSessionJanitor(base context.Context) {
+	defer s.wg.Done()
+	interval := s.sessions.ttl / 4
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-base.Done():
+			return
+		case now := <-tick.C:
+			if n := s.sessions.evictIdle(now); n > 0 {
+				s.metrics.sessionsEvicted.Add(int64(n))
+			}
+		}
+	}
+}
+
+// view snapshots a session for the wire.
+func (s *srvSession) view() SessionView {
+	info := s.sess.Info()
+	s.mu.Lock()
+	lastUsed, edits := s.lastUsed, s.edits
+	s.mu.Unlock()
+	v := SessionView{
+		ID: s.id, Name: s.name,
+		Kind:       "flat",
+		Verts:      info.Verts,
+		Edges:      info.Edges,
+		Edits:      edits,
+		CreatedMS:  s.created.UnixMilli(),
+		LastUsedMS: lastUsed.UnixMilli(),
+	}
+	if info.Hier {
+		v.Kind = "hier"
+	}
+	if info.Delay != nil {
+		v.MeanPS = info.Delay.Mean()
+		v.StdPS = info.Delay.Std()
+		v.P9987PS = info.Delay.Quantile(0.99865)
+	}
+	return v
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := decodeJSONStrict(r, &req); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	// Refuse a full table before paying the initial analysis, so a create
+	// storm against a full table sheds load for free instead of burning
+	// analysis slots on doomed work (the bound is re-checked at add, which
+	// stays authoritative under concurrent creates).
+	if s.sessions.full() {
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "session table full")
+		return
+	}
+	ctx, cancel := s.requestCtx(r.Context(), &AnalyzeRequest{TimeoutMS: req.TimeoutMS})
+	defer cancel()
+	// The full initial analysis holds an analysis slot like any other work.
+	if !s.acquireSlot(ctx, w) {
+		return
+	}
+	defer s.releaseSlot()
+
+	start := time.Now()
+	sess, name, err := s.buildSession(ctx, &req.ItemSpec)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.itemsRejected.Add(1)
+			httpError(w, http.StatusRequestTimeout, err.Error())
+			return
+		}
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	reg, err := s.sessions.add(name, sess)
+	if err != nil {
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	s.metrics.sessionsCreated.Add(1)
+	v := reg.view()
+	v.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusCreated, v)
+}
+
+// buildSession constructs the ssta.Session for one item spec. Flat graphs
+// come from the shared graph cache (the session clones them); quad designs
+// come from the design cache (the session copies their structure), so the
+// expensive artifacts — built graphs, extracted models — stay shared.
+func (s *Server) buildSession(ctx context.Context, spec *ItemSpec) (*ssta.Session, string, error) {
+	set := spec.inputs()
+	if len(set) != 1 {
+		return nil, "", fmt.Errorf("session needs exactly one input of bench, netlist, mult or quad (got %d)", len(set))
+	}
+	mode, err := parseMode(spec.Mode)
+	if err != nil {
+		return nil, "", err
+	}
+	name := spec.Name
+	switch {
+	case spec.Quad != nil:
+		d, err := s.quadDesign(ctx, spec.Quad)
+		if err != nil {
+			return nil, "", err
+		}
+		if name == "" {
+			name = d.Name
+		}
+		sess, err := s.flow.NewDesignSession(ctx, d, mode, ssta.AnalyzeOptions{Workers: s.cfg.Workers})
+		return sess, name, err
+	case spec.Netlist != "":
+		c, err := ssta.ParseBench(spec.Name, strings.NewReader(spec.Netlist))
+		if err != nil {
+			return nil, "", fmt.Errorf("netlist: %w", err)
+		}
+		g, _, err := s.flow.Graph(c)
+		if err != nil {
+			return nil, "", err
+		}
+		if name == "" {
+			name = c.Name
+		}
+		sess, err := s.flow.NewGraphSession(ctx, g)
+		return sess, name, err
+	default:
+		g, err := s.cachedGraph(ctx, graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult})
+		if err != nil {
+			return nil, "", err
+		}
+		if name == "" {
+			if spec.Bench != "" {
+				name = spec.Bench
+			} else {
+				name = fmt.Sprintf("mult%d", spec.Mult)
+			}
+		}
+		sess, err := s.flow.NewGraphSession(ctx, g)
+		return sess, name, err
+	}
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	writeJSON(w, http.StatusOK, reg.view())
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	s.metrics.sessionsDeleted.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
+}
+
+func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	var req SessionEditRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := decodeJSONStrict(r, &req); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	if len(req.Edits) == 0 {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "request has no edits")
+		return
+	}
+	if len(req.Edits) > s.cfg.MaxItems {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("request has %d edits, limit %d", len(req.Edits), s.cfg.MaxItems))
+		return
+	}
+	ctx, cancel := s.requestCtx(r.Context(), &AnalyzeRequest{TimeoutMS: req.TimeoutMS})
+	defer cancel()
+
+	// Take the analysis slot before converting edits: swap_module
+	// materialization runs a graph build plus a full model extraction, and
+	// the incremental re-analysis itself is still analysis — both must
+	// respect the same global concurrency bound as everything else, or an
+	// edit storm of distinct swaps would fan out unbounded extractions.
+	if !s.acquireSlot(ctx, w) {
+		return
+	}
+	defer s.releaseSlot()
+
+	edits := make([]ssta.Edit, 0, len(req.Edits))
+	for k := range req.Edits {
+		e, err := s.convertEdit(ctx, &req.Edits[k])
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.metrics.itemsRejected.Add(1)
+				httpError(w, http.StatusRequestTimeout, fmt.Sprintf("edit %d: %v", k, err))
+				return
+			}
+			s.metrics.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("edit %d: %v", k, err))
+			return
+		}
+		edits = append(edits, e)
+	}
+
+	reg.touch()
+	rep, err := reg.sess.Apply(ctx, edits)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.itemsRejected.Add(1)
+			httpError(w, http.StatusRequestTimeout, err.Error())
+			return
+		}
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	reg.mu.Lock()
+	reg.edits += int64(rep.Applied)
+	reg.lastUsed = time.Now()
+	reg.mu.Unlock()
+	s.metrics.observeReanalysis(rep.Elapsed, rep.Applied)
+	resp := SessionEditResponse{
+		Applied:         rep.Applied,
+		RecomputedVerts: rep.Recomputed,
+		TotalVerts:      rep.TotalVerts,
+		FullReprop:      rep.FullReprop,
+		ElapsedMS:       float64(rep.Elapsed.Microseconds()) / 1000,
+	}
+	if rep.Delay != nil {
+		resp.MeanPS = rep.Delay.Mean()
+		resp.StdPS = rep.Delay.Std()
+		resp.P9987PS = rep.Delay.Quantile(0.99865)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// convertEdit maps one wire edit onto the library edit type, materializing
+// swap-in modules through the shared graph and extraction caches.
+func (s *Server) convertEdit(ctx context.Context, e *EditSpec) (ssta.Edit, error) {
+	switch strings.ToLower(e.Op) {
+	case "scale_delay":
+		return ssta.Edit{Op: ssta.EditScaleDelay, Edge: e.Edge, Scale: e.Scale}, nil
+	case "set_nominal":
+		return ssta.Edit{Op: ssta.EditSetNominal, Edge: e.Edge, Value: e.ValuePS}, nil
+	case "add_edge":
+		return ssta.Edit{Op: ssta.EditAddEdge, From: e.From, To: e.To, Value: e.ValuePS}, nil
+	case "remove_edge":
+		return ssta.Edit{Op: ssta.EditRemoveEdge, Edge: e.Edge}, nil
+	case "set_net_delay":
+		return ssta.Edit{Op: ssta.EditSetNetDelay, Net: e.Net, Value: e.ValuePS}, nil
+	case "swap_module":
+		if e.Instance == "" || e.Bench == "" {
+			return ssta.Edit{}, fmt.Errorf("swap_module needs instance and bench")
+		}
+		g, plan, err := s.graphs.get(ctx, s.flow, graphKey{bench: e.Bench, seed: e.Seed})
+		if err != nil {
+			return ssta.Edit{}, err
+		}
+		model, err := s.flow.ExtractCtx(ctx, g, ssta.ExtractOptions{})
+		if err != nil {
+			return ssta.Edit{}, fmt.Errorf("swap_module: extract %s: %w", e.Bench, err)
+		}
+		mod, err := ssta.NewModule(e.Bench, model, plan)
+		if err != nil {
+			return ssta.Edit{}, err
+		}
+		return ssta.Edit{Op: ssta.EditSwapModule, Instance: e.Instance, Module: mod}, nil
+	default:
+		return ssta.Edit{}, fmt.Errorf("unknown op %q (want scale_delay, set_nominal, add_edge, remove_edge, set_net_delay or swap_module)", e.Op)
+	}
+}
+
+// acquireSlot takes an analysis slot under ctx, writing the 429 itself on
+// failure and reporting whether the caller may proceed.
+func (s *Server) acquireSlot(ctx context.Context, w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, fmt.Sprintf("no analysis slot: %v", ctx.Err()))
+		return false
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.sem }

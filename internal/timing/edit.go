@@ -1,0 +1,250 @@
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+)
+
+// This file is the mutation API of a live timing graph — the entry point of
+// the incremental engine. Every edit keeps the graph's derived state
+// consistent (the cached flat edge-delay bank is patched or transparently
+// rebuilt, the topological order is preserved where it provably stays
+// valid) and records dirty seed vertices so a subsequent Incremental.Update
+// re-propagates only the affected fan-out/fan-in cones.
+//
+// Edits follow the same single-writer contract as AddEdge: they must not
+// run concurrently with any reader (passes, incremental updates, other
+// edits). The ssta.Session layer serializes them behind one mutex.
+
+// dirtyOverflow caps the dirty-seed lists: once more seeds accumulate than
+// the graph has vertices, precise tracking cannot beat a full re-propagation
+// and the metadata collapses to the dirtyFull flag.
+func (g *Graph) markDirty(fwdSeed, bwdSeed int) {
+	if g.dirtyFull {
+		return
+	}
+	if fwdSeed >= 0 {
+		g.fwdDirty = append(g.fwdDirty, fwdSeed)
+	}
+	if bwdSeed >= 0 {
+		g.bwdDirty = append(g.bwdDirty, bwdSeed)
+	}
+	if len(g.fwdDirty) > g.NumVerts || len(g.bwdDirty) > g.NumVerts {
+		g.dirtyFull = true
+		g.fwdDirty, g.bwdDirty = nil, nil
+	}
+}
+
+// takeDirty hands the accumulated edit metadata to the (single) consumer
+// and resets it.
+func (g *Graph) takeDirty() (fwd, bwd []int, io, full bool) {
+	fwd, bwd, io, full = g.fwdDirty, g.bwdDirty, g.dirtyIO, g.dirtyFull
+	g.fwdDirty, g.bwdDirty, g.dirtyIO, g.dirtyFull = nil, nil, false, false
+	return fwd, bwd, io, full
+}
+
+// liveEdge validates an edge index for mutation.
+func (g *Graph) liveEdge(ei int) (*Edge, error) {
+	if ei < 0 || ei >= len(g.Edges) {
+		return nil, fmt.Errorf("timing: edge index %d out of range (%d edges)", ei, len(g.Edges))
+	}
+	e := &g.Edges[ei]
+	if e.Removed {
+		return nil, fmt.Errorf("timing: edge %d already removed", ei)
+	}
+	return e, nil
+}
+
+// SetEdgeDelay replaces the delay form of an edge. The previous form is
+// never mutated (it may be shared with clones or caches); the cached flat
+// delay bank is patched in place so it can never serve the stale value.
+func (g *Graph) SetEdgeDelay(ei int, delay *canon.Form) error {
+	e, err := g.liveEdge(ei)
+	if err != nil {
+		return err
+	}
+	if !delay.In(g.Space) {
+		return fmt.Errorf("timing: edge %d delay form not in graph space", ei)
+	}
+	e.Delay = delay
+	g.delayMu.Lock()
+	if g.delayBank != nil && g.delayBank.Cap() == len(g.Edges) {
+		g.delayBank.View(ei).LoadForm(delay)
+	}
+	g.delayMu.Unlock()
+	g.markDirty(e.To, e.From)
+	return nil
+}
+
+// ScaleEdgeDelay multiplies every component of an edge's delay form by a
+// positive factor — the canonical single-knob ECO edit (a resized driver, a
+// re-bought cell). The form is cloned, not mutated.
+func (g *Graph) ScaleEdgeDelay(ei int, scale float64) error {
+	if !(scale > 0) {
+		return fmt.Errorf("timing: edge %d scale %g must be positive", ei, scale)
+	}
+	e, err := g.liveEdge(ei)
+	if err != nil {
+		return err
+	}
+	f := e.Delay.Clone()
+	f.Nominal *= scale
+	for k := range f.Glob {
+		f.Glob[k] *= scale
+	}
+	for k := range f.Loc {
+		f.Loc[k] *= scale
+	}
+	f.Rand *= scale
+	return g.SetEdgeDelay(ei, f)
+}
+
+// SetEdgeNominal replaces only the mean of an edge's delay, keeping its
+// sensitivities — a nominal-delay ECO (wire resize, added repeater). The
+// form is cloned, not mutated.
+func (g *Graph) SetEdgeNominal(ei int, nominal float64) error {
+	e, err := g.liveEdge(ei)
+	if err != nil {
+		return err
+	}
+	f := e.Delay.Clone()
+	f.Nominal = nominal
+	return g.SetEdgeDelay(ei, f)
+}
+
+// AddEdgeLive appends a delay edge to a live graph: it rejects edges that
+// would create a cycle before mutating anything, and records precise dirty
+// seeds instead of AddEdge's conservative whole-graph invalidation. The
+// cached flat delay bank is invalidated structurally — its capacity no
+// longer matches the edge count, so the next pass rebuilds it.
+//
+// When the new edge already respects the cached topological order, that
+// order is kept: contribution order at every untouched vertex — and
+// therefore every stored incremental arrival — stays exactly what a full
+// pass would produce. An order-violating (but acyclic) edge forces an
+// order recomputation, which reorders Clark-max operands at vertices far
+// outside the edit's cone; the stored state is then conservatively marked
+// fully dirty instead of being patched against a shifted order.
+func (g *Graph) AddEdgeLive(from, to int, delay *canon.Form, lsens []float64, grid int) (int, error) {
+	if from < 0 || from >= g.NumVerts || to < 0 || to >= g.NumVerts {
+		return 0, fmt.Errorf("timing: edge %d->%d outside vertex range %d", from, to, g.NumVerts)
+	}
+	if g.reaches(to, from) {
+		return 0, fmt.Errorf("timing: edge %d->%d would create a cycle", from, to)
+	}
+	g.orderMu.Lock()
+	order := g.order
+	g.orderMu.Unlock()
+	keepOrder := false
+	if order != nil {
+		posFrom, posTo := -1, -1
+		for k, v := range order {
+			if v == from {
+				posFrom = k
+			} else if v == to {
+				posTo = k
+			}
+		}
+		keepOrder = posFrom >= 0 && posTo >= 0 && posFrom < posTo
+	}
+	idx, err := g.addEdge(from, to, delay, lsens, grid)
+	if err != nil {
+		return 0, err
+	}
+	if keepOrder {
+		g.order = order
+		g.markDirty(to, from)
+	} else {
+		g.dirtyFull = true
+	}
+	return idx, nil
+}
+
+// RemoveEdge tombstones an edge: it disappears from the adjacency lists
+// (and therefore from every propagation), while Edges keeps its slot so
+// edge indices stay stable. The cached topological order remains valid —
+// removing an edge can only relax ordering constraints — and the delay
+// bank's slot simply goes unreferenced.
+func (g *Graph) RemoveEdge(ei int) error {
+	e, err := g.liveEdge(ei)
+	if err != nil {
+		return err
+	}
+	g.Out[e.From] = dropEdgeIndex(g.Out[e.From], int32(ei))
+	g.In[e.To] = dropEdgeIndex(g.In[e.To], int32(ei))
+	e.Removed = true
+	g.markDirty(e.To, e.From)
+	return nil
+}
+
+// RetargetIO redeclares the graph's input and output ports. Old and new
+// endpoint vertices are seeded dirty in both directions so an incremental
+// state re-bases its arrival sources and required sinks.
+func (g *Graph) RetargetIO(inputs, outputs []int, inNames, outNames []string) error {
+	for _, v := range inputs {
+		if v < 0 || v >= g.NumVerts {
+			return fmt.Errorf("timing: input vertex %d out of range", v)
+		}
+	}
+	for _, v := range outputs {
+		if v < 0 || v >= g.NumVerts {
+			return fmt.Errorf("timing: output vertex %d out of range", v)
+		}
+	}
+	for _, v := range g.Inputs {
+		g.markDirty(v, -1)
+	}
+	for _, v := range g.Outputs {
+		g.markDirty(-1, v)
+	}
+	if err := g.SetIO(inputs, outputs, inNames, outNames); err != nil {
+		return err
+	}
+	for _, v := range g.Inputs {
+		g.markDirty(v, -1)
+	}
+	for _, v := range g.Outputs {
+		g.markDirty(-1, v)
+	}
+	g.dirtyIO = true
+	return nil
+}
+
+// reaches reports whether dst is reachable from src along Out edges — the
+// cycle check of AddEdgeLive, run before any mutation.
+func (g *Graph) reaches(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, g.NumVerts)
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range g.Out[v] {
+			to := g.Edges[ei].To
+			if to == dst {
+				return true
+			}
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}
+
+// dropEdgeIndex removes one edge index from an adjacency list in place,
+// preserving the order of the remaining entries (contribution order is part
+// of the numerical contract).
+func dropEdgeIndex(list []int32, ei int32) []int32 {
+	for k, v := range list {
+		if v == ei {
+			return append(list[:k], list[k+1:]...)
+		}
+	}
+	return list
+}

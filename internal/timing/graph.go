@@ -33,6 +33,14 @@ type Edge struct {
 	// of parameter p; the sampled local value of grid Grid multiplies it.
 	LSens []float64
 	Grid  int
+
+	// Removed marks a tombstoned edge (see Graph.RemoveEdge): it stays in
+	// Edges so edge indices remain stable, but no adjacency list references
+	// it and the propagation kernels never read it. Consumers that iterate
+	// Edges directly (Monte Carlo, corner enumeration, criticality) require
+	// tombstone-free graphs; the edit API is for session-owned graphs that
+	// only run arrival/required propagation.
+	Removed bool
 }
 
 // Graph is a statistical timing graph.
@@ -85,6 +93,17 @@ type Graph struct {
 	// passes counts propagation passes run on this graph; the flat delay
 	// bank is built once a second pass shows the build cost will amortize.
 	passes atomic.Int64
+
+	// Edit/dirty metadata consumed by the incremental engine (edit.go,
+	// incremental.go): seed vertices whose arrival (fwdDirty) or required
+	// time (bwdDirty) may have changed since the last Incremental.Update,
+	// plus coarse flags for IO retargeting and metadata overflow. Mutations
+	// and dirty consumption follow the same single-writer contract as
+	// AddEdge: they must not run concurrently with any reader.
+	fwdDirty  []int
+	bwdDirty  []int
+	dirtyIO   bool
+	dirtyFull bool
 }
 
 // NewGraph creates an empty graph with nverts vertices.
@@ -99,8 +118,19 @@ func NewGraph(space canon.Space, nverts int, params []variation.Parameter) *Grap
 }
 
 // AddEdge appends a delay edge and returns its index. The delay form must
-// belong to the graph's space.
+// belong to the graph's space. For post-construction edits on a graph with
+// live incremental state prefer AddEdgeLive, which rejects cycles up front
+// and records precise dirty seeds; plain AddEdge conservatively marks the
+// whole graph dirty.
 func (g *Graph) AddEdge(from, to int, delay *canon.Form, lsens []float64, grid int) (int, error) {
+	idx, err := g.addEdge(from, to, delay, lsens, grid)
+	if err == nil {
+		g.dirtyFull = true
+	}
+	return idx, err
+}
+
+func (g *Graph) addEdge(from, to int, delay *canon.Form, lsens []float64, grid int) (int, error) {
 	if from < 0 || from >= g.NumVerts || to < 0 || to >= g.NumVerts {
 		return 0, fmt.Errorf("timing: edge %d->%d outside vertex range %d", from, to, g.NumVerts)
 	}
@@ -310,6 +340,45 @@ func Build(c *circuit.Circuit, lib *cell.Library, plan *place.Plan, gm *variatio
 		return nil, err
 	}
 	return g, nil
+}
+
+// Clone returns an independent copy of the graph for session-style
+// mutation: the edge list, adjacency lists and IO declarations are deep
+// copied, while the delay forms, sensitivity vectors and boundary
+// characterization slices are shared — the edit API never mutates a form in
+// place (SetEdgeDelay replaces the pointer), so sharing them is safe and
+// keeps cloning O(V+E) instead of O(V+E)·dim. The clone starts with clean
+// edit metadata and no cached delay bank.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Space:            g.Space,
+		Params:           g.Params,
+		Grids:            g.Grids,
+		NumVerts:         g.NumVerts,
+		Edges:            make([]Edge, len(g.Edges)),
+		In:               make([][]int32, len(g.In)),
+		Out:              make([][]int32, len(g.Out)),
+		Inputs:           exactInts(g.Inputs),
+		Outputs:          exactInts(g.Outputs),
+		InputNames:       append([]string(nil), g.InputNames...),
+		OutputNames:      append([]string(nil), g.OutputNames...),
+		OutputLoadSlopes: g.OutputLoadSlopes,
+		RefSlew:          g.RefSlew,
+		InputSlewSlopes:  g.InputSlewSlopes,
+		OutputPortSlews:  g.OutputPortSlews,
+		OutputSlewSlopes: g.OutputSlewSlopes,
+	}
+	copy(ng.Edges, g.Edges)
+	for v := range g.In {
+		ng.In[v] = append([]int32(nil), g.In[v]...)
+		ng.Out[v] = append([]int32(nil), g.Out[v]...)
+	}
+	// The cached order is immutable once published and stays valid for the
+	// clone until its topology diverges (edits nil it per graph).
+	g.orderMu.Lock()
+	ng.order = g.order
+	g.orderMu.Unlock()
+	return ng
 }
 
 // formFromArc converts a cell arc at a grid location into the canonical

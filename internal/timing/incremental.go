@@ -1,0 +1,483 @@
+package timing
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/canon"
+)
+
+// IncrementalTol is the early-termination threshold of the dirty-cone
+// sweeps: a recomputed canonical form whose every component is within this
+// absolute distance of the stored one is treated as unchanged and its cone
+// is not pursued further. The residual it can leave behind is orders of
+// magnitude below the 1e-9 equivalence the engine guarantees against a
+// from-scratch pass.
+const IncrementalTol = 1e-12
+
+// Incremental is the persistent propagation state of a mutable graph — the
+// paper's ECO argument turned into a data structure. A full forward pass is
+// paid once at construction; after that, every batch of edits made through
+// the Graph edit API (SetEdgeDelay, AddEdgeLive, RemoveEdge, RetargetIO,
+// ...) is absorbed by Update, which re-propagates arrival times only
+// through the dirty fan-out cones of the edited edges, terminating early
+// where recomputed forms match the stored ones within IncrementalTol.
+// Required times are maintained the same way through fan-in cones once
+// EnableRequired is called.
+//
+// Unlike the pooled Pass arenas, the banks here are owned by the
+// Incremental and live as long as the session does. An Incremental is bound
+// to its graph and follows the graph's single-writer contract: Update and
+// the graph's edit API must not run concurrently with each other or with
+// any reader. At most one Incremental may consume a graph's edit stream;
+// creating a second one detaches the first.
+//
+// Numerical contract: within one vertex the fan-in contributions are folded
+// in topological order of their source vertices — the exact operation order
+// of a full forward pass — so a sweep that recomputes a vertex reproduces
+// the full pass bit for bit; divergence can enter only through cones cut at
+// IncrementalTol.
+type Incremental struct {
+	g *Graph
+
+	arr   *canon.Bank // arrival per vertex + 2 scratch slots
+	reach []bool
+
+	req      *canon.Bank // required-time state, nil until EnableRequired
+	reqReach []bool
+
+	order     []int // snapshot of the graph order the state was built on
+	topoPos   []int // vertex -> position in order
+	sources   []int // arrival sources (graph inputs at last sync)
+	sourceSet []bool
+	outputs   []int // required sinks (graph outputs at last sync)
+	outputSet []bool
+
+	affected []bool  // per-vertex mark of the sweep in progress
+	inbuf    []int32 // fan-in sort scratch
+
+	stale bool // a failed update left the state unusable until Rebuild
+}
+
+// UpdateStats reports what one Update actually did.
+type UpdateStats struct {
+	// Forward is the number of vertices whose arrival was recomputed;
+	// Backward the number of required-time recomputations (zero unless
+	// EnableRequired). After a full rebuild both count every vertex swept.
+	Forward  int
+	Backward int
+	// Full marks a fallback to full re-propagation (metadata overflow, a
+	// raw AddEdge, or recovery from an interrupted update).
+	Full bool
+}
+
+// NewIncremental builds persistent incremental state for the graph, paying
+// one full forward pass from the graph's inputs.
+func (g *Graph) NewIncremental() (*Incremental, error) {
+	return g.NewIncrementalCtx(context.Background())
+}
+
+// NewIncrementalCtx is NewIncremental with cooperative cancellation.
+func (g *Graph) NewIncrementalCtx(ctx context.Context) (*Incremental, error) {
+	inc := &Incremental{g: g}
+	if err := inc.Rebuild(ctx); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// Rebuild discards the incremental state and recomputes it with full
+// passes — the recovery path after an interrupted update, and the
+// implementation of UpdateStats.Full.
+func (inc *Incremental) Rebuild(ctx context.Context) error {
+	g := inc.g
+	inc.stale = true
+	g.takeDirty() // absorbed wholesale by the full pass
+	order, err := g.Order()
+	if err != nil {
+		return err
+	}
+	inc.syncOrder(order)
+	inc.syncIO()
+	if inc.arr == nil {
+		inc.arr = canon.NewBank(g.Space, g.NumVerts+2)
+		inc.reach = make([]bool, g.NumVerts)
+		inc.affected = make([]bool, g.NumVerts)
+	}
+	if err := forwardPass(g, inc.arr, inc.reach, g.EdgeDelays(), ctx, inc.sources); err != nil {
+		return err
+	}
+	if inc.req != nil {
+		if err := backwardPass(g, inc.req, inc.reqReach, g.EdgeDelays(), ctx, inc.outputs); err != nil {
+			return err
+		}
+	}
+	inc.stale = false
+	return nil
+}
+
+// EnableRequired switches on required-time maintenance: one full backward
+// pass now, incremental fan-in cone sweeps on every subsequent Update.
+func (inc *Incremental) EnableRequired(ctx context.Context) error {
+	if inc.req != nil {
+		return nil
+	}
+	if inc.stale {
+		return errors.New("timing: incremental state is stale; Rebuild first")
+	}
+	g := inc.g
+	inc.req = canon.NewBank(g.Space, g.NumVerts+2)
+	inc.reqReach = make([]bool, g.NumVerts)
+	inc.syncIO()
+	if err := backwardPass(g, inc.req, inc.reqReach, g.EdgeDelays(), ctx, inc.outputs); err != nil {
+		inc.req, inc.reqReach = nil, nil
+		return err
+	}
+	return nil
+}
+
+// Update absorbs every edit made to the graph since the last Update (or
+// construction), re-propagating through the affected cones only. On error
+// (cancellation mid-sweep) the state is marked stale and the next Update
+// falls back to a full rebuild.
+func (inc *Incremental) Update(ctx context.Context) (UpdateStats, error) {
+	g := inc.g
+	fwd, bwd, io, full := g.takeDirty()
+	if full || inc.stale {
+		st := UpdateStats{Forward: g.NumVerts, Full: true}
+		if inc.req != nil {
+			st.Backward = g.NumVerts
+		}
+		return st, inc.Rebuild(ctx)
+	}
+	order, err := g.Order()
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	if !sameOrder(order, inc.order) {
+		inc.syncOrder(order)
+	}
+	if io {
+		// Re-seed the union of old and new endpoints: endpoints present in
+		// both sets recompute to their stored values and terminate the
+		// sweep immediately.
+		fwd = append(fwd, inc.sources...)
+		fwd = append(fwd, g.Inputs...)
+		if inc.req != nil {
+			bwd = append(bwd, inc.outputs...)
+			bwd = append(bwd, g.Outputs...)
+		}
+		inc.syncIO()
+	}
+	delays := g.EdgeDelays()
+	var st UpdateStats
+	if st.Forward, err = inc.sweepForward(ctx, delays, fwd); err != nil {
+		inc.stale = true
+		return st, err
+	}
+	if inc.req != nil {
+		if st.Backward, err = inc.sweepBackward(ctx, delays, bwd); err != nil {
+			inc.stale = true
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// sweepForward re-propagates arrivals through the fan-out cones of the
+// seed vertices, in topological order, stopping each branch as soon as a
+// recomputed form matches the stored one.
+func (inc *Incremental) sweepForward(ctx context.Context, delays *canon.Bank, seeds []int) (int, error) {
+	if len(seeds) == 0 {
+		return 0, nil
+	}
+	g := inc.g
+	minPos := len(inc.order)
+	pending := 0
+	for _, v := range seeds {
+		if !inc.affected[v] {
+			inc.affected[v] = true
+			pending++
+			if p := inc.topoPos[v]; p < minPos {
+				minPos = p
+			}
+		}
+	}
+	acc := inc.arr.View(g.NumVerts)
+	tmp := inc.arr.View(g.NumVerts + 1)
+	recomputed := 0
+	for k := minPos; k < len(inc.order) && pending > 0; k++ {
+		v := inc.order[k]
+		if !inc.affected[v] {
+			continue
+		}
+		inc.affected[v] = false
+		pending--
+		if err := stepCtx(ctx, recomputed); err != nil {
+			inc.clearAffected()
+			return recomputed, err
+		}
+		recomputed++
+		if inc.recomputeArrival(v, delays, acc, tmp) {
+			for _, ei := range g.Out[v] {
+				to := g.Edges[ei].To
+				if !inc.affected[to] {
+					inc.affected[to] = true
+					pending++
+				}
+			}
+		}
+	}
+	return recomputed, nil
+}
+
+// recomputeArrival rebuilds one vertex's arrival from its fan-in and
+// reports whether it changed beyond IncrementalTol. Contributions fold in
+// topological order of their source vertices (see the type comment).
+func (inc *Incremental) recomputeArrival(v int, delays *canon.Bank, acc, tmp canon.View) bool {
+	g := inc.g
+	in := inc.sortedFanin(v)
+	reached := false
+	if inc.sourceSet[v] {
+		acc.SetConst(0)
+		reached = true
+	}
+	for _, ei := range in {
+		e := &g.Edges[ei]
+		if !inc.reach[e.From] {
+			continue
+		}
+		canon.AddViews(tmp, inc.arr.View(e.From), delays.View(int(ei)))
+		if !reached {
+			canon.CopyView(acc, tmp)
+			reached = true
+		} else {
+			canon.MaxViews(acc, acc, tmp)
+		}
+	}
+	return inc.commit(inc.arr.View(v), acc, &inc.reach[v], reached)
+}
+
+// sweepBackward mirrors sweepForward for required times: fan-in cones in
+// reverse topological order.
+func (inc *Incremental) sweepBackward(ctx context.Context, delays *canon.Bank, seeds []int) (int, error) {
+	if len(seeds) == 0 {
+		return 0, nil
+	}
+	g := inc.g
+	maxPos := -1
+	pending := 0
+	for _, v := range seeds {
+		if !inc.affected[v] {
+			inc.affected[v] = true
+			pending++
+			if p := inc.topoPos[v]; p > maxPos {
+				maxPos = p
+			}
+		}
+	}
+	acc := inc.req.View(g.NumVerts)
+	tmp := inc.req.View(g.NumVerts + 1)
+	recomputed := 0
+	for k := maxPos; k >= 0 && pending > 0; k-- {
+		v := inc.order[k]
+		if !inc.affected[v] {
+			continue
+		}
+		inc.affected[v] = false
+		pending--
+		if err := stepCtx(ctx, recomputed); err != nil {
+			inc.clearAffected()
+			return recomputed, err
+		}
+		recomputed++
+		if inc.recomputeRequired(v, delays, acc, tmp) {
+			for _, ei := range g.In[v] {
+				from := g.Edges[ei].From
+				if !inc.affected[from] {
+					inc.affected[from] = true
+					pending++
+				}
+			}
+		}
+	}
+	return recomputed, nil
+}
+
+// recomputeRequired rebuilds one vertex's required time from its fan-out.
+// A full backward pass gathers out-edge contributions in adjacency order
+// already, so no sorting is needed to match it bit for bit.
+func (inc *Incremental) recomputeRequired(v int, delays *canon.Bank, acc, tmp canon.View) bool {
+	g := inc.g
+	reached := false
+	if inc.outputSet[v] {
+		acc.SetConst(0)
+		reached = true
+	}
+	for _, ei := range g.Out[v] {
+		e := &g.Edges[ei]
+		if !inc.reqReach[e.To] {
+			continue
+		}
+		canon.AddViews(tmp, inc.req.View(e.To), delays.View(int(ei)))
+		if !reached {
+			canon.CopyView(acc, tmp)
+			reached = true
+		} else {
+			canon.MaxViews(acc, acc, tmp)
+		}
+	}
+	return inc.commit(inc.req.View(v), acc, &inc.reqReach[v], reached)
+}
+
+// commit stores a recomputed form and reports whether it differed from the
+// stored state: a reachability flip always propagates, otherwise the cone
+// is cut when every component matches within IncrementalTol. The fresh
+// value is stored even on a cut, so sub-tolerance residues never compound
+// at a vertex across updates.
+func (inc *Incremental) commit(dst, acc canon.View, reach *bool, reached bool) bool {
+	if reached != *reach {
+		*reach = reached
+		if reached {
+			canon.CopyView(dst, acc)
+		}
+		return true
+	}
+	if !reached {
+		return false
+	}
+	changed := false
+	for i := range dst {
+		if d := dst[i] - acc[i]; d > IncrementalTol || d < -IncrementalTol {
+			changed = true
+			break
+		}
+	}
+	canon.CopyView(dst, acc)
+	return changed
+}
+
+// sortedFanin returns v's fan-in edge indices ordered by the topological
+// position of their source vertex (stable for equal positions) — the
+// contribution order of a full forward pass.
+func (inc *Incremental) sortedFanin(v int) []int32 {
+	in := inc.g.In[v]
+	buf := append(inc.inbuf[:0], in...)
+	// Insertion sort: fan-ins are tiny (gate arity) and almost sorted.
+	for i := 1; i < len(buf); i++ {
+		ei := buf[i]
+		p := inc.topoPos[inc.g.Edges[ei].From]
+		j := i - 1
+		for j >= 0 && inc.topoPos[inc.g.Edges[buf[j]].From] > p {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = ei
+	}
+	inc.inbuf = buf
+	return buf
+}
+
+func (inc *Incremental) clearAffected() {
+	for i := range inc.affected {
+		inc.affected[i] = false
+	}
+}
+
+func (inc *Incremental) syncOrder(order []int) {
+	inc.order = order
+	if inc.topoPos == nil {
+		inc.topoPos = make([]int, inc.g.NumVerts)
+	}
+	for k, v := range order {
+		inc.topoPos[v] = k
+	}
+}
+
+func (inc *Incremental) syncIO() {
+	g := inc.g
+	inc.sources = exactInts(g.Inputs)
+	if inc.sourceSet == nil {
+		inc.sourceSet = make([]bool, g.NumVerts)
+	}
+	for i := range inc.sourceSet {
+		inc.sourceSet[i] = false
+	}
+	for _, s := range inc.sources {
+		inc.sourceSet[s] = true
+	}
+	inc.outputs = exactInts(g.Outputs)
+	if inc.outputSet == nil {
+		inc.outputSet = make([]bool, g.NumVerts)
+	}
+	for i := range inc.outputSet {
+		inc.outputSet[i] = false
+	}
+	for _, o := range inc.outputs {
+		inc.outputSet[o] = true
+	}
+}
+
+func sameOrder(a, b []int) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// Reached reports whether vertex v is reachable from the current sources.
+func (inc *Incremental) Reached(v int) bool { return inc.reach[v] }
+
+// Arrival materializes vertex v's arrival form, or nil when unreached.
+// Valid only after a successful Update (or construction).
+func (inc *Incremental) Arrival(v int) (*canon.Form, error) {
+	if inc.stale {
+		return nil, errors.New("timing: incremental state is stale; Update or Rebuild first")
+	}
+	if !inc.reach[v] {
+		return nil, nil
+	}
+	return inc.arr.View(v).Form(inc.g.Space), nil
+}
+
+// Required materializes vertex v's maximum delay to any output, or nil
+// when v reaches none. EnableRequired must have been called.
+func (inc *Incremental) Required(v int) (*canon.Form, error) {
+	if inc.req == nil {
+		return nil, errors.New("timing: required maintenance not enabled")
+	}
+	if inc.stale {
+		return nil, errors.New("timing: incremental state is stale; Update or Rebuild first")
+	}
+	if !inc.reqReach[v] {
+		return nil, nil
+	}
+	return inc.req.View(v).Form(inc.g.Space), nil
+}
+
+// MaxDelay folds the stored arrivals over the graph's outputs — the same
+// operation order as Graph.MaxDelay's fold, read from persistent state
+// instead of a fresh pass.
+func (inc *Incremental) MaxDelay() (*canon.Form, error) {
+	if inc.stale {
+		return nil, errors.New("timing: incremental state is stale; Update or Rebuild first")
+	}
+	g := inc.g
+	acc := inc.arr.View(g.NumVerts)
+	first := true
+	for _, o := range g.Outputs {
+		if !inc.reach[o] {
+			continue
+		}
+		if first {
+			canon.CopyView(acc, inc.arr.View(o))
+			first = false
+		} else {
+			canon.MaxViews(acc, acc, inc.arr.View(o))
+		}
+	}
+	if first {
+		return nil, errors.New("timing: no output reachable from any input")
+	}
+	return acc.Form(g.Space), nil
+}
+
+// Graph returns the graph the state is bound to.
+func (inc *Incremental) Graph() *Graph { return inc.g }

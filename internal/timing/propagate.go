@@ -46,10 +46,10 @@ func (p *Pass) WithContext(ctx context.Context) *Pass {
 	return p
 }
 
-// checkCtx polls the pass context on stride boundaries.
-func (p *Pass) checkCtx(step int) error {
-	if p.ctx != nil && step%ctxCheckStride == 0 {
-		return p.ctx.Err()
+// stepCtx polls a (possibly nil) context on stride boundaries.
+func stepCtx(ctx context.Context, step int) error {
+	if ctx != nil && step%ctxCheckStride == 0 {
+		return ctx.Err()
 	}
 	return nil
 }
@@ -152,31 +152,38 @@ func (g *Graph) hasDelayBank() bool {
 // the paper's exclusive propagation ("arrival exclusively from vi",
 // Section IV-B).
 func (p *Pass) Arrivals(sources ...int) error {
-	g := p.g
+	return forwardPass(p.g, p.bank, p.reach, p.delaySource(), p.ctx, sources)
+}
+
+// forwardPass is the forward propagation kernel shared by pooled passes and
+// the persistent incremental state: arrivals are written into bank (slot
+// g.NumVerts is scratch) with the per-vertex reach mask. A nil delays bank
+// reads the pointer forms directly (a graph's first pass, before the flat
+// bank is built); both paths perform identical floating-point operations.
+func forwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, ctx context.Context, sources []int) error {
 	order, err := g.Order()
 	if err != nil {
 		return err
 	}
-	delays := p.delaySource()
-	for i := range p.reach {
-		p.reach[i] = false
+	for i := range reach {
+		reach[i] = false
 	}
 	for _, s := range sources {
 		if s < 0 || s >= g.NumVerts {
 			return fmt.Errorf("timing: source vertex %d out of range", s)
 		}
-		p.bank.View(s).SetConst(0)
-		p.reach[s] = true
+		bank.View(s).SetConst(0)
+		reach[s] = true
 	}
-	scratch := p.Scratch()
+	scratch := bank.View(g.NumVerts)
 	for step, v := range order {
-		if err := p.checkCtx(step); err != nil {
+		if err := stepCtx(ctx, step); err != nil {
 			return err
 		}
-		if !p.reach[v] {
+		if !reach[v] {
 			continue
 		}
-		av := p.bank.View(v)
+		av := bank.View(v)
 		for _, ei := range g.Out[v] {
 			to := g.Edges[ei].To
 			if delays != nil {
@@ -184,10 +191,10 @@ func (p *Pass) Arrivals(sources ...int) error {
 			} else {
 				canon.AddFormView(scratch, av, g.Edges[ei].Delay)
 			}
-			tv := p.bank.View(to)
-			if !p.reach[to] {
+			tv := bank.View(to)
+			if !reach[to] {
 				canon.CopyView(tv, scratch)
-				p.reach[to] = true
+				reach[to] = true
 			} else {
 				canon.MaxViews(tv, tv, scratch)
 			}
@@ -201,42 +208,46 @@ func (p *Pass) Arrivals(sources ...int) error {
 // vertices — the negated required time of the paper's eq. 15 when the
 // required time at the outputs is zero.
 func (p *Pass) Required(outputs ...int) error {
-	g := p.g
+	return backwardPass(p.g, p.bank, p.reach, p.delaySource(), p.ctx, outputs)
+}
+
+// backwardPass is the backward propagation kernel shared by pooled passes
+// and the persistent incremental state (see forwardPass).
+func backwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, ctx context.Context, outputs []int) error {
 	order, err := g.Order()
 	if err != nil {
 		return err
 	}
-	delays := p.delaySource()
-	for i := range p.reach {
-		p.reach[i] = false
+	for i := range reach {
+		reach[i] = false
 	}
 	for _, o := range outputs {
 		if o < 0 || o >= g.NumVerts {
 			return fmt.Errorf("timing: output vertex %d out of range", o)
 		}
-		p.bank.View(o).SetConst(0)
-		p.reach[o] = true
+		bank.View(o).SetConst(0)
+		reach[o] = true
 	}
-	scratch := p.Scratch()
+	scratch := bank.View(g.NumVerts)
 	for i := len(order) - 1; i >= 0; i-- {
-		if err := p.checkCtx(len(order) - 1 - i); err != nil {
+		if err := stepCtx(ctx, len(order)-1-i); err != nil {
 			return err
 		}
 		v := order[i]
-		vv := p.bank.View(v)
+		vv := bank.View(v)
 		for _, ei := range g.Out[v] {
 			to := g.Edges[ei].To
-			if !p.reach[to] {
+			if !reach[to] {
 				continue
 			}
 			if delays != nil {
-				canon.AddViews(scratch, p.bank.View(to), delays.View(int(ei)))
+				canon.AddViews(scratch, bank.View(to), delays.View(int(ei)))
 			} else {
-				canon.AddFormView(scratch, p.bank.View(to), g.Edges[ei].Delay)
+				canon.AddFormView(scratch, bank.View(to), g.Edges[ei].Delay)
 			}
-			if !p.reach[v] {
+			if !reach[v] {
 				canon.CopyView(vv, scratch)
-				p.reach[v] = true
+				reach[v] = true
 			} else {
 				canon.MaxViews(vv, vv, scratch)
 			}

@@ -1,0 +1,346 @@
+package ssta
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hier"
+	"repro/internal/timing"
+)
+
+// EditOp enumerates the supported session edits.
+type EditOp int
+
+const (
+	// EditScaleDelay multiplies every component of an edge's delay form by
+	// Scale (> 0) — a resized driver or re-bought cell.
+	EditScaleDelay EditOp = iota
+	// EditSetDelay replaces an edge's delay form with Delay.
+	EditSetDelay
+	// EditSetNominal replaces only the mean of an edge's delay with Value
+	// (ps), keeping its sensitivities.
+	EditSetNominal
+	// EditAddEdge adds a new edge From -> To. Delay supplies the form; a nil
+	// Delay means a deterministic delay of Value ps.
+	EditAddEdge
+	// EditRemoveEdge tombstones edge Edge.
+	EditRemoveEdge
+	// EditRetargetIO redeclares the graph's inputs/outputs from the
+	// Inputs/Outputs/InNames/OutNames fields.
+	EditRetargetIO
+	// EditSetNetDelay sets the wire delay of design net Net to Value ps
+	// (hierarchical sessions only).
+	EditSetNetDelay
+	// EditSwapModule replaces instance Instance's module with Module
+	// (hierarchical sessions only) — the paper's ECO case.
+	EditSwapModule
+)
+
+// String names the op for error messages and logs.
+func (op EditOp) String() string {
+	switch op {
+	case EditScaleDelay:
+		return "scale_delay"
+	case EditSetDelay:
+		return "set_delay"
+	case EditSetNominal:
+		return "set_nominal"
+	case EditAddEdge:
+		return "add_edge"
+	case EditRemoveEdge:
+		return "remove_edge"
+	case EditRetargetIO:
+		return "retarget_io"
+	case EditSetNetDelay:
+		return "set_net_delay"
+	case EditSwapModule:
+		return "swap_module"
+	default:
+		return fmt.Sprintf("EditOp(%d)", int(op))
+	}
+}
+
+// Edit is one element of a session edit batch. Which fields apply depends
+// on Op (see the op constants).
+type Edit struct {
+	Op       EditOp
+	Edge     int
+	Scale    float64
+	Value    float64
+	Delay    *Form
+	From, To int
+	Net      int
+	Instance string
+	Module   *Module
+
+	Inputs, Outputs   []int
+	InNames, OutNames []string
+}
+
+// EditReport is the outcome of one applied edit batch.
+type EditReport struct {
+	// Delay is the post-edit statistical circuit delay.
+	Delay *Form
+	// Applied counts the edits applied (== len(edits) on success).
+	Applied int
+	// Recomputed is the number of vertices whose arrival was re-propagated;
+	// TotalVerts the graph size — their ratio is the incremental win.
+	Recomputed int
+	TotalVerts int
+	// FullReprop marks a full re-propagation (module swap, metadata
+	// overflow or recovery) instead of a dirty-cone sweep.
+	FullReprop bool
+	Elapsed    time.Duration
+}
+
+// Session is a stateful analysis handle: one full analysis at creation,
+// incremental cost per edit batch thereafter. A session owns a private
+// clone of its graph (and, for hierarchical sessions, of its design), so
+// edits never leak into caches or other sessions. All methods are safe for
+// concurrent use; edits are serialized internally.
+type Session struct {
+	mu    sync.Mutex
+	graph *Graph
+	inc   *timing.Incremental
+	hs    *hier.Session
+	delay *Form
+}
+
+// NewGraphSession starts a session over a private clone of the given flat
+// timing graph, paying one full propagation.
+func (f *Flow) NewGraphSession(ctx context.Context, g *Graph) (*Session, error) {
+	cl := g.Clone()
+	inc, err := cl.NewIncrementalCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	delay, err := inc.MaxDelay()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{graph: cl, inc: inc, delay: delay}, nil
+}
+
+// NewDesignSession starts a session over a private structural copy of the
+// given hierarchical design: the per-instance prep is computed and the top
+// graph stitched and fully propagated once; subsequent edits (net delays,
+// module swaps) pay incremental cost.
+func (f *Flow) NewDesignSession(ctx context.Context, d *Design, mode Mode, opt AnalyzeOptions) (*Session, error) {
+	hs, err := hier.NewSession(ctx, d.CopyStructure(), mode, opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := hs.Graph()
+	if err != nil {
+		return nil, err
+	}
+	inc, err := g.NewIncrementalCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	delay, err := inc.MaxDelay()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{graph: g, inc: inc, hs: hs, delay: delay}, nil
+}
+
+// Hierarchical reports whether the session wraps a hierarchical design.
+func (s *Session) Hierarchical() bool { return s.hs != nil }
+
+// Delay returns the current statistical circuit delay.
+func (s *Session) Delay() *Form {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delay
+}
+
+// SessionInfo is a consistent snapshot of session state.
+type SessionInfo struct {
+	Delay        *Form
+	Verts, Edges int
+	Hier         bool
+}
+
+// Info snapshots the session.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{Delay: s.delay, Verts: s.graph.NumVerts, Edges: len(s.graph.Edges), Hier: s.hs != nil}
+}
+
+// Graph returns the live graph (the stitched top for hierarchical
+// sessions). Treat it as read-only; all mutation goes through Apply.
+func (s *Session) Graph() *Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph
+}
+
+// Design returns the session-owned design, or nil for flat sessions.
+func (s *Session) Design() *Design {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Design()
+}
+
+// Apply applies an edit batch in order and re-analyzes incrementally:
+// arrival times are re-propagated only through the union of the edits'
+// dirty cones (a module swap restitches from the per-instance caches and
+// re-propagates fully). On error, edits already applied stay applied and
+// the session state is re-synced before returning, so the session remains
+// usable; the error names the failing edit.
+func (s *Session) Apply(ctx context.Context, edits []Edit) (*EditReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	restitched := false
+	if s.hs != nil && s.hs.Stale() {
+		// A previously interrupted swap left the top graph uncommitted;
+		// recover before touching anything else.
+		if err := s.hs.Restitch(ctx); err != nil {
+			return nil, err
+		}
+		restitched = true
+	}
+	var applyErr error
+	applied := 0
+	for k := range edits {
+		if err := s.applyOne(ctx, &edits[k], &restitched); err != nil {
+			applyErr = fmt.Errorf("ssta: edit %d (%s): %w", k, edits[k].Op, err)
+			break
+		}
+		applied++
+	}
+	rep, err := s.refresh(ctx, restitched)
+	if applyErr != nil {
+		return nil, applyErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Applied = applied
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+func (s *Session) applyOne(ctx context.Context, e *Edit, restitched *bool) error {
+	// Edge-level ops are the flat-session vocabulary. On a hierarchical
+	// session the top graph is derived state — rebuilt from the design and
+	// the per-instance caches on every restitch — so ad-hoc edge edits
+	// against it would silently vanish at the next module swap. Reject them
+	// up front; hierarchical edits go through the design (set_net_delay,
+	// swap_module).
+	flat := func() error {
+		if s.hs != nil {
+			return fmt.Errorf("edge edits apply to flat sessions only; hierarchical sessions take set_net_delay and swap_module")
+		}
+		return nil
+	}
+	switch e.Op {
+	case EditScaleDelay:
+		if err := flat(); err != nil {
+			return err
+		}
+		return s.graph.ScaleEdgeDelay(e.Edge, e.Scale)
+	case EditSetDelay:
+		if err := flat(); err != nil {
+			return err
+		}
+		return s.graph.SetEdgeDelay(e.Edge, e.Delay)
+	case EditSetNominal:
+		if err := flat(); err != nil {
+			return err
+		}
+		return s.graph.SetEdgeNominal(e.Edge, e.Value)
+	case EditAddEdge:
+		if err := flat(); err != nil {
+			return err
+		}
+		delay := e.Delay
+		if delay == nil {
+			delay = s.graph.Space.Const(e.Value)
+		}
+		_, err := s.graph.AddEdgeLive(e.From, e.To, delay, nil, 0)
+		return err
+	case EditRemoveEdge:
+		if err := flat(); err != nil {
+			return err
+		}
+		return s.graph.RemoveEdge(e.Edge)
+	case EditRetargetIO:
+		if err := flat(); err != nil {
+			return err
+		}
+		return s.graph.RetargetIO(e.Inputs, e.Outputs, e.InNames, e.OutNames)
+	case EditSetNetDelay:
+		if s.hs == nil {
+			return fmt.Errorf("net edits require a hierarchical session")
+		}
+		if *restitched {
+			// The restitched top graph already carries the design's nets;
+			// apply against it after re-fetching below.
+			if err := s.syncTop(); err != nil {
+				return err
+			}
+		}
+		return s.hs.SetNetDelay(e.Net, e.Value)
+	case EditSwapModule:
+		if s.hs == nil {
+			return fmt.Errorf("module swaps require a hierarchical session")
+		}
+		if err := s.hs.SwapModule(ctx, e.Instance, e.Module); err != nil {
+			return err
+		}
+		*restitched = true
+		return s.syncTop()
+	default:
+		return fmt.Errorf("unknown edit op %d", int(e.Op))
+	}
+}
+
+// syncTop re-fetches the hier session's (possibly replaced) top graph.
+func (s *Session) syncTop() error {
+	g, err := s.hs.Graph()
+	if err != nil {
+		return err
+	}
+	s.graph = g
+	return nil
+}
+
+// refresh re-syncs the incremental state with the (possibly restitched)
+// graph and folds the new delay.
+func (s *Session) refresh(ctx context.Context, restitched bool) (*EditReport, error) {
+	rep := &EditReport{TotalVerts: s.graph.NumVerts}
+	if restitched {
+		if err := s.syncTop(); err != nil {
+			return rep, err
+		}
+		inc, err := s.graph.NewIncrementalCtx(ctx)
+		if err != nil {
+			return rep, err
+		}
+		s.inc = inc
+		rep.TotalVerts = s.graph.NumVerts
+		rep.Recomputed = s.graph.NumVerts
+		rep.FullReprop = true
+	} else {
+		st, err := s.inc.Update(ctx)
+		if err != nil {
+			return rep, err
+		}
+		rep.Recomputed = st.Forward
+		rep.FullReprop = st.Full
+	}
+	delay, err := s.inc.MaxDelay()
+	if err != nil {
+		return rep, err
+	}
+	s.delay = delay
+	rep.Delay = delay
+	return rep, nil
+}

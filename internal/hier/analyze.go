@@ -273,16 +273,7 @@ func boundaryScale(e *timing.Edge, extraTo, extraFrom map[int]float64) float64 {
 // scaleEdge returns a scaled copy of a raw prepped edge, leaving the input
 // (a potential cache entry) untouched.
 func scaleEdge(pe preppedEdge, scale float64) preppedEdge {
-	f := pe.f.Clone()
-	f.Nominal *= scale
-	for k := range f.Glob {
-		f.Glob[k] *= scale
-	}
-	for k := range f.Loc {
-		f.Loc[k] *= scale
-	}
-	f.Rand *= scale
-	out := preppedEdge{from: pe.from, to: pe.to, f: f, grid: pe.grid}
+	out := preppedEdge{from: pe.from, to: pe.to, f: pe.f.Scale(scale), grid: pe.grid}
 	if pe.lsens != nil {
 		out.lsens = make([]float64, len(pe.lsens))
 		for k, v := range pe.lsens {

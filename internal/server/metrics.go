@@ -18,6 +18,7 @@ type metrics struct {
 	jobRequests     atomic.Int64 // POST /v1/jobs accepted
 	rejected        atomic.Int64 // requests refused at admission (429/503)
 	badRequests     atomic.Int64 // malformed bodies / invalid specs
+	internalErrors  atomic.Int64 // server-side faults answered with a 500
 
 	itemsTotal atomic.Int64 // batch items completed by the engine
 	itemErrors atomic.Int64 // batch items finished with an error
@@ -100,6 +101,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("sstad_requests_rejected_total %d", m.rejected.Load())
 	p("# HELP sstad_bad_requests_total Malformed or invalid requests.")
 	p("sstad_bad_requests_total %d", m.badRequests.Load())
+	p("# HELP sstad_internal_errors_total Server-side faults answered with a 500.")
+	p("sstad_internal_errors_total %d", m.internalErrors.Load())
 	p("# HELP sstad_items_total Batch items completed.")
 	p("sstad_items_total %d", m.itemsTotal.Load())
 	p("sstad_item_errors_total %d", m.itemErrors.Load())

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -103,7 +102,6 @@ type SessionEditResponse struct {
 // srvSession is one live session plus its bookkeeping.
 type srvSession struct {
 	id      string
-	seq     int64
 	name    string
 	sess    *ssta.Session
 	created time.Time
@@ -149,7 +147,6 @@ func (st *sessionStore) add(name string, sess *ssta.Session) (*srvSession, error
 	now := time.Now()
 	s := &srvSession{
 		id:      fmt.Sprintf("sess-%d", st.seq),
-		seq:     st.seq,
 		name:    name,
 		sess:    sess,
 		created: now,
@@ -190,25 +187,22 @@ func (st *sessionStore) full() bool {
 	return len(st.sessions) >= st.max
 }
 
-// evictIdle drops sessions idle beyond the TTL, oldest first, and returns
-// how many were evicted.
+// evictIdle drops every session idle beyond the TTL and returns how many
+// were evicted.
 func (st *sessionStore) evictIdle(now time.Time) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	var idle []*srvSession
-	for _, s := range st.sessions {
+	evicted := 0
+	for id, s := range st.sessions {
 		s.mu.Lock()
 		last := s.lastUsed
 		s.mu.Unlock()
 		if now.Sub(last) > st.ttl {
-			idle = append(idle, s)
+			delete(st.sessions, id)
+			evicted++
 		}
 	}
-	sort.Slice(idle, func(a, b int) bool { return idle[a].seq < idle[b].seq })
-	for _, s := range idle {
-		delete(st.sessions, s.id)
-	}
-	return len(idle)
+	return evicted
 }
 
 // runSessionJanitor periodically evicts idle sessions until shutdown.
@@ -442,13 +436,27 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 	reg.touch()
 	rep, err := reg.sess.Apply(ctx, edits)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status := applyErrorStatus(err)
+		switch status {
+		case http.StatusRequestTimeout:
 			s.metrics.itemsRejected.Add(1)
-			httpError(w, http.StatusRequestTimeout, err.Error())
-			return
+		case http.StatusInternalServerError:
+			s.metrics.internalErrors.Add(1)
+		default:
+			s.metrics.badRequests.Add(1)
 		}
-		s.metrics.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, err.Error())
+		msg := err.Error()
+		if rep != nil && rep.Applied > 0 {
+			// A failed batch is not nothing-happened: its valid prefix stays
+			// applied (the library contract), so account those edits and tell
+			// the client — resending the batch would double-apply the prefix.
+			reg.mu.Lock()
+			reg.edits += int64(rep.Applied)
+			reg.mu.Unlock()
+			s.metrics.editsApplied.Add(int64(rep.Applied))
+			msg = fmt.Sprintf("%s; %d of %d edits were applied and remain in effect", msg, rep.Applied, len(edits))
+		}
+		httpError(w, status, msg)
 		return
 	}
 	reg.mu.Lock()
@@ -469,6 +477,21 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 		resp.P9987PS = rep.Delay.Quantile(0.99865)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyErrorStatus classifies a Session.Apply failure: cancellation maps to
+// 408, a failed re-analysis (restitch recovery, incremental update, full
+// rebuild — server-side faults) to 500, and everything else — edit
+// validation — to 400.
+func applyErrorStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusRequestTimeout
+	}
+	var re *ssta.ReanalysisError
+	if errors.As(err, &re) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
 }
 
 // convertEdit maps one wire edit onto the library edit type, materializing

@@ -216,13 +216,18 @@ func TestSessionEditValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown session: status %d, want 404", resp.StatusCode)
 	}
-	// An invalid edit mid-batch reports 400 but the session stays usable.
-	resp, _ = postJSON(t, hs.URL+"/v1/sessions/"+v.ID+"/edits", SessionEditRequest{Edits: []EditSpec{
+	// An invalid edit mid-batch reports 400 but the session stays usable,
+	// and the body discloses the partially applied prefix so the client
+	// knows not to resend the whole batch.
+	resp, data := postJSON(t, hs.URL+"/v1/sessions/"+v.ID+"/edits", SessionEditRequest{Edits: []EditSpec{
 		{Op: "scale_delay", Edge: 0, Scale: 2},
 		{Op: "remove_edge", Edge: 99999},
 	}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad batch: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(data), "1 of 2 edits were applied") {
+		t.Fatalf("partial application not disclosed: %s", data)
 	}
 	got := applyEdits(t, hs.URL, v.ID, SessionEditRequest{Edits: []EditSpec{
 		{Op: "scale_delay", Edge: 0, Scale: 2},
@@ -301,3 +306,29 @@ func TestSessionsConcurrentHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestApplyErrorStatus checks the session-edit failure classification:
+// cancellation stays 408, re-analysis faults (server-side) become 500, and
+// only edit validation is answered as the client's fault.
+func TestApplyErrorStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{context.Canceled, http.StatusRequestTimeout},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), http.StatusRequestTimeout},
+		// A re-analysis interrupted by the client deadline is still a 408.
+		{&ssta.ReanalysisError{Err: context.Canceled}, http.StatusRequestTimeout},
+		{&ssta.ReanalysisError{Err: errStub("restitch failed")}, http.StatusInternalServerError},
+		{errStub("edge index 99 out of range"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := applyErrorStatus(c.err); got != c.want {
+			t.Errorf("applyErrorStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+type errStub string
+
+func (e errStub) Error() string { return string(e) }

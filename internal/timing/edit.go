@@ -44,6 +44,12 @@ func (g *Graph) takeDirty() (fwd, bwd []int, io, full bool) {
 	return fwd, bwd, io, full
 }
 
+// dirtyPending reports whether the graph carries edit metadata not yet
+// absorbed by an Incremental.Update (or Rebuild).
+func (g *Graph) dirtyPending() bool {
+	return g.dirtyFull || g.dirtyIO || len(g.fwdDirty) > 0 || len(g.bwdDirty) > 0
+}
+
 // liveEdge validates an edge index for mutation.
 func (g *Graph) liveEdge(ei int) (*Edge, error) {
 	if ei < 0 || ei >= len(g.Edges) {
@@ -88,16 +94,7 @@ func (g *Graph) ScaleEdgeDelay(ei int, scale float64) error {
 	if err != nil {
 		return err
 	}
-	f := e.Delay.Clone()
-	f.Nominal *= scale
-	for k := range f.Glob {
-		f.Glob[k] *= scale
-	}
-	for k := range f.Loc {
-		f.Loc[k] *= scale
-	}
-	f.Rand *= scale
-	return g.SetEdgeDelay(ei, f)
+	return g.SetEdgeDelay(ei, e.Delay.Scale(scale))
 }
 
 // SetEdgeNominal replaces only the mean of an edge's delay, keeping its
@@ -182,6 +179,12 @@ func (g *Graph) RemoveEdge(ei int) error {
 // endpoint vertices are seeded dirty in both directions so an incremental
 // state re-bases its arrival sources and required sinks.
 func (g *Graph) RetargetIO(inputs, outputs []int, inNames, outNames []string) error {
+	// Validate everything — including what SetIO would reject — before
+	// marking any seed dirty, so a failed edit leaves no metadata behind.
+	if len(inputs) != len(inNames) || len(outputs) != len(outNames) {
+		return fmt.Errorf("timing: port name count mismatch (%d inputs / %d names, %d outputs / %d names)",
+			len(inputs), len(inNames), len(outputs), len(outNames))
+	}
 	for _, v := range inputs {
 		if v < 0 || v >= g.NumVerts {
 			return fmt.Errorf("timing: input vertex %d out of range", v)

@@ -164,6 +164,30 @@ func TestEditValidation(t *testing.T) {
 	}
 }
 
+// TestRetargetIOValidatesBeforeMutation fences the validate-before-mutate
+// contract of the edit API: a rejected retarget must not leave half-recorded
+// dirty seeds behind.
+func TestRetargetIOValidatesBeforeMutation(t *testing.T) {
+	g := buildC17(t)
+	// Absorb the construction-time metadata (raw AddEdge marks the whole
+	// graph dirty) so the fences below see only what RetargetIO leaves.
+	if _, err := g.NewIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RetargetIO(g.Inputs, g.Outputs, g.InputNames[:len(g.InputNames)-1], g.OutputNames); err == nil {
+		t.Fatal("input name count mismatch accepted")
+	}
+	if g.dirtyPending() {
+		t.Fatal("rejected retarget (name count) left dirty metadata behind")
+	}
+	if err := g.RetargetIO([]int{g.NumVerts}, g.Outputs, []string{"x"}, g.OutputNames); err == nil {
+		t.Fatal("out-of-range input accepted")
+	}
+	if g.dirtyPending() {
+		t.Fatal("rejected retarget (vertex range) left dirty metadata behind")
+	}
+}
+
 func TestCloneIsolation(t *testing.T) {
 	g := buildC17(t)
 	ref, _ := g.MaxDelay()

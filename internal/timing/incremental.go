@@ -126,6 +126,13 @@ func (inc *Incremental) EnableRequired(ctx context.Context) error {
 		return errors.New("timing: incremental state is stale; Rebuild first")
 	}
 	g := inc.g
+	// Unabsorbed edits would be half-seen here: syncIO below rebases the
+	// sources/outputs onto the graph's new IO, so a pending RetargetIO would
+	// later seed new-and-new instead of old-and-new endpoints, leaving the
+	// former sources never re-swept. Require a clean slate instead.
+	if g.dirtyPending() {
+		return errors.New("timing: graph has pending edits; Update before EnableRequired")
+	}
 	inc.req = canon.NewBank(g.Space, g.NumVerts+2)
 	inc.reqReach = make([]bool, g.NumVerts)
 	inc.syncIO()

@@ -190,6 +190,58 @@ func TestIncrementalRetargetIO(t *testing.T) {
 	}
 }
 
+// TestEnableRequiredRejectsPendingEdits fences EnableRequired against
+// unabsorbed edit metadata: with a RetargetIO pending, its syncIO would
+// rebase the sources/outputs early and the later Update would seed
+// new-and-new instead of old-and-new endpoints, so former sources would
+// keep stale arrival state. The call must refuse until Update absorbed the
+// edits.
+func TestEnableRequiredRejectsPendingEdits(t *testing.T) {
+	g := buildBench(t, "c432", 1)
+	inc, err := g.NewIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIn := len(g.Inputs)/2 + 1
+	ins := append([]int(nil), g.Inputs[:nIn]...)
+	inNames := append([]string(nil), g.InputNames[:nIn]...)
+	outs := append([]int(nil), g.Outputs...)
+	outNames := append([]string(nil), g.OutputNames...)
+	if err := g.RetargetIO(ins, outs, inNames, outNames); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.EnableRequired(context.Background()); err == nil {
+		t.Fatal("EnableRequired accepted a graph with pending edits")
+	}
+	if _, err := inc.Update(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.EnableRequired(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The required state seeded after the absorb must match a full pass.
+	q := g.AcquirePass()
+	defer q.Release()
+	if err := q.Required(g.Outputs...); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVerts; v++ {
+		got, err := inc.Required(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (got == nil) != !q.Reached(v) {
+			t.Fatalf("vertex %d required reach mismatch", v)
+		}
+		if got == nil {
+			continue
+		}
+		if d := formDiff(got, q.Form(v)); d > 1e-9 {
+			t.Fatalf("vertex %d required differs by %g", v, d)
+		}
+	}
+}
+
 // TestIncrementalRawAddEdgeFallsBack checks the conservative path: a raw
 // AddEdge (no cycle guard, no seeds) must force a full rebuild rather than
 // serve stale state.

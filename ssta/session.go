@@ -2,6 +2,7 @@ package ssta
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -94,6 +95,18 @@ type EditReport struct {
 	FullReprop bool
 	Elapsed    time.Duration
 }
+
+// ReanalysisError marks a failure of the post-edit re-analysis itself —
+// restitch recovery, an incremental update, or a full rebuild — as opposed
+// to an edit that failed validation. Callers (the serving layer) use it to
+// tell server-side faults apart from bad client input; it unwraps, so
+// errors.Is still detects cancellation underneath.
+type ReanalysisError struct{ Err error }
+
+func (e *ReanalysisError) Error() string { return "ssta: re-analysis: " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *ReanalysisError) Unwrap() error { return e.Err }
 
 // Session is a stateful analysis handle: one full analysis at creation,
 // incremental cost per edit batch thereafter. A session owns a private
@@ -192,7 +205,10 @@ func (s *Session) Design() *Design {
 // dirty cones (a module swap restitches from the per-instance caches and
 // re-propagates fully). On error, edits already applied stay applied and
 // the session state is re-synced before returning, so the session remains
-// usable; the error names the failing edit.
+// usable; the error names the failing edit, and the report is returned
+// alongside it with Applied set, so callers can tell a partially applied
+// batch from nothing-happened — blindly resending the same batch would
+// double-apply its valid prefix.
 func (s *Session) Apply(ctx context.Context, edits []Edit) (*EditReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -202,7 +218,7 @@ func (s *Session) Apply(ctx context.Context, edits []Edit) (*EditReport, error) 
 		// A previously interrupted swap left the top graph uncommitted;
 		// recover before touching anything else.
 		if err := s.hs.Restitch(ctx); err != nil {
-			return nil, err
+			return nil, &ReanalysisError{Err: err}
 		}
 		restitched = true
 	}
@@ -216,14 +232,21 @@ func (s *Session) Apply(ctx context.Context, edits []Edit) (*EditReport, error) 
 		applied++
 	}
 	rep, err := s.refresh(ctx, restitched)
-	if applyErr != nil {
-		return nil, applyErr
-	}
-	if err != nil {
-		return nil, err
-	}
 	rep.Applied = applied
 	rep.Elapsed = time.Since(start)
+	if err != nil {
+		// A failed re-analysis is a fault in its own right even when an edit
+		// already failed validation: join the two so the classification
+		// (cancellation, server fault) survives alongside the edit error.
+		err = &ReanalysisError{Err: err}
+		if applyErr != nil {
+			err = errors.Join(applyErr, err)
+		}
+		return rep, err
+	}
+	if applyErr != nil {
+		return rep, applyErr
+	}
 	return rep, nil
 }
 
@@ -320,12 +343,21 @@ func (s *Session) refresh(ctx context.Context, restitched bool) (*EditReport, er
 		if err := s.syncTop(); err != nil {
 			return rep, err
 		}
+		rep.TotalVerts = s.graph.NumVerts
+	}
+	// Rebuild on graph identity, not the restitched flag alone: a previous
+	// refresh may have swapped s.graph in and then failed (a client timeout
+	// firing during the full re-propagation is the likely cause) before
+	// s.inc was rebuilt, leaving it bound to the discarded graph.
+	if restitched || s.inc == nil || s.inc.Graph() != s.graph {
+		// Drop the stale state before the fallible rebuild so a failure here
+		// can never leave the session silently serving pre-swap delays.
+		s.inc = nil
 		inc, err := s.graph.NewIncrementalCtx(ctx)
 		if err != nil {
 			return rep, err
 		}
 		s.inc = inc
-		rep.TotalVerts = s.graph.NumVerts
 		rep.Recomputed = s.graph.NumVerts
 		rep.FullReprop = true
 	} else {

@@ -2,6 +2,7 @@ package ssta
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -167,12 +168,17 @@ func TestGraphSessionRejectsBadEdit(t *testing.T) {
 	if err := ref.ScaleEdgeDelay(3, 2); err != nil {
 		t.Fatal(err)
 	}
-	_, err = sess.Apply(context.Background(), []Edit{
+	partial, err := sess.Apply(context.Background(), []Edit{
 		{Op: EditScaleDelay, Edge: 3, Scale: 2},
 		{Op: EditScaleDelay, Edge: len(base.Edges) + 7, Scale: 2}, // out of range
 	})
 	if err == nil {
 		t.Fatal("out-of-range edit accepted")
+	}
+	// The report rides along with the error so callers can see the partial
+	// application — resending the batch would double-apply edit #0.
+	if partial == nil || partial.Applied != 1 {
+		t.Fatalf("failed batch reported %+v, want Applied=1", partial)
 	}
 	// Hierarchical-only ops must be rejected on flat sessions.
 	if _, err := sess.Apply(context.Background(), []Edit{{Op: EditSetNetDelay, Net: 0, Value: 1}}); err == nil {
@@ -279,6 +285,135 @@ func TestDesignSessionRandomizedGolden(t *testing.T) {
 		if d.Instances[1].Module != mod {
 			t.Fatal("session mutated the caller's design")
 		}
+	}
+}
+
+// TestSessionRecoversInterruptedRefresh reproduces the interrupted-refresh
+// hazard: a module swap committed and syncTop already replaced the graph,
+// but the incremental rebuild failed (a client timeout mid-propagation)
+// before s.inc was rebuilt, leaving it bound to the discarded graph. The
+// next Apply must detect the identity mismatch and rebuild instead of
+// serving the old graph's (pre-swap) delays.
+func TestSessionRecoversInterruptedRefresh(t *testing.T) {
+	flow := DefaultFlow()
+	d, _, alt := quadFixture(t, flow, "c432")
+	sess, err := flow.NewDesignSession(context.Background(), d, FullCorrelation, AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn state directly: swap + syncTop without the rebuild.
+	if err := sess.hs.SwapModule(context.Background(), "B", alt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.syncTop(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.inc.Graph() == sess.graph {
+		t.Fatal("fixture did not detach the incremental state from the live graph")
+	}
+
+	mirror := d.CopyStructure()
+	for i := range mirror.Instances {
+		if mirror.Instances[i].Name == "B" {
+			mirror.Instances[i].Module = alt
+		}
+	}
+	mirror.Nets[0].Delay = 17
+	rep, err := sess.Apply(context.Background(), []Edit{{Op: EditSetNetDelay, Net: 0, Value: 17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullReprop {
+		t.Fatal("recovery from a detached incremental state must rebuild fully")
+	}
+	res, err := mirror.CopyStructure().Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sessionFormDiff(rep.Delay, res.Delay); diff > 1e-9 {
+		t.Fatalf("post-recovery delay differs from from-scratch Analyze by %g", diff)
+	}
+
+	// The other torn state: the rebuild dropped the old state and then
+	// failed, leaving no incremental state at all.
+	sess.inc = nil
+	rep, err = sess.Apply(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullReprop {
+		t.Fatal("recovery from a nil incremental state must rebuild fully")
+	}
+	if diff := sessionFormDiff(rep.Delay, res.Delay); diff > 1e-9 {
+		t.Fatalf("post-nil-recovery delay differs from from-scratch Analyze by %g", diff)
+	}
+}
+
+// TestSessionReanalysisFailureIsTyped checks that a failed post-edit
+// re-analysis surfaces as a ReanalysisError (unwrapping to the underlying
+// cancellation) and that the session recovers on the next Apply.
+func TestSessionReanalysisFailureIsTyped(t *testing.T) {
+	flow := DefaultFlow()
+	base, _, err := flow.BenchGraph("c432", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := flow.NewGraphSession(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sess.Apply(ctx, []Edit{{Op: EditScaleDelay, Edge: 0, Scale: 2}})
+	if err == nil {
+		t.Fatal("apply under a cancelled context succeeded")
+	}
+	var re *ReanalysisError
+	if !errors.As(err, &re) {
+		t.Fatalf("want ReanalysisError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not visible through the wrapper: %v", err)
+	}
+	// The edit stayed applied (documented partial application); recovery
+	// rebuilds and matches a reference with the same edit.
+	ref := base.Clone()
+	if err := ref.ScaleEdgeDelay(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.MaxDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Apply(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sessionFormDiff(rep.Delay, want); d > 1e-9 {
+		t.Fatalf("post-recovery delay differs by %g", d)
+	}
+
+	// Combined failure: a validation error in the batch plus a cancelled
+	// re-analysis of the applied prefix. The cancellation classification
+	// must survive alongside the edit error, and the report must still
+	// disclose the partial application.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	rep, err = sess.Apply(ctx2, []Edit{
+		{Op: EditScaleDelay, Edge: 1, Scale: 1.5},
+		{Op: EditScaleDelay, Edge: len(base.Edges) + 3, Scale: 2}, // out of range
+	})
+	if err == nil {
+		t.Fatal("combined-failure batch succeeded")
+	}
+	if !errors.As(err, &re) {
+		t.Fatalf("combined failure lost the ReanalysisError: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("combined failure lost the cancellation: %v", err)
+	}
+	if rep == nil || rep.Applied != 1 {
+		t.Fatalf("combined failure reported %+v, want Applied=1", rep)
 	}
 }
 

@@ -461,6 +461,77 @@ func BenchmarkSessionSwapModule(b *testing.B) {
 	})
 }
 
+// sweepScenarios builds the 8-scenario MCMM set of the sweep benchmark:
+// derates, class scales and sigma multipliers — all swap-free, so every
+// scenario shares one stitch.
+func sweepScenarios() []ssta.Scenario {
+	return []ssta.Scenario{
+		{Name: "unit"},
+		{Name: "hot", Derate: 1.15},
+		{Name: "cold", Derate: 0.92},
+		{Name: "aged", CellScale: 1.08},
+		{Name: "slow-wires", NetScale: 1.4},
+		{Name: "sigma-up", GlobSigma: 1.5, LocSigma: 1.25},
+		{Name: "sigma-down", RandSigma: 0.8},
+		{Name: "combo", Derate: 1.05, LocSigma: 1.3},
+	}
+}
+
+// BenchmarkSweep is the MCMM headline: evaluating 8 scenarios against the
+// quad design through SweepAnalyze (one partition/PCA/stitch shared by all
+// scenarios, one bank-rescale + propagation each) versus 8 independent
+// AnalyzeOpt calls (each re-stitching the design). Both run with the
+// geometry/PCA prep cache warm, so the measured gap is the stitch work the
+// sweep amortizes; speedup is recorded in BENCH_4.json.
+func BenchmarkSweep(b *testing.B) {
+	flow := ssta.DefaultFlow()
+	g, plan, err := flow.BenchGraph("c1355", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := flow.Extract(g, ssta.ExtractOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := ssta.NewModule("c1355", model, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := flow.QuadDesign("sweep-quad", mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scens := sweepScenarios()
+	// Warm the prep cache: both paths measure post-prep steady state.
+	if _, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for range scens {
+				if _, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(scens)), "scenarios")
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := ssta.SweepAnalyze(context.Background(), d, ssta.FullCorrelation, scens,
+				ssta.SweepOptions{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Completed != len(scens) {
+				b.Fatalf("completed %d of %d", rep.Completed, len(scens))
+			}
+		}
+		b.ReportMetric(float64(len(scens)), "scenarios")
+	})
+}
+
 // BenchmarkAllPairs measures the all-pairs delay-matrix computation used by
 // both Table I accuracy columns.
 func BenchmarkAllPairs(b *testing.B) {

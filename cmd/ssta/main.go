@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func main() {
 	mcIters := flag.Int("mc", 0, "also run Monte Carlo with this many iterations")
 	perOutput := flag.Bool("outputs", false, "print per-output arrival statistics")
 	workers := flag.Int("workers", 0, "concurrent analyses in a batch (0: all cores)")
+	scenarios := flag.String("scenarios", "", "MCMM sweep: JSON scenario array (inline or @file) evaluated against the circuit with shared prep")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -77,8 +79,8 @@ func main() {
 	results := flow.AnalyzeBatch(items, ssta.BatchOptions{Workers: *workers})
 
 	if len(results) > 1 {
-		if *mcIters > 0 || *perOutput {
-			fmt.Fprintln(os.Stderr, "note: -mc and -outputs apply to single-circuit runs only; ignored for the batch sweep")
+		if *mcIters > 0 || *perOutput || *scenarios != "" {
+			fmt.Fprintln(os.Stderr, "note: -mc, -outputs and -scenarios apply to single-circuit runs only; ignored for the batch sweep")
 		}
 		// Batch sweep: one summary line per circuit.
 		fmt.Printf("%-10s %8s %8s %10s %9s %12s %9s\n",
@@ -106,6 +108,10 @@ func main() {
 		fmt.Printf("  %6.2f%% yield at %8.2f ps\n", 100*p, delay.Quantile(p))
 	}
 
+	if *scenarios != "" {
+		runSweep(g, *scenarios, *workers)
+	}
+
 	if *perOutput {
 		arr, err := g.ArrivalAll()
 		fatal(err)
@@ -126,6 +132,44 @@ func main() {
 		fmt.Printf("\nMonte Carlo (%d iters): mean %.2f ps, std %.2f ps (SSTA error: mean %+.2f%%, std %+.2f%%)\n",
 			*mcIters, s.Mean, s.Std,
 			100*(delay.Mean()-s.Mean)/s.Mean, 100*(delay.Std()-s.Std)/s.Std)
+	}
+}
+
+// runSweep evaluates a -scenarios JSON set against the circuit with shared
+// prep and prints the per-scenario table, envelope and divergence ranking.
+func runSweep(g *ssta.Graph, flagValue string, workers int) {
+	scens, err := ssta.ParseScenariosFlag(flagValue)
+	fatal(err)
+	rep, err := ssta.SweepAnalyzeGraph(context.Background(), g, scens, ssta.SweepOptions{Workers: workers})
+	fatal(err)
+	fmt.Printf("\nMCMM sweep: %d scenarios (%d completed) in %.1f ms\n",
+		len(rep.Results), rep.Completed, float64(rep.Elapsed.Microseconds())/1000)
+	fmt.Printf("%-16s %10s %9s %12s %9s\n", "scenario", "mean(ps)", "std(ps)", "99.87%(ps)", "t(ms)")
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			fmt.Printf("%-16s %s\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Printf("%-16s %10.2f %9.2f %12.2f %9.1f\n",
+			r.Name, r.Mean, r.Std, r.Quantile, float64(r.Elapsed.Microseconds())/1000)
+	}
+	fmt.Printf("%-16s %10.2f %9.2f %12.2f   (worst: %s)\n",
+		"envelope", rep.Envelope.Mean, rep.Envelope.Std, rep.Envelope.Quantile, rep.Envelope.Worst)
+	if len(rep.TopDivergent) > 0 {
+		// The ranking baseline is the first *completed* scenario (the
+		// report skips failed ones), so label it accordingly.
+		base := ""
+		for _, r := range rep.Results {
+			if r.Err == nil {
+				base = r.Name
+				break
+			}
+		}
+		fmt.Printf("top divergent vs %s:", base)
+		for _, dv := range rep.TopDivergent {
+			fmt.Printf(" %s (%.2f ps)", dv.Name, dv.Score)
+		}
+		fmt.Println()
 	}
 }
 

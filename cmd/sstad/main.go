@@ -11,6 +11,7 @@
 // Endpoints (see internal/server for the wire schema):
 //
 //	POST /v1/analyze             synchronous batch analysis
+//	POST /v1/sweep               MCMM multi-scenario sweep with shared prep
 //	POST /v1/jobs                asynchronous submit; GET/DELETE /v1/jobs/{id}
 //	POST /v1/sessions            create an incremental timing session
 //	POST /v1/sessions/{id}/edits apply an edit batch, re-analyzed incrementally
@@ -21,6 +22,8 @@
 // Example:
 //
 //	curl -s localhost:8080/v1/analyze -d '{"items":[{"bench":"c432","seed":1}]}'
+//	curl -s localhost:8080/v1/sweep -d '{"bench":"c432","seed":1,
+//	    "scenarios":[{"name":"unit"},{"name":"hot","derate":1.15}]}'
 //	curl -s localhost:8080/v1/sessions -d '{"bench":"c432","seed":1}'
 //	curl -s localhost:8080/v1/sessions/sess-1/edits \
 //	    -d '{"edits":[{"op":"scale_delay","edge":5,"scale":1.2}]}'
@@ -28,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -56,7 +60,32 @@ func main() {
 	maxItems := flag.Int("max-items", 256, "maximum items per request")
 	maxSessions := flag.Int("max-sessions", 64, "maximum live timing sessions")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle timing sessions are evicted after this")
+	scenarios := flag.String("scenarios", "", "default MCMM scenario set for /v1/sweep requests that name none: JSON array (inline or @file)")
 	flag.Parse()
+
+	// Decode and validate the default scenario set at startup so a bad
+	// operator config fails the boot, not the first sweep request. The set
+	// may carry module swaps; those are materialized per request.
+	var defaultScens []server.SweepScenarioSpec
+	if *scenarios != "" {
+		fail := func(err error) {
+			fmt.Fprintf(os.Stderr, "sstad: -scenarios: %v\n", err)
+			os.Exit(2)
+		}
+		raw, err := ssta.ScenarioFlagBytes(*scenarios)
+		if err != nil {
+			fail(err)
+		}
+		if err := json.Unmarshal(raw, &defaultScens); err != nil {
+			fail(err)
+		}
+		for _, sp := range defaultScens {
+			sc := sp.Scenario()
+			if err := sc.Validate(); err != nil {
+				fail(err)
+			}
+		}
+	}
 
 	flow := ssta.DefaultFlow()
 	flow.Cache = ssta.NewExtractCacheSized(*cacheEntries, *cacheCost)
@@ -72,6 +101,7 @@ func main() {
 		GraphCacheEntries: *graphEntries,
 		MaxSessions:       *maxSessions,
 		SessionTTL:        *sessionTTL,
+		DefaultScenarios:  defaultScens,
 	})
 
 	hs := &http.Server{

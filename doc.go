@@ -23,8 +23,12 @@
 //	internal/hier       hierarchical design-level analysis: heterogeneous
 //	                    grid partition, eq. 19 variable replacement, the
 //	                    cached+parallel stitching engine
+//	internal/scenario   the MCMM sweep engine: named scenario transforms
+//	                    (derates, per-edge-class scales, sigma multipliers,
+//	                    module swaps) evaluated against one shared prep
 //	internal/server     the sstad serving layer: HTTP/JSON batch analysis,
-//	                    async jobs, admission control, health + metrics
+//	                    MCMM sweeps, async jobs, admission control,
+//	                    health + metrics
 //	internal/variation  process parameters, grid correlation, PCA
 //	internal/circuit    netlists: ISCAS85-like generator, multipliers, c17
 //	internal/cell       synthetic 90nm cell library
@@ -117,4 +121,40 @@
 // /v1/sessions/{id}/edits) with idle-TTL eviction — clients pay one full
 // analysis per session and incremental cost per edit batch. See README.md
 // ("Incremental analysis & sessions") and BENCH_3.json.
+//
+// # Multi-corner/multi-scenario sweeps: the scenario model
+//
+// The MCMM engine (internal/scenario, surfaced as ssta.SweepAnalyze and
+// POST /v1/sweep) evaluates many named operating scenarios — timing
+// derates, per-edge-class scale factors, sigma multipliers on the
+// Glob/Loc/Rand variation components, swapped module variants — against
+// one shared preparation. The invalidation rule falls out of linearity:
+// every rescale knob is linear per canonical-form component, so it shares
+// everything (partition, PCA, replacement matrices, stitched topology,
+// flat delay bank) and costs one in-bank rescale (canon.ScalePartsView)
+// plus one propagation pass per scenario; only a module swap changes
+// structure and pays a private stitch. Reports carry per-scenario
+// mean/sigma/quantiles, the cross-scenario worst-case envelope
+// (component-wise max over statistics — scenarios are alternative worlds,
+// not jointly distributed forms) and a divergence ranking against the
+// baseline scenario. Sessions keep sweeps live across edits: SetSweep
+// maintains one transformed clone + incremental state per scenario, and
+// every edit batch is mirrored into the clones and re-propagated through
+// dirty cones only. See README.md ("Multi-scenario sweeps") and
+// BENCH_4.json.
+//
+// # Testing strategy
+//
+// Verification is layered (README.md "Testing strategy" has the full
+// map): golden/equivalence tests pin every optimized path to a reference
+// twin (parallel==serial, cached==cold, views==forms at 1e-12,
+// incremental==from-scratch, sweep==independent analyses, HTTP==direct at
+// 1e-9); native fuzz targets with committed seed corpora harden the edit
+// engine (timing.FuzzGraphEdits: byte-coded edit scripts asserting
+// incremental==full-pass equivalence and no panics) and the netlist
+// reader (circuit.FuzzNetlistParse: accepted inputs must validate and
+// round-trip); and the Monte-Carlo differential oracle (mc.Validate)
+// diffs analytic mean/sigma against empirical sampling — a small-sample
+// smoke in tier-1, an 8000-sample tier-2 pass including a derated sweep
+// scenario behind testing.Short.
 package repro

@@ -162,6 +162,31 @@ func TightnessProbViews(a, b View) float64 {
 	return stats.NormCDF((a[0] - b[0]) / theta)
 }
 
+// ScalePartsView writes the scenario-scaled image of src into dst: the
+// whole form is scaled by all (the in-bank analogue of Form.Scale), with
+// the Glob, Loc and Rand blocks additionally scaled by glob, loc and rand —
+// the kernel of the MCMM sweep engine's per-scenario delay-bank rescaling
+// (a delay derate composed with per-block sigma multipliers). nGlob is the
+// space's Globals count, fixing the Glob/Loc split. dst may alias src.
+func ScalePartsView(dst, src View, nGlob int, all, glob, loc, rand float64) {
+	dst[0] = src[0] * all
+	kg := all * glob
+	i := 1
+	for ; i <= nGlob; i++ {
+		dst[i] = src[i] * kg
+	}
+	kl := all * loc
+	n := len(dst) - 1
+	for ; i < n; i++ {
+		dst[i] = src[i] * kl
+	}
+	kr := all * rand
+	if kr < 0 {
+		kr = -kr
+	}
+	dst[n] = src[n] * kr
+}
+
 // MaxViews computes Clark's moment-matched max(a, b) into dst (paper
 // eqs. 6-9) in one fused pass: variances, covariance, tightness, blend and
 // variance matching without any intermediate allocation. dst may alias a

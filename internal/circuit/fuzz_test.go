@@ -1,0 +1,64 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzNetlistParse drives the .bench reader with arbitrary bytes. The
+// invariants: the parser never panics, and any netlist it accepts is
+// structurally valid (Validate passes inside ParseBench) and round-trips
+// through WriteBench with an identical structural footprint.
+func FuzzNetlistParse(f *testing.F) {
+	var c17 bytes.Buffer
+	if err := C17().WriteBench(&c17); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(c17.Bytes())
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n"))
+	// Forward reference: gates may use names defined later in the file.
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = NOT(m)\nm = BUFF(a)\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = DFF(a)\n"))        // sequential: rejected
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = XOR(a, a)\n"))     // duplicate fanin
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = FROB(a, a)\n"))    // unknown gate fn
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = NOT(z)\n"))        // self-cycle
+	f.Add([]byte("INPUT()\nOUTPUT(z)\nz=NOT(a)\n"))           // empty directive arg
+	f.Add([]byte("garbage line\nINPUT(a)\nz = NOT(a\n"))      // malformed
+	f.Add([]byte("INPUT(a)\ninput(b)\nOUTPUT(Z)\nZ=or(a,b)")) // case forms
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // the scanner caps lines at 1 MiB; big inputs only cost time
+		}
+		c, err := ParseBench("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted netlists must be valid and round-trip structurally.
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid netlist: %v", err)
+		}
+		var out strings.Builder
+		if err := c.WriteBench(&out); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		c2, err := ParseBench("fuzz2", strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\nnetlist:\n%s", err, out.String())
+		}
+		s1, err := c.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := c2.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1.Name, s2.Name = "", ""
+		if s1 != s2 {
+			t.Fatalf("round trip changed structure: %+v vs %+v", s1, s2)
+		}
+	})
+}

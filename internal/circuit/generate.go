@@ -299,7 +299,17 @@ func Generate(spec TopoSpec, seed int64) (*Circuit, error) {
 		return nil, fmt.Errorf("circuit: spec %q: could only place %d of %d outputs", spec.Name, len(pos), spec.POs)
 	}
 
-	// --- Materialize the Circuit.
+	// --- Materialize the Circuit. Port names are spec-derived, not
+	// seed-derived: inputs are I1..I<PIs> and the gates chosen as outputs are
+	// named O1..O<POs> (in pos order) instead of keeping their N<id> names.
+	// Two circuits generated from the same spec therefore expose identical
+	// port-name sets regardless of seed, so module models extracted from
+	// different seeds can be swapped for one another in a hierarchical
+	// design (ports are matched by name when stitching).
+	poName := make(map[int]string, len(pos))
+	for k, p := range pos {
+		poName[p] = fmt.Sprintf("O%d", k+1)
+	}
 	c := New(spec.Name)
 	for i := 0; i < spec.PIs; i++ {
 		if _, err := c.AddInput(fmt.Sprintf("I%d", i+1)); err != nil {
@@ -308,7 +318,11 @@ func Generate(spec TopoSpec, seed int64) (*Circuit, error) {
 	}
 	for _, g := range gateIDs {
 		t := pickGateType(rng, len(fanins[g]))
-		if _, err := c.AddGate(fmt.Sprintf("N%d", g), t, fanins[g]...); err != nil {
+		name, isPO := poName[g]
+		if !isPO {
+			name = fmt.Sprintf("N%d", g)
+		}
+		if _, err := c.AddGate(name, t, fanins[g]...); err != nil {
 			return nil, err
 		}
 	}

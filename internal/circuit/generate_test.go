@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -152,5 +153,47 @@ func TestGenerateBenchRoundtrip(t *testing.T) {
 	sp, _ := parsed.Stat()
 	if so != sp {
 		t.Fatalf("roundtrip stats differ:\n%+v\n%+v", so, sp)
+	}
+}
+
+// TestGeneratePortNamesDeterministic pins the spec-derived port-name
+// contract: circuits generated from the same spec expose identical,
+// seed-independent port name lists (I1..In inputs, O1..Om outputs in PO
+// order), so module models extracted from different seeds can be swapped
+// for one another in hierarchical designs.
+func TestGeneratePortNamesDeterministic(t *testing.T) {
+	for _, name := range []string{"c432", "c880", "c2670"} {
+		spec, _ := SpecByName(name)
+		portNames := func(seed int64) (ins, outs []string) {
+			c, err := Generate(spec, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pi := range c.PIs {
+				ins = append(ins, c.Gates[pi].Name)
+			}
+			for _, po := range c.POs {
+				outs = append(outs, c.Gates[po].Name)
+			}
+			return ins, outs
+		}
+		in1, out1 := portNames(1)
+		in2, out2 := portNames(7)
+		if len(out1) != spec.POs {
+			t.Fatalf("%s: %d outputs, want %d", name, len(out1), spec.POs)
+		}
+		for k := range out1 {
+			if want := fmt.Sprintf("O%d", k+1); out1[k] != want {
+				t.Fatalf("%s: output %d named %q, want %q", name, k, out1[k], want)
+			}
+			if out1[k] != out2[k] {
+				t.Fatalf("%s: output names differ across seeds: %q vs %q", name, out1[k], out2[k])
+			}
+		}
+		for k := range in1 {
+			if in1[k] != in2[k] {
+				t.Fatalf("%s: input names differ across seeds: %q vs %q", name, in1[k], in2[k])
+			}
+		}
 	}
 }

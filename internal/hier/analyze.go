@@ -170,6 +170,19 @@ func (d *Design) AnalyzeCtx(ctx context.Context, mode Mode, opt AnalyzeOptions) 
 	return res, nil
 }
 
+// Stitch builds the design's stitched top-level timing graph — through the
+// per-design prep cache, with the per-instance rewriting fanned out over
+// opt.Workers — without running any propagation. It is the shared-prep
+// entry point of the MCMM sweep engine: one stitch, then one propagation
+// per scenario over rescaled delay banks. The returned Result carries the
+// graph, space and partition; its Delay/OutputArrivals are nil.
+func (d *Design) Stitch(ctx context.Context, mode Mode, opt AnalyzeOptions) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d.buildTop(ctx, mode, false, opt)
+}
+
 // Flatten builds the ground-truth flat timing graph of the design: every
 // instance's ORIGINAL timing graph embedded in the design-level space with
 // grid indices mapped into the heterogeneous partition. All modules must

@@ -1,0 +1,90 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// Tolerance bounds the relative disagreement Validate accepts between the
+// canonical-form analytics and the empirical Monte Carlo estimates. Mean
+// bounds |analytic mean - MC mean| / MC mean; Sigma the same for standard
+// deviations. Sigma tolerances must budget both the model error (Clark max
+// is exact only for two jointly Gaussian operands) and the MC estimator
+// noise (~ sigma/sqrt(2N) for N samples).
+type Tolerance struct {
+	Mean  float64
+	Sigma float64
+}
+
+// ValidationReport is the outcome of one differential run.
+type ValidationReport struct {
+	Samples int
+	// Sampler names the path used: "structural" (parameter-space sampling
+	// through the grid Cholesky factor — independent of the PCA machinery)
+	// or "canonical" (sampling the canonical space directly — validating
+	// only the propagation/Clark machinery).
+	Sampler string
+
+	AnalyticMean, AnalyticStd   float64
+	EmpiricalMean, EmpiricalStd float64
+	// MeanErr and SigmaErr are the relative disagreements the tolerances
+	// are checked against.
+	MeanErr, SigmaErr float64
+	OK                bool
+}
+
+func (r *ValidationReport) String() string {
+	return fmt.Sprintf("mc: %s sampler, %d samples: mean %.4f vs %.4f (%.3f%%), sigma %.4f vs %.4f (%.3f%%)",
+		r.Sampler, r.Samples, r.AnalyticMean, r.EmpiricalMean, 100*r.MeanErr,
+		r.AnalyticStd, r.EmpiricalStd, 100*r.SigmaErr)
+}
+
+// Validate is the reusable Monte-Carlo differential oracle: it computes the
+// canonical-form circuit delay analytically (SSTA propagation with Clark
+// max), estimates the same distribution empirically by Monte Carlo, and
+// checks that mean and sigma agree within tol. Graphs carrying the
+// structural ground truth (grid model + per-edge sensitivities — built
+// graphs, flattened designs, and their scenario transforms) are sampled
+// structurally; graphs without it (extracted models, stitched tops) fall
+// back to sampling the canonical space directly. The report is returned
+// even when the check fails; the error is reserved for runs that could not
+// be performed at all.
+func Validate(g *timing.Graph, cfg Config, tol Tolerance) (*ValidationReport, error) {
+	cfg = cfg.normalize()
+	delay, err := g.MaxDelay()
+	if err != nil {
+		return nil, err
+	}
+	rep := &ValidationReport{
+		Samples:      cfg.Samples,
+		AnalyticMean: delay.Mean(),
+		AnalyticStd:  delay.Std(),
+	}
+	samples, err := MaxDelaySamples(g, cfg)
+	if err == nil {
+		rep.Sampler = "structural"
+	} else {
+		samples, err = CanonicalMaxDelaySamples(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sampler = "canonical"
+	}
+	s := stats.Summarize(samples)
+	rep.EmpiricalMean, rep.EmpiricalStd = s.Mean, s.Std
+	rep.MeanErr = relErr(rep.AnalyticMean, rep.EmpiricalMean)
+	rep.SigmaErr = relErr(rep.AnalyticStd, rep.EmpiricalStd)
+	rep.OK = rep.MeanErr <= tol.Mean && rep.SigmaErr <= tol.Sigma
+	return rep, nil
+}
+
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if w := math.Abs(want); w > 1e-12 {
+		return d / w
+	}
+	return d
+}

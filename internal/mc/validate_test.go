@@ -1,0 +1,139 @@
+package mc_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/mc"
+	"repro/internal/scenario"
+	"repro/internal/timing"
+	"repro/ssta"
+)
+
+// Differential-oracle tolerances. The analytic engine tracks MC within
+// ~1% on means and ~2% on sigmas on the ISCAS85-like benchmarks (the
+// paper's Table I reports the same order); the bounds below add headroom
+// for MC estimator noise at the respective sample counts
+// (sigma/sqrt(2N) ~ 1.8% at 1500 samples, ~0.8% at 8000).
+var (
+	smokeTol = mc.Tolerance{Mean: 0.03, Sigma: 0.08} // 1500-sample tier-1 smoke
+	tier2Tol = mc.Tolerance{Mean: 0.02, Sigma: 0.05} // 8000-sample tier-2
+)
+
+func validateGraph(t *testing.T, g *timing.Graph, cfg mc.Config, tol mc.Tolerance, wantSampler string) *mc.ValidationReport {
+	t.Helper()
+	rep, err := mc.Validate(g, cfg, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampler != wantSampler {
+		t.Fatalf("sampler %q, want %q", rep.Sampler, wantSampler)
+	}
+	if !rep.OK {
+		t.Fatalf("differential check failed: %v (tol mean %.3f sigma %.3f)", rep, tol.Mean, tol.Sigma)
+	}
+	return rep
+}
+
+// TestValidateSmoke is the tier-1 differential smoke: a small generated
+// circuit, structural sampling, 1500 iterations.
+func TestValidateSmoke(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	spec := ssta.TopoSpec{Name: "mcsw", PIs: 8, POs: 4, Gates: 60, Edges: 130, Depth: 8}
+	c, err := ssta.Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := flow.Graph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateGraph(t, g, mc.Config{Samples: 1500, Seed: 42}, smokeTol, "structural")
+
+	// The derated sweep-scenario graph must stay sampleable structurally
+	// (TransformGraph rescales the structural sensitivities along with the
+	// canonical coefficients) and keep tracking its own MC.
+	sc := scenario.Scenario{Name: "hot", Derate: 1.2, LocSigma: 1.3}
+	validateGraph(t, sc.TransformGraph(g), mc.Config{Samples: 1500, Seed: 7}, smokeTol, "structural")
+}
+
+// TestValidateTier2 is the heavier differential pass: two ISCAS85-scale
+// generated circuits and one sweep scenario at 8000 iterations with
+// tighter tolerances. Skipped under -short.
+func TestValidateTier2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 differential test skipped in short mode")
+	}
+	flow := ssta.DefaultFlow()
+	cfg := mc.Config{Samples: 8000, Seed: 42}
+	for _, name := range []string{"c432", "c880"} {
+		g, _, err := flow.BenchGraph(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := validateGraph(t, g, cfg, tier2Tol, "structural")
+
+		// One sweep scenario (derated graph): the oracle must confirm both
+		// that the transformed analytics track the transformed MC and that
+		// the transform actually moved the distribution as specified — a
+		// pure global derate scales mean and sigma exactly.
+		sc := scenario.Scenario{Name: "derate", Derate: 1.2}
+		drep := validateGraph(t, sc.TransformGraph(g), cfg, tier2Tol, "structural")
+		if math.Abs(drep.AnalyticMean-1.2*rep.AnalyticMean) > 1e-6 {
+			t.Fatalf("%s: derated mean %g, want %g", name, drep.AnalyticMean, 1.2*rep.AnalyticMean)
+		}
+		if math.Abs(drep.AnalyticStd-1.2*rep.AnalyticStd) > 1e-6 {
+			t.Fatalf("%s: derated sigma %g, want %g", name, drep.AnalyticStd, 1.2*rep.AnalyticStd)
+		}
+	}
+}
+
+// TestValidateCanonicalFallback checks that graphs without structural
+// ground truth (no grid model) are validated through canonical-space
+// sampling.
+func TestValidateCanonicalFallback(t *testing.T) {
+	space := canon.Space{Globals: 2, Components: 3}
+	g := timing.NewGraph(space, 4, nil)
+	mk := func(nom float64, seed int) *canon.Form {
+		f := space.NewForm()
+		f.Nominal = nom
+		for i := range f.Glob {
+			f.Glob[i] = 0.5 + 0.1*float64(seed+i)
+		}
+		for i := range f.Loc {
+			f.Loc[i] = 0.3 + 0.05*float64(seed+i)
+		}
+		f.Rand = 0.8
+		return f
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, err := g.AddEdge(e[0], e[1], mk(10+float64(e[0]), e[0]+e[1]), nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetIO([]int{0}, []int{3}, []string{"in"}, []string{"out"}); err != nil {
+		t.Fatal(err)
+	}
+	rep := validateGraph(t, g, mc.Config{Samples: 4000, Seed: 1}, mc.Tolerance{Mean: 0.05, Sigma: 0.10}, "canonical")
+	if rep.EmpiricalMean == 0 || rep.EmpiricalStd == 0 {
+		t.Fatalf("empirical stats missing: %v", rep)
+	}
+}
+
+// TestValidateReportsFailure checks an impossible tolerance yields a
+// failed (but error-free) report.
+func TestValidateReportsFailure(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	g, _, err := flow.BenchGraph("c432", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mc.Validate(g, mc.Config{Samples: 500, Seed: 1}, mc.Tolerance{Mean: 1e-9, Sigma: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatalf("impossible tolerance passed: %v", rep)
+	}
+}

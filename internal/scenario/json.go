@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Spec is the JSON wire form of a scenario's rescale knobs — shared by the
+// cmd harnesses (-scenarios flags) and the sstad serving layer. Omitted
+// fields keep the zero-means-unset convention of Scenario. Module swaps
+// are not expressible here: materializing a module needs the extraction
+// pipeline, which is the serving layer's job (see internal/server).
+type Spec struct {
+	Name       string          `json:"name,omitempty"`
+	Derate     float64         `json:"derate,omitempty"`
+	CellScale  float64         `json:"cell_scale,omitempty"`
+	NetScale   float64         `json:"net_scale,omitempty"`
+	EdgeScales map[int]float64 `json:"edge_scales,omitempty"`
+	GlobSigma  float64         `json:"glob_sigma,omitempty"`
+	LocSigma   float64         `json:"loc_sigma,omitempty"`
+	RandSigma  float64         `json:"rand_sigma,omitempty"`
+}
+
+// Scenario converts the spec into its library form.
+func (sp Spec) Scenario() Scenario {
+	return Scenario{
+		Name:       sp.Name,
+		Derate:     sp.Derate,
+		CellScale:  sp.CellScale,
+		NetScale:   sp.NetScale,
+		EdgeScales: sp.EdgeScales,
+		GlobSigma:  sp.GlobSigma,
+		LocSigma:   sp.LocSigma,
+		RandSigma:  sp.RandSigma,
+	}
+}
+
+// ParseJSON decodes a JSON array of scenario specs and validates it.
+func ParseJSON(data []byte) ([]Scenario, error) {
+	var specs []Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	out := make([]Scenario, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Scenario()
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FlagBytes resolves a -scenarios flag value to its raw JSON: inline
+// JSON, or @path to a JSON file (surrounding whitespace ignored). Callers
+// that decode an extended spec (the serving layer's swap-carrying
+// scenarios) share this resolution instead of re-implementing the @file
+// convention.
+func FlagBytes(v string) ([]byte, error) {
+	v = strings.TrimSpace(v)
+	if strings.HasPrefix(v, "@") {
+		data, err := os.ReadFile(v[1:])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return data, nil
+	}
+	return []byte(v), nil
+}
+
+// ParseFlag resolves a -scenarios flag value: inline JSON, or @path to a
+// JSON file.
+func ParseFlag(v string) ([]Scenario, error) {
+	data, err := FlagBytes(v)
+	if err != nil {
+		return nil, err
+	}
+	return ParseJSON(data)
+}

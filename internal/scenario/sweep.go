@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/hier"
+	"repro/internal/timing"
+)
+
+// Options tunes a sweep.
+type Options struct {
+	// Workers bounds how many scenarios propagate concurrently
+	// (<=0: GOMAXPROCS).
+	Workers int
+	// TopK bounds the divergence ranking in the report (<=0: 3).
+	TopK int
+	// Quantile is the per-scenario/envelope yield quantile
+	// (<=0: 0.99865, the 3-sigma signoff point).
+	Quantile float64
+	// Analyze tunes the shared stitch and any per-swap-scenario stitches
+	// of a design sweep.
+	Analyze hier.AnalyzeOptions
+	// OnScenarioDone, when set, is invoked from the scenario's worker
+	// goroutine right after its result (including Elapsed and Err) is
+	// final — the serving layer's per-scenario metrics hook. It must be
+	// safe to call concurrently for distinct scenarios.
+	OnScenarioDone func(i int, r *Result)
+}
+
+func (o Options) normalize() Options {
+	if o.TopK <= 0 {
+		o.TopK = 3
+	}
+	if o.Quantile <= 0 {
+		o.Quantile = 0.99865
+	}
+	return o
+}
+
+// Result is the outcome of one scenario. Err is set when the scenario
+// failed (including cancellation mid-sweep); the statistical fields are
+// then zero and Delay nil.
+type Result struct {
+	Name  string
+	Delay *canon.Form
+	// Mean, Std and Quantile (at Options.Quantile) of the circuit delay.
+	Mean, Std, Quantile float64
+	// Shared marks a scenario that ran on the shared stitched graph; false
+	// for swap scenarios, which stitch privately.
+	Shared  bool
+	Elapsed time.Duration
+	Err     error
+}
+
+// Envelope is the cross-scenario worst case: the component-wise maximum of
+// the per-scenario statistics over every completed scenario. Scenarios are
+// alternative operating worlds, not jointly distributed variables, so the
+// envelope maximizes statistics rather than Clark-maxing forms. Worst
+// names the scenario attaining the quantile maximum — the signoff corner.
+type Envelope struct {
+	Mean, Std, Quantile float64
+	Worst               string
+}
+
+// Divergence scores how far a scenario's delay distribution moved from the
+// sweep baseline (the first scenario): |mean delta| + |sigma delta|.
+type Divergence struct {
+	Name  string
+	Score float64
+}
+
+// Report is the outcome of one sweep: a result per scenario in input
+// order, the worst-case envelope, and the most divergent scenarios
+// relative to the baseline.
+type Report struct {
+	Results  []Result
+	Envelope Envelope
+	// Completed counts scenarios that produced a delay; a cancelled sweep
+	// reports the partial accounting (completed results keep their values,
+	// the rest carry the cancellation error).
+	Completed    int
+	TopDivergent []Divergence
+	Elapsed      time.Duration
+}
+
+// NewReport assembles a report from per-scenario results: envelope,
+// completion accounting and divergence ranking. Exposed so the session
+// layer can re-assemble reports from incrementally maintained results.
+func NewReport(results []Result, opt Options) *Report {
+	opt = opt.normalize()
+	rep := &Report{Results: results}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil || r.Delay == nil {
+			continue
+		}
+		rep.Completed++
+		if r.Mean > rep.Envelope.Mean {
+			rep.Envelope.Mean = r.Mean
+		}
+		if r.Std > rep.Envelope.Std {
+			rep.Envelope.Std = r.Std
+		}
+		if r.Quantile > rep.Envelope.Quantile {
+			rep.Envelope.Quantile = r.Quantile
+			rep.Envelope.Worst = r.Name
+		}
+	}
+	// Divergence vs the baseline (first completed scenario — callers
+	// conventionally put the unit scenario first).
+	var base *Result
+	for i := range results {
+		if results[i].Err == nil && results[i].Delay != nil {
+			base = &results[i]
+			break
+		}
+	}
+	if base != nil {
+		for i := range results {
+			r := &results[i]
+			if r.Err != nil || r.Delay == nil || r == base {
+				continue
+			}
+			score := abs(r.Mean-base.Mean) + abs(r.Std-base.Std)
+			rep.TopDivergent = append(rep.TopDivergent, Divergence{Name: r.Name, Score: score})
+		}
+		sort.SliceStable(rep.TopDivergent, func(a, b int) bool {
+			return rep.TopDivergent[a].Score > rep.TopDivergent[b].Score
+		})
+		if len(rep.TopDivergent) > opt.TopK {
+			rep.TopDivergent = rep.TopDivergent[:opt.TopK]
+		}
+	}
+	return rep
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Normalize validates a scenario list and fills default names, returning
+// an independent copy. allowSwaps gates module-swap scenarios (design
+// sweeps only).
+func Normalize(scens []Scenario, allowSwaps bool) ([]Scenario, error) {
+	if len(scens) == 0 {
+		return nil, errors.New("scenario: empty scenario list")
+	}
+	out := make([]Scenario, len(scens))
+	copy(out, scens)
+	for i := range out {
+		if out[i].Name == "" {
+			out[i].Name = fmt.Sprintf("scenario-%d", i)
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+		if !allowSwaps && len(out[i].Swaps) > 0 {
+			return nil, fmt.Errorf("scenario %q: module swaps require a design sweep", out[i].Name)
+		}
+	}
+	return out, nil
+}
+
+// SweepGraph evaluates every scenario against one flat timing graph with
+// shared prep: the graph's flat edge-delay bank is built once, and each
+// scenario propagates over a privately rescaled copy (or the base bank
+// itself for identity scenarios) on the shared worker pool. Per-scenario
+// failures — including cancellation mid-sweep — land in Result.Err and
+// never abort the rest of the sweep; the returned error is reserved for
+// sweep-level validation.
+func SweepGraph(ctx context.Context, g *timing.Graph, scens []Scenario, opt Options) (*Report, error) {
+	if g == nil {
+		return nil, errors.New("scenario: nil graph")
+	}
+	scens, err := Normalize(scens, false)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.normalize()
+	start := time.Now()
+	if _, err := g.Order(); err != nil {
+		return nil, err
+	}
+	base := g.EdgeDelays()
+	results := make([]Result, len(scens))
+	runOne := func(ctx context.Context, i int) {
+		sc := &scens[i]
+		r := &results[i]
+		r.Name = sc.Name
+		r.Shared = true
+		s0 := time.Now()
+		r.Delay, r.Err = runScenario(ctx, g, base, sc, opt.Quantile, r)
+		r.Elapsed = time.Since(s0)
+		if opt.OnScenarioDone != nil {
+			opt.OnScenarioDone(i, r)
+		}
+	}
+	// The pool never sees task errors: every started scenario records its
+	// own outcome, so a cancellation mid-sweep yields partial accounting
+	// instead of an aborted report.
+	_ = timing.ParallelForCtx(ctx, len(scens), opt.Workers, func(ctx context.Context, i int) error {
+		runOne(ctx, i)
+		return nil
+	})
+	fillUnrun(ctx, scens, results, opt)
+	rep := NewReport(results, opt)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// fillUnrun accounts for scenarios the pool never started (cancellation
+// before their index was claimed): they get the context error so a partial
+// report still carries one definite outcome per scenario, and the
+// OnScenarioDone hook fires for them too — callers' accounting (the
+// serving layer's rejected-scenario counter) must match the report.
+func fillUnrun(ctx context.Context, scens []Scenario, results []Result, opt Options) {
+	for i := range results {
+		r := &results[i]
+		if r.Delay == nil && r.Err == nil {
+			r.Name = scens[i].Name
+			if err := ctx.Err(); err != nil {
+				r.Err = err
+			} else {
+				r.Err = errors.New("scenario: not run")
+			}
+			if opt.OnScenarioDone != nil {
+				opt.OnScenarioDone(i, r)
+			}
+		}
+	}
+}
+
+// runScenario rescales the base bank per the scenario and runs one forward
+// pass, folding the output arrivals into the circuit delay. The fold order
+// matches Graph.MaxDelayCtx exactly.
+func runScenario(ctx context.Context, g *timing.Graph, base *canon.Bank, sc *Scenario, q float64, r *Result) (*canon.Form, error) {
+	delays := base
+	if !sc.Identity() {
+		bank := canon.NewBank(g.Space, len(g.Edges))
+		sc.scaleBank(g, base, bank)
+		delays = bank
+	}
+	p := g.AcquirePass().WithContext(ctx)
+	defer p.Release()
+	if err := p.ArrivalsOver(delays, g.Inputs...); err != nil {
+		return nil, err
+	}
+	acc := p.Scratch()
+	first := true
+	for _, o := range g.Outputs {
+		if !p.Reached(o) {
+			continue
+		}
+		if first {
+			canon.CopyView(acc, p.At(o))
+			first = false
+		} else {
+			canon.MaxViews(acc, acc, p.At(o))
+		}
+	}
+	if first {
+		return nil, errors.New("scenario: no output reachable from any input")
+	}
+	delay := acc.Form(g.Space)
+	r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
+	return delay, nil
+}
+
+// SweepDesign evaluates every scenario against a hierarchical design with
+// shared prep: the design is partitioned, PCA'd and stitched once (through
+// its prep cache), and every swap-free scenario re-propagates the shared
+// top graph over a rescaled delay bank. Scenarios with module swaps stitch
+// a private structural copy of the design (their extraction is assumed
+// pre-paid through the shared ExtractCache) and then run the same rescale
+// path on their own top graph.
+func SweepDesign(ctx context.Context, d *hier.Design, mode hier.Mode, scens []Scenario, opt Options) (*Report, error) {
+	if d == nil {
+		return nil, errors.New("scenario: nil design")
+	}
+	scens, err := Normalize(scens, true)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.normalize()
+	start := time.Now()
+
+	// Shared stitch, skipped when every scenario swaps structure. Its
+	// failure is a sweep-level error: nothing can run without it.
+	var top *timing.Graph
+	var topDelays *canon.Bank
+	for i := range scens {
+		if len(scens[i].Swaps) == 0 {
+			res, err := d.Stitch(ctx, mode, opt.Analyze)
+			if err != nil {
+				return nil, err
+			}
+			top = res.Graph
+			topDelays = top.EdgeDelays()
+			break
+		}
+	}
+
+	results := make([]Result, len(scens))
+	_ = timing.ParallelForCtx(ctx, len(scens), opt.Workers, func(ctx context.Context, i int) error {
+		sc := &scens[i]
+		r := &results[i]
+		r.Name = sc.Name
+		s0 := time.Now()
+		if len(sc.Swaps) == 0 {
+			r.Shared = true
+			r.Delay, r.Err = runScenario(ctx, top, topDelays, sc, opt.Quantile, r)
+		} else {
+			r.Delay, r.Err = runSwapScenario(ctx, d, mode, sc, opt, r)
+		}
+		r.Elapsed = time.Since(s0)
+		if opt.OnScenarioDone != nil {
+			opt.OnScenarioDone(i, r)
+		}
+		return nil
+	})
+	fillUnrun(ctx, scens, results, opt)
+	rep := NewReport(results, opt)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// runSwapScenario applies the scenario's module swaps to a private
+// structural copy, stitches it, and runs the scenario's rescale factors
+// over the private top graph.
+func runSwapScenario(ctx context.Context, d *hier.Design, mode hier.Mode, sc *Scenario, opt Options, r *Result) (*canon.Form, error) {
+	dd := d.CopyStructure()
+	for name, m := range sc.Swaps {
+		found := false
+		for _, inst := range dd.Instances {
+			if inst.Name == name {
+				inst.Module = m
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("scenario %q: unknown instance %q", sc.Name, name)
+		}
+	}
+	res, err := dd.Stitch(ctx, mode, opt.Analyze)
+	if err != nil {
+		return nil, err
+	}
+	return runScenario(ctx, res.Graph, res.Graph.EdgeDelays(), sc, opt.Quantile, r)
+}

@@ -34,6 +34,19 @@ type metrics struct {
 	latCount int64
 	latMax   float64
 
+	// MCMM sweep surface: request and per-scenario accounting plus the
+	// per-scenario latency aggregate. Scenarios cut by a deadline are
+	// rejections, not latency samples — same rule as batch items.
+	sweepRequests     atomic.Int64
+	scenariosTotal    atomic.Int64
+	scenarioErrors    atomic.Int64
+	scenariosRejected atomic.Int64
+
+	sweepMu    sync.Mutex
+	sweepSum   float64 // seconds, per completed scenario
+	sweepCount int64
+	sweepMax   float64
+
 	// Session lifecycle and incremental-reanalysis latency.
 	sessionsCreated atomic.Int64
 	sessionsDeleted atomic.Int64
@@ -64,6 +77,22 @@ func (m *metrics) observeItem(d time.Duration, failed bool) {
 		m.latMax = sec
 	}
 	m.latMu.Unlock()
+}
+
+// observeScenario records one finished sweep scenario.
+func (m *metrics) observeScenario(d time.Duration, failed bool) {
+	m.scenariosTotal.Add(1)
+	if failed {
+		m.scenarioErrors.Add(1)
+	}
+	sec := d.Seconds()
+	m.sweepMu.Lock()
+	m.sweepSum += sec
+	m.sweepCount++
+	if sec > m.sweepMax {
+		m.sweepMax = sec
+	}
+	m.sweepMu.Unlock()
 }
 
 // observeReanalysis records one applied session edit batch.
@@ -130,6 +159,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP sstad_graph_cache Built-graph cache counters.")
 	p("sstad_graph_cache_hits_total %d", gHits)
 	p("sstad_graph_cache_misses_total %d", gMisses)
+	m.sweepMu.Lock()
+	sweepSum, sweepCount, sweepMax := m.sweepSum, m.sweepCount, m.sweepMax
+	m.sweepMu.Unlock()
+	p("# HELP sstad_sweep_requests_total MCMM sweep requests received (before admission and validation).")
+	p("sstad_sweep_requests_total %d", m.sweepRequests.Load())
+	p("# HELP sstad_sweep_scenarios_total Sweep scenarios completed by the engine.")
+	p("sstad_sweep_scenarios_total %d", m.scenariosTotal.Load())
+	p("sstad_sweep_scenario_errors_total %d", m.scenarioErrors.Load())
+	p("# HELP sstad_sweep_scenarios_rejected_total Scenarios cut before completion (expired deadline).")
+	p("sstad_sweep_scenarios_rejected_total %d", m.scenariosRejected.Load())
+	p("# HELP sstad_sweep_scenario_latency_seconds Per-scenario wall-clock latency.")
+	p("sstad_sweep_scenario_latency_seconds_sum %g", sweepSum)
+	p("sstad_sweep_scenario_latency_seconds_count %d", sweepCount)
+	p("sstad_sweep_scenario_latency_seconds_max %g", sweepMax)
 	m.reanMu.Lock()
 	reanSum, reanCount, reanMax := m.reanSum, m.reanCount, m.reanMax
 	m.reanMu.Unlock()

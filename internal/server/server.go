@@ -8,6 +8,8 @@
 // Endpoints:
 //
 //	POST /v1/analyze     run a batch synchronously (per-request deadline)
+//	POST /v1/sweep       evaluate many MCMM scenarios against one item with
+//	                     shared prep (see sweep.go)
 //	POST /v1/jobs        submit the same body asynchronously
 //	GET  /v1/jobs/{id}   poll status/result
 //	DELETE /v1/jobs/{id} cancel a queued or running job
@@ -70,6 +72,10 @@ type Config struct {
 	MaxSessions int
 	// SessionTTL evicts sessions idle longer than this (<=0: 15m).
 	SessionTTL time.Duration
+	// DefaultScenarios is the scenario set served to /v1/sweep requests
+	// that name none (sstad -scenarios). Optional; requests that carry
+	// their own scenarios never consult it.
+	DefaultScenarios []SweepScenarioSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +168,7 @@ func New(cfg Config) *Server {
 		baseStop: stop,
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobPoll)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)

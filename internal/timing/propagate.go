@@ -203,6 +203,32 @@ func forwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, c
 	return nil
 }
 
+// ArrivalsOver runs the forward propagation reading edge delays from the
+// given bank instead of the graph's own — the MCMM sweep hook: one shared
+// graph, many scenario-scaled delay banks, each propagated through the same
+// kernel. The bank must hold one slot per edge index (tombstoned slots are
+// never read) in the graph's space; it is read-only during the pass.
+func (p *Pass) ArrivalsOver(delays *canon.Bank, sources ...int) error {
+	if delays == nil {
+		return errors.New("timing: ArrivalsOver needs a delay bank")
+	}
+	if delays.Cap() < len(p.g.Edges) {
+		return fmt.Errorf("timing: delay bank has %d slots for %d edges", delays.Cap(), len(p.g.Edges))
+	}
+	return forwardPass(p.g, p.bank, p.reach, delays, p.ctx, sources)
+}
+
+// RequiredOver mirrors ArrivalsOver for backward propagation.
+func (p *Pass) RequiredOver(delays *canon.Bank, outputs ...int) error {
+	if delays == nil {
+		return errors.New("timing: RequiredOver needs a delay bank")
+	}
+	if delays.Cap() < len(p.g.Edges) {
+		return fmt.Errorf("timing: delay bank has %d slots for %d edges", delays.Cap(), len(p.g.Edges))
+	}
+	return backwardPass(p.g, p.bank, p.reach, delays, p.ctx, outputs)
+}
+
 // Required runs a backward propagation into the pass arena: after it, At(v)
 // holds the maximum statistical delay from v to any of the given output
 // vertices — the negated required time of the paper's eq. 15 when the

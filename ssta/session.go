@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/hier"
+	"repro/internal/scenario"
 	"repro/internal/timing"
 )
 
@@ -93,7 +94,10 @@ type EditReport struct {
 	// FullReprop marks a full re-propagation (module swap, metadata
 	// overflow or recovery) instead of a dirty-cone sweep.
 	FullReprop bool
-	Elapsed    time.Duration
+	// Sweep is the re-evaluated active MCMM sweep, when one is installed
+	// (see Session.SetSweep); nil otherwise.
+	Sweep   *SweepReport
+	Elapsed time.Duration
 }
 
 // ReanalysisError marks a failure of the post-edit re-analysis itself —
@@ -119,6 +123,24 @@ type Session struct {
 	inc   *timing.Incremental
 	hs    *hier.Session
 	delay *Form
+	sweep *sessionSweep
+}
+
+// sessionSweep is the per-session MCMM sweep state: one transformed clone
+// of the session graph per scenario, each with its own persistent
+// incremental propagation state. Every edit applied to the session graph
+// is mirrored into each scenario clone (the transform is linear per
+// component, so mirroring commutes with editing), and the post-edit
+// re-analysis re-propagates only the dirty cones per scenario.
+type sessionSweep struct {
+	scens  []Scenario
+	opt    SweepOptions
+	graphs []*Graph
+	incs   []*timing.Incremental
+	report *SweepReport
+	// stale forces a full rebuild at the next refresh (set after a module
+	// swap restitch, a mirror failure, or an interrupted sweep update).
+	stale bool
 }
 
 // NewGraphSession starts a session over a private clone of the given flat
@@ -229,6 +251,10 @@ func (s *Session) Apply(ctx context.Context, edits []Edit) (*EditReport, error) 
 			applyErr = fmt.Errorf("ssta: edit %d (%s): %w", k, edits[k].Op, err)
 			break
 		}
+		// Keep the scenario clones of an active sweep in lockstep with the
+		// session graph; a mirror failure degrades to a full sweep rebuild
+		// at refresh, never to divergent state.
+		s.mirrorEdit(&edits[k])
 		applied++
 	}
 	rep, err := s.refresh(ctx, restitched)
@@ -349,7 +375,8 @@ func (s *Session) refresh(ctx context.Context, restitched bool) (*EditReport, er
 	// refresh may have swapped s.graph in and then failed (a client timeout
 	// firing during the full re-propagation is the likely cause) before
 	// s.inc was rebuilt, leaving it bound to the discarded graph.
-	if restitched || s.inc == nil || s.inc.Graph() != s.graph {
+	graphChanged := restitched || s.inc == nil || s.inc.Graph() != s.graph
+	if graphChanged {
 		// Drop the stale state before the fallible rebuild so a failure here
 		// can never leave the session silently serving pre-swap delays.
 		s.inc = nil
@@ -374,5 +401,186 @@ func (s *Session) refresh(ctx context.Context, restitched bool) (*EditReport, er
 	}
 	s.delay = delay
 	rep.Delay = delay
+	// Re-evaluate the active sweep last: the main state above is already
+	// consistent, so a sweep failure (cancellation mid-update) surfaces as
+	// a re-analysis error while the session itself stays usable — the sweep
+	// is marked stale and fully rebuilt on the next refresh.
+	if s.sweep != nil {
+		if err := s.refreshSweep(ctx, graphChanged); err != nil {
+			return rep, err
+		}
+		rep.Sweep = s.sweep.report
+	}
 	return rep, nil
+}
+
+// mirrorEdit replays one successfully applied session edit into every
+// scenario clone of the active sweep. The scenario transform is linear per
+// canonical-form component, so mirroring an edit and transforming the
+// edited graph commute; the clone edge delays are recomputed from the main
+// graph's post-edit forms so the invariant "clone == TransformGraph(main)"
+// holds after every edit. Any mirror failure (or a module swap, which
+// replaces the graph wholesale) marks the sweep stale for a full rebuild.
+func (s *Session) mirrorEdit(e *Edit) {
+	sw := s.sweep
+	if sw == nil || sw.stale {
+		return
+	}
+	if e.Op == EditSwapModule {
+		sw.stale = true
+		return
+	}
+	for i := range sw.graphs {
+		sc := &sw.scens[i]
+		g := sw.graphs[i]
+		var err error
+		switch e.Op {
+		case EditScaleDelay:
+			err = g.ScaleEdgeDelay(e.Edge, e.Scale)
+		case EditSetDelay, EditSetNominal:
+			err = g.SetEdgeDelay(e.Edge, sc.TransformEdge(g.Space, e.Edge, &s.graph.Edges[e.Edge]))
+		case EditAddEdge:
+			me := &s.graph.Edges[len(s.graph.Edges)-1]
+			_, err = g.AddEdgeLive(me.From, me.To, sc.TransformEdge(g.Space, len(g.Edges), me), nil, 0)
+		case EditRemoveEdge:
+			err = g.RemoveEdge(e.Edge)
+		case EditRetargetIO:
+			err = g.RetargetIO(e.Inputs, e.Outputs, e.InNames, e.OutNames)
+		case EditSetNetDelay:
+			var ei int
+			if ei, err = s.hs.NetEdge(e.Net); err == nil {
+				err = g.SetEdgeDelay(ei, sc.TransformEdge(g.Space, ei, &s.graph.Edges[ei]))
+			}
+		default:
+			err = fmt.Errorf("unmirrorable op %v", e.Op)
+		}
+		if err != nil {
+			sw.stale = true
+			return
+		}
+	}
+}
+
+// refreshSweep re-evaluates the active sweep: a dirty-cone incremental
+// update per scenario, or a full rebuild when the session graph was
+// replaced (restitch) or the sweep state went stale.
+func (s *Session) refreshSweep(ctx context.Context, rebuild bool) error {
+	sw := s.sweep
+	if rebuild || sw.stale {
+		st, err := s.buildSweepState(ctx, sw.scens, sw.opt)
+		if err != nil {
+			sw.stale = true
+			return err
+		}
+		s.sweep = st
+		return nil
+	}
+	q := sw.opt.Quantile
+	if q <= 0 {
+		q = 0.99865
+	}
+	results := make([]ScenarioResult, len(sw.scens))
+	for i := range sw.scens {
+		r := &results[i]
+		r.Name, r.Shared = sw.scens[i].Name, true
+		t0 := time.Now()
+		if _, err := sw.incs[i].Update(ctx); err != nil {
+			sw.stale = true
+			return err
+		}
+		if delay, err := sw.incs[i].MaxDelay(); err != nil {
+			r.Err = err
+		} else {
+			r.Delay = delay
+			r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
+		}
+		r.Elapsed = time.Since(t0)
+	}
+	sw.report = scenario.NewReport(results, sw.opt)
+	return nil
+}
+
+// buildSweepState pays the full per-scenario cost — one transformed clone
+// of the session graph and one full propagation per scenario — fanned out
+// over opt.Workers like the one-shot sweep engine (each scenario writes
+// only its own slots; the session mutex is already held).
+func (s *Session) buildSweepState(ctx context.Context, scens []Scenario, opt SweepOptions) (*sessionSweep, error) {
+	sw := &sessionSweep{
+		scens:  scens,
+		opt:    opt,
+		graphs: make([]*Graph, len(scens)),
+		incs:   make([]*timing.Incremental, len(scens)),
+	}
+	q := opt.Quantile
+	if q <= 0 {
+		q = 0.99865
+	}
+	results := make([]ScenarioResult, len(scens))
+	err := timing.ParallelForCtx(ctx, len(scens), opt.Workers, func(ctx context.Context, i int) error {
+		t0 := time.Now()
+		g := scens[i].TransformGraph(s.graph)
+		inc, err := g.NewIncrementalCtx(ctx)
+		if err != nil {
+			return err
+		}
+		sw.graphs[i], sw.incs[i] = g, inc
+		r := &results[i]
+		r.Name, r.Shared = scens[i].Name, true
+		if delay, err := inc.MaxDelay(); err != nil {
+			r.Err = err
+		} else {
+			r.Delay = delay
+			r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
+		}
+		r.Elapsed = time.Since(t0)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sw.report = scenario.NewReport(results, opt)
+	return sw, nil
+}
+
+// SetSweep installs (or replaces) the session's active MCMM sweep: every
+// scenario gets a transformed clone of the session graph with persistent
+// incremental state, paid for with one full propagation per scenario here;
+// every subsequent Apply re-evaluates all scenarios incrementally
+// (dirty-cone re-propagation per scenario) and reports the refreshed sweep
+// in EditReport.Sweep. Module-swap scenarios are rejected — sessions
+// express swaps as edits, which trigger a full sweep rebuild anyway.
+func (s *Session) SetSweep(ctx context.Context, scens []Scenario, opt SweepOptions) (*SweepReport, error) {
+	norm, err := scenario.Normalize(scens, false)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hs != nil && s.hs.Stale() {
+		return nil, errors.New("ssta: session graph is stale after an interrupted swap; apply an edit batch to recover first")
+	}
+	st, err := s.buildSweepState(ctx, norm, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.sweep = st
+	return st.report, nil
+}
+
+// Sweep returns the active sweep's report as of the last edit batch (or
+// SetSweep), or nil when no sweep is installed.
+func (s *Session) Sweep() *SweepReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sweep == nil {
+		return nil
+	}
+	return s.sweep.report
+}
+
+// ClearSweep drops the active sweep and its per-scenario state.
+func (s *Session) ClearSweep() {
+	s.mu.Lock()
+	s.sweep = nil
+	s.mu.Unlock()
 }

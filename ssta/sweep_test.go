@@ -1,0 +1,326 @@
+package ssta_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/ssta"
+)
+
+var sweepSpec = ssta.TopoSpec{Name: "sw", PIs: 8, POs: 4, Gates: 60, Edges: 130, Depth: 8}
+
+func sweepFormDiff(a, b *ssta.Form) float64 {
+	d := math.Abs(a.Nominal - b.Nominal)
+	for i := range a.Glob {
+		if v := math.Abs(a.Glob[i] - b.Glob[i]); v > d {
+			d = v
+		}
+	}
+	for i := range a.Loc {
+		if v := math.Abs(a.Loc[i] - b.Loc[i]); v > d {
+			d = v
+		}
+	}
+	if v := math.Abs(a.Rand - b.Rand); v > d {
+		d = v
+	}
+	return d
+}
+
+// sweepModule generates and extracts one module of the sweep spec.
+func sweepModule(t testing.TB, flow *ssta.Flow, seed int64) *ssta.Module {
+	t.Helper()
+	c, err := ssta.Generate(sweepSpec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, plan, err := flow.Graph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := flow.Extract(g, ssta.ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ssta.NewModule(sweepSpec.Name, model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestSweepAnalyzeMatchesIndependent is the design-level equivalence
+// contract: every sweep scenario — shared-prep rescales and private-stitch
+// module swaps alike — matches an independent from-scratch analysis at
+// 1e-9, and the envelope is the max over those analyses.
+func TestSweepAnalyzeMatchesIndependent(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	mod := sweepModule(t, flow, 1)
+	alt := sweepModule(t, flow, 2)
+	d, err := flow.QuadDesign("sweep-quad", mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens := []ssta.Scenario{
+		{Name: "unit"},
+		{Name: "hot", Derate: 1.15},
+		{Name: "sigma-up", GlobSigma: 1.4, RandSigma: 1.2},
+		{Name: "slow-wires", NetScale: 1.5},
+		{Name: "eco-B", Swaps: map[string]*ssta.Module{"B": alt}},
+	}
+	rep, err := ssta.SweepAnalyze(context.Background(), d, ssta.FullCorrelation, scens,
+		ssta.SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(scens) {
+		for _, r := range rep.Results {
+			if r.Err != nil {
+				t.Logf("scenario %q: %v", r.Name, r.Err)
+			}
+		}
+		t.Fatalf("completed %d of %d scenarios", rep.Completed, len(scens))
+	}
+
+	// Independent references: the unit scenario against AnalyzeOpt, the
+	// rescale scenarios against explicitly transformed stitched graphs,
+	// the swap scenario against a from-scratch analysis of a swapped copy.
+	base, err := d.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sweepFormDiff(rep.Results[0].Delay, base.Delay); diff > 1e-9 {
+		t.Fatalf("unit scenario differs from AnalyzeOpt by %g", diff)
+	}
+	stitched, err := d.Stitch(context.Background(), ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envMean, envStd, envQ float64
+	for i, sc := range scens {
+		var want *ssta.Form
+		if len(sc.Swaps) > 0 {
+			dd := d.CopyStructure()
+			dd.Instances[1].Module = alt
+			res, err := dd.AnalyzeOpt(ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = res.Delay
+			if rep.Results[i].Shared {
+				t.Fatalf("swap scenario %q claims shared prep", sc.Name)
+			}
+		} else {
+			var err error
+			want, err = sc.TransformGraph(stitched.Graph).MaxDelay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Results[i].Shared {
+				t.Fatalf("rescale scenario %q did not share prep", sc.Name)
+			}
+		}
+		if diff := sweepFormDiff(rep.Results[i].Delay, want); diff > 1e-9 {
+			t.Fatalf("scenario %q differs from independent analysis by %g", sc.Name, diff)
+		}
+		envMean = math.Max(envMean, want.Mean())
+		envStd = math.Max(envStd, want.Std())
+		envQ = math.Max(envQ, want.Quantile(0.99865))
+	}
+	if math.Abs(rep.Envelope.Mean-envMean) > 1e-9 ||
+		math.Abs(rep.Envelope.Std-envStd) > 1e-9 ||
+		math.Abs(rep.Envelope.Quantile-envQ) > 1e-9 {
+		t.Fatalf("envelope %+v, want mean %g std %g q %g", rep.Envelope, envMean, envStd, envQ)
+	}
+}
+
+// TestSweepCrossSeedSwap pins the deterministic-port-name contract of the
+// benchmark generator: modules generated from the same spec with different
+// seeds expose identical port-name sets, so a cross-seed module swap
+// stitches cleanly (this was seed-dependent before port names became
+// spec-derived).
+func TestSweepCrossSeedSwap(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	for _, seeds := range [][2]int64{{1, 2}, {3, 9}, {5, 11}} {
+		mod := sweepModule(t, flow, seeds[0])
+		alt := sweepModule(t, flow, seeds[1])
+		d, err := flow.QuadDesign("xseed-quad", mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ssta.SweepAnalyze(context.Background(), d, ssta.FullCorrelation,
+			[]ssta.Scenario{
+				{Name: "unit"},
+				{Name: "swap-all", Swaps: map[string]*ssta.Module{
+					"A": alt, "B": alt, "C": alt, "D": alt,
+				}},
+			}, ssta.SweepOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			if r.Err != nil {
+				t.Fatalf("seeds %v: scenario %q: %v", seeds, r.Name, r.Err)
+			}
+		}
+	}
+}
+
+// TestSessionSweepIncremental drives a flat session with an active sweep
+// through an edit sequence and checks every post-edit sweep report against
+// a fresh from-scratch sweep of the edited graph.
+func TestSessionSweepIncremental(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	c, err := ssta.Generate(sweepSpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := flow.Graph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := flow.NewGraphSession(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens := []ssta.Scenario{
+		{Name: "unit"},
+		{Name: "hot", Derate: 1.2},
+		{Name: "sigma", LocSigma: 1.5, RandSigma: 1.3},
+		{Name: "eco", EdgeScales: map[int]float64{7: 1.25}},
+	}
+	rep0, err := sess.SetSweep(context.Background(), scens, ssta.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep0.Completed != len(scens) {
+		t.Fatalf("initial sweep completed %d of %d", rep0.Completed, len(scens))
+	}
+
+	sg := sess.Graph()
+	in0 := sg.Inputs[0]
+	batches := [][]ssta.Edit{
+		{{Op: ssta.EditScaleDelay, Edge: 5, Scale: 1.3}},
+		{{Op: ssta.EditSetNominal, Edge: 9, Value: 55}, {Op: ssta.EditScaleDelay, Edge: 20, Scale: 0.8}},
+		{{Op: ssta.EditAddEdge, From: in0, To: sg.Outputs[0], Value: 12}},
+		{{Op: ssta.EditRemoveEdge, Edge: 3}},
+	}
+	for bi, batch := range batches {
+		rep, err := sess.Apply(context.Background(), batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if rep.Sweep == nil {
+			t.Fatalf("batch %d: no sweep report", bi)
+		}
+		// Fresh reference sweep over the session's live (edited) graph.
+		want, err := ssta.SweepAnalyzeGraph(context.Background(), sess.Graph(), scens, ssta.SweepOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range scens {
+			got, ref := rep.Sweep.Results[i], want.Results[i]
+			if got.Err != nil || ref.Err != nil {
+				t.Fatalf("batch %d scenario %q: got err %v, ref err %v", bi, scens[i].Name, got.Err, ref.Err)
+			}
+			if diff := sweepFormDiff(got.Delay, ref.Delay); diff > 1e-9 {
+				t.Fatalf("batch %d scenario %q: session sweep differs from fresh sweep by %g",
+					bi, scens[i].Name, diff)
+			}
+		}
+		if got := sess.Sweep(); got != rep.Sweep {
+			t.Fatalf("batch %d: Sweep() does not return the latest report", bi)
+		}
+	}
+	sess.ClearSweep()
+	if sess.Sweep() != nil {
+		t.Fatal("ClearSweep left a report behind")
+	}
+	if rep, err := sess.Apply(context.Background(), []ssta.Edit{{Op: ssta.EditScaleDelay, Edge: 5, Scale: 1.0 / 1.3}}); err != nil {
+		t.Fatal(err)
+	} else if rep.Sweep != nil {
+		t.Fatal("cleared sweep still reported")
+	}
+}
+
+// TestDesignSessionSweepAcrossSwap checks that a hierarchical session's
+// sweep survives a module swap (full rebuild onto the restitched graph)
+// and net-delay edits (incremental path), matching fresh sweeps throughout.
+func TestDesignSessionSweepAcrossSwap(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	mod := sweepModule(t, flow, 1)
+	alt := sweepModule(t, flow, 2)
+	d, err := flow.QuadDesign("sess-quad", mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := flow.NewDesignSession(context.Background(), d, ssta.FullCorrelation, ssta.AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens := []ssta.Scenario{
+		{Name: "unit"},
+		{Name: "derated", Derate: 1.1, NetScale: 1.3},
+	}
+	if _, err := sess.SetSweep(context.Background(), scens, ssta.SweepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Module-swap scenarios are session edits, not sweep scenarios.
+	if _, err := sess.SetSweep(context.Background(), []ssta.Scenario{
+		{Name: "bad", Swaps: map[string]*ssta.Module{"B": alt}},
+	}, ssta.SweepOptions{}); err == nil {
+		t.Fatal("swap scenario accepted by a session sweep")
+	}
+
+	batches := [][]ssta.Edit{
+		{{Op: ssta.EditSetNetDelay, Net: 0, Value: 9}},
+		{{Op: ssta.EditSwapModule, Instance: "B", Module: alt}},
+		{{Op: ssta.EditSetNetDelay, Net: 1, Value: 4}},
+	}
+	for bi, batch := range batches {
+		rep, err := sess.Apply(context.Background(), batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if rep.Sweep == nil {
+			t.Fatalf("batch %d: no sweep report", bi)
+		}
+		want, err := ssta.SweepAnalyzeGraph(context.Background(), sess.Graph(), scens, ssta.SweepOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range scens {
+			got, ref := rep.Sweep.Results[i], want.Results[i]
+			if got.Err != nil || ref.Err != nil {
+				t.Fatalf("batch %d scenario %q: got err %v, ref err %v", bi, scens[i].Name, got.Err, ref.Err)
+			}
+			if diff := sweepFormDiff(got.Delay, ref.Delay); diff > 1e-9 {
+				t.Fatalf("batch %d scenario %q: session sweep differs from fresh sweep by %g",
+					bi, scens[i].Name, diff)
+			}
+		}
+	}
+}
+
+// TestSweepScenarioNamesDefaulted checks unnamed scenarios pick up stable
+// default names in reports.
+func TestSweepScenarioNamesDefaulted(t *testing.T) {
+	flow := ssta.DefaultFlow()
+	c, err := ssta.Generate(sweepSpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := flow.Graph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ssta.SweepAnalyzeGraph(context.Background(), g,
+		[]ssta.Scenario{{}, {Derate: 1.1}}, ssta.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Name != "scenario-0" || rep.Results[1].Name != "scenario-1" {
+		t.Fatalf("default names wrong: %q, %q", rep.Results[0].Name, rep.Results[1].Name)
+	}
+}

@@ -168,6 +168,100 @@ func BenchmarkFig6Criticality(b *testing.B) {
 	}
 }
 
+// BenchmarkFig6CriticalityPruned is the same computation under the
+// delta-threshold screen at the paper's default delta — the mode the
+// extraction pipeline actually runs. The kept metric (edges at or above
+// delta) is bit-identical to the exact engine's; screened counts the
+// boundary evaluations the threshold pruned.
+func BenchmarkFig6CriticalityPruned(b *testing.B) {
+	g := benchGraph(b, "c7552")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.EdgeCriticalitiesOpt(context.Background(), g,
+			core.CriticalityOptions{ScreenDelta: core.DefaultDelta})
+		if err != nil {
+			b.Fatal(err)
+		}
+		kept := 0
+		for _, c := range res.Cm {
+			if c >= core.DefaultDelta {
+				kept++
+			}
+		}
+		b.ReportMetric(float64(kept), "kept")
+		b.ReportMetric(float64(res.ScreenedBoundaries)/float64(i+1), "screened")
+	}
+}
+
+// BenchmarkIncrementalCriticality measures the single-edit criticality ECO:
+// scale one edge's delay, then bring the all-pairs criticality back up to
+// date. "scratch" reruns the full screened engine; "incremental" refreshes
+// an IncrementalCriticality tracker, which re-derives only the input rows
+// the edit can affect (results are bit-identical; tests lock that in). The
+// c1908 pair is the CI smoke size; c7552 is the BENCH_5.json headline.
+func BenchmarkIncrementalCriticality(b *testing.B) {
+	for _, name := range []string{"c1908", "c7552"} {
+		base := benchGraph(b, name)
+		scales := [2]float64{2, 0.5} // exact inverses: the graph never drifts
+		// The affected-input set of an edit is the inputs that reach the
+		// edited edge, so a local ECO next to one primary input re-derives
+		// a handful of rows where from-scratch re-derives them all. (An
+		// output-adjacent edit is the adversarial case: every input
+		// reaches it and the refresh degrades to a full recompute.)
+		edge := -1
+		for e := range base.Edges {
+			if base.Edges[e].From == base.Inputs[0] {
+				edge = e
+				break
+			}
+		}
+		if edge < 0 {
+			b.Fatalf("%s: no edge leaving input 0", name)
+		}
+		opt := core.CriticalityOptions{ScreenDelta: core.DefaultDelta}
+		b.Run(name+"/scratch", func(b *testing.B) {
+			g := base.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.ScaleEdgeDelay(edge, scales[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.EdgeCriticalitiesOpt(context.Background(), g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/incremental", func(b *testing.B) {
+			g := base.Clone()
+			inc, err := g.NewIncremental()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ic, err := core.NewIncrementalCriticality(context.Background(), inc, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rows int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.ScaleEdgeDelay(edge, scales[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := inc.Update(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				_, st, err := ic.Refresh(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows += st.Inputs
+			}
+			b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+			b.ReportMetric(float64(len(base.Inputs)), "inputs")
+		})
+	}
+}
+
 // fig7Design builds the quad-c6288 design once (extraction included in
 // setup, not measurement).
 func fig7Design(b *testing.B) *ssta.Design {

@@ -1,0 +1,53 @@
+//go:build amd64
+
+package canon
+
+// AVX2/FMA vector kernels for the hot criticality loops (asm_amd64.s).
+// They cover only the shared-coefficient body of a View — the nominal and
+// private-random words stay in Go — and each carries a full scalar tail,
+// so the dispatchers hand over the whole coefficient range. Lane-parallel
+// accumulation changes the summation order relative to the generic loops,
+// which is within the kernels' documented contract (no cross-kernel bit
+// identity; see chain.go). Dispatch is decided once at init, so every
+// evaluation in a process — exact, screened, incremental — runs the same
+// code path and their bit-identity guarantees are unaffected.
+
+//go:noescape
+func dotVec(a, b *float64, n int) float64
+
+//go:noescape
+func dot3Vec(de, p, s *float64, n int) (dp, ds, ps float64)
+
+//go:noescape
+func addSqVec(dst, a, b *float64, n int) float64
+
+//go:noescape
+func blendSqVec(dst, a, b *float64, n int, tp, tq float64) float64
+
+func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// useAsm reports AVX2 + FMA with OS-enabled YMM state.
+var useAsm = func() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidAsm(1, 0)
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
+	if c1&osxsave == 0 || c1&avx == 0 || c1&fma == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 { // XMM and YMM state saved
+		return false
+	}
+	_, b7, _, _ := cpuidAsm(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}()
+
+// 512-bit kernel variants were tried and measured slower end-to-end on the
+// target Xeon: the views are only 8-byte aligned, so every 64-byte load
+// splits a cache line, and the ZMM license frequency drop taxes the scalar
+// Clark/CDF code interleaved between kernel calls. The engine stays on
+// 256-bit VEX.

@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package canon
+
+// Non-amd64 builds run the generic kernels; the stubs below exist only to
+// satisfy the dispatchers' references and are unreachable.
+
+const useAsm = false
+
+func dotVec(a, b *float64, n int) float64 { panic("canon: no asm kernel") }
+
+func dot3Vec(de, p, s *float64, n int) (dp, ds, ps float64) {
+	panic("canon: no asm kernel")
+}
+
+func addSqVec(dst, a, b *float64, n int) float64 { panic("canon: no asm kernel") }
+
+func blendSqVec(dst, a, b *float64, n int, tp, tq float64) float64 {
+	panic("canon: no asm kernel")
+}

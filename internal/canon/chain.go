@@ -1,0 +1,291 @@
+package canon
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file holds the tracked-variance kernels of the criticality chain
+// evaluator. The cutset-complement construction folds long Clark max chains
+// (prefix/suffix maxima over a boundary's crossing-edge path delays) and a
+// per-home-edge tightness against the merged complement. Recomputing each
+// operand's variance inside every step — what MaxViews/TightnessProbViews
+// do — performs three dot products per step where one suffices: a Clark
+// step knows its output variance in closed form (shared blend energy plus
+// the matched private remainder), so the chain can carry variances forward
+// and each step only needs the fresh covariance dot. The home-edge
+// evaluation goes further: the merged complement max(P, S) is never
+// materialized at all — its Clark parameters, and the tightness of the
+// home delay against it, are scalar functions of the three pairwise
+// covariances (de·P, de·S, P·S), which one fused three-stream pass
+// delivers.
+//
+// Tracked variances are carried as (coeff, rand²) pairs: coeff is the
+// shared-coefficient energy Σc² (what covariances are built from), rand²
+// the private part. Their sum is the form's variance. The kernels keep the
+// Views they write fully materialized (including the private coefficient),
+// so a tracked chain slot is still a valid form for any untracked kernel.
+
+// asmMin is the coefficient count below which the generic loops beat the
+// vector kernels' call and reduction overhead.
+const asmMin = 8
+
+// DotCoeffs returns the shared-coefficient dot product Σ a[i]·b[i] — the
+// covariance of the two viewed forms (private parts never co-vary). The
+// four-way unrolled accumulators break the add dependency chain; the
+// summation order differs from CovViews, which is irrelevant to every
+// caller (no cross-kernel bit contract exists) and slightly more accurate.
+// On amd64 with AVX2+FMA the body runs in a vector kernel (asm_amd64.s).
+func DotCoeffs(a, b View) float64 {
+	n := len(a) - 1
+	if useAsm && n-1 >= asmMin {
+		return dotVec(&a[1], &b[1], n-1)
+	}
+	var s0, s1, s2, s3 float64
+	i := 1
+	for ; i+3 < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dot3Coeffs returns the three pairwise coefficient dots of one fused pass
+// over three streams: de·p, de·s and p·s.
+func dot3Coeffs(de, p, s View) (dp, ds, ps float64) {
+	n := len(de) - 1
+	if useAsm && n-1 >= asmMin {
+		return dot3Vec(&de[1], &p[1], &s[1], n-1)
+	}
+	var dp0, dp1, ds0, ds1, ps0, ps1 float64
+	i := 1
+	for ; i+1 < n; i += 2 {
+		d0, p0, q0 := de[i], p[i], s[i]
+		d1, p1, q1 := de[i+1], p[i+1], s[i+1]
+		dp0 += d0 * p0
+		ds0 += d0 * q0
+		ps0 += p0 * q0
+		dp1 += d1 * p1
+		ds1 += d1 * q1
+		ps1 += p1 * q1
+	}
+	for ; i < n; i++ {
+		d, pp, q := de[i], p[i], s[i]
+		dp0 += d * pp
+		ds0 += d * q
+		ps0 += pp * q
+	}
+	return dp0 + dp1, ds0 + ds1, ps0 + ps1
+}
+
+// AddViewsVar is AddViews with the destination's tracked variance computed
+// in the same pass: cv is the shared-coefficient energy of dst, r2 its
+// private rand². dst may alias a (but not b).
+func AddViewsVar(dst, a, b View) (cv, r2 float64) {
+	n := len(dst) - 1
+	dst[0] = a[0] + b[0]
+	if useAsm && n-1 >= asmMin {
+		cv = addSqVec(&dst[1], &a[1], &b[1], n-1)
+	} else {
+		var c0, c1, c2, c3 float64
+		i := 1
+		for ; i+3 < n; i += 4 {
+			x0 := a[i] + b[i]
+			x1 := a[i+1] + b[i+1]
+			x2 := a[i+2] + b[i+2]
+			x3 := a[i+3] + b[i+3]
+			dst[i], dst[i+1], dst[i+2], dst[i+3] = x0, x1, x2, x3
+			c0 += x0 * x0
+			c1 += x1 * x1
+			c2 += x2 * x2
+			c3 += x3 * x3
+		}
+		for ; i < n; i++ {
+			x := a[i] + b[i]
+			dst[i] = x
+			c0 += x * x
+		}
+		cv = (c0 + c1) + (c2 + c3)
+	}
+	ra, rb := a[n], b[n]
+	r2 = ra*ra + rb*rb
+	dst[n] = math.Sqrt(r2)
+	return cv, r2
+}
+
+// MaxViewsVar is the tracked-variance Clark step: it computes
+// max(a, b) into dst like MaxViews, but takes both operands' tracked
+// variances instead of re-deriving them (turning the three-accumulator
+// VarCov pass into a single covariance dot) and returns the destination's
+// tracked variance for the next step. dst may alias a (but not b).
+func MaxViewsVar(dst, a, b View, cvA, r2A, cvB, r2B float64) (cv, r2 float64) {
+	va, vb := cvA+r2A, cvB+r2B
+	cov := DotCoeffs(a, b)
+	t2 := va + vb - 2*cov
+	if t2 < 0 {
+		t2 = 0
+	}
+	theta := math.Sqrt(t2)
+	if theta < thetaEps {
+		if b[0] > a[0] {
+			copy(dst, b)
+			return cvB, r2B
+		}
+		copy(dst, a)
+		return cvA, r2A
+	}
+	z := (a[0] - b[0]) / theta
+	tp, phi := stats.NormTP(z)
+
+	mean := tp*a[0] + (1-tp)*b[0] + theta*phi
+	second := tp*(va+a[0]*a[0]) + (1-tp)*(vb+b[0]*b[0]) +
+		(a[0]+b[0])*theta*phi
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+
+	tq := 1 - tp
+	n := len(dst) - 1
+	if useAsm && n-1 >= asmMin {
+		cv = blendSqVec(&dst[1], &a[1], &b[1], n-1, tp, tq)
+	} else {
+		var s0, s1, s2, s3 float64
+		i := 1
+		for ; i+3 < n; i += 4 {
+			c0 := tp*a[i] + tq*b[i]
+			c1 := tp*a[i+1] + tq*b[i+1]
+			c2 := tp*a[i+2] + tq*b[i+2]
+			c3 := tp*a[i+3] + tq*b[i+3]
+			dst[i], dst[i+1], dst[i+2], dst[i+3] = c0, c1, c2, c3
+			s0 += c0 * c0
+			s1 += c1 * c1
+			s2 += c2 * c2
+			s3 += c3 * c3
+		}
+		for ; i < n; i++ {
+			c := tp*a[i] + tq*b[i]
+			dst[i] = c
+			s0 += c * c
+		}
+		cv = (s0 + s1) + (s2 + s3)
+	}
+	dst[0] = mean
+	r2 = variance - cv
+	if r2 < 0 {
+		// Same representability fix as MaxViews: the blended shared part
+		// already exceeds the Clark variance, drop the private part.
+		r2 = 0
+	}
+	dst[n] = math.Sqrt(r2)
+	return cv, r2
+}
+
+// TightnessProbVar is TightnessProbViews with both operand variances
+// supplied: one covariance dot instead of the fused three-dot VarCov pass.
+// It also returns the comparison z-score (+-Inf on the degenerate
+// branches), which the criticality engine folds alongside the probability
+// so its branch-and-bound tests can run in z-space without a CDF call.
+func TightnessProbVar(a, b View, va, vb float64) (c, z float64) {
+	cov := DotCoeffs(a, b)
+	t2 := va + vb - 2*cov
+	if t2 < 0 {
+		t2 = 0
+	}
+	theta := math.Sqrt(t2)
+	if theta < thetaEps {
+		switch {
+		case a[0] > b[0]:
+			return 1, math.Inf(1)
+		case a[0] < b[0]:
+			return 0, math.Inf(-1)
+		default:
+			return 0.5, 0
+		}
+	}
+	z = (a[0] - b[0]) / theta
+	c, _ = stats.NormTP(z)
+	return c, z
+}
+
+// CompTightnessViews returns P(de >= max(p, s)) — the home-edge
+// criticality against its merged prefix/suffix complement — without
+// materializing the merged form. One fused pass yields the three pairwise
+// covariances; Clark's moment matching then gives the complement's mean
+// and representable variance, and the blend linearity gives its covariance
+// with de, all as scalars:
+//
+//	cov(de, max(p,s)) = tp·cov(de,p) + (1-tp)·cov(de,s)
+//	cv(max(p,s))      = tp²·cv(p) + 2tp(1-tp)·cov(p,s) + (1-tp)²·cv(s)
+//
+// The degenerate branches mirror the materialized path exactly: a
+// theta-collapsed complement pair reduces to the larger-mean operand, and
+// a theta-collapsed final comparison falls back to the nominal ordering.
+// vDe is de's variance; (cvP, r2P) and (cvS, r2S) are the operands'
+// tracked variances. Like TightnessProbVar it also returns the final
+// comparison z-score for the caller's z-space fold.
+func CompTightnessViews(de, p, s View, vDe, cvP, r2P, cvS, r2S float64) (c, z float64) {
+	covDeP, covDeS, covPS := dot3Coeffs(de, p, s)
+	vP, vS := cvP+r2P, cvS+r2S
+
+	t2 := vP + vS - 2*covPS
+	if t2 < 0 {
+		t2 = 0
+	}
+	theta := math.Sqrt(t2)
+
+	var meanC, vC, covDeC float64
+	if theta < thetaEps {
+		// The complement pair collapses to whichever operand has the larger
+		// mean (MaxViews' degenerate copy).
+		if s[0] > p[0] {
+			meanC, vC, covDeC = s[0], vS, covDeS
+		} else {
+			meanC, vC, covDeC = p[0], vP, covDeP
+		}
+	} else {
+		zc := (p[0] - s[0]) / theta
+		tp, phi := stats.NormTP(zc)
+		tq := 1 - tp
+
+		meanC = tp*p[0] + tq*s[0] + theta*phi
+		second := tp*(vP+p[0]*p[0]) + tq*(vS+s[0]*s[0]) +
+			(p[0]+s[0])*theta*phi
+		variance := second - meanC*meanC
+		if variance < 0 {
+			variance = 0
+		}
+		cvC := tp*tp*cvP + 2*tp*tq*covPS + tq*tq*cvS
+		r2C := variance - cvC
+		if r2C < 0 {
+			r2C = 0 // representability clip, as in the materialized blend
+		}
+		vC = cvC + r2C
+		covDeC = tp*covDeP + tq*covDeS
+	}
+
+	t2 = vDe + vC - 2*covDeC
+	if t2 < 0 {
+		t2 = 0
+	}
+	thetaT := math.Sqrt(t2)
+	if thetaT < thetaEps {
+		switch {
+		case de[0] > meanC:
+			return 1, math.Inf(1)
+		case de[0] < meanC:
+			return 0, math.Inf(-1)
+		default:
+			return 0.5, 0
+		}
+	}
+	z = (de[0] - meanC) / thetaT
+	c, _ = stats.NormTP(z)
+	return c, z
+}

@@ -126,7 +126,7 @@ func (c *ExtractCache) Extract(g *timing.Graph, opt Options) (*Model, error) {
 // initiator must neither block on it nor abort it.
 func (c *ExtractCache) ExtractCtx(ctx context.Context, g *timing.Graph, opt Options) (*Model, error) {
 	if c == nil {
-		return Extract(g, opt)
+		return ExtractCtx(ctx, g, opt)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

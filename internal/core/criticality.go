@@ -12,8 +12,9 @@
 package core
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"math"
+	"sync/atomic"
 
 	"repro/internal/canon"
 	"repro/internal/stats"
@@ -23,12 +24,37 @@ import (
 // CriticalityResult bundles the outputs of the criticality engine.
 type CriticalityResult struct {
 	// Cm holds the maximum criticality of each edge over all IO pairs,
-	// aligned with g.Edges (paper Definition 2).
+	// aligned with g.Edges (paper Definition 2). Under a criticality screen
+	// (CriticalityOptions.ScreenDelta) entries at or above the threshold are
+	// exact; entries below it may be conservative upper bounds (see
+	// EdgeCriticalitiesOpt). Tombstoned edges carry zero.
 	Cm []float64
 	// Protected marks edges on a per-pair statistically dominant path
 	// (greedy max-nominal backward walk). Removing only unprotected edges
 	// guarantees every originally connected pair stays connected.
 	Protected []bool
+	// ScreenedBoundaries counts the per-(pair, boundary) home-edge
+	// evaluations the delta-threshold screen pruned — zero in exact mode; a
+	// diagnostic for pruning effectiveness, not part of the result proper.
+	// (Branch-and-bound skips, which are value-exact and run in both modes,
+	// are not counted here.)
+	ScreenedBoundaries int64
+}
+
+// CriticalityOptions tunes the all-pairs criticality engine.
+type CriticalityOptions struct {
+	// Workers bounds the per-input fan-out (<=0: GOMAXPROCS).
+	Workers int
+	// ScreenDelta > 0 enables the delta-threshold criticality screen: a
+	// home edge whose cheap criticality upper bound (exact nominal slack
+	// over the boundary's sigma sum, see runInput) provably cannot reach
+	// ScreenDelta skips its form evaluation and records the bound instead.
+	// Cm entries >= ScreenDelta are unaffected (bit-identical to the exact
+	// engine); entries below it may be the screen's upper bound instead of
+	// the exact criticality, which is indistinguishable to a removal
+	// decision at threshold ScreenDelta. Zero (or negative) keeps the exact
+	// engine everywhere — the Fig. 6 escape hatch.
+	ScreenDelta float64
 }
 
 // EdgeCriticalities runs the all-pairs criticality analysis of Section IV-B
@@ -52,237 +78,632 @@ type CriticalityResult struct {
 // cutset complement avoids that representation gap entirely and matches
 // Monte Carlo path tracing (see tests).
 func EdgeCriticalities(g *timing.Graph, workers int) (*CriticalityResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return EdgeCriticalitiesCtx(context.Background(), g, workers)
+}
+
+// EdgeCriticalitiesCtx is EdgeCriticalities with cooperative cancellation:
+// the per-input tasks run on a timing.ParallelForCtx pool, so a ctx firing
+// (or any task failing) cancels the remaining inputs promptly and worker
+// panics resurface on the caller as *timing.PanicError.
+func EdgeCriticalitiesCtx(ctx context.Context, g *timing.Graph, workers int) (*CriticalityResult, error) {
+	return EdgeCriticalitiesOpt(ctx, g, CriticalityOptions{Workers: workers})
+}
+
+// EdgeCriticalitiesOpt is the full-surface criticality entry point: exact
+// by default, screened when opt.ScreenDelta > 0 (see CriticalityOptions).
+func EdgeCriticalitiesOpt(ctx context.Context, g *timing.Graph, opt CriticalityOptions) (*CriticalityResult, error) {
 	nE := len(g.Edges)
 	if nE == 0 {
 		return &CriticalityResult{}, nil
 	}
-
-	// Vertex levels and level-boundary cutsets. An edge u->v with
-	// level(u) < k <= level(v) crosses boundary k; its criticality is
-	// evaluated at its home boundary level(u)+1.
-	order, err := g.Order()
+	en, err := newCritEngine(ctx, g, opt, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	level := make([]int, g.NumVerts)
-	maxLevel := 0
-	for _, v := range order {
-		for _, ei := range g.In[v] {
-			if l := level[g.Edges[ei].From] + 1; l > level[v] {
-				level[v] = l
-			}
-		}
-		if level[v] > maxLevel {
-			maxLevel = level[v]
-		}
-	}
-	crossing := make([][]int32, maxLevel+1) // boundary k: 1..maxLevel
-	home := make([]int, nE)
-	for e := range g.Edges {
-		lf, lt := level[g.Edges[e].From], level[g.Edges[e].To]
-		home[e] = lf + 1
-		for k := lf + 1; k <= lt; k++ {
-			crossing[k] = append(crossing[k], int32(e))
-		}
-	}
-	maxCross := 0
-	for _, c := range crossing {
-		if len(c) > maxCross {
-			maxCross = len(c)
-		}
-	}
-	delays := g.EdgeDelays() // build the flat delay bank before fanning out
+	defer en.release()
 
-	// Backward passes: vertex-to-output-j delay arenas for every output,
-	// held flat for the whole run.
-	req := make([]*timing.Pass, len(g.Outputs))
+	workers := timing.Workers(opt.Workers, len(g.Inputs))
+	type acc struct {
+		cm        []float64
+		protected []bool
+		ws        *critScratch
+	}
+	pool := make(chan *acc, workers)
+	for w := 0; w < workers; w++ {
+		pool <- &acc{
+			cm:        make([]float64, nE),
+			protected: make([]bool, nE),
+			ws:        en.newScratch(),
+		}
+	}
+	accs := make([]*acc, 0, workers)
 	defer func() {
-		for _, p := range req {
-			if p != nil {
-				p.Release()
+		// Drain whatever came back (on success: everything) and release the
+		// pooled pass arenas. A worker panic resurfaces via ParallelForCtx
+		// after the pool drained, so this defer still sees every scratch.
+		for {
+			select {
+			case a := <-pool:
+				a.ws.release()
+			default:
+				return
 			}
 		}
 	}()
-	err = timing.ParallelFor(len(g.Outputs), workers, func(j int) error {
-		p := g.AcquirePass()
-		if err := p.Required(g.Outputs[j]); err != nil {
-			p.Release()
-			return err
-		}
-		req[j] = p
-		return nil
+	err = timing.ParallelForCtx(ctx, len(g.Inputs), workers, func(ctx context.Context, i int) error {
+		a := <-pool
+		defer func() { pool <- a }()
+		return en.runInput(ctx, i, a.cm, a.protected, a.ws)
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Sparse per-vertex list of outputs reachable from each vertex.
-	_, toOut, err := g.Reachability()
-	if err != nil {
-		return nil, err
+	for len(accs) < workers {
+		accs = append(accs, <-pool)
 	}
-	outsAt := make([][]int32, g.NumVerts)
-	for v := 0; v < g.NumVerts; v++ {
-		for j := range g.Outputs {
-			if toOut[v][j/64]&(1<<uint(j%64)) != 0 {
-				outsAt[v] = append(outsAt[v], int32(j))
-			}
-		}
-	}
-
-	type workerState struct {
-		cm        []float64
-		protected []bool
-	}
-	states := make([]*workerState, 0, workers)
-	inputCh := make(chan int)
-	var wg sync.WaitGroup
-	errCh := make(chan error, 1)
-	for w := 0; w < workers; w++ {
-		st := &workerState{cm: make([]float64, nE), protected: make([]bool, nE)}
-		states = append(states, st)
-		wg.Add(1)
-		go func(st *workerState) {
-			defer wg.Done()
-			// All cutset forms of one boundary live in this flat scratch
-			// bank: m path-delay forms, m prefix maxima, m suffix maxima
-			// and one complement slot. Sized once to the widest boundary,
-			// so the inner loop never allocates.
-			scratch := canon.NewBank(g.Space, 3*maxCross+1)
-			var des, prefix, suffix []canon.View
-			var eids []int32
-			arrP := g.AcquirePass()
-			defer arrP.Release()
-			for i := range inputCh {
-				in := g.Inputs[i]
-				if err := arrP.Arrivals(in); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-				for _, j := range outsAt[in] {
-					rq := req[j]
-					for k := 1; k <= maxLevel; k++ {
-						// Gather crossing edges alive for this pair.
-						des = des[:0]
-						eids = eids[:0]
-						scratch.Reset()
-						for _, e := range crossing[k] {
-							ed := &g.Edges[e]
-							if !arrP.Reached(ed.From) || !rq.Reached(ed.To) {
-								continue
-							}
-							de := scratch.Take()
-							canon.AddViews(de, arrP.At(ed.From), delays.View(int(e)))
-							canon.AddViews(de, de, rq.At(ed.To))
-							des = append(des, de)
-							eids = append(eids, e)
-						}
-						m := len(des)
-						if m == 0 {
-							continue
-						}
-						if m == 1 {
-							// Single crossing edge: every path of the pair
-							// runs through it.
-							if home[eids[0]] == k {
-								st.cm[eids[0]] = 1
-							}
-							continue
-						}
-						// Prefix/suffix statistical maxima give each edge
-						// the exact complement within the cutset.
-						prefix, suffix = prefix[:0], suffix[:0]
-						for t := 0; t < m; t++ {
-							prefix = append(prefix, scratch.Take())
-							suffix = append(suffix, scratch.Take())
-						}
-						canon.CopyView(prefix[0], des[0])
-						for t := 1; t < m; t++ {
-							canon.MaxViews(prefix[t], prefix[t-1], des[t])
-						}
-						canon.CopyView(suffix[m-1], des[m-1])
-						for t := m - 2; t >= 0; t-- {
-							canon.MaxViews(suffix[t], suffix[t+1], des[t])
-						}
-						comp := scratch.Take()
-						for t := 0; t < m; t++ {
-							e := eids[t]
-							if home[e] != k {
-								continue
-							}
-							var c float64
-							switch t {
-							case 0:
-								c = canon.TightnessProbViews(des[t], suffix[1])
-							case m - 1:
-								c = canon.TightnessProbViews(des[t], prefix[m-2])
-							default:
-								canon.MaxViews(comp, prefix[t-1], suffix[t+1])
-								c = canon.TightnessProbViews(des[t], comp)
-							}
-							if c > st.cm[e] {
-								st.cm[e] = c
-							}
-						}
-					}
-					// Dominant-path protection: walk backward from the
-					// output along the max-nominal fanin chain.
-					out := g.Outputs[j]
-					if !arrP.Reached(out) {
-						continue
-					}
-					v := out
-					for v != in {
-						bestEdge := -1
-						bestNom := 0.0
-						for _, ei := range g.In[v] {
-							ed := &g.Edges[ei]
-							if !arrP.Reached(ed.From) {
-								continue
-							}
-							if nom := arrP.At(ed.From).Nominal() + ed.Delay.Nominal; bestEdge < 0 || nom > bestNom {
-								bestEdge, bestNom = int(ei), nom
-							}
-						}
-						if bestEdge < 0 {
-							break // defensive: unreachable on a live path
-						}
-						st.protected[bestEdge] = true
-						v = g.Edges[bestEdge].From
-					}
-				}
-			}
-		}(st)
-	}
-	for i := range g.Inputs {
-		inputCh <- i
-	}
-	close(inputCh)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
-	}
-
 	res := &CriticalityResult{Cm: make([]float64, nE), Protected: make([]bool, nE)}
-	for _, st := range states {
+	for _, a := range accs {
 		for e := 0; e < nE; e++ {
-			if st.cm[e] > res.Cm[e] {
-				res.Cm[e] = st.cm[e]
+			if a.cm[e] > res.Cm[e] {
+				res.Cm[e] = a.cm[e]
 			}
-			if st.protected[e] {
+			if a.protected[e] {
 				res.Protected[e] = true
 			}
 		}
+		pool <- a // hand back for the deferred scratch release
 	}
+	res.ScreenedBoundaries = en.screened.Load()
 	return res, nil
+}
+
+// critEngine is the prepared state shared by every criticality input row:
+// level cutsets, reachability, per-output backward passes, the flat delay
+// bank, and the scalar screen tables. One engine serves both the one-shot
+// all-pairs run and the per-row recomputation of IncrementalCriticality.
+type critEngine struct {
+	g   *timing.Graph
+	opt CriticalityOptions
+
+	lv       *timing.Levels
+	rs       *timing.ReachSets
+	crossing [][]int32 // boundary k (1..maxLevel): alive crossing edge ids
+	home     []int32   // edge -> home boundary; -1 for tombstoned edges
+	maxCross int
+
+	outs [][]int32 // input position -> reachable output positions
+
+	delays *canon.Bank
+
+	// Per-output backward passes. Entries are nil for outputs the engine
+	// was not prepared for (incremental refresh prepares only the outputs
+	// its recomputed rows touch).
+	req []*timing.Pass
+
+	screen bool
+	// screenCutZ is the largest z with Phi(z) < ScreenDelta under the
+	// engine's CDF (stats.NormTP), so the scalar bound pass can screen in
+	// z-space: zb <= screenCutZ exactly when Phi(zb) < ScreenDelta.
+	screenCutZ float64
+	screened   atomic.Int64 // home evaluations pruned by the screen
+
+	// nonneg records that every live edge delay has a nonnegative shared
+	// coefficient vector. Adds and Clark blends (convex combinations)
+	// preserve that sign through arrivals, requireds and chains, so every
+	// covariance the engine ever folds is provably nonnegative and the
+	// bound pass may use the tighter theta bound sqrt(v(de) + oS^2) in
+	// place of Cauchy-Schwarz's sig(de) + oS (see runInput).
+	nonneg bool
+}
+
+// newCritEngine prepares the shared state. rs may carry a pre-computed
+// reachability (nil: computed here); needOut selects the outputs to prepare
+// backward state for (nil: all).
+func newCritEngine(ctx context.Context, g *timing.Graph, opt CriticalityOptions, rs *timing.ReachSets, needOut []bool) (*critEngine, error) {
+	lv, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	if rs == nil {
+		if rs, err = g.Reachability(); err != nil {
+			return nil, err
+		}
+	}
+	en := &critEngine{
+		g: g, opt: opt, lv: lv, rs: rs,
+		home:   make([]int32, len(g.Edges)),
+		screen: opt.ScreenDelta > 0,
+	}
+	if en.screen {
+		// Bracket the screen threshold in z-space: start from the quantile
+		// and nudge by ulps until screenCutZ is the exact crossover of the
+		// engine's own CDF.
+		q := stats.NormQuantile(opt.ScreenDelta)
+		for c, _ := stats.NormTP(q); c >= opt.ScreenDelta; c, _ = stats.NormTP(q) {
+			q = math.Nextafter(q, math.Inf(-1))
+		}
+		for {
+			up := math.Nextafter(q, math.Inf(1))
+			if c, _ := stats.NormTP(up); c >= opt.ScreenDelta {
+				break
+			}
+			q = up
+		}
+		en.screenCutZ = q
+	}
+
+	// Level-boundary cutsets: an edge u->v with level(u) < k <= level(v)
+	// crosses boundary k; its criticality is evaluated once, at its home
+	// boundary level(u)+1. Tombstoned edges are on no path and never enter
+	// a cutset.
+	en.crossing = make([][]int32, lv.MaxLevel+1)
+	for e := range g.Edges {
+		ed := &g.Edges[e]
+		if ed.Removed {
+			en.home[e] = -1
+			continue
+		}
+		lf, lt := lv.Level[ed.From], lv.Level[ed.To]
+		en.home[e] = lf + 1
+		for k := lf + 1; k <= lt; k++ {
+			en.crossing[k] = append(en.crossing[k], int32(e))
+		}
+	}
+	for _, c := range en.crossing {
+		if len(c) > en.maxCross {
+			en.maxCross = len(c)
+		}
+	}
+
+	// Sparse per-input list of reachable output positions.
+	en.outs = make([][]int32, len(g.Inputs))
+	for i, in := range g.Inputs {
+		for j := range g.Outputs {
+			if rs.ReachesOutput(in, j) {
+				en.outs[i] = append(en.outs[i], int32(j))
+			}
+		}
+	}
+
+	en.delays = g.EdgeDelays() // build the flat delay bank before fanning out
+
+	en.nonneg = true
+	for e := range g.Edges {
+		if g.Edges[e].Removed {
+			continue
+		}
+		v := en.delays.View(e)
+		for _, c := range v[1 : len(v)-1] {
+			if c < 0 {
+				en.nonneg = false
+				break
+			}
+		}
+		if !en.nonneg {
+			break
+		}
+	}
+
+	// Backward passes: vertex-to-output-j delay arenas, held for the
+	// engine's lifetime, one per prepared output.
+	en.req = make([]*timing.Pass, len(g.Outputs))
+	err = timing.ParallelForCtx(ctx, len(g.Outputs), opt.Workers, func(ctx context.Context, j int) error {
+		if needOut != nil && !needOut[j] {
+			return nil
+		}
+		p := g.AcquirePass().WithContext(ctx)
+		if err := p.Required(g.Outputs[j]); err != nil {
+			p.Release()
+			return err
+		}
+		en.req[j] = p
+		return nil
+	})
+	if err != nil {
+		en.release()
+		return nil, err
+	}
+	return en, nil
+}
+
+// release returns the engine's pooled pass arenas.
+func (en *critEngine) release() {
+	for _, p := range en.req {
+		if p != nil {
+			p.Release()
+		}
+	}
+	en.req = nil
+}
+
+// critScratch is the per-worker arena of the input-row loop: one arrival
+// pass, the chain-slot bank, the per-pair path-delay cache, the shared
+// base-form bank, and the scalar bound buffers. Everything is sized once;
+// the row loop never allocates.
+type critScratch struct {
+	arrP *timing.Pass
+
+	// chains holds one boundary's prefix/suffix Clark maxima: slot t is
+	// prefix[t], slot maxCross+t is suffix[t].
+	chains *canon.Bank
+
+	// base caches a_e(i) + d(e) per edge for the current input — the half
+	// of eq. 15 that does not depend on the output — so it is added once
+	// per (input, edge) instead of once per (input, output, edge).
+	base   *canon.Bank
+	baseOK []bool
+
+	// de holds one boundary's alive path delays a_e(i) + d(e) + r_e(j) in
+	// crossing order (slot t for alive[t]), with their tracked variances
+	// alongside in deCv/deR2. The bank is sized to the widest cutset —
+	// cache-resident under the chain and tightness passes, unlike an
+	// edge-count-sized arena.
+	de   *canon.Bank
+	deCv []float64
+	deR2 []float64
+
+	// cmZ carries the z-score whose CDF is the paired cm entry the fold
+	// last wrote (-Inf for untouched entries, +Inf for the certain-one
+	// cases), so the branch-and-bound and screen tests compare in z-space
+	// without evaluating a CDF. It must track exactly the cm slice handed
+	// to runInput: the one-shot run pairs each worker scratch with one
+	// accumulator for the whole run; the incremental refresh resets cmZ
+	// before every fresh row.
+	cmZ []float64
+
+	nomDe, sigDe     []float64 // per-alive-edge scalars at one boundary
+	prefNom, prefSig []float64
+	sufNom, sufSig   []float64
+
+	prefCv, prefR2 []float64 // tracked variances of the chain slots
+	sufCv, sufR2   []float64
+
+	des, prefix, suffix []canon.View
+	alive, evalHome     []int32
+}
+
+// newScratch builds a worker arena sized to the engine's graph.
+func (en *critEngine) newScratch() *critScratch {
+	g := en.g
+	nE := len(g.Edges)
+	ws := &critScratch{
+		arrP:    g.AcquirePass(),
+		chains:  canon.NewBank(g.Space, 2*en.maxCross),
+		base:    canon.NewBank(g.Space, nE),
+		baseOK:  make([]bool, nE),
+		de:      canon.NewBank(g.Space, en.maxCross),
+		deCv:    make([]float64, en.maxCross),
+		deR2:    make([]float64, en.maxCross),
+		cmZ:     make([]float64, nE),
+		nomDe:   make([]float64, en.maxCross),
+		sigDe:   make([]float64, en.maxCross),
+		prefNom: make([]float64, en.maxCross),
+		prefSig: make([]float64, en.maxCross),
+		sufNom:  make([]float64, en.maxCross),
+		sufSig:  make([]float64, en.maxCross),
+		prefCv:  make([]float64, en.maxCross),
+		prefR2:  make([]float64, en.maxCross),
+		sufCv:   make([]float64, en.maxCross),
+		sufR2:   make([]float64, en.maxCross),
+		prefix:  make([]canon.View, en.maxCross),
+		suffix:  make([]canon.View, en.maxCross),
+	}
+	ws.resetFold()
+	return ws
+}
+
+// resetFold re-arms the z-space fold state for a zeroed cm row: cmZ slides
+// back to -Inf (the z of criticality 0).
+func (ws *critScratch) resetFold() {
+	negInf := math.Inf(-1)
+	for e := range ws.cmZ {
+		ws.cmZ[e] = negInf
+	}
+}
+
+// release gives the scratch's pooled pass back.
+func (ws *critScratch) release() {
+	if ws.arrP != nil {
+		ws.arrP.Release()
+		ws.arrP = nil
+	}
+}
+
+// runInput computes one input's contribution to the criticality result:
+// for input position i, it max-folds c_ij over every reachable output j
+// into cm (aligned with g.Edges) and ORs the per-pair dominant-path edges
+// into protected. Callers either pass per-worker accumulators (one-shot
+// run) or a zeroed per-input row (incremental refresh); the fold semantics
+// are identical — and because every skipped evaluation provably cannot
+// displace the fold's maximum (see the bound analysis below), the final
+// folded values are bit-identical across accumulator layouts.
+//
+// Per boundary the loop runs three stages. First it materializes the
+// alive crossing path delays into a compact per-boundary bank sized to the
+// widest cutset — small enough to stay cache-resident under the chain and
+// tightness passes that re-read every slot several times (an edge spanning
+// several levels is re-materialized at each boundary it crosses; the extra
+// adds are cheaper than the cache misses of an edge-count-sized arena). Then a
+// scalar pass bounds every home edge's criticality in z-space:
+//
+//	z_e  <=  zb = (nom(de) - maxOther nom) / (sig(de) + maxOther sig)
+//
+// whenever nom(de) < maxOther nom (otherwise zb = +Inf and the bound is
+// the certain 1). The bound is sound against the engine's own Clark
+// evaluation: the complement chain's mean dominates every member nominal
+// (Clark's max mean dominates both operand means — the Mills-ratio
+// inequality phi(z) >= z(1-Phi(z)) — inductively through the chain,
+// including the degenerate larger-mean copy and the variance clip, which
+// never lowers the mean), its sigma never exceeds the largest member sigma
+// (Gaussian Poincare: max(A,B) has gradient a.e. equal to one operand's
+// coefficient vector, so Var(max) <= max(VarA, VarB), preserved by the
+// representability clip since the blended shared energy is itself a convex
+// combination), and theta(de, comp) <= sig(de) + sig(comp) by
+// Cauchy-Schwarz. A more negative numerator over a larger denominator only
+// lowers z. Because the evaluation kernels return their final z alongside
+// Phi(z), the fold tracks (cm, cmZ) pairs and both tests run without a CDF
+// call: a home edge with zb <= cmZ[e] is skipped outright (branch-and-bound
+// — exact, since the skipped value cannot raise the fold), and under a
+// screen, zb at or below the precomputed screenCutZ crossover skips the
+// evaluation and folds the bound instead (the one place the pass pays a
+// CDF, and only when the bound advances the fold).
+//
+// Home edges that survive both tests reach the third stage:
+// tracked-variance prefix/suffix Clark chains (built only over the index
+// range the survivors need) and a fused complement tightness per survivor
+// that never materializes the merged complement form. (Truncating the
+// complement to "dominant" operands was evaluated and rejected: on the
+// boundaries that actually evaluate, nominal gaps never reach even 2 sigma
+// of the exact pairwise spread — the crossing operands genuinely compete,
+// and no sound dominance test prunes any of them.)
+func (en *critEngine) runInput(ctx context.Context, i int, cm []float64, protected []bool, ws *critScratch) error {
+	g := en.g
+	in := g.Inputs[i]
+	arrP := ws.arrP.WithContext(ctx)
+	if err := arrP.Arrivals(in); err != nil {
+		return err
+	}
+	for e := range ws.baseOK {
+		ws.baseOK[e] = false
+	}
+	for _, j := range en.outs[i] {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		out := g.Outputs[j]
+		if !arrP.Reached(out) {
+			// The output is outside this input's cone: no i->j path exists,
+			// so no boundary has an alive crossing edge and there is no
+			// dominant path to protect.
+			continue
+		}
+		rq := en.req[j]
+
+		// Dominant-path protection: walk backward from the output along the
+		// max-nominal fanin chain.
+		for v := out; v != in; {
+			bestEdge := -1
+			bestNom := 0.0
+			for _, ei := range g.In[v] {
+				ed := &g.Edges[ei]
+				if !arrP.Reached(ed.From) {
+					continue
+				}
+				if nom := arrP.At(ed.From).Nominal() + ed.Delay.Nominal; bestEdge < 0 || nom > bestNom {
+					bestEdge, bestNom = int(ei), nom
+				}
+			}
+			if bestEdge < 0 {
+				break // defensive: unreachable on a live path
+			}
+			protected[bestEdge] = true
+			v = g.Edges[bestEdge].From
+		}
+
+		for k := 1; k <= en.lv.MaxLevel; k++ {
+			// Gather crossing edges alive for this pair.
+			alive := ws.alive[:0]
+			nHome := 0
+			for _, e := range en.crossing[k] {
+				ed := &g.Edges[e]
+				if !arrP.Reached(ed.From) || !rq.Reached(ed.To) {
+					continue
+				}
+				alive = append(alive, e)
+				if en.home[e] == int32(k) {
+					nHome++
+				}
+			}
+			ws.alive = alive
+			m := len(alive)
+			if m == 0 {
+				continue
+			}
+			if m == 1 {
+				// Single crossing edge: every path of the pair runs
+				// through it.
+				if en.home[alive[0]] == int32(k) {
+					cm[alive[0]] = 1
+					ws.cmZ[alive[0]] = math.Inf(1)
+				}
+				continue
+			}
+			if nHome == 0 {
+				// No alive home edge: nothing is evaluated at this
+				// boundary in any mode.
+				continue
+			}
+			// Materialize the alive path delays into the compact
+			// per-boundary bank (slot t holds alive[t]). An edge spanning
+			// several levels is re-materialized at every boundary it crosses;
+			// pair-scoped slot reuse was tried and measured slower — the
+			// scattered slot order defeats the prefetcher on the chain and
+			// tightness reads, costing more than the saved adds.
+			des := ws.des[:0]
+			nomDe, sigDe := ws.nomDe[:m], ws.sigDe[:m]
+			deCv, deR2 := ws.deCv[:m], ws.deR2[:m]
+			for t, e := range alive {
+				ed := &g.Edges[e]
+				bv := ws.base.View(int(e))
+				if !ws.baseOK[e] {
+					canon.AddViews(bv, arrP.At(ed.From), en.delays.View(int(e)))
+					ws.baseOK[e] = true
+				}
+				de := ws.de.View(t)
+				cv, r2 := canon.AddViewsVar(de, bv, rq.At(ed.To))
+				deCv[t], deR2[t] = cv, r2
+				des = append(des, de)
+				nomDe[t] = de.Nominal()
+				sigDe[t] = math.Sqrt(cv + r2)
+			}
+			ws.des = des
+			// Scalar bound pass: leave-one-out nominal/sigma maxima, then
+			// the branch-and-bound and screen tests per home edge.
+			prefNom, prefSig := ws.prefNom[:m], ws.prefSig[:m]
+			sufNom, sufSig := ws.sufNom[:m], ws.sufSig[:m]
+			prefNom[0], prefSig[0] = nomDe[0], sigDe[0]
+			for t := 1; t < m; t++ {
+				prefNom[t] = maxf(prefNom[t-1], nomDe[t])
+				prefSig[t] = maxf(prefSig[t-1], sigDe[t])
+			}
+			sufNom[m-1], sufSig[m-1] = nomDe[m-1], sigDe[m-1]
+			for t := m - 2; t >= 0; t-- {
+				sufNom[t] = maxf(sufNom[t+1], nomDe[t])
+				sufSig[t] = maxf(sufSig[t+1], sigDe[t])
+			}
+			evalHome := ws.evalHome[:0]
+			screened := int64(0)
+			for t, e := range alive {
+				if en.home[e] != int32(k) {
+					continue
+				}
+				var oN, oS float64
+				switch t {
+				case 0:
+					oN, oS = sufNom[1], sufSig[1]
+				case m - 1:
+					oN, oS = prefNom[m-2], prefSig[m-2]
+				default:
+					oN = maxf(prefNom[t-1], sufNom[t+1])
+					oS = maxf(prefSig[t-1], sufSig[t+1])
+				}
+				zb := math.Inf(1)
+				if nomDe[t] < oN {
+					if en.nonneg {
+						// cov(de, comp) >= 0, so theta^2 <= v(de) + v(comp)
+						// <= v(de) + oS^2 — up to sqrt(2) tighter than the
+						// sign-free Cauchy-Schwarz denominator below.
+						zb = (nomDe[t] - oN) / math.Sqrt(deCv[t]+deR2[t]+oS*oS)
+					} else {
+						zb = (nomDe[t] - oN) / (sigDe[t] + oS)
+					}
+				}
+				if en.screen && zb <= en.screenCutZ {
+					// Screen prune: the exact value cannot reach the
+					// removal threshold; record the bound.
+					if zb > ws.cmZ[e] {
+						b, _ := stats.NormTP(zb)
+						cm[e], ws.cmZ[e] = b, zb
+					}
+					screened++
+					continue
+				}
+				if zb <= ws.cmZ[e] {
+					// Branch-and-bound: this evaluation cannot raise the
+					// fold — skipping it leaves the final Cm exact.
+					continue
+				}
+				evalHome = append(evalHome, int32(t))
+			}
+			ws.evalHome = evalHome
+			if screened > 0 {
+				en.screened.Add(screened)
+			}
+			if len(evalHome) == 0 {
+				continue // every home edge skipped: no chains needed
+			}
+			// Chain demand: the prefix depth and suffix start the surviving
+			// home edges actually reference.
+			maxPref, loSuf := -1, m
+			for _, t32 := range evalHome {
+				switch t := int(t32); {
+				case t == 0:
+					loSuf = 1
+				case t == m-1:
+					if m-2 > maxPref {
+						maxPref = m - 2
+					}
+				default:
+					if t-1 > maxPref {
+						maxPref = t - 1
+					}
+					if t+1 < loSuf {
+						loSuf = t + 1
+					}
+				}
+			}
+			// Tracked-variance Clark chains, prefix and suffix interleaved.
+			// Slot 0 / m-1 alias the path delays directly. A Clark step is one
+			// long latency chain (covariance dot -> theta -> CDF -> blend, each
+			// feeding the next), and consecutive steps of one fold are serially
+			// dependent; the two folds are independent of each other, so
+			// alternating their steps hands the out-of-order core two chains to
+			// overlap instead of serializing every step back to back. The
+			// per-fold step order is unchanged, so the results are bit-identical
+			// to running the folds one after the other.
+			prefix, suffix := ws.prefix[:m], ws.suffix[:m]
+			prefCv, prefR2 := ws.prefCv[:m], ws.prefR2[:m]
+			sufCv, sufR2 := ws.sufCv[:m], ws.sufR2[:m]
+			if maxPref >= 0 {
+				prefix[0] = des[0]
+				prefCv[0], prefR2[0] = deCv[0], deR2[0]
+			}
+			if loSuf < m {
+				suffix[m-1] = des[m-1]
+				sufCv[m-1], sufR2[m-1] = deCv[m-1], deR2[m-1]
+			}
+			for pt, st := 1, m-2; pt <= maxPref || st >= loSuf; {
+				if pt <= maxPref {
+					prefix[pt] = ws.chains.View(pt)
+					prefCv[pt], prefR2[pt] = canon.MaxViewsVar(prefix[pt], prefix[pt-1], des[pt],
+						prefCv[pt-1], prefR2[pt-1], deCv[pt], deR2[pt])
+					pt++
+				}
+				if st >= loSuf {
+					suffix[st] = ws.chains.View(en.maxCross + st)
+					sufCv[st], sufR2[st] = canon.MaxViewsVar(suffix[st], suffix[st+1], des[st],
+						sufCv[st+1], sufR2[st+1], deCv[st], deR2[st])
+					st--
+				}
+			}
+			for _, t32 := range evalHome {
+				t := int(t32)
+				e := alive[t]
+				vDe := deCv[t] + deR2[t]
+				var c, zc float64
+				switch {
+				case t == 0:
+					c, zc = canon.TightnessProbVar(des[0], suffix[1], vDe, sufCv[1]+sufR2[1])
+				case t == m-1:
+					c, zc = canon.TightnessProbVar(des[m-1], prefix[m-2], vDe, prefCv[m-2]+prefR2[m-2])
+				default:
+					c, zc = canon.CompTightnessViews(des[t], prefix[t-1], suffix[t+1], vDe,
+						prefCv[t-1], prefR2[t-1], sufCv[t+1], sufR2[t+1])
+				}
+				if zc > ws.cmZ[e] {
+					cm[e], ws.cmZ[e] = c, zc
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // CriticalityHistogram bins the per-edge maximum criticalities (paper

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// IncrementalCriticality maintains the all-pairs edge criticality of a live
+// graph across edits, re-deriving only the input rows an edit can affect.
+//
+// The result of the one-shot engine is a max-fold of independent per-input
+// rows: row i depends only on input i's forward cone (its arrival pass),
+// the backward cones of the outputs it reaches, the level cutsets, and the
+// edge delays. After an edit with seed vertices S, row i is bit-stable
+// unless input i reaches some seed in the old or new reachability — the
+// arrival pass, the alive sets, the de forms and the protection walk all
+// fold exactly the same values otherwise — or unless the edit moved a
+// vertex's level (which re-partitions the cutsets even for untouched
+// rows). The affected-input set I* is therefore
+//
+//	I* = { i : i reaches S (old or new) }  ∪  { i : i reaches a
+//	       vertex whose level changed }
+//
+// and a refresh recomputes exactly the rows in I*, keeping the others
+// verbatim. The refreshed result equals a from-scratch run bit-for-bit
+// (under the same CriticalityOptions); tests lock this in over randomized
+// edit sequences.
+//
+// IncrementalCriticality consumes the seed journal of a timing.Incremental
+// (the graph's takeDirty stream has a single consumer — the Incremental —
+// so second-tier consumers key off its journal). It follows the same
+// single-writer contract: Refresh must not run concurrently with edits or
+// with other sessions on the same graph.
+type IncrementalCriticality struct {
+	inc *timing.Incremental
+	opt CriticalityOptions
+
+	// cmIn/protIn are the retained per-input rows, each aligned with
+	// g.Edges at the time the row was last computed (rows are grown to the
+	// current edge count lazily; new slots start at zero).
+	cmIn   [][]float64
+	protIn [][]bool
+
+	// Snapshots the affected-set derivation diffs against.
+	lv     *timing.Levels
+	rs     *timing.ReachSets
+	nEdges int
+
+	res      *CriticalityResult
+	full     bool  // next refresh must recompute every row
+	screened int64 // cumulative screened boundaries since the last full run
+}
+
+// CriticalityRefreshStats reports what one Refresh recomputed.
+type CriticalityRefreshStats struct {
+	// Inputs is the number of input rows re-derived.
+	Inputs int
+	// Outputs is the number of per-output backward passes rerun.
+	Outputs int
+	// Full marks a from-scratch refresh (first build, IO retarget, seed
+	// overflow, or recovery after a failed refresh).
+	Full bool
+}
+
+// NewIncrementalCriticality attaches a criticality tracker to an
+// incremental timing state and computes the initial full result. The
+// tracker enables inc's seed journal; it must be the journal's only
+// consumer.
+func NewIncrementalCriticality(ctx context.Context, inc *timing.Incremental, opt CriticalityOptions) (*IncrementalCriticality, error) {
+	if inc == nil {
+		return nil, fmt.Errorf("core: nil incremental state")
+	}
+	inc.EnableSeedJournal()
+	ic := &IncrementalCriticality{inc: inc, opt: opt, full: true}
+	if _, _, err := ic.refresh(ctx); err != nil {
+		return nil, err
+	}
+	return ic, nil
+}
+
+// Result returns the current criticality snapshot (valid as of the last
+// Refresh; callers must not mutate it).
+func (ic *IncrementalCriticality) Result() *CriticalityResult { return ic.res }
+
+// Refresh absorbs the edits journaled since the last refresh and returns
+// the updated result. The caller must have run inc.Update (or Rebuild)
+// first so the journal covers every pending edit; the returned snapshot is
+// also retained and available via Result. On error the tracker stays
+// usable but degrades to a full recompute on the next call.
+func (ic *IncrementalCriticality) Refresh(ctx context.Context) (*CriticalityResult, CriticalityRefreshStats, error) {
+	return ic.refresh(ctx)
+}
+
+func (ic *IncrementalCriticality) refresh(ctx context.Context) (*CriticalityResult, CriticalityRefreshStats, error) {
+	g := ic.inc.Graph()
+	fwd, bwd, io, full := ic.inc.TakeSeeds()
+	full = full || io || ic.full
+	ic.full = true // cleared only on success
+	var stats CriticalityRefreshStats
+
+	nE := len(g.Edges)
+	nIn := len(g.Inputs)
+	lv, err := g.Levels()
+	if err != nil {
+		return nil, stats, err
+	}
+	rs, err := g.Reachability()
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Derive the affected input set (all inputs on a full refresh).
+	var affected []int
+	needOut := make([]bool, len(g.Outputs))
+	if full || ic.rs == nil || len(ic.cmIn) != nIn {
+		full = true
+		affected = make([]int, nIn)
+		for i := range affected {
+			affected[i] = i
+		}
+		for j := range needOut {
+			needOut[j] = true
+		}
+		ic.cmIn = make([][]float64, nIn)
+		ic.protIn = make([][]bool, nIn)
+		ic.screened = 0
+	} else {
+		inBits := make([]uint64, rs.WIn)
+		seedInputs := func(v int) {
+			for w, word := range ic.rs.FromInput(v) {
+				inBits[w] |= word
+			}
+			for w, word := range rs.FromInput(v) {
+				inBits[w] |= word
+			}
+		}
+		for _, v := range fwd {
+			seedInputs(v)
+		}
+		for _, v := range bwd {
+			seedInputs(v)
+		}
+		// An edit that shifts levels re-partitions the cutset boundaries:
+		// every input reaching a level-changed vertex must re-evaluate.
+		for v := 0; v < g.NumVerts && v < len(ic.lv.Level); v++ {
+			if lv.Level[v] != ic.lv.Level[v] {
+				seedInputs(v)
+			}
+		}
+		for i := 0; i < nIn; i++ {
+			if inBits[i>>6]&(1<<(uint(i)&63)) != 0 {
+				affected = append(affected, i)
+			}
+		}
+		for _, i := range affected {
+			to := rs.ToOutput(g.Inputs[i])
+			for j := range needOut {
+				if to[j>>6]&(1<<(uint(j)&63)) != 0 {
+					needOut[j] = true
+				}
+			}
+		}
+	}
+	stats.Inputs = len(affected)
+	stats.Full = full
+	for _, n := range needOut {
+		if n {
+			stats.Outputs++
+		}
+	}
+
+	if len(affected) > 0 && nE > 0 {
+		en, err := newCritEngine(ctx, g, ic.opt, rs, needOut)
+		if err != nil {
+			return nil, stats, err
+		}
+		workers := timing.Workers(ic.opt.Workers, len(affected))
+		pool := make(chan *critScratch, workers)
+		for w := 0; w < workers; w++ {
+			pool <- en.newScratch()
+		}
+		err = timing.ParallelForCtx(ctx, len(affected), workers, func(ctx context.Context, a int) error {
+			i := affected[a]
+			cm := growFloatRow(ic.cmIn[i], nE)
+			prot := growBoolRow(ic.protIn[i], nE)
+			ic.cmIn[i], ic.protIn[i] = cm, prot
+			ws := <-pool
+			defer func() { pool <- ws }()
+			ws.resetFold() // fresh zeroed row: re-arm the z-space fold
+			return en.runInput(ctx, i, cm, prot, ws)
+		})
+		for len(pool) > 0 {
+			(<-pool).release()
+		}
+		screened := en.screened.Load()
+		en.release()
+		if err != nil {
+			return nil, stats, err
+		}
+		ic.screened += screened
+	}
+
+	// Fold the rows, then mask tombstones: a stale (unaffected) row may
+	// still carry values for edges removed by a later edit it provably does
+	// not reach — those edges are dead regardless of which row names them.
+	res := &CriticalityResult{Cm: make([]float64, nE), Protected: make([]bool, nE)}
+	for i := 0; i < nIn; i++ {
+		for e, c := range ic.cmIn[i] {
+			if c > res.Cm[e] {
+				res.Cm[e] = c
+			}
+		}
+		for e, p := range ic.protIn[i] {
+			if p {
+				res.Protected[e] = true
+			}
+		}
+	}
+	for e := range g.Edges {
+		if g.Edges[e].Removed {
+			res.Cm[e] = 0
+			res.Protected[e] = false
+		}
+	}
+	res.ScreenedBoundaries = ic.screened
+
+	ic.lv, ic.rs, ic.nEdges = lv, rs, nE
+	ic.res = res
+	ic.full = false
+	return res, stats, nil
+}
+
+// growFloatRow returns row resized and zeroed over [0, n).
+func growFloatRow(row []float64, n int) []float64 {
+	if cap(row) < n {
+		return make([]float64, n)
+	}
+	row = row[:n]
+	for e := range row {
+		row[e] = 0
+	}
+	return row
+}
+
+// growBoolRow returns row resized and zeroed over [0, n).
+func growBoolRow(row []bool, n int) []bool {
+	if cap(row) < n {
+		return make([]bool, n)
+	}
+	row = row[:n]
+	for e := range row {
+		row[e] = false
+	}
+	return row
+}

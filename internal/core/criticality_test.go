@@ -1,0 +1,368 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/timing"
+)
+
+// critEqual requires two criticality results to be bit-identical on the
+// kept side of delta and conservatively ordered below it; with delta == 0
+// it requires full bit-identity.
+func critEqual(t *testing.T, want, got *CriticalityResult, delta float64, label string) {
+	t.Helper()
+	if len(want.Cm) != len(got.Cm) {
+		t.Fatalf("%s: cm length %d != %d", label, len(got.Cm), len(want.Cm))
+	}
+	for e := range want.Cm {
+		w, g := want.Cm[e], got.Cm[e]
+		if (w >= delta) != (g >= delta) {
+			t.Fatalf("%s: edge %d decision diverges at delta=%g (want cm %g, got %g)", label, e, delta, w, g)
+		}
+		if w >= delta || delta == 0 {
+			if w != g {
+				t.Fatalf("%s: edge %d cm %g != %g (bit-identity violated)", label, e, g, w)
+			}
+		} else if g < w {
+			t.Fatalf("%s: edge %d screened cm %g below exact %g (bound not conservative)", label, e, g, w)
+		}
+		if want.Protected[e] != got.Protected[e] {
+			t.Fatalf("%s: edge %d protected %v != %v", label, e, got.Protected[e], want.Protected[e])
+		}
+	}
+}
+
+// TestScreenMatchesExact locks in the criticality screen's contract on real
+// benchmark graphs: identical keep/remove decisions at the screen
+// threshold, bit-identical Cm for every kept edge, conservative (never
+// lower) Cm for screened-out edges, and untouched protection marks.
+func TestScreenMatchesExact(t *testing.T) {
+	for _, name := range []string{"c432", "c880"} {
+		t.Run(name, func(t *testing.T) {
+			g := buildGraph(t, name, 1)
+			exact, err := EdgeCriticalitiesOpt(context.Background(), g, CriticalityOptions{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			screened, err := EdgeCriticalitiesOpt(context.Background(), g,
+				CriticalityOptions{Workers: 2, ScreenDelta: DefaultDelta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			critEqual(t, exact, screened, DefaultDelta, name)
+			var kept int
+			for e := range exact.Cm {
+				if exact.Cm[e] >= DefaultDelta {
+					kept++
+				}
+			}
+			if kept == 0 {
+				t.Fatal("no kept edges — benchmark degenerate")
+			}
+			if exact.ScreenedBoundaries != 0 {
+				t.Fatalf("exact mode screened %d boundaries", exact.ScreenedBoundaries)
+			}
+			if screened.ScreenedBoundaries == 0 {
+				t.Fatal("screen never fired — pruning not exercised")
+			}
+			t.Logf("%s: screened %d boundaries", name, screened.ScreenedBoundaries)
+		})
+	}
+}
+
+// TestExtractScreenEquivalence checks that the default (screened) extraction
+// and the ExactCriticality escape hatch produce the same model.
+func TestExtractScreenEquivalence(t *testing.T) {
+	g := buildGraph(t, "c432", 1)
+	fast, err := Extract(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Extract(g, Options{Workers: 2, ExactCriticality: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Stats.RemovedEdges != exact.Stats.RemovedEdges ||
+		fast.Stats.ProtectedKept != exact.Stats.ProtectedKept ||
+		fast.Stats.EdgesModel != exact.Stats.EdgesModel ||
+		fast.Stats.VertsModel != exact.Stats.VertsModel {
+		t.Fatalf("screened extraction diverges from exact: %+v vs %+v", fast.Stats, exact.Stats)
+	}
+}
+
+// TestEdgeCriticalitiesPromptError is the worker-pool hang regression: the
+// old hand-rolled pool fed inputs through an unbuffered channel while
+// workers exited on the first error, deadlocking the feeder whenever more
+// inputs remained than workers. An invalid port (SetIO accepts vertices
+// unchecked) with inputs > workers must now surface as a prompt error.
+func TestEdgeCriticalitiesPromptError(t *testing.T) {
+	g := buildGraph(t, "c432", 1)
+	ins := append([]int(nil), g.Inputs...)
+	names := append([]string(nil), g.InputNames...)
+	ins = append(ins, g.NumVerts+7) // out of range, errors mid-engine
+	names = append(names, "bogus")
+	if err := g.SetIO(ins, g.Outputs, names, g.OutputNames); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := EdgeCriticalitiesCtx(context.Background(), g, 2)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("want out-of-range error, got %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("criticality engine hung on failing input (pool regression)")
+	}
+}
+
+// TestEdgeCriticalitiesCancelled checks both cancellation paths: a dead
+// context refuses promptly, and a context cancelled mid-run unwinds the
+// pool instead of hanging it.
+func TestEdgeCriticalitiesCancelled(t *testing.T) {
+	g := buildGraph(t, "c880", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EdgeCriticalitiesCtx(ctx, g, 2); err == nil {
+		t.Fatal("pre-cancelled ctx must fail")
+	}
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := EdgeCriticalitiesCtx(ctx, g, 2)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case <-done: // nil (finished first) or ctx error — either is fine
+	case <-time.After(60 * time.Second):
+		t.Fatal("criticality engine ignored cancellation")
+	}
+}
+
+// critTestGraph builds a deterministic random layered DAG over a small
+// space — the incremental-criticality differential workhorse.
+func critTestGraph(tb testing.TB, verts int, seed int64) *timing.Graph {
+	space := canon.Space{Globals: 2, Components: 4}
+	g := timing.NewGraph(space, verts, nil)
+	rng := rand.New(rand.NewSource(seed))
+	form := func() *canon.Form {
+		f := space.NewForm()
+		f.Nominal = 5 + 20*rng.Float64()
+		for i := range f.Glob {
+			f.Glob[i] = rng.NormFloat64()
+		}
+		for i := range f.Loc {
+			f.Loc[i] = 0.5 * rng.NormFloat64()
+		}
+		f.Rand = 0.5 + rng.Float64()
+		return f
+	}
+	for v := 3; v < verts; v++ {
+		fanin := 1 + rng.Intn(3)
+		for k := 0; k < fanin; k++ {
+			if _, err := g.AddEdge(rng.Intn(v), v, form(), nil, 0); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	if err := g.SetIO(
+		[]int{0, 1, 2},
+		[]int{verts - 3, verts - 2, verts - 1},
+		[]string{"a", "b", "c"},
+		[]string{"x", "y", "z"},
+	); err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// checkIncCrit refreshes the tracker and compares against a from-scratch
+// run under the same options — bit-identical by the row-stability theorem.
+func checkIncCrit(tb testing.TB, g *timing.Graph, inc *timing.Incremental, ic *IncrementalCriticality, opt CriticalityOptions, step int) CriticalityRefreshStats {
+	tb.Helper()
+	ctx := context.Background()
+	if _, err := inc.Update(ctx); err != nil {
+		tb.Fatalf("step %d: update: %v", step, err)
+	}
+	got, st, err := ic.Refresh(ctx)
+	if err != nil {
+		tb.Fatalf("step %d: refresh: %v", step, err)
+	}
+	want, err := EdgeCriticalitiesOpt(ctx, g, opt)
+	if err != nil {
+		tb.Fatalf("step %d: scratch: %v", step, err)
+	}
+	for e := range want.Cm {
+		w := want.Cm[e]
+		if g.Edges[e].Removed {
+			w = 0
+		}
+		if got.Cm[e] != w {
+			tb.Fatalf("step %d edge %d: incremental cm %g != scratch %g", step, e, got.Cm[e], w)
+		}
+		wp := want.Protected[e] && !g.Edges[e].Removed
+		if got.Protected[e] != wp {
+			tb.Fatalf("step %d edge %d: incremental protected %v != scratch %v", step, e, got.Protected[e], wp)
+		}
+	}
+	return st
+}
+
+// TestIncrementalCriticalityPartialRefresh uses two disconnected cones to
+// pin the affected-set derivation: an edit in one cone must refresh exactly
+// one input row and one output pass, and still match a from-scratch run.
+func TestIncrementalCriticalityPartialRefresh(t *testing.T) {
+	space := canon.Space{Globals: 2, Components: 4}
+	g := timing.NewGraph(space, 7, nil)
+	form := func(nom float64) *canon.Form {
+		f := space.NewForm()
+		f.Nominal = nom
+		f.Rand = 1
+		return f
+	}
+	// Cone A: diamond 0 -> {2,3} -> 4. Cone B: chain 1 -> 5 -> 6.
+	for _, e := range [][2]int{{0, 2}, {0, 3}, {2, 4}, {3, 4}, {1, 5}, {5, 6}} {
+		if _, err := g.AddEdge(e[0], e[1], form(float64(3+e[0]+e[1])), nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetIO([]int{0, 1}, []int{4, 6}, []string{"a", "b"}, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := g.NewIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CriticalityOptions{Workers: 2}
+	ic, err := NewIncrementalCriticality(context.Background(), inc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit inside cone B only.
+	if err := g.ScaleEdgeDelay(5, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	st := checkIncCrit(t, g, inc, ic, opt, 1)
+	if st.Full || st.Inputs != 1 || st.Outputs != 1 {
+		t.Fatalf("cone-B edit refreshed %+v, want exactly one row and one output", st)
+	}
+	// Edit inside cone A: the other single row.
+	if err := g.SetEdgeNominal(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if st = checkIncCrit(t, g, inc, ic, opt, 2); st.Full || st.Inputs != 1 {
+		t.Fatalf("cone-A edit refreshed %+v, want one row", st)
+	}
+	// Remove a diamond arm: still cone A only, and the tombstone must
+	// vanish from the fold.
+	if err := g.RemoveEdge(2); err != nil {
+		t.Fatal(err)
+	}
+	if st = checkIncCrit(t, g, inc, ic, opt, 3); st.Full || st.Inputs != 1 {
+		t.Fatalf("remove edit refreshed %+v, want one row", st)
+	}
+}
+
+// TestIncrementalCriticalityRandomEdits drives the tracker through a
+// randomized edit sequence, comparing against from-scratch runs after every
+// edit, exact and screened.
+func TestIncrementalCriticalityRandomEdits(t *testing.T) {
+	for _, opt := range []CriticalityOptions{
+		{Workers: 2},
+		{Workers: 2, ScreenDelta: DefaultDelta},
+	} {
+		g := critTestGraph(t, 22, 99)
+		inc, err := g.NewIncremental()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := NewIncrementalCriticality(context.Background(), inc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := newTestRand(7)
+		partial := 0
+		for step := 1; step <= 25; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				_ = g.ScaleEdgeDelay(rng.Intn(len(g.Edges)), 0.5+rng.Float64())
+			case 1:
+				_ = g.SetEdgeNominal(rng.Intn(len(g.Edges)), 1+20*rng.Float64())
+			case 2:
+				_, _ = g.AddEdgeLive(rng.Intn(g.NumVerts), rng.Intn(g.NumVerts),
+					g.Space.Const(1+5*rng.Float64()), nil, 0)
+			case 3:
+				_ = g.RemoveEdge(rng.Intn(len(g.Edges)))
+			}
+			st := checkIncCrit(t, g, inc, ic, opt, step)
+			if !st.Full && st.Inputs < len(g.Inputs) {
+				partial++
+			}
+		}
+		if partial == 0 {
+			t.Error("no edit exercised a partial refresh — affected-set derivation untested")
+		}
+	}
+}
+
+// FuzzIncrementalCriticality drives the incremental criticality tracker
+// with the same byte-coded edit-script shape as timing.FuzzGraphEdits: the
+// invariants are "no panic" and "refresh == from-scratch, bit for bit, at
+// every checkpoint".
+func FuzzIncrementalCriticality(f *testing.F) {
+	f.Add([]byte{0, 3, 16, 0, 5, 0, 0, 0, 3, 2, 14, 0, 5, 0, 0, 0})
+	f.Add([]byte{4, 1, 0, 0, 4, 1, 0, 0, 5, 0, 0, 0, 2, 0, 40, 3, 5, 0, 0, 0})
+	f.Add([]byte{3, 19, 2, 1, 1, 6, 55, 0, 5, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		g := critTestGraph(t, 20, 5)
+		inc, err := g.NewIncremental()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := CriticalityOptions{Workers: 2, ScreenDelta: DefaultDelta}
+		ic, err := NewIncrementalCriticality(context.Background(), inc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for len(script) >= 4 {
+			op, a, b, c := script[0], script[1], script[2], script[3]
+			script = script[4:]
+			steps++
+			switch op % 6 {
+			case 0:
+				_ = g.ScaleEdgeDelay(int(a)%len(g.Edges), 0.25+float64(b)/64)
+			case 1:
+				_ = g.SetEdgeNominal(int(a)%len(g.Edges), float64(b))
+			case 2:
+				fm := g.Space.NewForm()
+				fm.Nominal = float64(b)
+				fm.Glob[int(c)%len(fm.Glob)] = float64(c) / 16
+				fm.Rand = float64(c) / 64
+				_ = g.SetEdgeDelay(int(a)%len(g.Edges), fm)
+			case 3:
+				_, _ = g.AddEdgeLive(int(a)%g.NumVerts, int(b)%g.NumVerts,
+					g.Space.Const(1+float64(c)/8), nil, 0)
+			case 4:
+				_ = g.RemoveEdge(int(a) % len(g.Edges))
+			case 5:
+				checkIncCrit(t, g, inc, ic, opt, steps)
+			}
+		}
+		checkIncCrit(t, g, inc, ic, opt, steps+1)
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -27,6 +28,11 @@ type Options struct {
 	DisablePathProtection bool
 	// MaxMergeIters bounds the merge fixpoint loop (0: unbounded).
 	MaxMergeIters int
+	// ExactCriticality disables the delta-threshold criticality screen and
+	// evaluates every cutset boundary's forms (the Fig. 6 escape hatch:
+	// sub-threshold Cm entries come out exact instead of as conservative
+	// bounds). The kept/removed edge sets are identical either way.
+	ExactCriticality bool
 }
 
 // Stats records the extraction outcome in the shape of the paper's Table I.
@@ -72,6 +78,12 @@ type Model struct {
 // Extract runs the full pipeline of the paper's Fig. 3 on a module timing
 // graph.
 func Extract(g *timing.Graph, opt Options) (*Model, error) {
+	return ExtractCtx(context.Background(), g, opt)
+}
+
+// ExtractCtx is Extract with cooperative cancellation threaded through the
+// criticality engine (the dominant cost).
+func ExtractCtx(ctx context.Context, g *timing.Graph, opt Options) (*Model, error) {
 	if g == nil {
 		return nil, errors.New("core: nil graph")
 	}
@@ -84,7 +96,13 @@ func Extract(g *timing.Graph, opt Options) (*Model, error) {
 	}
 	start := time.Now()
 
-	crit, err := EdgeCriticalities(g, opt.Workers)
+	copt := CriticalityOptions{Workers: opt.Workers}
+	if delta > 0 && !opt.ExactCriticality {
+		// The removal decision only compares Cm against delta, so the
+		// criticality screen can prune at exactly that threshold.
+		copt.ScreenDelta = delta
+	}
+	crit, err := EdgeCriticalitiesOpt(ctx, g, copt)
 	if err != nil {
 		return nil, fmt.Errorf("core: criticality: %w", err)
 	}

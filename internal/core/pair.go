@@ -22,7 +22,7 @@ func PairCriticalities(g *timing.Graph, i, j int) ([]float64, error) {
 	if j < 0 || j >= len(g.Outputs) {
 		return nil, fmt.Errorf("core: output index %d out of range", j)
 	}
-	order, err := g.Order()
+	lv, err := g.Levels()
 	if err != nil {
 		return nil, err
 	}
@@ -42,22 +42,17 @@ func PairCriticalities(g *timing.Graph, i, j int) ([]float64, error) {
 	}
 	delays := g.EdgeDelays()
 
-	level := make([]int, g.NumVerts)
-	maxLevel := 0
-	for _, v := range order {
-		for _, ei := range g.In[v] {
-			if l := level[g.Edges[ei].From] + 1; l > level[v] {
-				level[v] = l
-			}
-		}
-		if level[v] > maxLevel {
-			maxLevel = level[v]
-		}
-	}
+	maxLevel := lv.MaxLevel
 	crossing := make([][]int32, maxLevel+1)
 	maxCross := 0
 	for e := range g.Edges {
-		lf, lt := level[g.Edges[e].From], level[g.Edges[e].To]
+		if g.Edges[e].Removed {
+			// Tombstoned edges are on no path; their endpoints may still be
+			// reached through live edges, so the alive gate alone would not
+			// exclude them.
+			continue
+		}
+		lf, lt := lv.Level[g.Edges[e].From], lv.Level[g.Edges[e].To]
 		for k := lf + 1; k <= lt; k++ {
 			crossing[k] = append(crossing[k], int32(e))
 			if len(crossing[k]) > maxCross {

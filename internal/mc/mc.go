@@ -240,7 +240,7 @@ func AllPairsStats(g *timing.Graph, cfg Config) (*PairStats, error) {
 		Reachable: make([][]bool, nI),
 	}
 	// Structural reachability decides which pairs exist.
-	_, toOut, err := g.Reachability()
+	rs, err := g.Reachability()
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +248,7 @@ func AllPairsStats(g *timing.Graph, cfg Config) (*PairStats, error) {
 	for i := 0; i < nI; i++ {
 		ps.Reachable[i] = make([]bool, nO)
 		for j := 0; j < nO; j++ {
-			if toOut[g.Inputs[i]][j/64]&(1<<uint(j%64)) == 0 {
+			if !rs.ReachesOutput(g.Inputs[i], j) {
 				continue
 			}
 			ps.Reachable[i][j] = true

@@ -23,6 +23,53 @@ func NormCDF(x float64) float64 {
 	return 0.5 * math.Erfc(-x/math.Sqrt2)
 }
 
+// NormTP returns Phi(z) and phi(z) from one shared exponential — the pair
+// every Clark max step consumes. The CDF uses Hart's rational approximation
+// (the double-precision variant popularized by West), whose body and tail
+// are both built around exp(-z^2/2); evaluating the density from the same
+// exponential makes the pair roughly the price of one Erfc call. Absolute
+// error of the CDF is below 1e-14; the density is bit-identical to
+// NormPDF. The symmetry Phi(z) + Phi(-z) = 1 is exact by construction.
+//
+// NormTP is the hot-path companion of NormCDF, not a replacement: NormCDF
+// (erfc-based) remains the reference used by propagation, quantiles and
+// tests, while the criticality chain kernels — which consume hundreds of
+// millions of (Phi, phi) pairs per run — use NormTP.
+func NormTP(z float64) (cdf, pdf float64) {
+	x := math.Abs(z)
+	e := math.Exp(-0.5 * x * x)
+	pdf = invSqrt2Pi * e
+	var c float64
+	switch {
+	case x < 7.07106781186547:
+		n := 3.52624965998911e-02*x + 0.700383064443688
+		n = n*x + 6.37396220353165
+		n = n*x + 33.912866078383
+		n = n*x + 112.079291497871
+		n = n*x + 221.213596169931
+		n = n*x + 220.206867912376
+		d := 8.83883476483184e-02*x + 1.75566716318264
+		d = d*x + 16.064177579207
+		d = d*x + 86.7807322029461
+		d = d*x + 296.564248779674
+		d = d*x + 637.333633378831
+		d = d*x + 793.826512519948
+		d = d*x + 440.413735824752
+		c = e * n / d
+	default:
+		lo := x + 0.65
+		lo = x + 4/lo
+		lo = x + 3/lo
+		lo = x + 2/lo
+		lo = x + 1/lo
+		c = e / (lo * 2.506628274631)
+	}
+	if z > 0 {
+		c = 1 - c
+	}
+	return c, pdf
+}
+
 // NormQuantile returns Phi^-1(p) for p in (0, 1). It uses the Acklam
 // rational approximation refined by one Halley step, accurate to ~1e-15.
 // p <= 0 returns -Inf and p >= 1 returns +Inf.

@@ -31,6 +31,38 @@ func TestNormCDFSymmetry(t *testing.T) {
 	}
 }
 
+// TestNormTPAgainstReference drives the fused (Phi, phi) pair against the
+// erfc-based NormCDF and NormPDF over the z range the Clark kernels see:
+// the CDF must agree absolutely to sub-ulp-of-1 precision, the PDF
+// bit-for-bit, and the symmetry must be exact.
+func TestNormTPAgainstReference(t *testing.T) {
+	for z := -37.5; z <= 37.5; z += 0.0137 {
+		c, p := NormTP(z)
+		if p != NormPDF(z) {
+			t.Fatalf("NormTP(%g) pdf %g != NormPDF %g", z, p, NormPDF(z))
+		}
+		// The CDF tracks the erfc reference to ~1 ulp of 1.0 everywhere
+		// (measured max 2.3e-16 over |z| <= 40). Every consumer — blend
+		// weights, moment updates, tightness-vs-threshold comparisons —
+		// uses the value absolutely, so absolute agreement is the
+		// contract; relative accuracy on sub-1e-12 tail values is not.
+		ref := NormCDF(z)
+		if d := math.Abs(c - ref); d > 5e-16 {
+			t.Fatalf("NormTP(%g) cdf %.17g vs NormCDF %.17g (|d|=%g)", z, c, ref, d)
+		}
+		cn, _ := NormTP(-z)
+		if c+cn != 1 {
+			t.Fatalf("NormTP(%g): cdf(z)+cdf(-z) = %.17g, not exactly 1", z, c+cn)
+		}
+	}
+	if c, _ := NormTP(math.Inf(1)); c != 1 {
+		t.Fatalf("NormTP(+Inf) cdf = %g", c)
+	}
+	if c, _ := NormTP(math.Inf(-1)); c != 0 {
+		t.Fatalf("NormTP(-Inf) cdf = %g", c)
+	}
+}
+
 func TestSummarizeMatchesECDFQuantiles(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	xs := make([]float64, 10001)

@@ -171,6 +171,7 @@ func (g *Graph) RemoveEdge(ei int) error {
 	g.Out[e.From] = dropEdgeIndex(g.Out[e.From], int32(ei))
 	g.In[e.To] = dropEdgeIndex(g.In[e.To], int32(ei))
 	e.Removed = true
+	g.topoGen++
 	g.markDirty(e.To, e.From)
 	return nil
 }

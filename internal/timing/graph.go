@@ -85,6 +85,13 @@ type Graph struct {
 	orderMu sync.Mutex
 	order   []int
 
+	// topoGen counts adjacency mutations (edge additions and removals). The
+	// cached level structure keys on it because some edits — RemoveEdge,
+	// order-preserving AddEdgeLive — keep the cached topological order valid
+	// while still moving levels. Bumped under the single-writer contract.
+	topoGen     uint64
+	levelsCache levelsCache
+
 	// delayMu guards delayBank, the lazily built flat copy of the edge
 	// delay forms the propagation kernels run on (see EdgeDelays).
 	delayMu   sync.Mutex
@@ -145,6 +152,7 @@ func (g *Graph) addEdge(from, to int, delay *canon.Form, lsens []float64, grid i
 	g.Out[from] = append(g.Out[from], int32(idx))
 	g.In[to] = append(g.In[to], int32(idx))
 	g.order = nil
+	g.topoGen++
 	return idx, nil
 }
 

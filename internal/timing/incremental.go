@@ -57,6 +57,15 @@ type Incremental struct {
 	inbuf    []int32 // fan-in sort scratch
 
 	stale bool // a failed update left the state unusable until Rebuild
+
+	// Seed journal (EnableSeedJournal): dirty seeds absorbed by Update
+	// accumulate here for a second-tier consumer. Graph.takeDirty has
+	// exactly one consumer — this Incremental — so anything else keyed to
+	// the same edit stream (incremental criticality) reads the journal
+	// instead, at its own, possibly slower, cadence.
+	journalOn  bool
+	jFwd, jBwd []int
+	jIO, jFull bool
 }
 
 // UpdateStats reports what one Update actually did.
@@ -92,7 +101,8 @@ func (g *Graph) NewIncrementalCtx(ctx context.Context) (*Incremental, error) {
 func (inc *Incremental) Rebuild(ctx context.Context) error {
 	g := inc.g
 	inc.stale = true
-	g.takeDirty() // absorbed wholesale by the full pass
+	inc.journalSeeds(nil, nil, false, true) // full passes refresh everything
+	g.takeDirty()                           // absorbed wholesale by the full pass
 	order, err := g.Order()
 	if err != nil {
 		return err
@@ -150,6 +160,7 @@ func (inc *Incremental) EnableRequired(ctx context.Context) error {
 func (inc *Incremental) Update(ctx context.Context) (UpdateStats, error) {
 	g := inc.g
 	fwd, bwd, io, full := g.takeDirty()
+	inc.journalSeeds(fwd, bwd, io, full || inc.stale)
 	if full || inc.stale {
 		st := UpdateStats{Forward: g.NumVerts, Full: true}
 		if inc.req != nil {
@@ -180,15 +191,56 @@ func (inc *Incremental) Update(ctx context.Context) (UpdateStats, error) {
 	var st UpdateStats
 	if st.Forward, err = inc.sweepForward(ctx, delays, fwd); err != nil {
 		inc.stale = true
+		inc.journalSeeds(nil, nil, false, true) // interrupted sweep: partial state
 		return st, err
 	}
 	if inc.req != nil {
 		if st.Backward, err = inc.sweepBackward(ctx, delays, bwd); err != nil {
 			inc.stale = true
+			inc.journalSeeds(nil, nil, false, true)
 			return st, err
 		}
 	}
 	return st, nil
+}
+
+// EnableSeedJournal switches on seed journaling: from now on every Update
+// records the dirty seeds it absorbs (and whether it fell back to a full
+// rebuild or re-based IO) until TakeSeeds drains them. Downstream state
+// keyed to the same edit stream — incremental criticality — refreshes from
+// the journal at its own cadence, since the graph's own dirty metadata is
+// consumed wholesale by Update.
+func (inc *Incremental) EnableSeedJournal() {
+	inc.journalOn = true
+}
+
+// TakeSeeds drains the seed journal: the forward/backward dirty seed
+// vertices accumulated since the previous TakeSeeds, plus whether any
+// update in between re-based IO or fell back to a full rebuild (full is
+// also set when the journal overflowed — precise tracking stops paying
+// beyond a graph's worth of seeds — or when journaling was enabled after
+// updates had already run).
+func (inc *Incremental) TakeSeeds() (fwd, bwd []int, io, full bool) {
+	fwd, bwd, io, full = inc.jFwd, inc.jBwd, inc.jIO, inc.jFull
+	inc.jFwd, inc.jBwd, inc.jIO, inc.jFull = nil, nil, false, false
+	return fwd, bwd, io, full
+}
+
+// journalSeeds appends one Update's absorbed seeds to the journal.
+func (inc *Incremental) journalSeeds(fwd, bwd []int, io, full bool) {
+	if !inc.journalOn {
+		return
+	}
+	if full || inc.jFull {
+		inc.jFwd, inc.jBwd, inc.jIO, inc.jFull = nil, nil, false, true
+		return
+	}
+	inc.jFwd = append(inc.jFwd, fwd...)
+	inc.jBwd = append(inc.jBwd, bwd...)
+	inc.jIO = inc.jIO || io
+	if len(inc.jFwd)+len(inc.jBwd) > inc.g.NumVerts {
+		inc.jFwd, inc.jBwd, inc.jIO, inc.jFull = nil, nil, false, true
+	}
 }
 
 // sweepForward re-propagates arrivals through the fan-out cones of the

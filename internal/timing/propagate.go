@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"repro/internal/canon"
@@ -31,6 +32,9 @@ type Pass struct {
 	// vertices during Arrivals/Required so a long pass observes
 	// cancellation between vertices instead of running to completion.
 	ctx context.Context
+	// workers > 1 selects the intra-level parallel wavefront kernels; see
+	// WithWorkers. Zero (the AcquirePass default) runs serially.
+	workers int
 }
 
 // ctxCheckStride is how many vertices a pass processes between context
@@ -43,6 +47,18 @@ const ctxCheckStride = 256
 // A nil ctx (the AcquirePass default) disables polling entirely.
 func (p *Pass) WithContext(ctx context.Context) *Pass {
 	p.ctx = ctx
+	return p
+}
+
+// WithWorkers selects intra-level parallel propagation: each level of the
+// graph's wavefront structure (Graph.Levels) is fanned out over a bounded
+// ParallelForCtx pool, with per-worker scratch and a fan-in gather order
+// that reproduces the serial pass bit for bit (see Levels.FaninSorted).
+// n <= 0 selects GOMAXPROCS; n == 1 restores the serial kernel. Wide,
+// shallow graphs benefit; on narrow levels the pass drops back to the
+// serial kernel per level, so results never depend on the worker count.
+func (p *Pass) WithWorkers(n int) *Pass {
+	p.workers = Workers(n, 1<<30)
 	return p
 }
 
@@ -60,37 +76,93 @@ func stepCtx(ctx context.Context, step int) error {
 // allocating and zeroing megabyte slabs each time. Slab contents are never
 // zeroed on reuse — every kernel fully overwrites its destination slot and
 // the reach mask is reset at the start of each pass.
+//
+// Each pool is split into power-of-two size classes: a Get from class c
+// always yields capacity >= 1<<c, so a workload mixing graph sizes recycles
+// storage instead of dropping undersized buffers on the floor (small-graph
+// slabs no longer collide with big-graph requests and vice versa).
+const passPoolClasses = 28
+
 var (
-	passSlabPool = sync.Pool{} // *[]float64 — bank backing storage
-	passMaskPool = sync.Pool{} // *[]bool   — reach masks
+	passSlabPools [passPoolClasses]sync.Pool // *[]float64 — bank backing storage
+	passMaskPools [passPoolClasses]sync.Pool // *[]bool    — reach masks
 )
+
+// poolClass maps a required capacity to the smallest class whose buffers
+// can hold it: class c holds buffers with capacity >= 1<<c.
+func poolClass(need int) int {
+	if need <= 1 {
+		return 0
+	}
+	return bits.Len(uint(need - 1))
+}
+
+// takeSlab returns a float64 buffer with capacity >= need from the pool,
+// allocating a class-sized one on a miss. need above the largest class is
+// served unpooled.
+func takeSlab(need int) []float64 {
+	c := poolClass(need)
+	if c >= passPoolClasses {
+		return make([]float64, need)
+	}
+	if s, ok := passSlabPools[c].Get().(*[]float64); ok {
+		return *s
+	}
+	return make([]float64, 1<<c)
+}
+
+// putSlab recycles a buffer into the class it can serve: the largest c with
+// 1<<c <= cap, so every future Get from that class fits. Oversized buffers
+// (beyond the class table) are dropped.
+func putSlab(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(s))) - 1
+	if c >= passPoolClasses {
+		return
+	}
+	passSlabPools[c].Put(&s)
+}
+
+// takeMask and putMask mirror takeSlab/putSlab for reach masks.
+func takeMask(need int) []bool {
+	c := poolClass(need)
+	if c >= passPoolClasses {
+		return make([]bool, need)
+	}
+	if m, ok := passMaskPools[c].Get().(*[]bool); ok {
+		return (*m)[:need]
+	}
+	return make([]bool, 1<<c)[:need]
+}
+
+func putMask(m []bool) {
+	if cap(m) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(m))) - 1
+	if c >= passPoolClasses {
+		return
+	}
+	passMaskPools[c].Put(&m)
+}
 
 // AcquirePass returns a propagation arena for the graph, recycling pooled
 // storage when available.
 func (g *Graph) AcquirePass() *Pass {
-	var slab []float64
-	if s, ok := passSlabPool.Get().(*[]float64); ok {
-		slab = *s
-	}
-	var mask []bool
-	if m, ok := passMaskPool.Get().(*[]bool); ok && cap(*m) >= g.NumVerts {
-		mask = (*m)[:g.NumVerts]
-	} else {
-		mask = make([]bool, g.NumVerts)
-	}
 	return &Pass{
 		g:     g,
-		bank:  canon.NewBankOver(g.Space, g.NumVerts+1, slab),
-		reach: mask,
+		bank:  canon.NewBankOver(g.Space, g.NumVerts+1, takeSlab((g.NumVerts+1)*g.Space.Stride())),
+		reach: takeMask(g.NumVerts),
 	}
 }
 
 // Release returns the pass's storage to the pool. The pass and every View
 // obtained from it must not be used afterwards.
 func (p *Pass) Release() {
-	slab, mask := p.bank.Data(), p.reach
-	passSlabPool.Put(&slab)
-	passMaskPool.Put(&mask)
+	putSlab(p.bank.Data())
+	putMask(p.reach)
 	p.bank, p.reach, p.ctx = nil, nil, nil
 }
 
@@ -152,44 +224,66 @@ func (g *Graph) hasDelayBank() bool {
 // the paper's exclusive propagation ("arrival exclusively from vi",
 // Section IV-B).
 func (p *Pass) Arrivals(sources ...int) error {
+	if p.workers > 1 {
+		delays := p.delaySource()
+		if delays == nil {
+			delays = p.g.EdgeDelays()
+		}
+		return forwardPassParallel(p.g, p.bank, p.reach, delays, p.ctx, sources, p.workers)
+	}
 	return forwardPass(p.g, p.bank, p.reach, p.delaySource(), p.ctx, sources)
 }
 
-// forwardPass is the forward propagation kernel shared by pooled passes and
-// the persistent incremental state: arrivals are written into bank (slot
-// g.NumVerts is scratch) with the per-vertex reach mask. A nil delays bank
-// reads the pointer forms directly (a graph's first pass, before the flat
-// bank is built); both paths perform identical floating-point operations.
-func forwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, ctx context.Context, sources []int) error {
-	order, err := g.Order()
-	if err != nil {
-		return err
-	}
+// seedSources resets the reach mask and seeds the given vertices at time
+// zero — the shared preamble of every propagation kernel. The kind string
+// names the vertex role in range errors ("source" or "output").
+func seedSources(g *Graph, bank *canon.Bank, reach []bool, seeds []int, kind string) error {
 	for i := range reach {
 		reach[i] = false
 	}
-	for _, s := range sources {
+	for _, s := range seeds {
 		if s < 0 || s >= g.NumVerts {
-			return fmt.Errorf("timing: source vertex %d out of range", s)
+			return fmt.Errorf("timing: %s vertex %d out of range", kind, s)
 		}
 		bank.View(s).SetConst(0)
 		reach[s] = true
 	}
+	return nil
+}
+
+// forwardPass is the serial forward propagation kernel shared by pooled
+// passes and the persistent incremental state: arrivals are written into
+// bank (slot g.NumVerts is scratch) with the per-vertex reach mask. A nil
+// delays bank reads the pointer forms directly (a graph's first pass,
+// before the flat bank is built); both paths perform identical
+// floating-point operations.
+//
+// Vertices are visited in level-batched wavefronts when the cached
+// topological order is level-monotone — the same visit sequence as the
+// plain order loop, with the per-level bounds hoisted out of the hot loop —
+// and in plain topological order otherwise, so the contribution order at
+// every vertex is the same either way.
+func forwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, ctx context.Context, sources []int) error {
+	lv, err := g.Levels()
+	if err != nil {
+		return err
+	}
+	if err := seedSources(g, bank, reach, sources, "source"); err != nil {
+		return err
+	}
 	scratch := bank.View(g.NumVerts)
-	for step, v := range order {
-		if err := stepCtx(ctx, step); err != nil {
-			return err
-		}
+	edges, out := g.Edges, g.Out
+	push := func(v int) {
 		if !reach[v] {
-			continue
+			return
 		}
 		av := bank.View(v)
-		for _, ei := range g.Out[v] {
-			to := g.Edges[ei].To
+		for _, ei := range out[v] {
+			to := edges[ei].To
 			if delays != nil {
 				canon.AddViews(scratch, av, delays.View(int(ei)))
 			} else {
-				canon.AddFormView(scratch, av, g.Edges[ei].Delay)
+				canon.AddFormView(scratch, av, edges[ei].Delay)
 			}
 			tv := bank.View(to)
 			if !reach[to] {
@@ -198,6 +292,110 @@ func forwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, c
 			} else {
 				canon.MaxViews(tv, tv, scratch)
 			}
+		}
+	}
+	if lv.Monotone {
+		step := 0
+		for k := 0; k <= lv.MaxLevel; k++ {
+			wave := lv.Wave[lv.Starts[k]:lv.Starts[k+1]]
+			for _, vi := range wave {
+				if err := stepCtx(ctx, step); err != nil {
+					return err
+				}
+				step++
+				push(int(vi))
+			}
+		}
+		return nil
+	}
+	order, err := g.Order()
+	if err != nil {
+		return err
+	}
+	for step, v := range order {
+		if err := stepCtx(ctx, step); err != nil {
+			return err
+		}
+		push(v)
+	}
+	return nil
+}
+
+// parallelLevelMin is the minimum wavefront width (per worker) worth
+// fanning out: below it the per-level pool coordination costs more than
+// the gather work and the level runs on the serial kernel instead. The
+// choice never affects results — gather order is fixed per vertex.
+const parallelLevelMin = 4
+
+// forwardPassParallel is the intra-level parallel forward kernel: levels
+// run in sequence, vertices within a level gather their fan-in
+// concurrently. Gathering folds each vertex's fan-in sorted by source
+// topological position — exactly the order in which the serial push kernel
+// delivers contributions (In[v] cannot see them in any other relative
+// order: addEdge appends to every adjacency list in one global sequence) —
+// so the result is bit-identical to forwardPass regardless of worker count
+// or intra-level scheduling.
+func forwardPassParallel(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, ctx context.Context, sources []int, workers int) error {
+	if ctx == nil {
+		ctx = context.Background() // ParallelForCtx needs a non-nil parent
+	}
+	lv, err := g.Levels()
+	if err != nil {
+		return err
+	}
+	if err := seedSources(g, bank, reach, sources, "source"); err != nil {
+		return err
+	}
+	stride := g.Space.Stride()
+	slab := takeSlab(workers * stride)
+	defer putSlab(slab)
+	tmps := canon.NewBankOver(g.Space, workers, slab)
+
+	gather := func(v int, tmp canon.View) {
+		av := bank.View(v)
+		// At gather time reach[v] is true only for pre-seeded sources, whose
+		// slot already holds the zero-time constant; contributions fold on
+		// top of it, exactly as the push kernel would.
+		reached := reach[v]
+		for _, ei := range lv.FaninSorted(v) {
+			e := &g.Edges[ei]
+			if !reach[e.From] {
+				continue
+			}
+			canon.AddViews(tmp, bank.View(e.From), delays.View(int(ei)))
+			if !reached {
+				canon.CopyView(av, tmp)
+				reached = true
+			} else {
+				canon.MaxViews(av, av, tmp)
+			}
+		}
+		reach[v] = reached
+	}
+
+	for k := 1; k <= lv.MaxLevel; k++ {
+		wave := lv.Wave[lv.Starts[k]:lv.Starts[k+1]]
+		n := len(wave)
+		chunks := workers
+		if n < chunks*parallelLevelMin {
+			if err := stepCtx(ctx, 0); err != nil {
+				return err
+			}
+			tmp := tmps.View(0)
+			for _, vi := range wave {
+				gather(int(vi), tmp)
+			}
+			continue
+		}
+		err := ParallelForCtx(ctx, chunks, chunks, func(_ context.Context, c int) error {
+			tmp := tmps.View(c)
+			for _, vi := range wave[n*c/chunks : n*(c+1)/chunks] {
+				gather(int(vi), tmp)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -215,6 +413,9 @@ func (p *Pass) ArrivalsOver(delays *canon.Bank, sources ...int) error {
 	if delays.Cap() < len(p.g.Edges) {
 		return fmt.Errorf("timing: delay bank has %d slots for %d edges", delays.Cap(), len(p.g.Edges))
 	}
+	if p.workers > 1 {
+		return forwardPassParallel(p.g, p.bank, p.reach, delays, p.ctx, sources, p.workers)
+	}
 	return forwardPass(p.g, p.bank, p.reach, delays, p.ctx, sources)
 }
 
@@ -226,6 +427,9 @@ func (p *Pass) RequiredOver(delays *canon.Bank, outputs ...int) error {
 	if delays.Cap() < len(p.g.Edges) {
 		return fmt.Errorf("timing: delay bank has %d slots for %d edges", delays.Cap(), len(p.g.Edges))
 	}
+	if p.workers > 1 {
+		return backwardPassParallel(p.g, p.bank, p.reach, delays, p.ctx, outputs, p.workers)
+	}
 	return backwardPass(p.g, p.bank, p.reach, delays, p.ctx, outputs)
 }
 
@@ -234,32 +438,31 @@ func (p *Pass) RequiredOver(delays *canon.Bank, outputs ...int) error {
 // vertices — the negated required time of the paper's eq. 15 when the
 // required time at the outputs is zero.
 func (p *Pass) Required(outputs ...int) error {
+	if p.workers > 1 {
+		delays := p.delaySource()
+		if delays == nil {
+			delays = p.g.EdgeDelays()
+		}
+		return backwardPassParallel(p.g, p.bank, p.reach, delays, p.ctx, outputs, p.workers)
+	}
 	return backwardPass(p.g, p.bank, p.reach, p.delaySource(), p.ctx, outputs)
 }
 
-// backwardPass is the backward propagation kernel shared by pooled passes
-// and the persistent incremental state (see forwardPass).
+// backwardPass is the serial backward propagation kernel shared by pooled
+// passes and the persistent incremental state (see forwardPass). The
+// backward kernel is already a per-vertex gather over Out[v], so the
+// wavefront batching changes only the visit grouping, never the
+// contribution order.
 func backwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, ctx context.Context, outputs []int) error {
-	order, err := g.Order()
+	lv, err := g.Levels()
 	if err != nil {
 		return err
 	}
-	for i := range reach {
-		reach[i] = false
-	}
-	for _, o := range outputs {
-		if o < 0 || o >= g.NumVerts {
-			return fmt.Errorf("timing: output vertex %d out of range", o)
-		}
-		bank.View(o).SetConst(0)
-		reach[o] = true
+	if err := seedSources(g, bank, reach, outputs, "output"); err != nil {
+		return err
 	}
 	scratch := bank.View(g.NumVerts)
-	for i := len(order) - 1; i >= 0; i-- {
-		if err := stepCtx(ctx, len(order)-1-i); err != nil {
-			return err
-		}
-		v := order[i]
+	gatherOut := func(v int) {
 		vv := bank.View(v)
 		for _, ei := range g.Out[v] {
 			to := g.Edges[ei].To
@@ -277,6 +480,97 @@ func backwardPass(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, 
 			} else {
 				canon.MaxViews(vv, vv, scratch)
 			}
+		}
+	}
+	if lv.Monotone {
+		step := 0
+		for k := lv.MaxLevel; k >= 0; k-- {
+			wave := lv.Wave[lv.Starts[k]:lv.Starts[k+1]]
+			for i := len(wave) - 1; i >= 0; i-- {
+				if err := stepCtx(ctx, step); err != nil {
+					return err
+				}
+				step++
+				gatherOut(int(wave[i]))
+			}
+		}
+		return nil
+	}
+	order, err := g.Order()
+	if err != nil {
+		return err
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		if err := stepCtx(ctx, len(order)-1-i); err != nil {
+			return err
+		}
+		gatherOut(order[i])
+	}
+	return nil
+}
+
+// backwardPassParallel fans each level's backward gathers out over a
+// bounded pool. The backward kernel gathers over Out[v] in adjacency order
+// for both the serial and parallel path, so intra-level scheduling cannot
+// change any result bit.
+func backwardPassParallel(g *Graph, bank *canon.Bank, reach []bool, delays *canon.Bank, ctx context.Context, outputs []int, workers int) error {
+	if ctx == nil {
+		ctx = context.Background() // ParallelForCtx needs a non-nil parent
+	}
+	lv, err := g.Levels()
+	if err != nil {
+		return err
+	}
+	if err := seedSources(g, bank, reach, outputs, "output"); err != nil {
+		return err
+	}
+	stride := g.Space.Stride()
+	slab := takeSlab(workers * stride)
+	defer putSlab(slab)
+	tmps := canon.NewBankOver(g.Space, workers, slab)
+
+	gather := func(v int, tmp canon.View) {
+		vv := bank.View(v)
+		reached := reach[v] // pre-seeded outputs hold the zero constant
+		for _, ei := range g.Out[v] {
+			to := g.Edges[ei].To
+			if !reach[to] {
+				continue
+			}
+			canon.AddViews(tmp, bank.View(to), delays.View(int(ei)))
+			if !reached {
+				canon.CopyView(vv, tmp)
+				reached = true
+			} else {
+				canon.MaxViews(vv, vv, tmp)
+			}
+		}
+		reach[v] = reached
+	}
+
+	for k := lv.MaxLevel - 1; k >= 0; k-- {
+		wave := lv.Wave[lv.Starts[k]:lv.Starts[k+1]]
+		n := len(wave)
+		chunks := workers
+		if n < chunks*parallelLevelMin {
+			if err := stepCtx(ctx, 0); err != nil {
+				return err
+			}
+			tmp := tmps.View(0)
+			for _, vi := range wave {
+				gather(int(vi), tmp)
+			}
+			continue
+		}
+		err := ParallelForCtx(ctx, chunks, chunks, func(_ context.Context, c int) error {
+			tmp := tmps.View(c)
+			for _, vi := range wave[n*c/chunks : n*(c+1)/chunks] {
+				gather(int(vi), tmp)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -394,47 +688,93 @@ func (g *Graph) AllPairsDelays(workers int) (*AllPairs, error) {
 	return ap, nil
 }
 
+// ReachSets holds the graph's IO reachability bitsets in two strided
+// []uint64 slabs — one FromInput row and one ToOutput row per vertex, each
+// a fixed number of words, so building them costs two slab allocations
+// instead of two slices per vertex.
+type ReachSets struct {
+	WIn, WOut int // words per vertex in the respective slab
+	fromInput []uint64
+	toOutput  []uint64
+}
+
+// FromInput returns the bitset of inputs (by position in Graph.Inputs)
+// reaching vertex v. The slice aliases the shared slab — treat as read-only.
+func (r *ReachSets) FromInput(v int) []uint64 {
+	return r.fromInput[v*r.WIn : (v+1)*r.WIn]
+}
+
+// ToOutput returns the bitset of outputs (by position in Graph.Outputs)
+// reachable from vertex v. Read-only, like FromInput.
+func (r *ReachSets) ToOutput(v int) []uint64 {
+	return r.toOutput[v*r.WOut : (v+1)*r.WOut]
+}
+
+// InputReaches reports whether input position i reaches vertex v.
+func (r *ReachSets) InputReaches(i, v int) bool {
+	return r.fromInput[v*r.WIn+i/64]&(1<<uint(i%64)) != 0
+}
+
+// ReachesOutput reports whether vertex v reaches output position j.
+func (r *ReachSets) ReachesOutput(v, j int) bool {
+	return r.toOutput[v*r.WOut+j/64]&(1<<uint(j%64)) != 0
+}
+
 // Reachability returns per-vertex bitsets marking which inputs reach each
-// vertex (forward) — used to prune criticality work.
-func (g *Graph) Reachability() (fromInput [][]uint64, toOutput [][]uint64, err error) {
+// vertex (forward) and which outputs each vertex reaches (backward) — used
+// to prune criticality work. It runs once per extraction; the flattened
+// slab layout keeps it at two bulk allocations.
+func (g *Graph) Reachability() (*ReachSets, error) {
 	order, err := g.Order()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	wIn := (len(g.Inputs) + 63) / 64
-	wOut := (len(g.Outputs) + 63) / 64
-	fromInput = make([][]uint64, g.NumVerts)
-	toOutput = make([][]uint64, g.NumVerts)
-	for v := 0; v < g.NumVerts; v++ {
-		fromInput[v] = make([]uint64, wIn)
-		toOutput[v] = make([]uint64, wOut)
+	r := &ReachSets{
+		WIn:  (len(g.Inputs) + 63) / 64,
+		WOut: (len(g.Outputs) + 63) / 64,
 	}
+	// SetIO accepts the port lists unvalidated; reject bad vertices here
+	// with an error rather than an index panic (the criticality engine
+	// depends on this surfacing promptly — see the pool-hang regression
+	// test in internal/core).
+	for _, in := range g.Inputs {
+		if in < 0 || in >= g.NumVerts {
+			return nil, fmt.Errorf("timing: input vertex %d out of range", in)
+		}
+	}
+	for _, out := range g.Outputs {
+		if out < 0 || out >= g.NumVerts {
+			return nil, fmt.Errorf("timing: output vertex %d out of range", out)
+		}
+	}
+	r.fromInput = make([]uint64, g.NumVerts*r.WIn)
+	r.toOutput = make([]uint64, g.NumVerts*r.WOut)
 	for i, in := range g.Inputs {
-		fromInput[in][i/64] |= 1 << uint(i%64)
+		r.fromInput[in*r.WIn+i/64] |= 1 << uint(i%64)
 	}
 	for _, v := range order {
-		fv := fromInput[v]
+		fv := r.FromInput(v)
 		for _, ei := range g.Out[v] {
-			tv := fromInput[g.Edges[ei].To]
+			tv := r.FromInput(g.Edges[ei].To)
 			for w := range fv {
 				tv[w] |= fv[w]
 			}
 		}
 	}
 	for j, out := range g.Outputs {
-		toOutput[out][j/64] |= 1 << uint(j%64)
+		r.toOutput[out*r.WOut+j/64] |= 1 << uint(j%64)
 	}
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
-		tv := toOutput[v]
+		tv := r.ToOutput(v)
 		for _, ei := range g.In[v] {
-			sv := toOutput[g.Edges[ei].From]
+			sv := r.ToOutput(g.Edges[ei].From)
 			for w := range tv {
 				sv[w] |= tv[w]
 			}
 		}
 	}
-	return fromInput, toOutput, nil
+	return r, nil
 }
 
 // exactInts copies a slice with exact capacity (append-to-nil rounds up).

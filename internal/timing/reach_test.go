@@ -52,47 +52,46 @@ func bit(w []uint64, i int) bool { return w[i/64]&(1<<uint(i%64)) != 0 }
 func TestReachabilityMultiWord(t *testing.T) {
 	const n = 70 // 71 inputs, 70 outputs: two uint64 words each
 	g := wideGraph(t, n)
-	fromIn, toOut, err := g.Reachability()
+	rs, err := g.Reachability()
 	if err != nil {
 		t.Fatal(err)
 	}
-	wIn, wOut := (len(g.Inputs)+63)/64, (len(g.Outputs)+63)/64
-	if wIn != 2 || wOut != 2 {
-		t.Fatalf("want 2-word bitsets, got %d/%d", wIn, wOut)
+	if rs.WIn != 2 || rs.WOut != 2 {
+		t.Fatalf("want 2-word bitsets, got %d/%d", rs.WIn, rs.WOut)
 	}
 	hubIdx := n // index of "hub" in g.Inputs
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			// Lane input i reaches exactly lane i's mid and output.
 			wantFwd := i == j
-			if got := bit(fromIn[n+j], i); got != wantFwd {
+			if got := bit(rs.FromInput(n+j), i); got != wantFwd {
 				t.Fatalf("fromInput[mid %d] bit %d = %v, want %v", j, i, got, wantFwd)
 			}
-			if got := bit(fromIn[2*n+j], i); got != wantFwd {
+			if got := bit(rs.FromInput(2*n+j), i); got != wantFwd {
 				t.Fatalf("fromInput[out %d] bit %d = %v, want %v", j, i, got, wantFwd)
 			}
 			// Output j is reached from vertex-side: mid/out of lane j only.
-			if got := bit(toOut[n+i], j); got != wantFwd {
+			if got := bit(rs.ToOutput(n+i), j); got != wantFwd {
 				t.Fatalf("toOutput[mid %d] bit %d = %v, want %v", i, j, got, wantFwd)
 			}
 		}
 		// The hub (input index n, in the second word) reaches every lane.
-		if !bit(fromIn[n+i], hubIdx) || !bit(fromIn[2*n+i], hubIdx) {
+		if !bit(rs.FromInput(n+i), hubIdx) || !bit(rs.FromInput(2*n+i), hubIdx) {
 			t.Fatalf("hub bit missing on lane %d", i)
 		}
 		// Every lane input sees exactly its own output (both words checked).
-		if !bit(toOut[i], i) {
+		if !bit(rs.ToOutput(i), i) {
 			t.Fatalf("toOutput[in %d] missing own bit", i)
 		}
 		for j := 0; j < n; j++ {
-			if j != i && bit(toOut[i], j) {
+			if j != i && bit(rs.ToOutput(i), j) {
 				t.Fatalf("toOutput[in %d] has spurious bit %d", i, j)
 			}
 		}
 	}
 	// The hub reaches all outputs, including those with index >= 64.
 	for j := 0; j < n; j++ {
-		if !bit(toOut[3*n], j) {
+		if !bit(rs.ToOutput(3*n), j) {
 			t.Fatalf("toOutput[hub] missing bit %d", j)
 		}
 	}

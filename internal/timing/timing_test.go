@@ -322,24 +322,24 @@ func TestAllPairsMatchesExclusivePasses(t *testing.T) {
 
 func TestReachability(t *testing.T) {
 	g := buildC17(t)
-	fromIn, toOut, err := g.Reachability()
+	rs, err := g.Reachability()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Input 0 ("1") reaches output 22 (index 0) but not 23 (index 1).
 	out22 := g.Outputs[0]
 	out23 := g.Outputs[1]
-	if fromIn[out22][0]&1 == 0 {
+	if !rs.InputReaches(0, out22) {
 		t.Fatal("input 0 should reach output 22")
 	}
-	if fromIn[out23][0]&1 != 0 {
+	if rs.InputReaches(0, out23) {
 		t.Fatal("input 0 should not reach output 23")
 	}
 	in0 := g.Inputs[0]
-	if toOut[in0][0]&1 == 0 {
+	if !rs.ReachesOutput(in0, 0) {
 		t.Fatal("output 22 should be reachable from input 0")
 	}
-	if toOut[in0][0]&2 != 0 {
+	if rs.ReachesOutput(in0, 1) {
 		t.Fatal("output 23 should not be reachable from input 0")
 	}
 }

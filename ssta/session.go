@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/hier"
 	"repro/internal/scenario"
 	"repro/internal/timing"
@@ -96,8 +97,15 @@ type EditReport struct {
 	FullReprop bool
 	// Sweep is the re-evaluated active MCMM sweep, when one is installed
 	// (see Session.SetSweep); nil otherwise.
-	Sweep   *SweepReport
-	Elapsed time.Duration
+	Sweep *SweepReport
+	// Criticality is the refreshed all-pairs edge-criticality snapshot when
+	// criticality tracking is enabled (see Session.EnableCriticality); nil
+	// otherwise.
+	Criticality *CriticalityResult
+	// CritStats reports what the criticality refresh recomputed (zero when
+	// tracking is off).
+	CritStats CriticalityRefreshStats
+	Elapsed   time.Duration
 }
 
 // ReanalysisError marks a failure of the post-edit re-analysis itself —
@@ -124,6 +132,13 @@ type Session struct {
 	hs    *hier.Session
 	delay *Form
 	sweep *sessionSweep
+
+	// Criticality tracking (see EnableCriticality). crit is nil while
+	// tracking is off, and also after a failed refresh — critOn then forces
+	// a from-scratch rebuild at the next refresh.
+	crit    *core.IncrementalCriticality
+	critOpt CriticalityOptions
+	critOn  bool
 }
 
 // sessionSweep is the per-session MCMM sweep state: one transformed clone
@@ -411,7 +426,77 @@ func (s *Session) refresh(ctx context.Context, restitched bool) (*EditReport, er
 		}
 		rep.Sweep = s.sweep.report
 	}
+	// Criticality tracking rides behind the incremental update: the seed
+	// journal now covers every edit of this batch. A replaced graph (or a
+	// previously failed refresh) rebuilds the tracker from scratch against
+	// the fresh incremental state; otherwise only the affected input rows
+	// are re-derived. A failure degrades the same way the sweep does: the
+	// session stays usable, the tracker rebuilds on the next refresh.
+	if s.critOn {
+		if graphChanged || s.crit == nil {
+			s.crit = nil
+			ic, err := core.NewIncrementalCriticality(ctx, s.inc, s.critOpt)
+			if err != nil {
+				return rep, err
+			}
+			s.crit = ic
+			rep.Criticality = ic.Result()
+			rep.CritStats = CriticalityRefreshStats{
+				Inputs: len(s.graph.Inputs), Outputs: len(s.graph.Outputs), Full: true,
+			}
+		} else {
+			res, cst, err := s.crit.Refresh(ctx)
+			if err != nil {
+				s.crit = nil
+				return rep, err
+			}
+			rep.Criticality = res
+			rep.CritStats = cst
+		}
+	}
 	return rep, nil
+}
+
+// EnableCriticality turns on per-edit criticality tracking: one full
+// all-pairs criticality run now, then every Apply refreshes only the input
+// rows its edits can affect and reports the snapshot in
+// EditReport.Criticality. Hierarchical sessions are supported, but a module
+// swap replaces the top graph wholesale and falls back to a full recompute.
+// The initial result is returned.
+func (s *Session) EnableCriticality(ctx context.Context, opt CriticalityOptions) (*CriticalityResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hs != nil && s.hs.Stale() {
+		return nil, errors.New("ssta: session graph is stale after an interrupted swap; apply an edit batch to recover first")
+	}
+	if s.inc == nil || s.inc.Graph() != s.graph {
+		return nil, errors.New("ssta: session has no consistent incremental state; apply an edit batch to recover first")
+	}
+	ic, err := core.NewIncrementalCriticality(ctx, s.inc, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.crit, s.critOpt, s.critOn = ic, opt, true
+	return ic.Result(), nil
+}
+
+// DisableCriticality drops criticality tracking and its retained rows.
+func (s *Session) DisableCriticality() {
+	s.mu.Lock()
+	s.crit, s.critOn = nil, false
+	s.mu.Unlock()
+}
+
+// Criticality returns the tracked criticality snapshot as of the last edit
+// batch (or EnableCriticality), or nil when tracking is off or the last
+// refresh failed.
+func (s *Session) Criticality() *CriticalityResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crit == nil {
+		return nil
+	}
+	return s.crit.Result()
 }
 
 // mirrorEdit replays one successfully applied session edit into every

@@ -53,6 +53,13 @@ type (
 	ExtractCache = core.ExtractCache
 	// CacheMetrics is a snapshot of the extraction-cache counters.
 	CacheMetrics = core.CacheMetrics
+	// CriticalityResult is the all-pairs edge-criticality snapshot.
+	CriticalityResult = core.CriticalityResult
+	// CriticalityOptions tunes the criticality engine (workers, screen).
+	CriticalityOptions = core.CriticalityOptions
+	// CriticalityRefreshStats reports what an incremental criticality
+	// refresh recomputed.
+	CriticalityRefreshStats = core.CriticalityRefreshStats
 	// Mode selects the hierarchical correlation treatment.
 	Mode = hier.Mode
 	// AnalyzeOptions tunes the hierarchical engine (workers, caching).
@@ -111,6 +118,11 @@ var (
 	AllPairsMCStats = mc.AllPairsStats
 	// EdgeCriticalities runs the all-pairs criticality engine.
 	EdgeCriticalities = core.EdgeCriticalities
+	// EdgeCriticalitiesCtx is EdgeCriticalities with cancellation.
+	EdgeCriticalitiesCtx = core.EdgeCriticalitiesCtx
+	// EdgeCriticalitiesOpt exposes the criticality screen (see
+	// CriticalityOptions).
+	EdgeCriticalitiesOpt = core.EdgeCriticalitiesOpt
 	// ReadModelJSON loads a serialized timing model.
 	ReadModelJSON = core.ReadJSON
 	// NewExtractCache returns an empty thread-safe extraction cache with
@@ -184,12 +196,7 @@ func (f *Flow) ExtractCtx(ctx context.Context, g *Graph, opt ExtractOptions) (*M
 	if f.Cache != nil {
 		return f.Cache.ExtractCtx(ctx, g, opt)
 	}
-	// The uncached pipeline is not interruptible; at least refuse to start
-	// under a dead context so both paths agree at the entry point.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return core.Extract(g, opt)
+	return core.ExtractCtx(ctx, g, opt)
 }
 
 // BenchGraph generates the named ISCAS85-like benchmark and its timing

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/ssta"
 )
 
@@ -61,6 +62,9 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "maximum live timing sessions")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle timing sessions are evicted after this")
 	scenarios := flag.String("scenarios", "", "default MCMM scenario set for /v1/sweep requests that name none: JSON array (inline or @file)")
+	storeDir := flag.String("store-dir", "", "durable-state directory: sessions and extracted models are checkpointed here and restored at boot (empty: in-memory only)")
+	storeFlush := flag.Duration("store-flush-interval", time.Second, "write-behind checkpoint flush interval")
+	storeSync := flag.Bool("store-sync", false, "fsync durable-state writes (slower, survives power loss)")
 	flag.Parse()
 
 	// Decode and validate the default scenario set at startup so a bad
@@ -87,21 +91,33 @@ func main() {
 		}
 	}
 
+	var backend store.Backend
+	if *storeDir != "" {
+		fs, err := store.NewFS(*storeDir, *storeSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sstad: -store-dir: %v\n", err)
+			os.Exit(2)
+		}
+		backend = fs
+	}
+
 	flow := ssta.DefaultFlow()
 	flow.Cache = ssta.NewExtractCacheSized(*cacheEntries, *cacheCost)
 	srv := server.New(server.Config{
-		Flow:              flow,
-		MaxConcurrent:     *concurrency,
-		Workers:           *workers,
-		QueueDepth:        *queueDepth,
-		JobWorkers:        *jobWorkers,
-		DefaultTimeout:    *timeout,
-		MaxTimeout:        *maxTimeout,
-		MaxItems:          *maxItems,
-		GraphCacheEntries: *graphEntries,
-		MaxSessions:       *maxSessions,
-		SessionTTL:        *sessionTTL,
-		DefaultScenarios:  defaultScens,
+		Flow:               flow,
+		MaxConcurrent:      *concurrency,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		JobWorkers:         *jobWorkers,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxItems:           *maxItems,
+		GraphCacheEntries:  *graphEntries,
+		MaxSessions:        *maxSessions,
+		SessionTTL:         *sessionTTL,
+		DefaultScenarios:   defaultScens,
+		Store:              backend,
+		StoreFlushInterval: *storeFlush,
 	})
 
 	hs := &http.Server{

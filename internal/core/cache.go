@@ -244,3 +244,27 @@ func (c *ExtractCache) Len() int {
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
+
+// Seed installs an already extracted model under (g, opt) without running
+// the pipeline — the warm-start path: a restored snapshot re-enters the
+// cache so the first post-restart request hits instead of re-extracting.
+// An existing entry (completed or in flight) wins and Seed reports false;
+// the model must be treated as immutable from here on.
+func (c *ExtractCache) Seed(g *timing.Graph, opt Options, m *Model) bool {
+	if c == nil || m == nil {
+		return false
+	}
+	key := newExtractKey(g, opt)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &extractEntry{key: key, done: make(chan struct{}), model: m, cost: modelCost(m)}
+	close(e.done)
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	c.cost += e.cost
+	c.evictLocked()
+	return true
+}

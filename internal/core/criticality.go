@@ -13,6 +13,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -200,6 +201,13 @@ type critEngine struct {
 // reachability (nil: computed here); needOut selects the outputs to prepare
 // backward state for (nil: all).
 func newCritEngine(ctx context.Context, g *timing.Graph, opt CriticalityOptions, rs *timing.ReachSets, needOut []bool) (*critEngine, error) {
+	// ScreenDelta is a criticality probability: a threshold >= 1 has no
+	// z-space crossover and the ulp bracketing below would never
+	// terminate. Reject it — options may arrive from untrusted input
+	// (a restored session checkpoint, an API request).
+	if opt.ScreenDelta >= 1 || math.IsNaN(opt.ScreenDelta) {
+		return nil, fmt.Errorf("core: criticality screen delta %g outside [0, 1)", opt.ScreenDelta)
+	}
 	lv, err := g.Levels()
 	if err != nil {
 		return nil, err

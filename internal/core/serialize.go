@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"repro/internal/canon"
+	"repro/internal/store"
 	"repro/internal/timing"
 	"repro/internal/variation"
 )
@@ -206,4 +208,34 @@ func ReadJSON(r io.Reader) (*Model, error) {
 		}
 	}
 	return m, nil
+}
+
+// ModelSnapshotKind and ModelSnapshotVersion identify a sealed model
+// snapshot in the durable store (see internal/store's envelope). The
+// payload is exactly the WriteJSON wire form, which carries its own
+// format_version for the decoder.
+const (
+	ModelSnapshotKind    = "sstad-model"
+	ModelSnapshotVersion = modelFormatVersion
+)
+
+// EncodeSnapshot serializes the model and seals it in a store envelope, the
+// write side of the serving layer's extract-cache warm start.
+func (m *Model) EncodeSnapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return store.Seal(ModelSnapshotKind, ModelSnapshotVersion, buf.Bytes()), nil
+}
+
+// DecodeModelSnapshot opens and decodes a sealed model snapshot. Envelope
+// failures surface as store.ErrCorrupt / store.ErrVersion so callers can
+// quarantine instead of aborting a warm start.
+func DecodeModelSnapshot(data []byte) (*Model, error) {
+	payload, err := store.OpenKind(data, ModelSnapshotKind, ModelSnapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	return ReadJSON(bytes.NewReader(payload))
 }

@@ -79,3 +79,23 @@ func ParseFlag(v string) ([]Scenario, error) {
 	}
 	return ParseJSON(data)
 }
+
+// SpecOf converts a scenario back into its wire form — the serialization
+// side of session-sweep checkpointing. Scenarios carrying module swaps are
+// not expressible as a Spec (swaps need the extraction pipeline) and are
+// rejected; session sweeps never contain them (Normalize(scens, false)).
+func SpecOf(sc Scenario) (Spec, error) {
+	if len(sc.Swaps) > 0 {
+		return Spec{}, fmt.Errorf("scenario: %q carries module swaps, not expressible as a spec", sc.Name)
+	}
+	return Spec{
+		Name:       sc.Name,
+		Derate:     sc.Derate,
+		CellScale:  sc.CellScale,
+		NetScale:   sc.NetScale,
+		EdgeScales: sc.EdgeScales,
+		GlobSigma:  sc.GlobSigma,
+		LocSigma:   sc.LocSigma,
+		RandSigma:  sc.RandSigma,
+	}, nil
+}

@@ -188,4 +188,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("sstad_session_reanalysis_seconds_sum %g", reanSum)
 	p("sstad_session_reanalysis_seconds_count %d", reanCount)
 	p("sstad_session_reanalysis_seconds_max %g", reanMax)
+	if ps := s.persist; ps != nil {
+		now := time.Now()
+		p("# HELP sstad_store_ops_total Durable-store backend operations by kind.")
+		for i, name := range storeOpNames {
+			p(`sstad_store_ops_total{op=%q} %d`, name, ps.store.ops[i].Load())
+		}
+		p("# HELP sstad_store_errors_total Failed durable-store operations by kind (a Get miss is not an error).")
+		for i, name := range storeOpNames {
+			p(`sstad_store_errors_total{op=%q} %d`, name, ps.store.errs[i].Load())
+		}
+		p("# HELP sstad_store_flush_lag_seconds Age of the oldest unflushed checkpoint (0 when drained).")
+		p("sstad_store_flush_lag_seconds %g", ps.flushLag(now).Seconds())
+		p("# HELP sstad_store_pending Checkpoints waiting in the write-behind queue.")
+		p("sstad_store_pending %d", ps.pending())
+		p("# HELP sstad_store_quarantined_total Snapshots moved aside as corrupt or version-skewed.")
+		p("sstad_store_quarantined_total %d", ps.quarantined.Load())
+		p("# HELP sstad_store_sessions_restored_total Sessions restored at warm start.")
+		p("sstad_store_sessions_restored_total %d", ps.restored.Load())
+	}
 }

@@ -1,0 +1,624 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+	"repro/ssta"
+)
+
+// This file is the durability layer: a write-behind pipeline from the
+// daemon's hot state (live sessions, extracted models) into a pluggable
+// store.Backend. The request path never writes — it only marks state
+// dirty; a single background flusher snapshots, seals and persists with
+// bounded retries. The contract is strict degradation: a down, slow or
+// full store must never fail or slow a request. Store trouble surfaces
+// only in /metrics and /healthz.
+//
+// Store layout (all keys validated by store.ValidKey):
+//
+//	sessions/<id>.snap            one sealed sessionCheckpoint per session
+//	models/bench-<name>-s<seed>.snap  extracted model of a bench graph
+//	models/mult-<n>.snap              extracted model of a multiplier graph
+//	quarantine/...                corrupt or version-skewed snapshots,
+//	                              moved aside at warm start, never deleted
+//
+// On boot the server warm-starts: models are decoded and seeded into the
+// extraction cache (keyed by the deterministically rebuilt graph), then
+// sessions are restored — each checkpoint is decoded, re-propagated and
+// cross-checked against its recorded mean before it goes live. Anything
+// that fails is quarantined, counted, and skipped; recovery is never
+// fatal.
+
+const (
+	// checkpointKind/Version seal the server-level session checkpoint —
+	// the envelope around sessionCheckpoint, which embeds the library's
+	// own session snapshot payload.
+	checkpointKind    = "sstad-session"
+	checkpointVersion = 1
+
+	sessionKeyPrefix = "sessions/"
+	modelKeyPrefix   = "models/"
+	snapSuffix       = ".snap"
+
+	// degradedAfter is how many consecutive failed flush rounds mark the
+	// store degraded in /healthz.
+	degradedAfter = 3
+)
+
+// sessionCheckpoint is the durable form of one live session: the server
+// bookkeeping plus the full library snapshot (graph, sweep scenarios,
+// criticality enablement).
+type sessionCheckpoint struct {
+	ID        string                `json:"id"`
+	Name      string                `json:"name"`
+	CreatedMS int64                 `json:"created_unix_ms"`
+	Edits     int64                 `json:"edits"`
+	Session   *ssta.SessionSnapshot `json:"session"`
+}
+
+// sessionKey maps a session id onto its store key.
+func sessionKey(id string) string { return sessionKeyPrefix + id + snapSuffix }
+
+// modelKey maps a cacheable graph identity onto a durable store key.
+// Netlist-derived graphs have no reproducible identity and return false.
+func modelKey(k graphKey) (string, bool) {
+	var key string
+	switch {
+	case k.mult > 0:
+		key = fmt.Sprintf("%smult-%d%s", modelKeyPrefix, k.mult, snapSuffix)
+	case k.bench != "":
+		// Bench names are flat identifiers; anything with separators or
+		// dots would produce a non-canonical key.
+		if strings.ContainsAny(k.bench, "/.") {
+			return "", false
+		}
+		key = fmt.Sprintf("%sbench-%s-s%d%s", modelKeyPrefix, k.bench, k.seed, snapSuffix)
+	default:
+		return "", false
+	}
+	if store.ValidKey(key) != nil {
+		return "", false
+	}
+	return key, true
+}
+
+// parseModelKey inverts modelKey.
+func parseModelKey(key string) (graphKey, bool) {
+	name, ok := strings.CutPrefix(key, modelKeyPrefix)
+	if !ok {
+		return graphKey{}, false
+	}
+	name, ok = strings.CutSuffix(name, snapSuffix)
+	if !ok {
+		return graphKey{}, false
+	}
+	if rest, ok := strings.CutPrefix(name, "mult-"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			return graphKey{}, false
+		}
+		return graphKey{mult: n}, true
+	}
+	rest, ok := strings.CutPrefix(name, "bench-")
+	if !ok {
+		return graphKey{}, false
+	}
+	i := strings.LastIndex(rest, "-s")
+	if i <= 0 {
+		return graphKey{}, false
+	}
+	seed, err := strconv.ParseInt(rest[i+2:], 10, 64)
+	if err != nil {
+		return graphKey{}, false
+	}
+	return graphKey{bench: rest[:i], seed: seed}, true
+}
+
+// measuredBackend wraps a Backend with per-op counters for /metrics.
+// A Get miss (ErrNotFound) is an answer, not a failure.
+type measuredBackend struct {
+	inner store.Backend
+	ops   [5]atomic.Int64 // indexed by storeOpIndex
+	errs  [5]atomic.Int64
+}
+
+const (
+	opIdxPut = iota
+	opIdxGet
+	opIdxDelete
+	opIdxList
+	opIdxQuarantine
+)
+
+var storeOpNames = [5]string{"put", "get", "delete", "list", "quarantine"}
+
+func (m *measuredBackend) record(idx int, err error) {
+	m.ops[idx].Add(1)
+	if err != nil && !errors.Is(err, store.ErrNotFound) {
+		m.errs[idx].Add(1)
+	}
+}
+
+func (m *measuredBackend) Kind() string { return m.inner.Kind() }
+
+func (m *measuredBackend) Put(ctx context.Context, key string, data []byte) error {
+	err := m.inner.Put(ctx, key, data)
+	m.record(opIdxPut, err)
+	return err
+}
+
+func (m *measuredBackend) Get(ctx context.Context, key string) ([]byte, error) {
+	data, err := m.inner.Get(ctx, key)
+	m.record(opIdxGet, err)
+	return data, err
+}
+
+func (m *measuredBackend) Delete(ctx context.Context, key string) error {
+	err := m.inner.Delete(ctx, key)
+	m.record(opIdxDelete, err)
+	return err
+}
+
+func (m *measuredBackend) List(ctx context.Context, prefix string) ([]string, error) {
+	keys, err := m.inner.List(ctx, prefix)
+	m.record(opIdxList, err)
+	return keys, err
+}
+
+func (m *measuredBackend) Quarantine(ctx context.Context, key string) error {
+	err := m.inner.Quarantine(ctx, key)
+	m.record(opIdxQuarantine, err)
+	return err
+}
+
+// persister owns everything durable: the pending write-behind queues, the
+// flush bookkeeping, and the warm-start state.
+type persister struct {
+	srv   *Server
+	store *measuredBackend
+	every time.Duration
+
+	mu         sync.Mutex
+	dirty      map[string]struct{}    // session ids with unflushed edits
+	dead       map[string]struct{}    // session ids whose checkpoint must go
+	models     map[string]*ssta.Model // durable key -> model awaiting write
+	oldestMark time.Time              // when the oldest pending entry was enqueued
+	lastFlush  time.Time              // last fully successful flush round
+	lastErr    error
+	consecFail int
+
+	recovering  atomic.Bool
+	quarantined atomic.Int64
+	restored    atomic.Int64 // sessions brought back at warm start
+}
+
+func newPersister(s *Server, backend store.Backend, every time.Duration) *persister {
+	return &persister{
+		srv:       s,
+		store:     &measuredBackend{inner: backend},
+		every:     every,
+		dirty:     make(map[string]struct{}),
+		dead:      make(map[string]struct{}),
+		models:    make(map[string]*ssta.Model),
+		lastFlush: time.Now(),
+	}
+}
+
+// markEnqueuedLocked stamps the flush-lag clock when the queue transitions
+// from empty to non-empty. Callers hold p.mu.
+func (p *persister) markEnqueuedLocked() {
+	if p.oldestMark.IsZero() {
+		p.oldestMark = time.Now()
+	}
+}
+
+func (p *persister) markDirty(id string) {
+	p.mu.Lock()
+	delete(p.dead, id)
+	p.dirty[id] = struct{}{}
+	p.markEnqueuedLocked()
+	p.mu.Unlock()
+}
+
+func (p *persister) markDead(id string) {
+	p.mu.Lock()
+	delete(p.dirty, id)
+	p.dead[id] = struct{}{}
+	p.markEnqueuedLocked()
+	p.mu.Unlock()
+}
+
+func (p *persister) addModel(gk graphKey, m *ssta.Model) {
+	key, ok := modelKey(gk)
+	if !ok || m == nil {
+		return
+	}
+	p.mu.Lock()
+	if _, seen := p.models[key]; !seen {
+		p.models[key] = m
+		p.markEnqueuedLocked()
+	}
+	p.mu.Unlock()
+}
+
+// pending reports the queue depth (metrics).
+func (p *persister) pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.dirty) + len(p.dead) + len(p.models)
+}
+
+// flushLag is how long the oldest pending entry has waited (zero when
+// drained) — the gauge that makes a silently failing store visible.
+func (p *persister) flushLag(now time.Time) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.oldestMark.IsZero() {
+		return 0
+	}
+	return now.Sub(p.oldestMark)
+}
+
+// status snapshots the health fields for /healthz.
+func (p *persister) status() (kind string, lastFlushAge time.Duration, lastErr error, degraded bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store.Kind(), time.Since(p.lastFlush), p.lastErr, p.consecFail >= degradedAfter
+}
+
+// retryPolicy bounds per-entry store attempts inside one flush round. The
+// round itself re-runs on the flush ticker, so failed entries are simply
+// re-queued rather than retried forever here.
+func (p *persister) retryPolicy() store.Backoff {
+	b := store.DefaultBackoff()
+	b.Base = 10 * time.Millisecond
+	b.Cap = p.every
+	b.MaxAttempts = 3
+	return b
+}
+
+// runStoreFlusher drains the write-behind queues on the flush interval
+// until shutdown. One goroutine: writes are naturally bounded, and every
+// round coalesces all edits since the last — a busy session costs one
+// checkpoint write per interval, not one per edit batch. The interval is
+// therefore also the crash-loss window (Close flushes the remainder).
+func (s *Server) runStoreFlusher(base context.Context) {
+	defer s.wg.Done()
+	p := s.persist
+	tick := time.NewTicker(p.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-base.Done():
+			return
+		case <-tick.C:
+		}
+		p.flush(base)
+	}
+}
+
+// flush drains a snapshot of the pending queues. Entries that fail are
+// re-queued so the next round retries them; a fully clean round resets
+// the degradation counters.
+func (p *persister) flush(ctx context.Context) {
+	p.mu.Lock()
+	dirty, dead, models := p.dirty, p.dead, p.models
+	prevMark := p.oldestMark
+	p.dirty = make(map[string]struct{})
+	p.dead = make(map[string]struct{})
+	p.models = make(map[string]*ssta.Model)
+	p.oldestMark = time.Time{}
+	p.mu.Unlock()
+
+	// Entries that fail below re-enqueue with the pre-flush timestamp so
+	// the flush-lag gauge keeps growing while the store stays down.
+	requeueMark := func() {
+		if !prevMark.IsZero() && (p.oldestMark.IsZero() || prevMark.Before(p.oldestMark)) {
+			p.oldestMark = prevMark
+		} else {
+			p.markEnqueuedLocked()
+		}
+	}
+	if len(dirty) == 0 && len(dead) == 0 && len(models) == 0 {
+		return
+	}
+
+	bo := p.retryPolicy()
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	for id := range dead {
+		key := sessionKey(id)
+		err := bo.Retry(ctx, func() error { return p.store.Delete(ctx, key) })
+		if err != nil && ctx.Err() == nil {
+			fail(fmt.Errorf("delete %s: %w", key, err))
+			p.mu.Lock()
+			p.dead[id] = struct{}{}
+			requeueMark()
+			p.mu.Unlock()
+		}
+	}
+
+	for id := range dirty {
+		reg, ok := p.srv.sessions.get(id)
+		if !ok {
+			continue // evicted or deleted since the mark; its dead entry wins
+		}
+		data, err := encodeCheckpoint(reg)
+		if err != nil {
+			// A snapshot that cannot encode will not encode next round
+			// either; surface it and drop the mark instead of spinning.
+			fail(fmt.Errorf("snapshot %s: %w", id, err))
+			continue
+		}
+		key := sessionKey(id)
+		err = bo.Retry(ctx, func() error { return p.store.Put(ctx, key, data) })
+		if err != nil && ctx.Err() == nil {
+			fail(fmt.Errorf("put %s: %w", key, err))
+			p.mu.Lock()
+			if _, gone := p.dead[id]; !gone {
+				p.dirty[id] = struct{}{}
+				requeueMark()
+			}
+			p.mu.Unlock()
+		}
+	}
+
+	for key, m := range models {
+		data, err := m.EncodeSnapshot()
+		if err != nil {
+			fail(fmt.Errorf("encode %s: %w", key, err))
+			continue
+		}
+		err = bo.Retry(ctx, func() error { return p.store.Put(ctx, key, data) })
+		if err != nil && ctx.Err() == nil {
+			fail(fmt.Errorf("put %s: %w", key, err))
+			p.mu.Lock()
+			if _, seen := p.models[key]; !seen {
+				p.models[key] = m
+				requeueMark()
+			}
+			p.mu.Unlock()
+		}
+	}
+
+	p.mu.Lock()
+	if firstErr != nil {
+		p.lastErr = firstErr
+		p.consecFail++
+	} else {
+		p.lastFlush = time.Now()
+		p.lastErr = nil
+		p.consecFail = 0
+	}
+	p.mu.Unlock()
+}
+
+// encodeCheckpoint seals one live session into its durable bytes. The
+// session snapshot is taken here, on the flusher — the request path only
+// marked the id dirty.
+func encodeCheckpoint(reg *srvSession) ([]byte, error) {
+	reg.mu.Lock()
+	edits := reg.edits
+	reg.mu.Unlock()
+	cp := sessionCheckpoint{
+		ID:        reg.id,
+		Name:      reg.name,
+		CreatedMS: reg.created.UnixMilli(),
+		Edits:     edits,
+		Session:   reg.sess.Snapshot(),
+	}
+	payload, err := json.Marshal(&cp)
+	if err != nil {
+		return nil, err
+	}
+	return store.Seal(checkpointKind, checkpointVersion, payload), nil
+}
+
+// decodeCheckpoint is the inverse of encodeCheckpoint. Corruption and
+// version skew surface as store.ErrCorrupt / store.ErrVersion.
+func decodeCheckpoint(data []byte) (*sessionCheckpoint, error) {
+	payload, err := store.OpenKind(data, checkpointKind, checkpointVersion)
+	if err != nil {
+		return nil, err
+	}
+	var cp sessionCheckpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("%w: checkpoint payload: %v", store.ErrCorrupt, err)
+	}
+	if cp.ID == "" || cp.Session == nil {
+		return nil, fmt.Errorf("%w: checkpoint missing id or session", store.ErrCorrupt)
+	}
+	return &cp, nil
+}
+
+// bumpSessionSeq scans existing checkpoints at boot and advances the
+// session id counter past them, so sessions created before the async warm
+// start finishes cannot collide with ids about to be restored. Runs
+// synchronously in New; a failing store degrades to an empty scan.
+func (p *persister) bumpSessionSeq(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	keys, err := p.store.List(ctx, sessionKeyPrefix)
+	if err != nil {
+		return
+	}
+	var max int64
+	for _, key := range keys {
+		id, ok := sessionIDFromKey(key)
+		if !ok {
+			continue
+		}
+		if n, ok := strings.CutPrefix(id, "sess-"); ok {
+			if v, err := strconv.ParseInt(n, 10, 64); err == nil && v > max {
+				max = v
+			}
+		}
+	}
+	p.srv.sessions.bumpSeq(max)
+}
+
+func sessionIDFromKey(key string) (string, bool) {
+	id, ok := strings.CutPrefix(key, sessionKeyPrefix)
+	if !ok {
+		return "", false
+	}
+	return strings.CutSuffix(id, snapSuffix)
+}
+
+// runWarmStart restores durable state in the background: extracted models
+// first (cheap, makes restored sessions and early requests hit the cache),
+// then sessions. Every failure quarantines and continues — a damaged
+// store degrades the warm start, never the boot.
+func (s *Server) runWarmStart(base context.Context) {
+	defer s.wg.Done()
+	p := s.persist
+	defer p.recovering.Store(false) // raised synchronously in New
+	p.warmStartModels(base)
+	p.warmStartSessions(base)
+}
+
+// quarantine moves a bad snapshot aside (keeping the bytes for forensics)
+// and counts it.
+func (p *persister) quarantine(ctx context.Context, key string, cause error) {
+	p.quarantined.Add(1)
+	if err := p.store.Quarantine(ctx, key); err != nil && !errors.Is(err, store.ErrNotFound) {
+		log.Printf("sstad: store: quarantine %s: %v (cause: %v)", key, err, cause)
+		return
+	}
+	log.Printf("sstad: store: quarantined %s: %v", key, cause)
+}
+
+func (p *persister) warmStartModels(ctx context.Context) {
+	keys, err := p.store.List(ctx, modelKeyPrefix)
+	if err != nil {
+		log.Printf("sstad: store: warm start: list models: %v", err)
+		return
+	}
+	seeded := 0
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			return
+		}
+		gk, ok := parseModelKey(key)
+		if !ok {
+			p.quarantine(ctx, key, errors.New("unrecognized model key"))
+			continue
+		}
+		data, err := p.store.Get(ctx, key)
+		if err != nil {
+			continue
+		}
+		m, err := ssta.DecodeModelSnapshot(data)
+		if err != nil {
+			p.quarantine(ctx, key, err)
+			continue
+		}
+		// The extraction cache is keyed by graph identity; rebuild the
+		// graph deterministically (bench/seed or mult fully determine it)
+		// and seed the cache entry the next extraction would recompute.
+		g, _, err := p.srv.graphs.get(ctx, p.srv.flow, gk)
+		if err != nil {
+			log.Printf("sstad: store: warm start: rebuild graph for %s: %v", key, err)
+			continue
+		}
+		if p.srv.flow.Cache.Seed(g, ssta.ExtractOptions{}, m) {
+			seeded++
+		}
+	}
+	if seeded > 0 {
+		log.Printf("sstad: store: warm start: seeded %d extracted models", seeded)
+	}
+}
+
+func (p *persister) warmStartSessions(ctx context.Context) {
+	keys, err := p.store.List(ctx, sessionKeyPrefix)
+	if err != nil {
+		log.Printf("sstad: store: warm start: list sessions: %v", err)
+		return
+	}
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			return
+		}
+		// A delete that raced the warm start wins: skip ids already marked
+		// dead so a removed session cannot resurrect.
+		if id, ok := sessionIDFromKey(key); ok {
+			p.mu.Lock()
+			_, gone := p.dead[id]
+			p.mu.Unlock()
+			if gone {
+				continue
+			}
+		}
+		data, err := p.store.Get(ctx, key)
+		if err != nil {
+			continue
+		}
+		cp, err := decodeCheckpoint(data)
+		if err != nil {
+			p.quarantine(ctx, key, err)
+			continue
+		}
+		sess, err := p.srv.flow.RestoreSession(ctx, cp.Session)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			p.quarantine(ctx, key, err)
+			continue
+		}
+		created := time.UnixMilli(cp.CreatedMS)
+		if !p.srv.sessions.restore(cp.ID, cp.Name, created, cp.Edits, sess) {
+			continue // id taken or table full; leave the checkpoint be
+		}
+		p.restored.Add(1)
+	}
+	if n := p.restored.Load(); n > 0 {
+		log.Printf("sstad: store: warm start: restored %d sessions", n)
+	}
+}
+
+// finalFlush is the shutdown drain: one synchronous flush with its own
+// deadline after the flusher goroutine has exited.
+func (p *persister) finalFlush() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Every live session that has seen any edit since its last flush is in
+	// dirty already; flush what is pending.
+	p.flush(ctx)
+}
+
+// --- nil-safe server hooks (no-ops without a configured store) ---
+
+func (s *Server) checkpointSession(id string) {
+	if s.persist != nil {
+		s.persist.markDirty(id)
+	}
+}
+
+func (s *Server) dropCheckpoint(id string) {
+	if s.persist != nil {
+		s.persist.markDead(id)
+	}
+}
+
+func (s *Server) checkpointModel(gk graphKey, m *ssta.Model) {
+	if s.persist != nil {
+		s.persist.addModel(gk, m)
+	}
+}

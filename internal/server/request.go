@@ -357,6 +357,7 @@ func (s *Server) quadDesign(ctx context.Context, q *QuadSpec) (*ssta.Design, err
 	if err != nil {
 		return nil, fmt.Errorf("quad: extract %s: %w", q.Bench, err)
 	}
+	s.checkpointModel(key.graphKey, model)
 	mod, err := ssta.NewModule(q.Bench, model, plan)
 	if err != nil {
 		return nil, err

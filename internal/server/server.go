@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/store"
 	"repro/ssta"
 )
 
@@ -76,6 +77,13 @@ type Config struct {
 	// that name none (sstad -scenarios). Optional; requests that carry
 	// their own scenarios never consult it.
 	DefaultScenarios []SweepScenarioSpec
+	// Store enables durable state: sessions and extracted models are
+	// checkpointed write-behind and restored at boot (sstad -store-dir).
+	// Nil serves purely in memory. The store is advisory by contract: a
+	// failing backend degrades durability, never requests.
+	Store store.Backend
+	// StoreFlushInterval paces the write-behind flusher (<=0: 1s).
+	StoreFlushInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 15 * time.Minute
 	}
+	if c.StoreFlushInterval <= 0 {
+		c.StoreFlushInterval = time.Second
+	}
 	return c
 }
 
@@ -133,6 +144,9 @@ type Server struct {
 	quadMu   sync.Mutex
 	quads    map[quadKey]*ssta.Design
 	maxQuads int
+
+	// persist is the durability pipeline; nil without Config.Store.
+	persist *persister
 
 	baseCtx  context.Context
 	baseStop context.CancelFunc
@@ -184,6 +198,18 @@ func New(cfg Config) *Server {
 	}
 	s.wg.Add(1)
 	go s.runSessionJanitor(base)
+	if cfg.Store != nil {
+		s.persist = newPersister(s, cfg.Store, cfg.StoreFlushInterval)
+		// Advance the id counter past every persisted session before the
+		// first create can race the asynchronous warm start.
+		s.persist.bumpSessionSeq(base)
+		// Raised here, synchronously, so /healthz never reports a finished
+		// recovery that has not actually started.
+		s.persist.recovering.Store(true)
+		s.wg.Add(2)
+		go s.runWarmStart(base)
+		go s.runStoreFlusher(base)
+	}
 	return s
 }
 
@@ -191,10 +217,15 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops the job workers and waits for them to drain. In-flight
-// batches observe the cancellation cooperatively.
+// batches observe the cancellation cooperatively. With a store configured,
+// a final synchronous flush then checkpoints whatever the write-behind
+// pipeline still held — the graceful half of crash safety.
 func (s *Server) Close() {
 	s.baseStop()
 	s.wg.Wait()
+	if s.persist != nil {
+		s.persist.finalFlush()
+	}
 }
 
 func (s *Server) activeAnalyses() int { return len(s.sem) }
@@ -297,7 +328,17 @@ func (s *Server) runBatch(ctx context.Context, admissionWait time.Duration, req 
 		},
 	})
 	for b, r := range results {
-		resp.Results[batchIdx[b]] = itemResult(&r)
+		k := batchIdx[b]
+		resp.Results[k] = itemResult(&r)
+		// Extracted models of reproducible graphs (bench/mult) are durable
+		// state: enqueue them for the write-behind store so a restart can
+		// re-seed the extraction cache without paying extraction again.
+		if r.Err == nil && r.Model != nil {
+			spec := &req.Items[k]
+			if spec.Quad == nil && spec.Netlist == "" {
+				s.checkpointModel(graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult}, r.Model)
+			}
+		}
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	return resp, nil
@@ -367,14 +408,35 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	queued, running, _ := s.jobs.counts()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":          "ok",
 		"uptime_seconds":  time.Since(s.metrics.start).Seconds(),
 		"active_analyses": s.activeAnalyses(),
 		"queued_jobs":     queued,
 		"running_jobs":    running,
 		"sessions":        s.sessions.len(),
-	})
+	}
+	if p := s.persist; p != nil {
+		kind, flushAge, lastErr, degraded := p.status()
+		var errs int64
+		for i := range p.store.errs {
+			errs += p.store.errs[i].Load()
+		}
+		st := map[string]any{
+			"backend":                kind,
+			"last_flush_age_seconds": flushAge.Seconds(),
+			"pending":                p.pending(),
+			"errors":                 errs,
+			"quarantined":            p.quarantined.Load(),
+			"degraded":               degraded,
+		}
+		if lastErr != nil {
+			st["last_error"] = lastErr.Error()
+		}
+		body["store"] = st
+		body["recovering"] = p.recovering.Load()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // decodeJSONStrict decodes a request body rejecting unknown fields.

@@ -187,22 +187,51 @@ func (st *sessionStore) full() bool {
 	return len(st.sessions) >= st.max
 }
 
-// evictIdle drops every session idle beyond the TTL and returns how many
-// were evicted.
-func (st *sessionStore) evictIdle(now time.Time) int {
+// evictIdle drops every session idle beyond the TTL and returns the
+// evicted ids (the caller also drops their durable checkpoints).
+func (st *sessionStore) evictIdle(now time.Time) []string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	evicted := 0
+	var evicted []string
 	for id, s := range st.sessions {
 		s.mu.Lock()
 		last := s.lastUsed
 		s.mu.Unlock()
 		if now.Sub(last) > st.ttl {
 			delete(st.sessions, id)
-			evicted++
+			evicted = append(evicted, id)
 		}
 	}
 	return evicted
+}
+
+// bumpSeq advances the id counter to at least n, so ids restored from a
+// previous run cannot collide with freshly created ones.
+func (st *sessionStore) bumpSeq(n int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n > st.seq {
+		st.seq = n
+	}
+}
+
+// restore re-registers a session under its previous identity at warm
+// start. It refuses (false) when the id is already live or the table is
+// full — restored state never displaces live state.
+func (st *sessionStore) restore(id, name string, created time.Time, edits int64, sess *ssta.Session) bool {
+	if id == "" {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, taken := st.sessions[id]; taken || len(st.sessions) >= st.max {
+		return false
+	}
+	s := &srvSession{id: id, name: name, sess: sess, created: created}
+	s.lastUsed = time.Now()
+	s.edits = edits
+	st.sessions[id] = s
+	return true
 }
 
 // runSessionJanitor periodically evicts idle sessions until shutdown.
@@ -222,8 +251,11 @@ func (s *Server) runSessionJanitor(base context.Context) {
 		case <-base.Done():
 			return
 		case now := <-tick.C:
-			if n := s.sessions.evictIdle(now); n > 0 {
-				s.metrics.sessionsEvicted.Add(int64(n))
+			if ids := s.sessions.evictIdle(now); len(ids) > 0 {
+				s.metrics.sessionsEvicted.Add(int64(len(ids)))
+				for _, id := range ids {
+					s.dropCheckpoint(id)
+				}
 			}
 		}
 	}
@@ -301,6 +333,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.sessionsCreated.Add(1)
+	s.checkpointSession(reg.id)
 	v := reg.view()
 	v.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusCreated, v)
@@ -372,11 +405,13 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.remove(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
 		httpError(w, http.StatusNotFound, "unknown session")
 		return
 	}
 	s.metrics.sessionsDeleted.Add(1)
+	s.dropCheckpoint(id)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
 }
 
@@ -454,6 +489,7 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 			reg.edits += int64(rep.Applied)
 			reg.mu.Unlock()
 			s.metrics.editsApplied.Add(int64(rep.Applied))
+			s.checkpointSession(reg.id) // the applied prefix is durable state
 			msg = fmt.Sprintf("%s; %d of %d edits were applied and remain in effect", msg, rep.Applied, len(edits))
 		}
 		httpError(w, status, msg)
@@ -464,6 +500,7 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 	reg.lastUsed = time.Now()
 	reg.mu.Unlock()
 	s.metrics.observeReanalysis(rep.Elapsed, rep.Applied)
+	s.checkpointSession(reg.id)
 	resp := SessionEditResponse{
 		Applied:         rep.Applied,
 		RecomputedVerts: rep.Recomputed,
@@ -520,6 +557,7 @@ func (s *Server) convertEdit(ctx context.Context, e *EditSpec) (ssta.Edit, error
 		if err != nil {
 			return ssta.Edit{}, fmt.Errorf("swap_module: extract %s: %w", e.Bench, err)
 		}
+		s.checkpointModel(graphKey{bench: e.Bench, seed: e.Seed}, model)
 		mod, err := ssta.NewModule(e.Bench, model, plan)
 		if err != nil {
 			return ssta.Edit{}, err

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Backoff retries an operation with capped, jittered exponential delays.
+// The zero value is unusable; use DefaultBackoff or fill in the fields.
+// Rand and Sleep exist so tests can drive the schedule deterministically
+// without real time.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Cap bounds each delay after jitter.
+	Cap time.Duration
+	// MaxAttempts bounds total calls to the operation (first try
+	// included). Zero or negative means retry forever (until ctx ends or
+	// the error is permanent).
+	MaxAttempts int
+	// Jitter is the fraction of each delay that is randomized: delay is
+	// drawn uniformly from [d*(1-Jitter), d*(1+Jitter)], then capped.
+	Jitter float64
+	// Rand supplies the jitter draws; nil uses a shared seeded source.
+	Rand func() float64
+	// Sleep waits for d or until ctx is done; nil uses a timer. Tests
+	// inject a recorder here.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultBackoff is the flusher's retry schedule: 50ms doubling to a 5s
+// cap with ±50% jitter, retrying until the flush deadline cancels it.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 50 * time.Millisecond, Cap: 5 * time.Second, Jitter: 0.5}
+}
+
+// permanentError marks an error that Retry must not retry.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Retry stops immediately and returns the
+// underlying error. Use it for failures more attempts cannot fix
+// (invalid key, corrupt input).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Delay returns the pre-jitter delay before retry number attempt
+// (attempt 1 follows the first failure).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= b.Cap {
+			return b.Cap
+		}
+	}
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	return d
+}
+
+// jittered applies Jitter and Cap to a base delay.
+func (b Backoff) jittered(d time.Duration) time.Duration {
+	if b.Jitter > 0 {
+		f := b.Rand
+		if f == nil {
+			f = defaultRand
+		}
+		// Uniform in [1-Jitter, 1+Jitter).
+		scale := 1 - b.Jitter + 2*b.Jitter*f()
+		d = time.Duration(float64(d) * scale)
+	}
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Retry runs fn until it succeeds, returns a Permanent error, the context
+// ends, or MaxAttempts is exhausted. The returned error is the last error
+// from fn (unwrapped from Permanent), or the context error if the wait
+// was interrupted.
+func (b Backoff) Retry(ctx context.Context, fn func() error) error {
+	sleep := b.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (gave up: %v)", lastErr, err)
+			}
+			return err
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+		if b.MaxAttempts > 0 && attempt >= b.MaxAttempts {
+			return lastErr
+		}
+		if err := sleep(ctx, b.jittered(b.Delay(attempt))); err != nil {
+			return fmt.Errorf("%w (gave up: %v)", lastErr, err)
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+var jitterRng = rand.New(rand.NewSource(1))
+var jitterMu = make(chan struct{}, 1)
+
+// defaultRand is a locked draw from a package-level seeded source.
+func defaultRand() float64 {
+	jitterMu <- struct{}{}
+	v := jitterRng.Float64()
+	<-jitterMu
+	return v
+}

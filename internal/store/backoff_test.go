@@ -1,0 +1,152 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayDoublesAndCaps(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond}
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+		400 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := b.Delay(0); got != 50*time.Millisecond {
+		t.Errorf("Delay(0) = %v, want base", got)
+	}
+}
+
+func TestBackoffJitterBoundsDeterministic(t *testing.T) {
+	// Rand pinned to 0 → scale 1-Jitter; pinned just under 1 → near 1+Jitter.
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.5,
+		Rand: func() float64 { return 0 }}
+	if got := b.jittered(b.Delay(1)); got != 50*time.Millisecond {
+		t.Errorf("jittered(base) with rand=0: got %v, want 50ms", got)
+	}
+	b.Rand = func() float64 { return 1 }
+	if got := b.jittered(b.Delay(1)); got != 150*time.Millisecond {
+		t.Errorf("jittered(base) with rand=1: got %v, want 150ms", got)
+	}
+	// Jitter never exceeds the cap.
+	b.Cap = 120 * time.Millisecond
+	if got := b.jittered(b.Delay(1)); got != 120*time.Millisecond {
+		t.Errorf("jittered above cap: got %v, want cap 120ms", got)
+	}
+}
+
+// fakeClock records requested sleeps without waiting.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.slept = append(c.slept, d)
+	return nil
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	clock := &fakeClock{}
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond,
+		MaxAttempts: 10, Sleep: clock.sleep}
+	calls := 0
+	err := b.Retry(context.Background(), func() error {
+		calls++
+		if calls < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(clock.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clock.slept, want)
+	}
+	for i := range want {
+		if clock.slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, clock.slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryExhaustsMaxAttempts(t *testing.T) {
+	clock := &fakeClock{}
+	b := Backoff{Base: time.Millisecond, Cap: time.Millisecond, MaxAttempts: 3, Sleep: clock.sleep}
+	calls := 0
+	boom := errors.New("still down")
+	err := b.Retry(context.Background(), func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(clock.slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (no sleep after final attempt)", len(clock.slept))
+	}
+}
+
+func TestRetryPermanentShortCircuits(t *testing.T) {
+	clock := &fakeClock{}
+	b := Backoff{Base: time.Millisecond, Cap: time.Millisecond, MaxAttempts: 10, Sleep: clock.sleep}
+	calls := 0
+	inner := errors.New("bad key")
+	err := b.Retry(context.Background(), func() error { calls++; return Permanent(inner) })
+	if !errors.Is(err, inner) {
+		t.Fatalf("err = %v, want %v", err, inner)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("slept %v, want none", clock.slept)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) should be nil")
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Backoff{Base: time.Millisecond, Cap: time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		}}
+	calls := 0
+	boom := errors.New("down")
+	err := b.Retry(ctx, func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled during first sleep)", calls)
+	}
+	// Already-cancelled context: no call at all.
+	calls = 0
+	err = b.Retry(ctx, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("calls = %d, want 0", calls)
+	}
+}

@@ -1,0 +1,32 @@
+// Package store is the durable-state layer of the serving stack: a small
+// pluggable key/value object store used to checkpoint timing sessions and
+// extracted-model cache entries so a daemon restart does not drop every
+// client mid-ECO (ROADMAP item 5a).
+//
+// The package deliberately stays dumb and dependency-free: keys are
+// slash-separated paths, values are opaque byte blobs, and the only
+// intelligence is the snapshot envelope (Seal/Open) that makes every blob
+// self-describing — a magic string, a kind, a format version, the payload
+// size and a CRC32-C checksum — so torn writes, truncation and version
+// skew are detected at read time instead of corrupting a restore.
+//
+// Backends:
+//
+//   - FS: directory-backed, crash-safe via write-to-temp + atomic rename
+//     (optionally fsynced), with a quarantine area for corrupt objects.
+//   - Mem: mutex-guarded map, for tests and in-process checkpointing.
+//   - Noop: accepts writes and remembers nothing — persistence disabled.
+//   - Fault: a wrapper that deterministically injects errors, torn writes
+//     and latency by op count or probability — the test harness that
+//     proves the serving layer degrades gracefully when the store does
+//     not.
+//
+// The write-behind pipeline that drives this interface lives in
+// internal/server (checkpoint marking, bounded background flusher with
+// Backoff retries, warm-start recovery); the snapshot payload formats live
+// with their owners (internal/timing GraphSnapshot, ssta SessionSnapshot,
+// internal/core model snapshots). The robustness contract threaded through
+// all of it: a down, slow or corrupt store must never fail or slow an
+// analysis — store trouble surfaces in metrics and health, never in
+// request results.
+package store

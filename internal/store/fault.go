@@ -1,0 +1,220 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Op names a Backend operation for fault filtering.
+type Op string
+
+// Backend operations.
+const (
+	OpPut        Op = "put"
+	OpGet        Op = "get"
+	OpDelete     Op = "delete"
+	OpList       Op = "list"
+	OpQuarantine Op = "quarantine"
+)
+
+// ErrInjected is the default error injected by a Fault backend.
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultConfig selects which operations fail, and how. Deterministic
+// triggers (FailEveryN, FailAfter, TornEveryN) count matching operations;
+// FailProb draws from a seeded generator so runs replay exactly. Zero
+// values disable each trigger.
+type FaultConfig struct {
+	// FailEveryN fails every Nth matching operation (1-indexed: with N=3
+	// the 3rd, 6th, ... fail).
+	FailEveryN int
+	// FailAfter fails every matching operation once more than FailAfter
+	// have completed — FailAfter 0 with any other trigger unset means
+	// "fail everything" only when FailProb >= 1; use FailEveryN=1 for
+	// always-fail, or FailAfter with Err for fail-from-here-on.
+	// A negative FailAfter disables it.
+	FailAfter int
+	// FailProb fails each matching operation with this probability, drawn
+	// from a rand seeded with Seed.
+	FailProb float64
+	// Seed seeds the FailProb generator.
+	Seed int64
+	// TornEveryN makes every Nth failing Put a torn write: half the
+	// payload is stored, then the error is returned. Only meaningful for
+	// backends without atomic Put semantics to simulate — the wrapper
+	// bypasses the inner backend's atomicity by writing the prefix as a
+	// normal Put.
+	TornEveryN int
+	// Latency is added to every matching operation before it runs.
+	Latency time.Duration
+	// Only restricts injection to the given ops; empty means all ops.
+	Only map[Op]bool
+	// Err overrides ErrInjected as the injected error.
+	Err error
+}
+
+// Fault wraps a Backend and injects failures according to a FaultConfig.
+// Configuration can be swapped at runtime with SetConfig (e.g. to flip a
+// healthy store to 100% write failure mid-test and back). Counters report
+// how many operations were seen, failed and torn.
+type Fault struct {
+	inner Backend
+
+	mu    sync.Mutex
+	cfg   FaultConfig
+	rng   *rand.Rand
+	ops   int
+	fails int
+	torn  int
+}
+
+// NewFault wraps inner with fault injection.
+func NewFault(inner Backend, cfg FaultConfig) *Fault {
+	f := &Fault{inner: inner}
+	f.SetConfig(cfg)
+	return f
+}
+
+// SetConfig replaces the fault configuration and reseeds the probability
+// generator. Counters are not reset.
+func (f *Fault) SetConfig(cfg FaultConfig) {
+	if cfg.FailAfter == 0 {
+		cfg.FailAfter = -1
+	}
+	f.mu.Lock()
+	f.cfg = cfg
+	f.rng = rand.New(rand.NewSource(cfg.Seed))
+	f.mu.Unlock()
+}
+
+// Counters returns (operations seen, operations failed, torn writes).
+func (f *Fault) Counters() (ops, fails, torn int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops, f.fails, f.torn
+}
+
+// Inner returns the wrapped backend.
+func (f *Fault) Inner() Backend { return f.inner }
+
+// Kind implements Backend.
+func (f *Fault) Kind() string { return "fault+" + f.inner.Kind() }
+
+// decide records one matching operation and reports whether to inject,
+// and whether a failing Put should be torn.
+func (f *Fault) decide(op Op) (inject, tear bool, err error, latency time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cfg := f.cfg
+	latency = cfg.Latency
+	if len(cfg.Only) > 0 && !cfg.Only[op] {
+		return false, false, nil, latency
+	}
+	f.ops++
+	switch {
+	case cfg.FailEveryN > 0 && f.ops%cfg.FailEveryN == 0:
+		inject = true
+	case cfg.FailAfter >= 0 && f.ops > cfg.FailAfter:
+		inject = true
+	case cfg.FailProb > 0 && f.rng.Float64() < cfg.FailProb:
+		inject = true
+	}
+	if !inject {
+		return false, false, nil, latency
+	}
+	f.fails++
+	err = cfg.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	err = fmt.Errorf("%s: %w", op, err)
+	if op == OpPut && cfg.TornEveryN > 0 && f.fails%cfg.TornEveryN == 0 {
+		f.torn++
+		tear = true
+	}
+	return inject, tear, err, latency
+}
+
+func (f *Fault) wait(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Put implements Backend.
+func (f *Fault) Put(ctx context.Context, key string, data []byte) error {
+	inject, tear, ierr, latency := f.decide(OpPut)
+	if err := f.wait(ctx, latency); err != nil {
+		return err
+	}
+	if inject {
+		if tear {
+			// A torn write: the object ends up holding a truncated prefix,
+			// as if the process died mid-write on a non-atomic store. The
+			// envelope checksum is what catches this at read time.
+			_ = f.inner.Put(ctx, key, data[:len(data)/2])
+		}
+		return ierr
+	}
+	return f.inner.Put(ctx, key, data)
+}
+
+// Get implements Backend.
+func (f *Fault) Get(ctx context.Context, key string) ([]byte, error) {
+	inject, _, ierr, latency := f.decide(OpGet)
+	if err := f.wait(ctx, latency); err != nil {
+		return nil, err
+	}
+	if inject {
+		return nil, ierr
+	}
+	return f.inner.Get(ctx, key)
+}
+
+// Delete implements Backend.
+func (f *Fault) Delete(ctx context.Context, key string) error {
+	inject, _, ierr, latency := f.decide(OpDelete)
+	if err := f.wait(ctx, latency); err != nil {
+		return err
+	}
+	if inject {
+		return ierr
+	}
+	return f.inner.Delete(ctx, key)
+}
+
+// List implements Backend.
+func (f *Fault) List(ctx context.Context, prefix string) ([]string, error) {
+	inject, _, ierr, latency := f.decide(OpList)
+	if err := f.wait(ctx, latency); err != nil {
+		return nil, err
+	}
+	if inject {
+		return nil, ierr
+	}
+	return f.inner.List(ctx, prefix)
+}
+
+// Quarantine implements Backend.
+func (f *Fault) Quarantine(ctx context.Context, key string) error {
+	inject, _, ierr, latency := f.decide(OpQuarantine)
+	if err := f.wait(ctx, latency); err != nil {
+		return err
+	}
+	if inject {
+		return ierr
+	}
+	return f.inner.Quarantine(ctx, key)
+}

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// quarantineDir is the subdirectory of an FS root where corrupt objects
+// are moved. It is never listed and its keys are invalid Backend keys, so
+// quarantined objects can never be served again.
+const quarantineDir = "quarantine"
+
+// FS is the directory-backed store: each key maps to a file under the
+// root. Writes are crash-safe — data goes to a temporary file in the
+// target directory and is atomically renamed over the destination, so a
+// kill -9 at any instant leaves either the old object or the new one,
+// never a torn mix (a stray temp file at worst, which List ignores).
+// With syncWrites, the file is fsynced before the rename and the
+// directory after it, extending the guarantee from process crash to power
+// loss.
+type FS struct {
+	root string
+	sync bool
+
+	// renameMu serializes quarantine renames so concurrent quarantines of
+	// distinct keys cannot race picking the same aside-name.
+	renameMu sync.Mutex
+}
+
+// NewFS opens (creating if needed) a filesystem store rooted at dir.
+func NewFS(dir string, syncWrites bool) (*FS, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty fs root")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: fs root: %w", err)
+	}
+	return &FS{root: dir, sync: syncWrites}, nil
+}
+
+// Root returns the root directory.
+func (f *FS) Root() string { return f.root }
+
+// Kind implements Backend.
+func (f *FS) Kind() string { return "fs" }
+
+func (f *FS) path(key string) (string, error) {
+	if err := ValidKey(key); err != nil {
+		return "", err
+	}
+	if key == quarantineDir || strings.HasPrefix(key, quarantineDir+"/") {
+		return "", fmt.Errorf("store: key %q is reserved", key)
+	}
+	return filepath.Join(f.root, filepath.FromSlash(key)), nil
+}
+
+// Put implements Backend with write-to-temp + atomic rename.
+func (f *FS) Put(ctx context.Context, key string, data []byte) error {
+	p, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if f.sync {
+		if err := tmp.Sync(); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if f.sync {
+		if err := syncDir(dir); err != nil {
+			return fmt.Errorf("store: put %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// Get implements Backend.
+func (f *FS) Get(ctx context.Context, key string) ([]byte, error) {
+	p, err := f.path(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: get %s: %w", key, err)
+	}
+	return data, nil
+}
+
+// Delete implements Backend.
+func (f *FS) Delete(ctx context.Context, key string) error {
+	p, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// List implements Backend, walking the root and skipping the quarantine
+// area and temp files left by interrupted writes.
+func (f *FS) List(ctx context.Context, prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(f.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // raced with a delete
+			}
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		rel, rerr := filepath.Rel(f.root, p)
+		if rerr != nil {
+			return rerr
+		}
+		key := filepath.ToSlash(rel)
+		if d.IsDir() {
+			if key == quarantineDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", prefix, err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Quarantine implements Backend: the object is renamed into the
+// quarantine directory under a flattened, collision-avoiding name, so its
+// bytes survive for inspection but it never resolves or lists again.
+func (f *FS) Quarantine(ctx context.Context, key string) error {
+	p, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	qdir := filepath.Join(f.root, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: quarantine %s: %w", key, err)
+	}
+	base := strings.ReplaceAll(key, "/", "__")
+	f.renameMu.Lock()
+	defer f.renameMu.Unlock()
+	dst := filepath.Join(qdir, base)
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, n))
+	}
+	if err := os.Rename(p, dst); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return fmt.Errorf("store: quarantine %s: %w", key, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

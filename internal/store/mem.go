@@ -1,0 +1,144 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is the in-memory backend: a mutex-guarded map, for tests and for
+// processes that want checkpoint semantics without durability. Values are
+// copied on Put and Get so callers can never alias store-internal state.
+type Mem struct {
+	mu          sync.Mutex
+	objects     map[string][]byte
+	quarantined map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{
+		objects:     make(map[string][]byte),
+		quarantined: make(map[string][]byte),
+	}
+}
+
+// Kind implements Backend.
+func (m *Mem) Kind() string { return "mem" }
+
+// Put implements Backend.
+func (m *Mem) Put(ctx context.Context, key string, data []byte) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.objects[key] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Get implements Backend.
+func (m *Mem) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	data, ok := m.objects[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Delete implements Backend.
+func (m *Mem) Delete(ctx context.Context, key string) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.objects, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// List implements Backend.
+func (m *Mem) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.objects))
+	for k := range m.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Quarantine implements Backend.
+func (m *Mem) Quarantine(ctx context.Context, key string) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.objects[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(m.objects, key)
+	m.quarantined[key] = data
+	return nil
+}
+
+// Len reports the number of live (non-quarantined) objects.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.objects)
+}
+
+// Quarantined returns the quarantined keys, sorted — test introspection.
+func (m *Mem) Quarantined() []string {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.quarantined))
+	for k := range m.quarantined {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Corrupt overwrites the stored bytes of key in place without copying
+// semantics changes — a test hook to simulate at-rest bit rot (the FS
+// analogue is writing garbage into the file).
+func (m *Mem) Corrupt(key string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.objects[key] = cp
+	m.mu.Unlock()
+}

@@ -1,0 +1,60 @@
+package store
+
+import (
+	"context"
+	"fmt"
+)
+
+// Noop is the persistence-disabled backend: writes succeed and are
+// forgotten, reads find nothing. It lets the serving layer keep one code
+// path whether or not a store is configured.
+type Noop struct{}
+
+// NewNoop returns the no-op backend.
+func NewNoop() Noop { return Noop{} }
+
+// Kind implements Backend.
+func (Noop) Kind() string { return "noop" }
+
+// Put implements Backend.
+func (Noop) Put(ctx context.Context, key string, data []byte) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Get implements Backend.
+func (Noop) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// Delete implements Backend.
+func (Noop) Delete(ctx context.Context, key string) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// List implements Backend.
+func (Noop) List(ctx context.Context, prefix string) ([]string, error) {
+	return nil, ctx.Err()
+}
+
+// Quarantine implements Backend.
+func (Noop) Quarantine(ctx context.Context, key string) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: %s", ErrNotFound, key)
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrNotFound is returned by Get (and Quarantine) for a key that has no
+// object.
+var ErrNotFound = errors.New("store: not found")
+
+// Backend is a durable key/value object store. Keys are slash-separated
+// relative paths (see ValidKey); values are opaque blobs — callers that
+// want integrity protection wrap them with Seal/Open. Implementations must
+// be safe for concurrent use and must make Put atomic per key: a reader
+// observes either the old object or the new one, never a mix, even across
+// a crash.
+type Backend interface {
+	// Kind names the backend for health reporting ("fs", "mem", ...).
+	Kind() string
+	// Put stores the object under key, replacing any previous object.
+	Put(ctx context.Context, key string, data []byte) error
+	// Get returns the object stored under key, or ErrNotFound.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// Delete removes the object under key. Deleting a missing key is not
+	// an error.
+	Delete(ctx context.Context, key string) error
+	// List returns the keys under the given prefix, sorted. Quarantined
+	// objects are excluded.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Quarantine moves the object under key aside so it is never served
+	// (or listed) again, preserving its bytes for post-mortem inspection
+	// where the backend can. Returns ErrNotFound for a missing key.
+	Quarantine(ctx context.Context, key string) error
+}
+
+// ValidKey checks the key syntax shared by every backend: one or more
+// non-empty slash-separated segments of [A-Za-z0-9._=-], no "." or ".."
+// segments, no leading or trailing slash. The restriction is what lets the
+// filesystem backend map keys onto paths without escaping.
+func ValidKey(key string) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	if len(key) > 512 {
+		return fmt.Errorf("store: key longer than 512 bytes")
+	}
+	for _, seg := range strings.Split(key, "/") {
+		if seg == "" {
+			return fmt.Errorf("store: key %q has an empty segment", key)
+		}
+		if seg == "." || seg == ".." {
+			return fmt.Errorf("store: key %q has a relative segment", key)
+		}
+		for _, r := range seg {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			case r == '.', r == '_', r == '-', r == '=':
+			default:
+				return fmt.Errorf("store: key %q has invalid character %q", key, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/variation"
+)
+
+// This file is the durable representation of a live timing graph — the
+// session-checkpoint payload (ROADMAP item 5a). Unlike the extracted-model
+// serializer in internal/core, which persists clean boundary models, a
+// GraphSnapshot captures a graph mid-edit-history: tombstoned edges keep
+// their slots (edge indices are API surface for the edit vocabulary), the
+// Monte Carlo ground-truth data rides along, and the cached topological
+// order is preserved because Clark-max contribution order — and therefore
+// the exact propagated numbers — depends on it.
+//
+// FromSnapshot validates everything before trusting it: the snapshot may
+// come off a disk that lied (the store envelope catches torn bytes, not a
+// hostile or skewed payload), and it is fuzzed. Bounds are checked before
+// any size-proportional allocation.
+
+// Snapshot size caps: generous multiples of the largest graphs the repo
+// builds (tens of thousands of vertices), small enough that a hostile
+// snapshot cannot make FromSnapshot allocate unbounded memory.
+const (
+	maxSnapshotVerts      = 1 << 21
+	maxSnapshotEdges      = 1 << 23
+	maxSnapshotGlobals    = 1 << 12
+	maxSnapshotComponents = 1 << 18
+	maxSnapshotGridCells  = 1 << 10
+)
+
+// EdgeSnapshot is one edge of a GraphSnapshot, tombstones included.
+type EdgeSnapshot struct {
+	From    int       `json:"from"`
+	To      int       `json:"to"`
+	Nominal float64   `json:"nominal"`
+	Glob    []float64 `json:"glob,omitempty"`
+	Loc     []float64 `json:"loc,omitempty"`
+	Rand    float64   `json:"rand,omitempty"`
+	LSens   []float64 `json:"lsens,omitempty"`
+	Grid    int       `json:"grid,omitempty"`
+	Removed bool      `json:"removed,omitempty"`
+}
+
+// ParamSnapshot mirrors variation.Parameter.
+type ParamSnapshot struct {
+	Name        string  `json:"name"`
+	Sigma       float64 `json:"sigma"`
+	GlobalShare float64 `json:"global_share"`
+	LocalShare  float64 `json:"local_share"`
+	RandomShare float64 `json:"random_share"`
+}
+
+// GridSnapshot carries the grid geometry and correlation knobs from which
+// the PCA grid model is rebuilt deterministically (same convention as the
+// extracted-model serializer).
+type GridSnapshot struct {
+	NX          int     `json:"nx"`
+	NY          int     `json:"ny"`
+	Pitch       float64 `json:"pitch"`
+	RhoNeighbor float64 `json:"rho_neighbor"`
+	RhoFloor    float64 `json:"rho_floor"`
+	Range       float64 `json:"range"`
+}
+
+// GraphSnapshot is the complete durable state of a timing graph.
+type GraphSnapshot struct {
+	Globals    int `json:"globals"`
+	Components int `json:"components"`
+	NumVerts   int `json:"num_verts"`
+
+	Edges []EdgeSnapshot `json:"edges"`
+
+	Inputs      []int    `json:"inputs,omitempty"`
+	Outputs     []int    `json:"outputs,omitempty"`
+	InputNames  []string `json:"input_names,omitempty"`
+	OutputNames []string `json:"output_names,omitempty"`
+
+	OutputLoadSlopes []float64 `json:"output_load_slopes,omitempty"`
+	RefSlew          float64   `json:"ref_slew,omitempty"`
+	InputSlewSlopes  []float64 `json:"input_slew_slopes,omitempty"`
+	OutputPortSlews  []float64 `json:"output_port_slews,omitempty"`
+	OutputSlewSlopes []float64 `json:"output_slew_slopes,omitempty"`
+
+	Params []ParamSnapshot `json:"params,omitempty"`
+	Grid   *GridSnapshot   `json:"grid,omitempty"`
+
+	// Order is the cached topological order at snapshot time. It is part
+	// of the numerical contract: Clark-max folds fanin contributions in
+	// adjacency order along this order, so restoring a different (even
+	// valid) order could move results within propagation tolerance.
+	Order []int `json:"order,omitempty"`
+}
+
+// Snapshot captures the graph's durable state. It follows the reader side
+// of the single-writer contract: do not call it concurrently with edits.
+func (g *Graph) Snapshot() *GraphSnapshot {
+	s := &GraphSnapshot{
+		Globals:          g.Space.Globals,
+		Components:       g.Space.Components,
+		NumVerts:         g.NumVerts,
+		Edges:            make([]EdgeSnapshot, len(g.Edges)),
+		Inputs:           g.Inputs,
+		Outputs:          g.Outputs,
+		InputNames:       g.InputNames,
+		OutputNames:      g.OutputNames,
+		OutputLoadSlopes: g.OutputLoadSlopes,
+		RefSlew:          g.RefSlew,
+		InputSlewSlopes:  g.InputSlewSlopes,
+		OutputPortSlews:  g.OutputPortSlews,
+		OutputSlewSlopes: g.OutputSlewSlopes,
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		s.Edges[i] = EdgeSnapshot{
+			From: e.From, To: e.To,
+			Nominal: e.Delay.Nominal, Glob: e.Delay.Glob, Loc: e.Delay.Loc, Rand: e.Delay.Rand,
+			LSens: e.LSens, Grid: e.Grid, Removed: e.Removed,
+		}
+	}
+	for _, p := range g.Params {
+		s.Params = append(s.Params, ParamSnapshot{
+			Name: p.Name, Sigma: p.Sigma,
+			GlobalShare: p.GlobalShare, LocalShare: p.LocalShare, RandomShare: p.RandomShare,
+		})
+	}
+	if g.Grids != nil && g.Grids.NX > 0 && g.Grids.Corr != nil {
+		s.Grid = &GridSnapshot{
+			NX: g.Grids.NX, NY: g.Grids.NY, Pitch: g.Grids.Pitch,
+			RhoNeighbor: g.Grids.Corr.RhoNeighbor,
+			RhoFloor:    g.Grids.Corr.RhoFloor,
+			Range:       g.Grids.Corr.Range,
+		}
+	}
+	g.orderMu.Lock()
+	s.Order = g.order
+	g.orderMu.Unlock()
+	return s
+}
+
+// FromSnapshot reconstructs a graph from a snapshot, validating every
+// index, dimension and the topological order before trusting it. The
+// result is numerically identical to the snapshotted graph: edge slots
+// (tombstones included), adjacency order and cached topological order are
+// restored exactly.
+func FromSnapshot(s *GraphSnapshot) (*Graph, error) {
+	if s.Globals < 0 || s.Globals > maxSnapshotGlobals {
+		return nil, fmt.Errorf("timing: snapshot globals %d out of range", s.Globals)
+	}
+	if s.Components < 0 || s.Components > maxSnapshotComponents {
+		return nil, fmt.Errorf("timing: snapshot components %d out of range", s.Components)
+	}
+	if s.NumVerts < 0 || s.NumVerts > maxSnapshotVerts {
+		return nil, fmt.Errorf("timing: snapshot vertex count %d out of range", s.NumVerts)
+	}
+	if len(s.Edges) > maxSnapshotEdges {
+		return nil, fmt.Errorf("timing: snapshot edge count %d out of range", len(s.Edges))
+	}
+	if len(s.Params) > maxSnapshotGlobals {
+		return nil, fmt.Errorf("timing: snapshot parameter count %d out of range", len(s.Params))
+	}
+
+	space := canon.Space{Globals: s.Globals, Components: s.Components}
+	var params []variation.Parameter
+	for _, p := range s.Params {
+		params = append(params, variation.Parameter{
+			Name: p.Name, Sigma: p.Sigma,
+			GlobalShare: p.GlobalShare, LocalShare: p.LocalShare, RandomShare: p.RandomShare,
+		})
+	}
+	g := NewGraph(space, s.NumVerts, params)
+
+	var gridN int // grid count for per-edge grid index validation; 0 = no model
+	if s.Grid != nil {
+		if s.Grid.NX < 1 || s.Grid.NY < 1 || s.Grid.NX*s.Grid.NY > maxSnapshotGridCells {
+			return nil, fmt.Errorf("timing: snapshot grid %dx%d out of range", s.Grid.NX, s.Grid.NY)
+		}
+		corr, err := variation.NewCorrelationModel(s.Grid.RhoNeighbor, s.Grid.RhoFloor, s.Grid.Range)
+		if err != nil {
+			return nil, fmt.Errorf("timing: snapshot grid correlation: %w", err)
+		}
+		gm, err := variation.NewGridModel(s.Grid.NX, s.Grid.NY, s.Grid.Pitch, corr)
+		if err != nil {
+			return nil, fmt.Errorf("timing: snapshot grid rebuild: %w", err)
+		}
+		if len(params) > 0 && len(params)*gm.Comps != space.Components {
+			return nil, fmt.Errorf("timing: rebuilt grid model has %d components, form space expects %d",
+				len(params)*gm.Comps, space.Components)
+		}
+		g.Grids = gm
+		gridN = gm.N()
+	}
+
+	// Edges: every slot is restored, tombstones included; only live edges
+	// enter the adjacency lists, in index order — exactly the invariant a
+	// live graph maintains (insertions append in index order, removals
+	// preserve relative order).
+	for i := range s.Edges {
+		e := &s.Edges[i]
+		if e.From < 0 || e.From >= s.NumVerts || e.To < 0 || e.To >= s.NumVerts {
+			return nil, fmt.Errorf("timing: snapshot edge %d (%d->%d) outside vertex range %d", i, e.From, e.To, s.NumVerts)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("timing: snapshot edge %d is a self-loop on %d", i, e.From)
+		}
+		if len(e.Glob) != 0 && len(e.Glob) != space.Globals {
+			return nil, fmt.Errorf("timing: snapshot edge %d has %d global coefficients, space has %d", i, len(e.Glob), space.Globals)
+		}
+		if len(e.Loc) != 0 && len(e.Loc) != space.Components {
+			return nil, fmt.Errorf("timing: snapshot edge %d has %d local coefficients, space has %d", i, len(e.Loc), space.Components)
+		}
+		if len(e.LSens) != 0 && len(e.LSens) != len(params) {
+			return nil, fmt.Errorf("timing: snapshot edge %d has %d sensitivities, %d parameters", i, len(e.LSens), len(params))
+		}
+		if gridN > 0 && (e.Grid < 0 || e.Grid >= gridN) {
+			return nil, fmt.Errorf("timing: snapshot edge %d grid %d outside model (%d grids)", i, e.Grid, gridN)
+		}
+		f := space.NewForm()
+		f.Nominal = e.Nominal
+		copy(f.Glob, e.Glob)
+		copy(f.Loc, e.Loc)
+		f.Rand = e.Rand
+		var lsens []float64
+		if len(e.LSens) > 0 {
+			lsens = append([]float64(nil), e.LSens...)
+		}
+		idx := len(g.Edges)
+		g.Edges = append(g.Edges, Edge{
+			From: e.From, To: e.To, Delay: f,
+			LSens: lsens, Grid: e.Grid, Removed: e.Removed,
+		})
+		if !e.Removed {
+			g.Out[e.From] = append(g.Out[e.From], int32(idx))
+			g.In[e.To] = append(g.In[e.To], int32(idx))
+		}
+	}
+
+	for _, v := range s.Inputs {
+		if v < 0 || v >= s.NumVerts {
+			return nil, fmt.Errorf("timing: snapshot input vertex %d out of range", v)
+		}
+	}
+	for _, v := range s.Outputs {
+		if v < 0 || v >= s.NumVerts {
+			return nil, fmt.Errorf("timing: snapshot output vertex %d out of range", v)
+		}
+	}
+	if err := g.SetIO(s.Inputs, s.Outputs, s.InputNames, s.OutputNames); err != nil {
+		return nil, err
+	}
+	check := func(name string, got []float64, want int) error {
+		if got != nil && len(got) != want {
+			return fmt.Errorf("timing: snapshot has %d %s for %d ports", len(got), name, want)
+		}
+		return nil
+	}
+	if err := check("output load slopes", s.OutputLoadSlopes, len(s.Outputs)); err != nil {
+		return nil, err
+	}
+	if err := check("input slew slopes", s.InputSlewSlopes, len(s.Inputs)); err != nil {
+		return nil, err
+	}
+	if err := check("output port slews", s.OutputPortSlews, len(s.Outputs)); err != nil {
+		return nil, err
+	}
+	if err := check("output slew slopes", s.OutputSlewSlopes, len(s.Outputs)); err != nil {
+		return nil, err
+	}
+	g.OutputLoadSlopes = s.OutputLoadSlopes
+	g.RefSlew = s.RefSlew
+	g.InputSlewSlopes = s.InputSlewSlopes
+	g.OutputPortSlews = s.OutputPortSlews
+	g.OutputSlewSlopes = s.OutputSlewSlopes
+
+	if s.Order != nil {
+		if err := validateOrder(g, s.Order); err != nil {
+			return nil, err
+		}
+		g.order = append([]int(nil), s.Order...)
+	} else if _, err := g.Order(); err != nil {
+		return nil, err // snapshot encodes a cyclic graph
+	}
+	return g, nil
+}
+
+// validateOrder checks that order is a permutation of the vertices that
+// respects every live edge — the conditions under which restoring it is
+// safe and exact.
+func validateOrder(g *Graph, order []int) error {
+	if len(order) != g.NumVerts {
+		return fmt.Errorf("timing: snapshot order has %d entries for %d vertices", len(order), g.NumVerts)
+	}
+	pos := make([]int, g.NumVerts)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for k, v := range order {
+		if v < 0 || v >= g.NumVerts {
+			return fmt.Errorf("timing: snapshot order entry %d out of range", v)
+		}
+		if pos[v] >= 0 {
+			return fmt.Errorf("timing: snapshot order repeats vertex %d", v)
+		}
+		pos[v] = k
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Removed {
+			continue
+		}
+		if pos[e.From] >= pos[e.To] {
+			return fmt.Errorf("timing: snapshot order violates edge %d (%d->%d)", i, e.From, e.To)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package ssta
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/store"
+	"repro/internal/timing"
+)
+
+// Session persistence (ROADMAP item 5a): a SessionSnapshot is the complete
+// durable state of an analysis session — the timing graph with its full
+// edit history baked in (tombstones, restored topological order), the
+// active MCMM sweep's scenarios and options, and the criticality-tracking
+// enablement. Encode seals it in a checksummed, versioned store envelope;
+// RestoreSession rebuilds a live session from it, paying one full
+// propagation (which reproduces the incrementally maintained delay at
+// propagation tolerance, by the engine's 1e-12 equivalence contract).
+//
+// Hierarchical sessions snapshot their stitched top graph and restore as
+// flat sessions: the graph, delays and sweep are preserved exactly, while
+// design-structure edits (set_net_delay, swap_module) are no longer
+// available on the restored session.
+
+// SessionSnapshotKind and SessionSnapshotVersion identify a sealed session
+// snapshot (see internal/store's envelope).
+const (
+	SessionSnapshotKind    = "ssta-session"
+	SessionSnapshotVersion = 1
+)
+
+// SweepSnapshot is the durable state of a session's active MCMM sweep.
+type SweepSnapshot struct {
+	Scenarios []scenario.Spec `json:"scenarios"`
+	Workers   int             `json:"workers,omitempty"`
+	TopK      int             `json:"top_k,omitempty"`
+	Quantile  float64         `json:"quantile,omitempty"`
+}
+
+// CritSnapshot is the durable state of a session's criticality tracking.
+type CritSnapshot struct {
+	Workers     int     `json:"workers,omitempty"`
+	ScreenDelta float64 `json:"screen_delta,omitempty"`
+}
+
+// SessionSnapshot is the complete durable state of a Session.
+type SessionSnapshot struct {
+	// Hier records that the snapshot came from a hierarchical session (it
+	// restores flat; see the file comment).
+	Hier  bool                  `json:"hier,omitempty"`
+	Graph *timing.GraphSnapshot `json:"graph"`
+	Sweep *SweepSnapshot        `json:"sweep,omitempty"`
+	Crit  *CritSnapshot         `json:"crit,omitempty"`
+	// MeanPS is the mean circuit delay at snapshot time — an end-to-end
+	// integrity cross-check on restore, over and above the envelope
+	// checksum: it catches a snapshot that decodes cleanly but propagates
+	// to a different answer.
+	MeanPS float64 `json:"mean_ps,omitempty"`
+}
+
+// Snapshot captures the session's durable state under the session lock.
+func (s *Session) Snapshot() *SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &SessionSnapshot{
+		Hier:  s.hs != nil,
+		Graph: s.graph.Snapshot(),
+	}
+	if s.delay != nil {
+		snap.MeanPS = s.delay.Mean()
+	}
+	if s.sweep != nil {
+		sw := &SweepSnapshot{
+			Workers:  s.sweep.opt.Workers,
+			TopK:     s.sweep.opt.TopK,
+			Quantile: s.sweep.opt.Quantile,
+		}
+		for _, sc := range s.sweep.scens {
+			// Session sweeps never carry swaps (SetSweep normalizes with
+			// allowSwaps=false), so SpecOf cannot fail here.
+			sp, err := scenario.SpecOf(sc)
+			if err != nil {
+				continue
+			}
+			sw.Scenarios = append(sw.Scenarios, sp)
+		}
+		snap.Sweep = sw
+	}
+	if s.critOn {
+		snap.Crit = &CritSnapshot{Workers: s.critOpt.Workers, ScreenDelta: s.critOpt.ScreenDelta}
+	}
+	return snap
+}
+
+// Encode seals the snapshot in a checksummed store envelope.
+func (snap *SessionSnapshot) Encode() ([]byte, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("ssta: encode session snapshot: %w", err)
+	}
+	return store.Seal(SessionSnapshotKind, SessionSnapshotVersion, payload), nil
+}
+
+// DecodeSessionSnapshot opens and decodes a sealed session snapshot.
+// Envelope and payload failures surface as store.ErrCorrupt (or
+// store.ErrVersion for kind/version skew) so callers quarantine instead of
+// aborting a warm start.
+func DecodeSessionSnapshot(data []byte) (*SessionSnapshot, error) {
+	payload, err := store.OpenKind(data, SessionSnapshotKind, SessionSnapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	var snap SessionSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("%w: session payload: %v", store.ErrCorrupt, err)
+	}
+	return &snap, nil
+}
+
+// RestoreSession rebuilds a live session from a snapshot: the graph is
+// reconstructed and validated, fully propagated once, cross-checked
+// against the snapshot's recorded mean delay, and the sweep and
+// criticality tracking are re-established with their snapshotted options.
+func (f *Flow) RestoreSession(ctx context.Context, snap *SessionSnapshot) (*Session, error) {
+	if snap == nil || snap.Graph == nil {
+		return nil, errors.New("ssta: session snapshot has no graph")
+	}
+	g, err := timing.FromSnapshot(snap.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("ssta: restore session graph: %w", err)
+	}
+	inc, err := g.NewIncrementalCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	delay, err := inc.MaxDelay()
+	if err != nil {
+		return nil, err
+	}
+	if snap.MeanPS != 0 {
+		if m := delay.Mean(); math.Abs(m-snap.MeanPS) > 1e-6*(1+math.Abs(snap.MeanPS)) {
+			return nil, fmt.Errorf("ssta: restored session delay %.9g ps disagrees with checkpointed %.9g ps", m, snap.MeanPS)
+		}
+	}
+	s := &Session{graph: g, inc: inc, delay: delay}
+	if snap.Sweep != nil {
+		scens := make([]Scenario, len(snap.Sweep.Scenarios))
+		for i, sp := range snap.Sweep.Scenarios {
+			scens[i] = sp.Scenario()
+		}
+		opt := SweepOptions{
+			Workers:  snap.Sweep.Workers,
+			TopK:     snap.Sweep.TopK,
+			Quantile: snap.Sweep.Quantile,
+		}
+		if _, err := s.SetSweep(ctx, scens, opt); err != nil {
+			return nil, fmt.Errorf("ssta: restore session sweep: %w", err)
+		}
+	}
+	if snap.Crit != nil {
+		opt := CriticalityOptions{Workers: snap.Crit.Workers, ScreenDelta: snap.Crit.ScreenDelta}
+		if _, err := s.EnableCriticality(ctx, opt); err != nil {
+			return nil, fmt.Errorf("ssta: restore session criticality: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// DecodeModelSnapshot re-exports the extracted-model snapshot decoder
+// (models seal with (*Model).EncodeSnapshot).
+var DecodeModelSnapshot = core.DecodeModelSnapshot

@@ -1,0 +1,92 @@
+package ssta
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/timing"
+)
+
+// FuzzSnapshotDecode drives arbitrary bytes through the session-snapshot
+// decoder: it must never panic, and anything it accepts must round-trip
+// bit-identically through encode/decode. Accepted graphs additionally go
+// through FromSnapshot, which must validate without panicking, and a
+// successfully rebuilt graph must re-snapshot to the same structure.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with a real session snapshot, assorted corruptions of it, and
+	// bare envelope edge cases.
+	flow := DefaultFlow()
+	g, _, err := flow.BenchGraph("c432", 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := flow.NewGraphSession(context.Background(), g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Apply(context.Background(), []Edit{
+		{Op: EditScaleDelay, Edge: 1, Scale: 1.2},
+		{Op: EditRemoveEdge, Edge: 0},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := s.Snapshot().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(store.Seal(SessionSnapshotKind, SessionSnapshotVersion, []byte("{}")))
+	f.Add(store.Seal(SessionSnapshotKind, SessionSnapshotVersion,
+		[]byte(`{"graph":{"globals":1,"components":1,"num_verts":2,"edges":[{"from":0,"to":1,"nominal":3,"glob":[0.1],"loc":[0.2],"rand":0.3}]}}`)))
+	f.Add(store.Seal(SessionSnapshotKind, SessionSnapshotVersion,
+		[]byte(`{"graph":{"num_verts":-5,"edges":[{"from":9,"to":9}]}}`)))
+	f.Add(store.Seal("wrong-kind", 99, []byte("{}")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSessionSnapshot(data)
+		if err != nil {
+			return // rejected; the only requirement is no panic
+		}
+		// Accepted snapshots round-trip bit-identically.
+		enc, err := snap.Encode()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		snap2, err := DecodeSessionSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(snap, snap2) {
+			t.Fatal("snapshot round-trip not identical")
+		}
+		enc2, err := snap2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("snapshot re-encode not bit-identical")
+		}
+		// Graph reconstruction validates instead of panicking; a graph it
+		// accepts must re-snapshot to an equivalent structure.
+		if snap.Graph != nil {
+			rg, err := timing.FromSnapshot(snap.Graph)
+			if err != nil {
+				return
+			}
+			rs := rg.Snapshot()
+			if rs.NumVerts != snap.Graph.NumVerts || len(rs.Edges) != len(snap.Graph.Edges) {
+				t.Fatalf("rebuilt graph shape %d/%d differs from snapshot %d/%d",
+					rs.NumVerts, len(rs.Edges), snap.Graph.NumVerts, len(snap.Graph.Edges))
+			}
+		}
+	})
+}

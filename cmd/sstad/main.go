@@ -62,6 +62,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "maximum live timing sessions")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle timing sessions are evicted after this")
 	scenarios := flag.String("scenarios", "", "default MCMM scenario set for /v1/sweep requests that name none: JSON array (inline or @file)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch gathering window for compatible analyze/sweep requests (0: batching off; coalescing of identical requests is always on)")
+	batchMax := flag.Int("batch-max", 8, "micro-batch size that flushes a gathering batch before its window expires")
 	storeDir := flag.String("store-dir", "", "durable-state directory: sessions and extracted models are checkpointed here and restored at boot (empty: in-memory only)")
 	storeFlush := flag.Duration("store-flush-interval", time.Second, "write-behind checkpoint flush interval")
 	storeSync := flag.Bool("store-sync", false, "fsync durable-state writes (slower, survives power loss)")
@@ -116,6 +118,8 @@ func main() {
 		MaxSessions:        *maxSessions,
 		SessionTTL:         *sessionTTL,
 		DefaultScenarios:   defaultScens,
+		BatchWindow:        *batchWindow,
+		BatchMax:           *batchMax,
 		Store:              backend,
 		StoreFlushInterval: *storeFlush,
 	})

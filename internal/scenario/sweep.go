@@ -86,6 +86,10 @@ type Report struct {
 	Completed    int
 	TopDivergent []Divergence
 	Elapsed      time.Duration
+	// Top is the shared stitched/flat graph the swap-free scenarios ran on
+	// (nil for an all-swap design sweep). The serving layer reports its
+	// size to callers that batched an analyze request onto a sweep.
+	Top *timing.Graph
 }
 
 // NewReport assembles a report from per-scenario results: envelope,
@@ -213,6 +217,7 @@ func SweepGraph(ctx context.Context, g *timing.Graph, scens []Scenario, opt Opti
 	fillUnrun(ctx, scens, results, opt)
 	rep := NewReport(results, opt)
 	rep.Elapsed = time.Since(start)
+	rep.Top = g
 	return rep, nil
 }
 
@@ -329,6 +334,7 @@ func SweepDesign(ctx context.Context, d *hier.Design, mode hier.Mode, scens []Sc
 	fillUnrun(ctx, scens, results, opt)
 	rep := NewReport(results, opt)
 	rep.Elapsed = time.Since(start)
+	rep.Top = top
 	return rep, nil
 }
 

@@ -1,0 +1,173 @@
+package server
+
+import "testing"
+
+// Stability: the same spec must fingerprint identically across calls and
+// across map insertion orders — map-shaped fields are canonicalized.
+func TestFingerprintStability(t *testing.T) {
+	specs := []ItemSpec{
+		{Bench: "c432", Seed: 1},
+		{Bench: "c880", Seed: 7, Mode: "global", Extract: true},
+		{Netlist: "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n"},
+		{Mult: 8},
+		{Quad: &QuadSpec{Bench: "c432", Seed: 1, Gap: 2}},
+	}
+	for i := range specs {
+		a, b := ItemFingerprint(&specs[i]), ItemFingerprint(&specs[i])
+		if a != b {
+			t.Fatalf("spec %d: fingerprint not stable: %v vs %v", i, a, b)
+		}
+	}
+
+	// EdgeScales and Swaps are maps; two literals with the same content
+	// must hash identically regardless of construction order.
+	s1 := SweepScenarioSpec{Swaps: map[string]SwapSpec{}}
+	s2 := SweepScenarioSpec{Swaps: map[string]SwapSpec{}}
+	s1.Name, s2.Name = "a", "a"
+	s1.EdgeScales = map[int]float64{}
+	s2.EdgeScales = map[int]float64{}
+	for _, e := range []int{10, 2, 300, 41} {
+		s1.EdgeScales[e] = float64(e) * 1.5
+	}
+	for _, e := range []int{41, 300, 2, 10} {
+		s2.EdgeScales[e] = float64(e) * 1.5
+	}
+	for _, inst := range []string{"i0", "i3", "i2"} {
+		s1.Swaps[inst] = SwapSpec{Bench: "c432", Seed: 5}
+	}
+	for _, inst := range []string{"i2", "i0", "i3"} {
+		s2.Swaps[inst] = SwapSpec{Bench: "c432", Seed: 5}
+	}
+	if ScenarioFingerprint(&s1) != ScenarioFingerprint(&s2) {
+		t.Fatalf("scenario fingerprint depends on map construction order")
+	}
+}
+
+// Collision resistance across the input vocabulary: every pair of
+// distinct specs must fingerprint differently, including the classic
+// concatenation traps (bench "c4"+seed 32 vs "c43"+seed 2 style).
+func TestFingerprintCollisions(t *testing.T) {
+	specs := []ItemSpec{
+		{Bench: "c432", Seed: 1},
+		{Bench: "c432", Seed: 2},
+		{Bench: "c4322", Seed: 1},
+		{Bench: "c880", Seed: 1},
+		{Netlist: "c432"}, // same bytes as a bench name, different field
+		{Netlist: "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n"},
+		{Netlist: "INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n"},
+		{Mult: 4},
+		{Mult: 8},
+		{Quad: &QuadSpec{Bench: "c432", Seed: 1}},
+		{Quad: &QuadSpec{Bench: "c432", Seed: 1, Gap: 1}},
+		{Quad: &QuadSpec{Bench: "c432", Seed: 2}},
+		{Quad: &QuadSpec{Bench: "c880", Seed: 1}},
+	}
+	seen := make(map[Fingerprint]int)
+	for i := range specs {
+		fp := ItemFingerprint(&specs[i])
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("specs %d and %d collide: %+v vs %+v", j, i, specs[j], specs[i])
+		}
+		seen[fp] = i
+	}
+
+	// Name, mode and extract are labels/selectors, not subject identity:
+	// the graph cache and batcher group on the subject alone.
+	a := ItemSpec{Bench: "c432", Seed: 1}
+	b := ItemSpec{Bench: "c432", Seed: 1, Name: "x", Mode: "global", Extract: true}
+	if ItemFingerprint(&a) != ItemFingerprint(&b) {
+		t.Fatalf("item fingerprint must ignore name/mode/extract")
+	}
+}
+
+func TestScenarioFingerprintCollisions(t *testing.T) {
+	list := []SweepScenarioSpec{{}}
+	add := func(sp SweepScenarioSpec) { list = append(list, sp) }
+	add(withDerate(1.1))
+	add(withDerate(1.2))
+	add(SweepScenarioSpec{})
+	list[len(list)-1].CellScale = 1.1
+	add(SweepScenarioSpec{})
+	list[len(list)-1].NetScale = 1.1
+	add(SweepScenarioSpec{})
+	list[len(list)-1].GlobSigma = 1.1
+	add(SweepScenarioSpec{})
+	list[len(list)-1].LocSigma = 1.1
+	add(SweepScenarioSpec{})
+	list[len(list)-1].RandSigma = 1.1
+	add(SweepScenarioSpec{})
+	list[len(list)-1].EdgeScales = map[int]float64{3: 1.5}
+	add(SweepScenarioSpec{})
+	list[len(list)-1].EdgeScales = map[int]float64{3: 1.6}
+	add(SweepScenarioSpec{})
+	list[len(list)-1].EdgeScales = map[int]float64{4: 1.5}
+	add(SweepScenarioSpec{})
+	list[len(list)-1].Swaps = map[string]SwapSpec{"u0": {Bench: "c432"}}
+	add(SweepScenarioSpec{})
+	list[len(list)-1].Swaps = map[string]SwapSpec{"u0": {Bench: "c432", Seed: 3}}
+	add(SweepScenarioSpec{})
+	list[len(list)-1].Swaps = map[string]SwapSpec{"u1": {Bench: "c432"}}
+
+	seen := make(map[Fingerprint]int)
+	for i := range list {
+		fp := ScenarioFingerprint(&list[i])
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("scenarios %d and %d collide: %+v vs %+v", j, i, list[j], list[i])
+		}
+		seen[fp] = i
+	}
+
+	// The transform fingerprint ignores the display name: same knobs under
+	// different names dedupe onto one evaluation.
+	x, y := withDerate(1.15), withDerate(1.15)
+	x.Name, y.Name = "hot", "warm"
+	if ScenarioFingerprint(&x) != ScenarioFingerprint(&y) {
+		t.Fatalf("scenario fingerprint must ignore the display name")
+	}
+}
+
+func withDerate(d float64) SweepScenarioSpec {
+	var sp SweepScenarioSpec
+	sp.Derate = d
+	return sp
+}
+
+// Request-level identity covers names, knobs and scenario order — the
+// coalescer shares response bytes verbatim, so anything response-visible
+// must separate fingerprints.
+func TestRequestFingerprint(t *testing.T) {
+	base := func() *AnalyzeRequest {
+		return &AnalyzeRequest{Items: []ItemSpec{{Bench: "c432", Seed: 1}}}
+	}
+	fp := func(req *AnalyzeRequest, scens []SweepScenarioSpec, topK int) Fingerprint {
+		return requestFingerprint("analyze", req, scens, topK)
+	}
+	a := fp(base(), nil, 0)
+	if b := fp(base(), nil, 0); b != a {
+		t.Fatalf("request fingerprint not stable")
+	}
+	named := base()
+	named.Items[0].Name = "custom"
+	if fp(named, nil, 0) == a {
+		t.Fatalf("item name must change the request fingerprint")
+	}
+	timed := base()
+	timed.TimeoutMS = 500
+	if fp(timed, nil, 0) == a {
+		t.Fatalf("timeout must change the request fingerprint")
+	}
+	if requestFingerprint("sweep", base(), nil, 0) == a {
+		t.Fatalf("endpoint must change the request fingerprint")
+	}
+	s1 := []SweepScenarioSpec{withDerate(1.1), withDerate(1.2)}
+	s2 := []SweepScenarioSpec{withDerate(1.2), withDerate(1.1)}
+	if fp(base(), s1, 0) == fp(base(), s2, 0) {
+		t.Fatalf("scenario order must change the request fingerprint")
+	}
+	n1 := []SweepScenarioSpec{withDerate(1.1)}
+	n2 := []SweepScenarioSpec{withDerate(1.1)}
+	n1[0].Name, n2[0].Name = "a", "b"
+	if fp(base(), n1, 0) == fp(base(), n2, 0) {
+		t.Fatalf("scenario names must change the request fingerprint")
+	}
+}

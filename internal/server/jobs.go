@@ -161,17 +161,46 @@ func (st *jobStore) view(id string) (JobView, bool) {
 	return v, true
 }
 
+// JobSummary is one row of GET /v1/jobs: identity and state only — polling
+// a specific id is how a client gets the result payload.
+type JobSummary struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	CreatedMS int64  `json:"created_unix_ms"`
+}
+
+// list snapshots up to limit job summaries, newest first.
+func (st *jobStore) list(limit int) []JobSummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	all := make([]*job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		all = append(all, j)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].seq > all[b].seq })
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	out := make([]JobSummary, len(all))
+	for i, j := range all {
+		out[i] = JobSummary{ID: j.id, Status: j.status, CreatedMS: j.created.UnixMilli()}
+	}
+	return out
+}
+
 // cancelJob cancels a queued or running job. A queued job is removed from
 // the pending FIFO immediately — its queue capacity is reclaimed on the
 // spot; a running job is cancelled through its context and marked by the
-// worker once the batch unwinds.
-func (st *jobStore) cancelJob(id string) (JobView, bool) {
+// worker once the batch unwinds. terminal reports that the job had already
+// finished — the cancel was a no-op (repeat DELETEs are idempotent).
+func (st *jobStore) cancelJob(id string) (v JobView, terminal, ok bool) {
 	st.mu.Lock()
 	j, ok := st.jobs[id]
 	if !ok {
 		st.mu.Unlock()
-		return JobView{}, false
+		return JobView{}, false, false
 	}
+	terminal = j.status == JobDone || j.status == JobFailed || j.status == JobCancelled
 	cancel := j.cancel
 	if j.status == JobQueued {
 		j.status = JobCancelled
@@ -189,8 +218,8 @@ func (st *jobStore) cancelJob(id string) (JobView, bool) {
 	if cancel != nil {
 		cancel()
 	}
-	v, _ := st.view(id)
-	return v, true
+	v, _ = st.view(id)
+	return v, terminal, true
 }
 
 // counts samples the queue gauges for /metrics.

@@ -57,10 +57,48 @@ type metrics struct {
 	reanSum   float64 // seconds, per applied edit batch
 	reanCount int64
 	reanMax   float64
+
+	// Coalescing front: followers answered from another caller's in-flight
+	// execution, by endpoint.
+	coalesceAnalyze atomic.Int64
+	coalesceSweep   atomic.Int64
+
+	// Micro-batching front. Occupancy sum / executions = mean batch size;
+	// scenariosDeduped counts union scenarios shared by multiple callers.
+	batchRequests      atomic.Int64 // calls routed through the batcher
+	batchExecutions    atomic.Int64 // batched sweep executions launched
+	batchOccSum        atomic.Int64 // callers summed over executions
+	batchFlushSize     atomic.Int64 // groups flushed by reaching -batch-max
+	batchFlushDeadline atomic.Int64 // groups flushed by the -batch-window timer
+	scenariosDeduped   atomic.Int64
+
+	// streaming tracks live SSE connections (gauge).
+	streaming atomic.Int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{start: time.Now()}
+}
+
+// coalesceHit records one request answered from another caller's
+// in-flight execution.
+func (m *metrics) coalesceHit(endpoint string) {
+	switch endpoint {
+	case "analyze":
+		m.coalesceAnalyze.Add(1)
+	default:
+		m.coalesceSweep.Add(1)
+	}
+}
+
+// batchFlush records why a micro-batch group closed.
+func (m *metrics) batchFlush(reason string) {
+	switch reason {
+	case "size":
+		m.batchFlushSize.Add(1)
+	default:
+		m.batchFlushDeadline.Add(1)
+	}
 }
 
 // observeItem records one finished batch item.
@@ -159,6 +197,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP sstad_graph_cache Built-graph cache counters.")
 	p("sstad_graph_cache_hits_total %d", gHits)
 	p("sstad_graph_cache_misses_total %d", gMisses)
+	p("# HELP sstad_coalesce_hits_total Requests answered from another caller's in-flight execution.")
+	p(`sstad_coalesce_hits_total{endpoint="analyze"} %d`, m.coalesceAnalyze.Load())
+	p(`sstad_coalesce_hits_total{endpoint="sweep"} %d`, m.coalesceSweep.Load())
+	p("# HELP sstad_coalesce_inflight Distinct executions currently coalescing callers.")
+	p("sstad_coalesce_inflight %d", s.coalesce.inFlight())
+	p("# HELP sstad_batch_requests_total Calls routed through the micro-batcher.")
+	p("sstad_batch_requests_total %d", m.batchRequests.Load())
+	p("# HELP sstad_batch_executions Batched sweep executions; occupancy_sum/executions = mean batch size.")
+	p("sstad_batch_executions_total %d", m.batchExecutions.Load())
+	p("sstad_batch_occupancy_sum %d", m.batchOccSum.Load())
+	p("# HELP sstad_batch_flush_total Micro-batch group flushes by trigger.")
+	p(`sstad_batch_flush_total{reason="size"} %d`, m.batchFlushSize.Load())
+	p(`sstad_batch_flush_total{reason="deadline"} %d`, m.batchFlushDeadline.Load())
+	p("# HELP sstad_batch_scenarios_deduped_total Union scenarios shared by multiple batched callers.")
+	p("sstad_batch_scenarios_deduped_total %d", m.scenariosDeduped.Load())
+	if s.batch != nil {
+		p("# HELP sstad_batch_gathering Micro-batch groups currently gathering callers.")
+		p("sstad_batch_gathering %d", s.batch.gathering())
+	}
+	p("# HELP sstad_streaming_connections Live SSE streaming connections.")
+	p("sstad_streaming_connections %d", m.streaming.Load())
 	m.sweepMu.Lock()
 	sweepSum, sweepCount, sweepMax := m.sweepSum, m.sweepCount, m.sweepMax
 	m.sweepMu.Unlock()

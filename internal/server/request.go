@@ -200,16 +200,24 @@ func itemResult(r *ssta.BatchResult) ItemResult {
 	return out
 }
 
-// graphKey identifies one server-built flat graph.
+// graphKey identifies one server-built flat graph. Its cache identity is
+// the canonical ItemFingerprint of the equivalent item spec — the same
+// vocabulary the coalescer and micro-batcher key on — so "same graph"
+// means the same thing at every layer of the serving front.
 type graphKey struct {
 	bench string
 	seed  int64
 	mult  int
 }
 
+func (k graphKey) fingerprint() Fingerprint {
+	return ItemFingerprint(&ItemSpec{Bench: k.bench, Seed: k.seed, Mult: k.mult})
+}
+
 // graphEntry is a singleflight slot in the graph cache.
 type graphEntry struct {
 	key  graphKey
+	fp   Fingerprint
 	done chan struct{}
 	g    *ssta.Graph
 	plan *ssta.Plan
@@ -217,13 +225,13 @@ type graphEntry struct {
 	elem *list.Element // nil while in flight
 }
 
-// graphCache memoizes built timing graphs by benchmark identity with LRU
-// eviction — the serving-layer analogue of core.ExtractCache one level up
-// the pipeline. Holding graph identity stable across requests is also what
-// lets the extraction cache recognize repeats.
+// graphCache memoizes built timing graphs by canonical fingerprint with
+// LRU eviction — the serving-layer analogue of core.ExtractCache one level
+// up the pipeline. Holding graph identity stable across requests is also
+// what lets the extraction cache recognize repeats.
 type graphCache struct {
 	mu      sync.Mutex
-	entries map[graphKey]*graphEntry
+	entries map[Fingerprint]*graphEntry
 	lru     list.List
 	max     int
 	// filling/maxFill bound detached build goroutines exactly like
@@ -241,7 +249,7 @@ func newGraphCache(max int) *graphCache {
 		max = 64
 	}
 	return &graphCache{
-		entries: make(map[graphKey]*graphEntry),
+		entries: make(map[Fingerprint]*graphEntry),
 		max:     max,
 		maxFill: runtime.GOMAXPROCS(0),
 	}
@@ -261,8 +269,9 @@ func (c *graphCache) get(ctx context.Context, flow *ssta.Flow, key graphKey) (*s
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	fp := key.fingerprint()
 	c.mu.Lock()
-	e, ok := c.entries[key]
+	e, ok := c.entries[fp]
 	if ok {
 		c.hits++
 		if e.elem != nil {
@@ -270,8 +279,8 @@ func (c *graphCache) get(ctx context.Context, flow *ssta.Flow, key graphKey) (*s
 		}
 		c.mu.Unlock()
 	} else {
-		e = &graphEntry{key: key, done: make(chan struct{})}
-		c.entries[key] = e
+		e = &graphEntry{key: key, fp: fp, done: make(chan struct{})}
+		c.entries[fp] = e
 		c.misses++
 		detach := c.filling < c.maxFill
 		if detach {
@@ -284,16 +293,16 @@ func (c *graphCache) get(ctx context.Context, flow *ssta.Flow, key graphKey) (*s
 			if detach {
 				c.filling--
 			}
-			if c.entries[key] == e {
+			if c.entries[fp] == e {
 				if e.err != nil {
-					delete(c.entries, key)
+					delete(c.entries, fp)
 				} else {
 					e.elem = c.lru.PushFront(e)
 					for c.lru.Len() > c.max {
 						back := c.lru.Back()
 						old := back.Value.(*graphEntry)
 						c.lru.Remove(back)
-						delete(c.entries, old.key)
+						delete(c.entries, old.fp)
 					}
 				}
 			}

@@ -9,10 +9,12 @@
 //
 //	POST /v1/analyze     run a batch synchronously (per-request deadline)
 //	POST /v1/sweep       evaluate many MCMM scenarios against one item with
-//	                     shared prep (see sweep.go)
+//	                     shared prep (see sweep.go); SSE when the client
+//	                     sends Accept: text/event-stream (see sse.go)
 //	POST /v1/jobs        submit the same body asynchronously
+//	GET  /v1/jobs        bounded newest-first listing of ids + states
 //	GET  /v1/jobs/{id}   poll status/result
-//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	DELETE /v1/jobs/{id} cancel a queued or running job (204 once terminal)
 //	GET  /healthz        liveness
 //	GET  /metrics        Prometheus text: cache hit rates, queue depth,
 //	                     per-item latency
@@ -22,6 +24,11 @@
 // overload), the async queue is a fixed-depth channel (503 when full), and
 // every batch runs under a context whose cancellation reaches individual
 // graph vertices via ssta.AnalyzeBatchCtx.
+//
+// The synchronous front door (analyze + sweep) additionally coalesces and
+// micro-batches (see coalesce.go): byte-identical concurrent requests
+// share one execution, and — with batching enabled — compatible requests
+// against the same subject merge into one shared-prep sweep.
 package server
 
 import (
@@ -61,6 +68,14 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxItems bounds items per request (<=0: 256).
 	MaxItems int
+	// BatchWindow is the micro-batcher's gathering window: compatible
+	// requests (same subject and mode, any scenarios) arriving within it
+	// are answered from one shared-prep sweep. <=0 disables batching (the
+	// default) — coalescing of identical requests stays on regardless.
+	BatchWindow time.Duration
+	// BatchMax flushes a gathering micro-batch early once this many
+	// callers joined (<=1: 8). Only meaningful with BatchWindow > 0.
+	BatchMax int
 	// MaxBodyBytes bounds request bodies (<=0: 8 MiB).
 	MaxBodyBytes int64
 	// GraphCacheEntries bounds the built-graph cache (<=0: 64).
@@ -108,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxItems <= 0 {
 		c.MaxItems = 256
 	}
+	if c.BatchMax <= 1 {
+		c.BatchMax = 8
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
@@ -140,6 +158,13 @@ type Server struct {
 	jobs     *jobStore
 	sessions *sessionStore
 	metrics  *metrics
+	coalesce *coalescer
+	batch    *batcher // nil when batching is disabled (BatchWindow <= 0)
+
+	// streamWG tracks open streaming (SSE) responses so shutdown can drain
+	// them — ordered after baseStop (which aborts their executions) and
+	// before the store's final flush (their partial results may checkpoint).
+	streamWG sync.WaitGroup
 
 	quadMu   sync.Mutex
 	quads    map[quadKey]*ssta.Design
@@ -178,12 +203,17 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(),
 		quads:    make(map[quadKey]*ssta.Design),
 		maxQuads: cfg.GraphCacheEntries,
+		coalesce: newCoalescer(),
 		baseCtx:  base,
 		baseStop: stop,
+	}
+	if cfg.BatchWindow > 0 {
+		s.batch = newBatcher(s, cfg.BatchMax, cfg.BatchWindow)
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobPoll)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
@@ -217,12 +247,17 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops the job workers and waits for them to drain. In-flight
-// batches observe the cancellation cooperatively. With a store configured,
-// a final synchronous flush then checkpoints whatever the write-behind
-// pipeline still held — the graceful half of crash safety.
+// batches observe the cancellation cooperatively; open streaming responses
+// drain next (the cancellation cuts their sweeps short, and the partial
+// events plus an error summary flush to the client before the connection
+// closes). With a store configured, a final synchronous flush then
+// checkpoints whatever the write-behind pipeline still held — including
+// session state checkpointed by draining streams — the graceful half of
+// crash safety.
 func (s *Server) Close() {
 	s.baseStop()
 	s.wg.Wait()
+	s.streamWG.Wait()
 	if s.persist != nil {
 		s.persist.finalFlush()
 	}
@@ -274,18 +309,10 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (AnalyzeR
 // failures (including spec errors and cancellation) land in the item
 // results; the returned error is reserved for request-level failures.
 func (s *Server) runBatch(ctx context.Context, admissionWait time.Duration, req AnalyzeRequest) (*AnalyzeResponse, error) {
-	admitCtx := ctx
-	if admissionWait > 0 {
-		var cancel context.CancelFunc
-		admitCtx, cancel = context.WithTimeout(ctx, admissionWait)
-		defer cancel()
+	if err := s.acquireSlotWait(ctx, admissionWait); err != nil {
+		return nil, err
 	}
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-admitCtx.Done():
-		return nil, fmt.Errorf("no analysis slot: %w", admitCtx.Err())
-	}
+	defer s.releaseSlot()
 
 	start := time.Now()
 	resp := &AnalyzeResponse{Results: make([]ItemResult, len(req.Items))}
@@ -350,25 +377,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.analyzeRequests.Add(1)
-	ctx, cancel := s.requestCtx(r.Context(), &req)
-	defer cancel()
-	// AdmissionWait (default: half the deadline) bounds the slot wait so an
-	// overloaded server sheds load with 429 instead of queueing work that
-	// will blow its deadline anyway.
-	wait := s.cfg.AdmissionWait
-	if wait <= 0 {
-		if dl, ok := ctx.Deadline(); ok {
-			wait = time.Until(dl) / 2
+	// Everything past decode flows through the coalescing/batching front:
+	// identical concurrent requests share one execution; with batching on,
+	// compatible single-item requests merge onto one shared-prep sweep.
+	fp := requestFingerprint("analyze", &req, nil, 0)
+	s.serveCoalesced(w, r, "analyze", fp, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
+		if s.batch != nil {
+			if key, spec, call, batchable := s.analyzeBatchCall(&req); batchable {
+				return s.batch.do(ctx, key, spec, call)
+			}
 		}
-	}
-	resp, err := s.runBatch(ctx, wait, req)
-	if err != nil {
-		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
+		resp, err := s.runBatch(ctx, s.admissionWait(ctx), req)
+		if err != nil {
+			s.metrics.rejected.Add(1)
+			return http.StatusTooManyRequests, errorBody(http.StatusTooManyRequests, err.Error())
+		}
+		return http.StatusOK, marshalJSON(resp)
+	})
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -397,10 +422,37 @@ func (s *Server) handleJobPoll(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// handleJobList answers GET /v1/jobs with a bounded, newest-first summary
+// of known jobs (ids and states). ?limit= overrides the default page of
+// 100, clamped to the store's retention-scale bound.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			s.metrics.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", q))
+			return
+		}
+		limit = n
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	jobs := s.jobs.list(limit)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "count": len(jobs)})
+}
+
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.jobs.cancelJob(r.PathValue("id"))
+	v, terminal, ok := s.jobs.cancelJob(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if terminal {
+		// The job already reached a terminal state; the repeat DELETE had
+		// nothing to cancel.
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -416,6 +468,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"running_jobs":    running,
 		"sessions":        s.sessions.len(),
 	}
+	serving := map[string]any{
+		"coalesce_hits":         s.metrics.coalesceAnalyze.Load() + s.metrics.coalesceSweep.Load(),
+		"coalesce_inflight":     s.coalesce.inFlight(),
+		"batching":              s.batch != nil,
+		"batch_executions":      s.metrics.batchExecutions.Load(),
+		"batch_occupancy_sum":   s.metrics.batchOccSum.Load(),
+		"streaming_connections": s.metrics.streaming.Load(),
+	}
+	if s.batch != nil {
+		serving["batch_gathering"] = s.batch.gathering()
+	}
+	body["serving"] = serving
 	if p := s.persist; p != nil {
 		kind, flushAge, lastErr, degraded := p.status()
 		var errs int64

@@ -475,7 +475,7 @@ func TestQueuedCancelCountsFinished(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, ok := st.cancelJob(j.id)
+	v, _, ok := st.cancelJob(j.id)
 	if !ok || v.Status != JobCancelled {
 		t.Fatalf("cancel: %+v ok=%v", v, ok)
 	}
@@ -496,7 +496,7 @@ func TestQueuedCancelReclaimsCapacity(t *testing.T) {
 	if _, err := st.submit(AnalyzeRequest{}); err == nil {
 		t.Fatal("second submit exceeded the depth-1 bound")
 	}
-	if _, ok := st.cancelJob(a.id); !ok {
+	if _, _, ok := st.cancelJob(a.id); !ok {
 		t.Fatal("cancel failed")
 	}
 	b, err := st.submit(AnalyzeRequest{Items: []ItemSpec{{Bench: "c880"}}})

@@ -33,6 +33,12 @@ import (
 // analyzed once to seed the session.
 type SessionCreateRequest struct {
 	ItemSpec
+	// Scenarios, when present, installs an MCMM sweep on the session: the
+	// scenarios are evaluated once here (full propagation each) and every
+	// subsequent edit batch re-evaluates all of them incrementally,
+	// reporting the refreshed sweep in the edit response. Swap scenarios
+	// are rejected — sessions express swaps as edits.
+	Scenarios []SweepScenarioSpec `json:"scenarios,omitempty"`
 	// TimeoutMS caps the initial full analysis. Zero: server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -85,6 +91,9 @@ type SessionView struct {
 	// ElapsedMS is the wall-clock cost of the initial full analysis (on the
 	// create response) — the price edits then amortize.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Sweep is the session's active MCMM sweep as of the last edit batch,
+	// when one was installed at create time.
+	Sweep *SweepResponse `json:"sweep,omitempty"`
 }
 
 // SessionEditResponse is the delta returned for one applied edit batch.
@@ -97,6 +106,9 @@ type SessionEditResponse struct {
 	TotalVerts      int     `json:"total_verts"`
 	FullReprop      bool    `json:"full_reprop,omitempty"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
+	// Sweep is the refreshed active MCMM sweep, when the session installed
+	// one at create time.
+	Sweep *SweepResponse `json:"sweep,omitempty"`
 }
 
 // srvSession is one live session plus its bookkeeping.
@@ -284,6 +296,9 @@ func (s *srvSession) view() SessionView {
 		v.StdPS = info.Delay.Std()
 		v.P9987PS = info.Delay.Quantile(0.99865)
 	}
+	if rep := s.sess.Sweep(); rep != nil {
+		v.Sweep = sweepResponseView(s.name, rep, float64(rep.Elapsed.Microseconds())/1000)
+	}
 	return v
 }
 
@@ -325,6 +340,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if len(req.Scenarios) > 0 {
+		if err := s.installSessionSweep(ctx, sess, req.Scenarios); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.metrics.itemsRejected.Add(1)
+				httpError(w, http.StatusRequestTimeout, err.Error())
+				return
+			}
+			s.metrics.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	reg, err := s.sessions.add(name, sess)
 	if err != nil {
 		s.metrics.rejected.Add(1)
@@ -337,6 +364,27 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	v := reg.view()
 	v.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusCreated, v)
+}
+
+// installSessionSweep converts the create request's scenario specs and
+// installs them as the session's active MCMM sweep. Swaps are rejected at
+// conversion (sessions express swaps as edits), matching SetSweep's own
+// contract.
+func (s *Server) installSessionSweep(ctx context.Context, sess *ssta.Session, specs []SweepScenarioSpec) error {
+	if len(specs) > s.cfg.MaxItems {
+		return fmt.Errorf("request has %d scenarios, limit %d", len(specs), s.cfg.MaxItems)
+	}
+	scens := make([]ssta.Scenario, len(specs))
+	for i := range specs {
+		sc, err := s.convertScenario(ctx, &specs[i], false)
+		if err != nil {
+			return fmt.Errorf("scenario %d: %w", i, err)
+		}
+		scens[i] = sc
+	}
+	opt := ssta.SweepOptions{Workers: s.cfg.Workers, OnScenarioDone: s.scenarioMetricsHook()}
+	_, err := sess.SetSweep(ctx, scens, opt)
+	return err
 }
 
 // buildSession constructs the ssta.Session for one item spec. Flat graphs
@@ -469,9 +517,28 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 	}
 
 	reg.touch()
+	if wantsEventStream(r) {
+		if fl, ok := w.(http.Flusher); ok {
+			s.streamEditApply(w, fl, ctx, cancel, reg, edits)
+			return
+		}
+	}
 	rep, err := reg.sess.Apply(ctx, edits)
+	resp, status, msg, ok := s.settleEditBatch(reg, edits, rep, err)
+	if !ok {
+		httpError(w, status, msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// settleEditBatch is the post-Apply bookkeeping shared by the synchronous
+// and streaming paths: error classification and metrics, applied-prefix
+// accounting, checkpointing, and response assembly. On failure ok is false
+// and (status, msg) describe the error.
+func (s *Server) settleEditBatch(reg *srvSession, edits []ssta.Edit, rep *ssta.EditReport, err error) (resp SessionEditResponse, status int, msg string, ok bool) {
 	if err != nil {
-		status := applyErrorStatus(err)
+		status = applyErrorStatus(err)
 		switch status {
 		case http.StatusRequestTimeout:
 			s.metrics.itemsRejected.Add(1)
@@ -480,7 +547,7 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.metrics.badRequests.Add(1)
 		}
-		msg := err.Error()
+		msg = err.Error()
 		if rep != nil && rep.Applied > 0 {
 			// A failed batch is not nothing-happened: its valid prefix stays
 			// applied (the library contract), so account those edits and tell
@@ -492,8 +559,7 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 			s.checkpointSession(reg.id) // the applied prefix is durable state
 			msg = fmt.Sprintf("%s; %d of %d edits were applied and remain in effect", msg, rep.Applied, len(edits))
 		}
-		httpError(w, status, msg)
-		return
+		return SessionEditResponse{}, status, msg, false
 	}
 	reg.mu.Lock()
 	reg.edits += int64(rep.Applied)
@@ -501,7 +567,7 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 	reg.mu.Unlock()
 	s.metrics.observeReanalysis(rep.Elapsed, rep.Applied)
 	s.checkpointSession(reg.id)
-	resp := SessionEditResponse{
+	resp = SessionEditResponse{
 		Applied:         rep.Applied,
 		RecomputedVerts: rep.Recomputed,
 		TotalVerts:      rep.TotalVerts,
@@ -513,7 +579,50 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 		resp.StdPS = rep.Delay.Std()
 		resp.P9987PS = rep.Delay.Quantile(0.99865)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if rep.Sweep != nil {
+		resp.Sweep = sweepResponseView(reg.name, rep.Sweep, float64(rep.Sweep.Elapsed.Microseconds())/1000)
+	}
+	return resp, http.StatusOK, "", true
+}
+
+// streamEditApply is the SSE arm of POST /v1/sessions/{id}/edits: when the
+// session carries an active sweep, each incrementally re-evaluated scenario
+// streams out as a `scenario` event, followed by one `summary` event with
+// the exact synchronous edit response. Apply failures after the stream
+// opens arrive as an `error` event.
+func (s *Server) streamEditApply(w http.ResponseWriter, fl http.Flusher, ctx context.Context, cancel context.CancelFunc, reg *srvSession, edits []ssta.Edit) {
+	release := s.trackStream(cancel)
+	defer release()
+
+	n := 0
+	if rep := reg.sess.Sweep(); rep != nil {
+		n = len(rep.Results)
+	}
+	sse := &sseWriter{w: w, fl: fl}
+	sse.start()
+
+	// The observer runs on sweep worker goroutines with the session mutex
+	// held; events cross a channel sized to the scenario count so the
+	// observer never blocks on a slow client.
+	events := make(chan SweepScenarioEvent, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			sse.event("scenario", ev)
+		}
+	}()
+	rep, err := reg.sess.ApplyObserved(ctx, edits, func(i int, r *ssta.ScenarioResult) {
+		events <- SweepScenarioEvent{Index: i, SweepScenarioResult: sweepScenarioView(r)}
+	})
+	close(events)
+	<-done
+	resp, status, msg, ok := s.settleEditBatch(reg, edits, rep, err)
+	if !ok {
+		sse.eventError(status, msg)
+		return
+	}
+	sse.event("summary", resp)
 }
 
 // applyErrorStatus classifies a Session.Apply failure: cancellation maps to

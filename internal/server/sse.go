@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/ssta"
+)
+
+// Server-sent-events delivery: a client that asks for
+// `Accept: text/event-stream` on POST /v1/sweep or POST
+// /v1/sessions/{id}/edits gets per-scenario progress as the engine
+// finishes each scenario, then one final summary that is byte-identical
+// (modulo SSE framing) to the synchronous JSON answer.
+//
+// Streaming requests are never coalesced or micro-batched: the stream is
+// the caller's private progress channel, so sharing an execution would
+// interleave foreign event orders. Validation and admission errors raised
+// before the first event still travel as plain JSON status codes; once the
+// stream is open, failures arrive as an `error` event.
+//
+// Shutdown ordering: every live stream registers in Server.streamWG and
+// ties its context to the server's base context, so SIGTERM cancels the
+// in-flight sweep (per-scenario cancellation errors stream out), the
+// handler emits its final event and returns, and Close drains streamWG
+// before the durable store's final flush — no stream outlives persistence.
+
+// wantsEventStream reports whether the client negotiated SSE delivery.
+func wantsEventStream(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// SweepScenarioEvent is the payload of one `scenario` SSE event: the
+// finished scenario's result plus its index in the request's scenario list
+// (events arrive in completion order, not request order).
+type SweepScenarioEvent struct {
+	Index int `json:"index"`
+	SweepScenarioResult
+}
+
+// sseWriter frames events onto a flushable response.
+type sseWriter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+// start switches the response to an event stream. Must be called before
+// any event; once called, status codes can no longer change.
+func (e *sseWriter) start() {
+	h := e.w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	e.w.WriteHeader(http.StatusOK)
+	e.fl.Flush()
+}
+
+// event frames one named event. The payload is the same encoder as the
+// synchronous JSON path (marshalJSON), so a summary event's data line is
+// byte-identical to the sync response body.
+func (e *sseWriter) event(name string, v any) {
+	body := marshalJSON(v)
+	// marshalJSON ends with exactly one newline and (compact encoding)
+	// contains none internally, so a single data line frames it.
+	e.w.Write([]byte("event: " + name + "\ndata: "))
+	e.w.Write(body)
+	e.w.Write([]byte("\n"))
+	e.fl.Flush()
+}
+
+// eventError frames a failure that happened after the stream opened, with
+// the same body shape httpError would have sent.
+func (e *sseWriter) eventError(status int, msg string) {
+	e.w.Write([]byte("event: error\ndata: "))
+	e.w.Write(errorBody(status, msg))
+	e.w.Write([]byte("\n"))
+	e.fl.Flush()
+}
+
+// trackStream registers a live stream for shutdown draining and ties ctx
+// to the server's base context so SIGTERM cancels in-flight work. The
+// returned release must be deferred.
+func (s *Server) trackStream(cancel context.CancelFunc) (release func()) {
+	s.streamWG.Add(1)
+	s.metrics.streaming.Add(1)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return func() {
+		stop()
+		s.metrics.streaming.Add(-1)
+		s.streamWG.Done()
+	}
+}
+
+// streamSweep is the SSE arm of POST /v1/sweep: one `scenario` event per
+// finished scenario (completion order), then one `summary` event carrying
+// the exact synchronous SweepResponse.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req *SweepRequest, specs []SweepScenarioSpec) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		// Transport cannot flush incrementally; serve the sync answer.
+		ctx, cancel := s.requestCtx(r.Context(), &AnalyzeRequest{TimeoutMS: req.TimeoutMS})
+		defer cancel()
+		status, body := s.doSweep(ctx, req, specs)
+		writeRaw(w, status, body)
+		return
+	}
+	ctx, cancel := s.requestCtx(r.Context(), &AnalyzeRequest{TimeoutMS: req.TimeoutMS})
+	defer cancel()
+	release := s.trackStream(cancel)
+	defer release()
+
+	// Admission and validation run before the stream opens, so their
+	// failures keep real status codes.
+	if err := s.acquireSlotWait(ctx, 0); err != nil {
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	defer s.releaseSlot()
+	pr, status, body := s.prepSweep(ctx, req, specs)
+	if pr == nil {
+		writeRaw(w, status, body)
+		return
+	}
+
+	sse := &sseWriter{w: w, fl: fl}
+	sse.start()
+
+	// The engine's hook runs on sweep worker goroutines; the response
+	// writer is not concurrency-safe, so events cross a channel sized to
+	// the scenario count — the hook can never block on a slow client.
+	metricsHook := s.scenarioMetricsHook()
+	events := make(chan SweepScenarioEvent, len(pr.scens))
+	opt := ssta.SweepOptions{
+		Workers: pr.workers,
+		TopK:    req.TopK,
+		OnScenarioDone: func(i int, res *ssta.ScenarioResult) {
+			metricsHook(i, res)
+			events <- SweepScenarioEvent{Index: i, SweepScenarioResult: sweepScenarioView(res)}
+		},
+	}
+	start := time.Now()
+	var rep *ssta.SweepReport
+	var runErr error
+	go func() {
+		defer close(events)
+		rep, runErr = pr.run(ctx, opt)
+	}()
+	for ev := range events {
+		sse.event("scenario", ev)
+	}
+	if runErr != nil {
+		status, _ := s.sweepFailure(runErr, runErr.Error())
+		sse.eventError(status, runErr.Error())
+		return
+	}
+	sse.event("summary", sweepResponseView(pr.name, rep, float64(time.Since(start).Microseconds())/1000))
+}

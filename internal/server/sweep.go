@@ -146,79 +146,115 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.sweepRequests.Add(1)
-	ctx, cancel := s.requestCtx(r.Context(), &AnalyzeRequest{TimeoutMS: req.TimeoutMS})
-	defer cancel()
-	// One analysis slot covers the whole sweep: scenario materialization
-	// (swap extraction) and the propagation fan-out both count as analysis.
-	if !s.acquireSlot(ctx, w) {
+	if wantsEventStream(r) {
+		s.streamSweep(w, r, &req, specs)
 		return
 	}
-	defer s.releaseSlot()
+	fp := requestFingerprint("sweep",
+		&AnalyzeRequest{Items: []ItemSpec{req.ItemSpec}, Workers: req.Workers, TimeoutMS: req.TimeoutMS},
+		specs, req.TopK)
+	s.serveCoalesced(w, r, "sweep", fp, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
+		if s.batch != nil {
+			if key, spec, call, batchable := s.sweepBatchCall(&req, specs); batchable {
+				return s.batch.do(ctx, key, spec, call)
+			}
+		}
+		return s.doSweep(ctx, &req, specs)
+	})
+}
 
+// sweepFailure classifies a resolve/convert/run failure exactly like every
+// other ctx path in the serving layer: a deadline/cancel is a timeout
+// (408), everything else is validation (400) — and counts it.
+func (s *Server) sweepFailure(err error, msg string) (int, []byte) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.itemsRejected.Add(1)
+		return http.StatusRequestTimeout, errorBody(http.StatusRequestTimeout, msg)
+	}
+	s.metrics.badRequests.Add(1)
+	return http.StatusBadRequest, errorBody(http.StatusBadRequest, msg)
+}
+
+// sweepPrep is a resolved, validated sweep ready to run: the shared
+// front-door path, the streaming path and the micro-batcher all converge on
+// run().
+type sweepPrep struct {
+	item    ssta.BatchItem
+	name    string
+	isQuad  bool
+	mode    ssta.Mode
+	scens   []ssta.Scenario
+	workers int
+}
+
+func (p *sweepPrep) run(ctx context.Context, opt ssta.SweepOptions) (*ssta.SweepReport, error) {
+	if p.isQuad {
+		return ssta.SweepAnalyze(ctx, p.item.Design, p.mode, p.scens, opt)
+	}
+	return ssta.SweepAnalyzeGraph(ctx, p.item.Graph, p.scens, opt)
+}
+
+// prepSweep resolves the subject item and materializes every scenario. On
+// failure the prep is nil and (status, body) carry the classified error.
+func (s *Server) prepSweep(ctx context.Context, req *SweepRequest, specs []SweepScenarioSpec) (*sweepPrep, int, []byte) {
 	item, name, isQuad, mode, err := s.resolveSweepItem(ctx, &req.ItemSpec)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.metrics.itemsRejected.Add(1)
-			httpError(w, http.StatusRequestTimeout, err.Error())
-			return
-		}
-		s.metrics.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		status, body := s.sweepFailure(err, err.Error())
+		return nil, status, body
 	}
 	scens := make([]ssta.Scenario, len(specs))
 	for i := range specs {
 		sc, err := s.convertScenario(ctx, &specs[i], isQuad)
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				s.metrics.itemsRejected.Add(1)
-				httpError(w, http.StatusRequestTimeout, fmt.Sprintf("scenario %d: %v", i, err))
-				return
-			}
-			s.metrics.badRequests.Add(1)
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %d: %v", i, err))
-			return
+			status, body := s.sweepFailure(err, fmt.Sprintf("scenario %d: %v", i, err))
+			return nil, status, body
 		}
 		scens[i] = sc
 	}
-
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
+	return &sweepPrep{item: item, name: name, isQuad: isQuad, mode: mode, scens: scens, workers: workers}, 0, nil
+}
+
+// doSweep is the direct (unbatched) sweep execution: one admission slot
+// covers the whole sweep — scenario materialization (swap extraction) and
+// the propagation fan-out both count as analysis.
+func (s *Server) doSweep(ctx context.Context, req *SweepRequest, specs []SweepScenarioSpec) (int, []byte) {
+	if err := s.acquireSlotWait(ctx, 0); err != nil {
+		s.metrics.rejected.Add(1)
+		return http.StatusTooManyRequests, errorBody(http.StatusTooManyRequests, err.Error())
+	}
+	defer s.releaseSlot()
+
+	pr, status, body := s.prepSweep(ctx, req, specs)
+	if pr == nil {
+		return status, body
+	}
 	opt := ssta.SweepOptions{
-		Workers: workers,
-		TopK:    req.TopK,
-		OnScenarioDone: func(_ int, res *ssta.ScenarioResult) {
-			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
-				s.metrics.scenariosRejected.Add(1)
-				return
-			}
-			s.metrics.observeScenario(res.Elapsed, res.Err != nil)
-		},
+		Workers:        pr.workers,
+		TopK:           req.TopK,
+		OnScenarioDone: s.scenarioMetricsHook(),
 	}
 	start := time.Now()
-	var rep *ssta.SweepReport
-	if isQuad {
-		rep, err = ssta.SweepAnalyze(ctx, item.Design, mode, scens, opt)
-	} else {
-		rep, err = ssta.SweepAnalyzeGraph(ctx, item.Graph, scens, opt)
-	}
+	rep, err := pr.run(ctx, opt)
 	if err != nil {
 		// A deadline/cancel firing before the per-scenario fan-out (the
 		// shared design stitch runs under ctx) is a timeout, not a bad
-		// request — same classification as every other ctx path here.
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.metrics.itemsRejected.Add(1)
-			httpError(w, http.StatusRequestTimeout, err.Error())
-			return
-		}
-		// Remaining sweep-level failures are validation (the scenarios were
-		// already normalized above, so this is a bad item/scenario combo).
-		s.metrics.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		// request; remaining sweep-level failures are validation (the
+		// scenarios were already normalized above, so this is a bad
+		// item/scenario combo).
+		return s.sweepFailure(err, err.Error())
 	}
+	resp := sweepResponseView(pr.name, rep, float64(time.Since(start).Microseconds())/1000)
+	return http.StatusOK, marshalJSON(resp)
+}
+
+// sweepResponseView flattens a sweep report into the wire response — the
+// one assembly both the direct path and the micro-batcher's per-caller
+// reassembly go through.
+func sweepResponseView(name string, rep *ssta.SweepReport, elapsedMS float64) *SweepResponse {
 	resp := &SweepResponse{
 		Name:      name,
 		Results:   make([]SweepScenarioResult, len(rep.Results)),
@@ -230,25 +266,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			P9987PS: rep.Envelope.Quantile,
 			Worst:   rep.Envelope.Worst,
 		},
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMS: elapsedMS,
 	}
-	for i, res := range rep.Results {
-		out := SweepScenarioResult{
-			Name:      res.Name,
-			Shared:    res.Shared,
-			ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
-		}
-		if res.Err != nil {
-			out.Error = res.Err.Error()
-		} else {
-			out.MeanPS, out.StdPS, out.P9987PS = res.Mean, res.Std, res.Quantile
-		}
-		resp.Results[i] = out
+	for i := range rep.Results {
+		resp.Results[i] = sweepScenarioView(&rep.Results[i])
 	}
 	for _, dv := range rep.TopDivergent {
 		resp.TopDivergent = append(resp.TopDivergent, DivergenceView{Name: dv.Name, Score: dv.Score})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// sweepScenarioView flattens one scenario result for the wire.
+func sweepScenarioView(res *ssta.ScenarioResult) SweepScenarioResult {
+	out := SweepScenarioResult{
+		Name:      res.Name,
+		Shared:    res.Shared,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	} else {
+		out.MeanPS, out.StdPS, out.P9987PS = res.Mean, res.Std, res.Quantile
+	}
+	return out
 }
 
 // resolveSweepItem maps the item spec onto the sweep's subject: a cached

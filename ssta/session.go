@@ -247,6 +247,18 @@ func (s *Session) Design() *Design {
 // batch from nothing-happened — blindly resending the same batch would
 // double-apply its valid prefix.
 func (s *Session) Apply(ctx context.Context, edits []Edit) (*EditReport, error) {
+	return s.ApplyObserved(ctx, edits, nil)
+}
+
+// ApplyObserved is Apply with a per-scenario completion observer for the
+// active sweep: when a sweep is installed, obs is invoked once per scenario
+// as its refreshed result becomes final — including error results when the
+// refresh is cut off mid-sweep — so streaming callers can deliver partial
+// sweep output instead of waiting for the whole report. obs runs with the
+// session mutex held and may be called from sweep worker goroutines (during
+// a full rebuild); it must not call back into the session. It composes with
+// the sweep's own SweepOptions.OnScenarioDone hook, which fires first.
+func (s *Session) ApplyObserved(ctx context.Context, edits []Edit, obs func(i int, r *ScenarioResult)) (*EditReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
@@ -272,7 +284,7 @@ func (s *Session) Apply(ctx context.Context, edits []Edit) (*EditReport, error) 
 		s.mirrorEdit(&edits[k])
 		applied++
 	}
-	rep, err := s.refresh(ctx, restitched)
+	rep, err := s.refresh(ctx, restitched, obs)
 	rep.Applied = applied
 	rep.Elapsed = time.Since(start)
 	if err != nil {
@@ -377,8 +389,9 @@ func (s *Session) syncTop() error {
 }
 
 // refresh re-syncs the incremental state with the (possibly restitched)
-// graph and folds the new delay.
-func (s *Session) refresh(ctx context.Context, restitched bool) (*EditReport, error) {
+// graph and folds the new delay. obs, when non-nil, observes per-scenario
+// sweep results as they finalize (see ApplyObserved).
+func (s *Session) refresh(ctx context.Context, restitched bool, obs func(int, *ScenarioResult)) (*EditReport, error) {
 	rep := &EditReport{TotalVerts: s.graph.NumVerts}
 	if restitched {
 		if err := s.syncTop(); err != nil {
@@ -421,7 +434,7 @@ func (s *Session) refresh(ctx context.Context, restitched bool) (*EditReport, er
 	// a re-analysis error while the session itself stays usable — the sweep
 	// is marked stale and fully rebuilt on the next refresh.
 	if s.sweep != nil {
-		if err := s.refreshSweep(ctx, graphChanged); err != nil {
+		if err := s.refreshSweep(ctx, graphChanged, obs); err != nil {
 			return rep, err
 		}
 		rep.Sweep = s.sweep.report
@@ -546,13 +559,34 @@ func (s *Session) mirrorEdit(e *Edit) {
 	}
 }
 
+// sweepObserver composes the sweep's own OnScenarioDone hook with a
+// per-call observer into one completion callback (nil when both are nil).
+// The installed hook fires first so its accounting is never starved by a
+// slow streaming observer.
+func sweepObserver(opt SweepOptions, obs func(int, *ScenarioResult)) func(int, *ScenarioResult) {
+	hook := opt.OnScenarioDone
+	if hook == nil {
+		return obs
+	}
+	if obs == nil {
+		return hook
+	}
+	return func(i int, r *ScenarioResult) { hook(i, r); obs(i, r) }
+}
+
 // refreshSweep re-evaluates the active sweep: a dirty-cone incremental
 // update per scenario, or a full rebuild when the session graph was
-// replaced (restitch) or the sweep state went stale.
-func (s *Session) refreshSweep(ctx context.Context, rebuild bool) error {
+// replaced (restitch) or the sweep state went stale. Every scenario gets
+// one definite outcome even when the refresh is interrupted mid-sweep — a
+// failed incremental update lands in that scenario's Err and the remaining
+// scenarios are still attempted (once the context is dead they fail fast),
+// so the observer sees exactly where the sweep was cut off. Any update
+// failure marks the sweep stale and surfaces as the returned error; the
+// retained report is then the last consistent one.
+func (s *Session) refreshSweep(ctx context.Context, rebuild bool, obs func(int, *ScenarioResult)) error {
 	sw := s.sweep
 	if rebuild || sw.stale {
-		st, err := s.buildSweepState(ctx, sw.scens, sw.opt)
+		st, err := s.buildSweepState(ctx, sw.scens, sw.opt, obs)
 		if err != nil {
 			sw.stale = true
 			return err
@@ -560,26 +594,36 @@ func (s *Session) refreshSweep(ctx context.Context, rebuild bool) error {
 		s.sweep = st
 		return nil
 	}
+	fire := sweepObserver(sw.opt, obs)
 	q := sw.opt.Quantile
 	if q <= 0 {
 		q = 0.99865
 	}
 	results := make([]ScenarioResult, len(sw.scens))
+	var firstErr error
 	for i := range sw.scens {
 		r := &results[i]
 		r.Name, r.Shared = sw.scens[i].Name, true
 		t0 := time.Now()
 		if _, err := sw.incs[i].Update(ctx); err != nil {
-			sw.stale = true
-			return err
-		}
-		if delay, err := sw.incs[i].MaxDelay(); err != nil {
+			r.Err = err
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else if delay, err := sw.incs[i].MaxDelay(); err != nil {
 			r.Err = err
 		} else {
 			r.Delay = delay
 			r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
 		}
 		r.Elapsed = time.Since(t0)
+		if fire != nil {
+			fire(i, r)
+		}
+	}
+	if firstErr != nil {
+		sw.stale = true
+		return firstErr
 	}
 	sw.report = scenario.NewReport(results, sw.opt)
 	return nil
@@ -588,14 +632,19 @@ func (s *Session) refreshSweep(ctx context.Context, rebuild bool) error {
 // buildSweepState pays the full per-scenario cost — one transformed clone
 // of the session graph and one full propagation per scenario — fanned out
 // over opt.Workers like the one-shot sweep engine (each scenario writes
-// only its own slots; the session mutex is already held).
-func (s *Session) buildSweepState(ctx context.Context, scens []Scenario, opt SweepOptions) (*sessionSweep, error) {
+// only its own slots; the session mutex is already held). The observer is
+// fired once per scenario with its final result, including error results
+// when the build is interrupted: scenarios the pool never started are
+// attributed the context error before the build error is returned, so a
+// streaming caller still receives one event per scenario.
+func (s *Session) buildSweepState(ctx context.Context, scens []Scenario, opt SweepOptions, obs func(int, *ScenarioResult)) (*sessionSweep, error) {
 	sw := &sessionSweep{
 		scens:  scens,
 		opt:    opt,
 		graphs: make([]*Graph, len(scens)),
 		incs:   make([]*timing.Incremental, len(scens)),
 	}
+	fire := sweepObserver(opt, obs)
 	q := opt.Quantile
 	if q <= 0 {
 		q = 0.99865
@@ -603,14 +652,19 @@ func (s *Session) buildSweepState(ctx context.Context, scens []Scenario, opt Swe
 	results := make([]ScenarioResult, len(scens))
 	err := timing.ParallelForCtx(ctx, len(scens), opt.Workers, func(ctx context.Context, i int) error {
 		t0 := time.Now()
+		r := &results[i]
+		r.Name, r.Shared = scens[i].Name, true
 		g := scens[i].TransformGraph(s.graph)
 		inc, err := g.NewIncrementalCtx(ctx)
 		if err != nil {
+			r.Err = err
+			r.Elapsed = time.Since(t0)
+			if fire != nil {
+				fire(i, r)
+			}
 			return err
 		}
 		sw.graphs[i], sw.incs[i] = g, inc
-		r := &results[i]
-		r.Name, r.Shared = scens[i].Name, true
 		if delay, err := inc.MaxDelay(); err != nil {
 			r.Err = err
 		} else {
@@ -618,9 +672,26 @@ func (s *Session) buildSweepState(ctx context.Context, scens []Scenario, opt Swe
 			r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
 		}
 		r.Elapsed = time.Since(t0)
+		if fire != nil {
+			fire(i, r)
+		}
 		return nil
 	})
 	if err != nil {
+		if fire != nil {
+			for i := range results {
+				r := &results[i]
+				if r.Delay == nil && r.Err == nil {
+					r.Name, r.Shared = scens[i].Name, true
+					if cerr := ctx.Err(); cerr != nil {
+						r.Err = cerr
+					} else {
+						r.Err = err
+					}
+					fire(i, r)
+				}
+			}
+		}
 		return nil, err
 	}
 	sw.report = scenario.NewReport(results, opt)
@@ -644,7 +715,7 @@ func (s *Session) SetSweep(ctx context.Context, scens []Scenario, opt SweepOptio
 	if s.hs != nil && s.hs.Stale() {
 		return nil, errors.New("ssta: session graph is stale after an interrupted swap; apply an edit batch to recover first")
 	}
-	st, err := s.buildSweepState(ctx, norm, opt)
+	st, err := s.buildSweepState(ctx, norm, opt, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,16 @@
 //
 //	go run ./cmd/sstad -addr :8080 -concurrency 2 -cache-entries 256
 //
+// Distributed serving (one binary, three roles):
+//
+//	sstad -role worker -addr :8081 -rpc-listen :9091
+//	sstad -role worker -addr :8082 -rpc-listen :9092
+//	sstad -role coordinator -addr :8080 -nodes localhost:9091,localhost:9092
+//
+// The coordinator answers the public API and shards sweep and micro-batch
+// executions across its worker pool, with consistent-hash session affinity
+// and automatic local fallback when no worker is healthy.
+//
 // Endpoints (see internal/server for the wire schema):
 //
 //	POST /v1/analyze             synchronous batch analysis
@@ -36,12 +46,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/ssta"
@@ -67,6 +80,9 @@ func main() {
 	storeDir := flag.String("store-dir", "", "durable-state directory: sessions and extracted models are checkpointed here and restored at boot (empty: in-memory only)")
 	storeFlush := flag.Duration("store-flush-interval", time.Second, "write-behind checkpoint flush interval")
 	storeSync := flag.Bool("store-sync", false, "fsync durable-state writes (slower, survives power loss)")
+	role := flag.String("role", "standalone", "serving role: standalone, coordinator (shards sweeps across -nodes) or worker (serves cluster RPC on -rpc-listen)")
+	nodes := flag.String("nodes", "", "coordinator only: comma-separated worker RPC addresses (host:port,...)")
+	rpcListen := flag.String("rpc-listen", ":9090", "worker only: cluster RPC listen address")
 	flag.Parse()
 
 	// Decode and validate the default scenario set at startup so a bad
@@ -103,6 +119,35 @@ func main() {
 		backend = fs
 	}
 
+	// Cluster topology. One binary serves all three roles: a coordinator
+	// answers the public API and shards sweep/batch executions across its
+	// worker pool; a worker additionally listens for the coordinator's
+	// framed RPC; standalone is the default single-process mode.
+	var pool *cluster.Pool
+	switch *role {
+	case "standalone", "worker":
+		if *nodes != "" {
+			fmt.Fprintf(os.Stderr, "sstad: -nodes requires -role coordinator\n")
+			os.Exit(2)
+		}
+	case "coordinator":
+		addrs := strings.Split(*nodes, ",")
+		var clean []string
+		for _, a := range addrs {
+			if a = strings.TrimSpace(a); a != "" {
+				clean = append(clean, a)
+			}
+		}
+		if len(clean) == 0 {
+			fmt.Fprintf(os.Stderr, "sstad: -role coordinator needs at least one -nodes address\n")
+			os.Exit(2)
+		}
+		pool = cluster.NewPool(cluster.PoolConfig{Addrs: clean})
+	default:
+		fmt.Fprintf(os.Stderr, "sstad: unknown -role %q (standalone, coordinator or worker)\n", *role)
+		os.Exit(2)
+	}
+
 	flow := ssta.DefaultFlow()
 	flow.Cache = ssta.NewExtractCacheSized(*cacheEntries, *cacheCost)
 	srv := server.New(server.Config{
@@ -122,6 +167,7 @@ func main() {
 		BatchMax:           *batchMax,
 		Store:              backend,
 		StoreFlushInterval: *storeFlush,
+		Cluster:            pool,
 	})
 
 	hs := &http.Server{
@@ -132,10 +178,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *role == "worker" {
+		ln, err := net.Listen("tcp", *rpcListen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sstad: -rpc-listen: %v\n", err)
+			os.Exit(2)
+		}
+		go func() {
+			if err := cluster.Serve(ctx, ln, srv.WorkerService()); err != nil && ctx.Err() == nil {
+				log.Printf("sstad: cluster rpc: %v", err)
+			}
+		}()
+		log.Printf("sstad worker serving cluster rpc on %s", ln.Addr())
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("sstad listening on %s (concurrency %d, queue %d, cache %d entries)",
-		*addr, *concurrency, *queueDepth, *cacheEntries)
+	log.Printf("sstad listening on %s (role %s, concurrency %d, queue %d, cache %d entries)",
+		*addr, *role, *concurrency, *queueDepth, *cacheEntries)
 
 	select {
 	case err := <-errCh:

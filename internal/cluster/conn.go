@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler serves one RPC method. ctx is canceled when the peer sends a
+// cancel frame for the request, the connection dies, or the connection's
+// base context ends. Emit streams an event frame back to the caller
+// mid-request; the returned bytes become the response body.
+type Handler func(ctx context.Context, req *Request) ([]byte, error)
+
+// Service maps method names to handlers. Both ends of a connection may
+// serve one: coordinators serve the remote model cache on the same
+// connections they dispatch shards over.
+type Service map[string]Handler
+
+// Request is the callee-side view of one in-flight RPC.
+type Request struct {
+	// Conn is the connection the request arrived on, for peer calls
+	// back in the other direction.
+	Conn *Conn
+	// Method is the dispatched method name.
+	Method string
+	// Body is the raw request body.
+	Body []byte
+	// Emit sends an event frame to the caller. Safe to call from the
+	// handler goroutine until the handler returns.
+	Emit func(body []byte) error
+}
+
+// ErrConnClosed reports a call attempted on, or interrupted by, a dead
+// connection.
+var ErrConnClosed = errors.New("cluster: connection closed")
+
+// RemoteError is a handler failure relayed from the peer: the transport
+// worked, the method did not.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "cluster: remote: " + e.Msg }
+
+// pending tracks one outbound call awaiting its response frame.
+type pending struct {
+	done    chan struct{}
+	body    []byte
+	err     error
+	onEvent func(body []byte)
+}
+
+// Conn is a symmetric RPC connection: both peers can call, serve,
+// stream events, and cancel over one net.Conn. A single reader
+// goroutine demultiplexes frames; writes are serialized by a mutex and
+// each frame is a single Write on the underlying connection.
+type Conn struct {
+	nc  net.Conn
+	svc Service
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wmu sync.Mutex
+
+	mu       sync.Mutex
+	calls    map[uint64]*pending
+	inflight map[uint64]context.CancelFunc
+	err      error
+	closed   bool
+
+	nextID atomic.Uint64
+	wg     sync.WaitGroup
+}
+
+// NewConn wraps nc in an RPC connection serving svc (which may be nil
+// for a pure client). ctx bounds the connection's lifetime: when it
+// ends the connection closes and all in-flight calls fail.
+func NewConn(ctx context.Context, nc net.Conn, svc Service) *Conn {
+	cctx, cancel := context.WithCancel(ctx)
+	c := &Conn{
+		nc:       nc,
+		svc:      svc,
+		ctx:      cctx,
+		cancel:   cancel,
+		calls:    make(map[uint64]*pending),
+		inflight: make(map[uint64]context.CancelFunc),
+	}
+	context.AfterFunc(cctx, func() { c.close(ErrConnClosed) })
+	c.wg.Add(1)
+	go c.readLoop()
+	return c
+}
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+// Done is closed when the connection is dead.
+func (c *Conn) Done() <-chan struct{} { return c.ctx.Done() }
+
+// Close tears the connection down, failing all in-flight calls.
+func (c *Conn) Close() error {
+	c.close(ErrConnClosed)
+	return nil
+}
+
+// close marks the connection dead exactly once and fails everything.
+func (c *Conn) close(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	calls := c.calls
+	c.calls = nil
+	cancels := c.inflight
+	c.inflight = nil
+	c.mu.Unlock()
+
+	c.cancel()
+	c.nc.Close()
+	for _, p := range calls {
+		p.err = err
+		close(p.done)
+	}
+	for _, stop := range cancels {
+		stop()
+	}
+}
+
+// Err reports why the connection died, or nil while it is alive.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// writeFrame serializes one frame onto the wire.
+func (c *Conn) writeFrame(h frameHeader, body []byte) error {
+	buf, err := encodeFrame(h, body)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.nc.Write(buf); err != nil {
+		return fmt.Errorf("cluster: write frame: %w", err)
+	}
+	return nil
+}
+
+// Call issues method with body and waits for the response. onEvent, if
+// non-nil, receives each event frame the callee emits before its
+// response; it runs on the connection's reader goroutine and must not
+// block. When ctx ends first, a cancel frame is sent so the callee's
+// handler context dies too.
+func (c *Conn) Call(ctx context.Context, method string, body []byte, onEvent func(body []byte)) ([]byte, error) {
+	id := c.nextID.Add(1)
+	p := &pending{done: make(chan struct{}), onEvent: onEvent}
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.calls[id] = p
+	c.mu.Unlock()
+
+	if err := c.writeFrame(frameHeader{Type: frameRequest, ID: id, Method: method}, body); err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		c.close(err)
+		return nil, err
+	}
+
+	select {
+	case <-p.done:
+		return p.body, p.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		// Best-effort: tell the callee to stop working on our behalf.
+		_ = c.writeFrame(frameHeader{Type: frameCancel, ID: id}, nil)
+		return nil, ctx.Err()
+	}
+}
+
+// readLoop demultiplexes inbound frames until the connection dies.
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	for {
+		h, body, err := readFrame(c.nc)
+		if err != nil {
+			c.close(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		switch h.Type {
+		case frameRequest:
+			c.serveRequest(h, body)
+		case frameResponse:
+			c.mu.Lock()
+			p := c.calls[h.ID]
+			delete(c.calls, h.ID)
+			c.mu.Unlock()
+			if p == nil {
+				continue // caller gave up already
+			}
+			if h.Error != "" {
+				p.err = &RemoteError{Msg: h.Error}
+			} else {
+				p.body = body
+			}
+			close(p.done)
+		case frameEvent:
+			c.mu.Lock()
+			p := c.calls[h.ID]
+			c.mu.Unlock()
+			if p != nil && p.onEvent != nil {
+				p.onEvent(body)
+			}
+		case frameCancel:
+			c.mu.Lock()
+			stop := c.inflight[h.ID]
+			c.mu.Unlock()
+			if stop != nil {
+				stop()
+			}
+		default:
+			c.close(fmt.Errorf("%w: unknown frame type %d", ErrConnClosed, h.Type))
+			return
+		}
+	}
+}
+
+// serveRequest runs the handler for one inbound request in its own
+// goroutine so slow methods never stall the reader.
+func (c *Conn) serveRequest(h frameHeader, body []byte) {
+	handler := c.svc[h.Method]
+	if handler == nil {
+		_ = c.writeFrame(frameHeader{Type: frameResponse, ID: h.ID,
+			Error: fmt.Sprintf("unknown method %q", h.Method)}, nil)
+		return
+	}
+	hctx, stop := context.WithCancel(c.ctx)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		stop()
+		return
+	}
+	c.inflight[h.ID] = stop
+	c.mu.Unlock()
+
+	req := &Request{
+		Conn:   c,
+		Method: h.Method,
+		Body:   body,
+		Emit: func(b []byte) error {
+			return c.writeFrame(frameHeader{Type: frameEvent, ID: h.ID}, b)
+		},
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer stop()
+		res, err := handler(hctx, req)
+		c.mu.Lock()
+		delete(c.inflight, h.ID)
+		c.mu.Unlock()
+		rh := frameHeader{Type: frameResponse, ID: h.ID}
+		if err != nil {
+			rh.Error = err.Error()
+			if rh.Error == "" {
+				rh.Error = "handler failed"
+			}
+			res = nil
+		}
+		_ = c.writeFrame(rh, res)
+	}()
+}

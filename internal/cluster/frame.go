@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// Wire format: each frame is
+//
+//	[4-byte big-endian length][store.Seal("sstad-rpc", 1, payload)]
+//
+// where payload is a one-line JSON frame header followed by the body:
+//
+//	{"t":1,"id":7,"m":"sweep.shard"}\n<body bytes>
+//
+// Reusing the store envelope means every frame carries the snapshot
+// magic, a format version, and a CRC-32C over the payload, so a torn
+// write or a flipped bit surfaces as store.ErrCorrupt at the reader
+// instead of as garbage handed to a decoder.
+
+const (
+	// frameKind is the store envelope kind sealed around every frame.
+	frameKind = "sstad-rpc"
+	// frameVersion is the RPC format version inside the envelope.
+	frameVersion = 1
+	// maxFrameBytes bounds a single frame (sealed envelope included).
+	// Model snapshots are the largest bodies and stay well under this.
+	maxFrameBytes = 64 << 20
+)
+
+// Frame types. Requests and responses pair by id; events are
+// mid-request notifications from callee to caller; cancel propagates
+// caller context death to the callee's handler.
+const (
+	frameRequest  = 1
+	frameResponse = 2
+	frameEvent    = 3
+	frameCancel   = 4
+)
+
+// frameHeader is the one-line JSON header inside each frame.
+type frameHeader struct {
+	Type   int    `json:"t"`
+	ID     uint64 `json:"id"`
+	Method string `json:"m,omitempty"`
+	Error  string `json:"e,omitempty"`
+}
+
+// errFrameTooLarge rejects frames beyond maxFrameBytes on either side.
+var errFrameTooLarge = errors.New("cluster: frame exceeds size limit")
+
+// encodeFrame assembles one wire frame as a single buffer so the
+// transport can hand it to the socket in one Write call (which keeps
+// fault-injection counting frame-accurate).
+func encodeFrame(h frameHeader, body []byte) ([]byte, error) {
+	hb, err := json.Marshal(&h)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshal frame header: %w", err)
+	}
+	payload := make([]byte, 0, len(hb)+1+len(body))
+	payload = append(payload, hb...)
+	payload = append(payload, '\n')
+	payload = append(payload, body...)
+	sealed := store.Seal(frameKind, frameVersion, payload)
+	if len(sealed) > maxFrameBytes {
+		return nil, errFrameTooLarge
+	}
+	out := make([]byte, 4+len(sealed))
+	binary.BigEndian.PutUint32(out, uint32(len(sealed)))
+	copy(out[4:], sealed)
+	return out, nil
+}
+
+// readFrame reads one frame, validating the envelope seal. A short read
+// mid-frame (torn write, dropped peer) returns the read error; a frame
+// that fails the seal returns an error wrapping store.ErrCorrupt or
+// store.ErrVersion.
+func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	var h frameHeader
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return h, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameBytes {
+		return h, nil, errFrameTooLarge
+	}
+	sealed := make([]byte, n)
+	if _, err := io.ReadFull(r, sealed); err != nil {
+		return h, nil, fmt.Errorf("cluster: short frame read: %w", err)
+	}
+	payload, err := store.OpenKind(sealed, frameKind, frameVersion)
+	if err != nil {
+		return h, nil, err
+	}
+	nl := bytes.IndexByte(payload, '\n')
+	if nl < 0 {
+		return h, nil, fmt.Errorf("%w: frame has no header line", store.ErrCorrupt)
+	}
+	if err := json.Unmarshal(payload[:nl], &h); err != nil {
+		return h, nil, fmt.Errorf("%w: frame header: %v", store.ErrCorrupt, err)
+	}
+	return h, payload[nl+1:], nil
+}

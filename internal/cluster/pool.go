@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PingMethod is the health-check RPC every worker must serve. The pool
+// calls it on every interval tick; any response counts as healthy.
+const PingMethod = "ping"
+
+// DialFunc opens a transport connection to a worker address. Tests and
+// fault injection substitute their own.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// ringVnodes is how many virtual nodes each worker contributes to the
+// placement ring. More vnodes smooth the key distribution.
+const ringVnodes = 64
+
+// PoolConfig configures a worker pool.
+type PoolConfig struct {
+	// Addrs are the worker RPC addresses (host:port).
+	Addrs []string
+	// Dial opens connections; nil uses a net.Dialer with PingTimeout.
+	Dial DialFunc
+	// Service is served on the pool's side of every connection, so
+	// workers can call back (remote model cache). May be nil.
+	Service Service
+	// PingInterval is the health-check cadence. Default 500ms.
+	PingInterval time.Duration
+	// PingTimeout bounds one ping round trip (and the default dial).
+	// Default 2s.
+	PingTimeout time.Duration
+	// FailThreshold is how many consecutive ping failures mark a node
+	// unhealthy. Default 1: a dispatch failure or missed ping demotes
+	// immediately; the next successful ping promotes back.
+	FailThreshold int
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Dial == nil {
+		c.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			d := net.Dialer{Timeout: c.PingTimeout}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = 500 * time.Millisecond
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 1
+	}
+	return c
+}
+
+// Node is one worker in the pool. Counters are exposed for metrics.
+type Node struct {
+	addr string
+
+	mu         sync.Mutex
+	conn       *Conn
+	healthy    bool
+	lastErr    error
+	lastSeen   time.Time
+	consecFail int
+
+	// InFlight is the number of dispatches currently on this node.
+	InFlight atomic.Int64
+	// Dispatches counts RPCs issued to this node.
+	Dispatches atomic.Int64
+	// Errors counts RPCs that failed at the transport layer.
+	Errors atomic.Int64
+	// Sessions counts stateful sessions currently routed to this node.
+	Sessions atomic.Int64
+}
+
+// Addr reports the node's worker address.
+func (n *Node) Addr() string { return n.addr }
+
+// Healthy reports whether the last health check succeeded.
+func (n *Node) Healthy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.healthy
+}
+
+// LastErr reports the most recent transport failure, if any.
+func (n *Node) LastErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastErr
+}
+
+// LastSeen reports when the node last answered.
+func (n *Node) LastSeen() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastSeen
+}
+
+// ErrNoNodes reports a dispatch attempted with no healthy worker.
+var ErrNoNodes = errors.New("cluster: no healthy nodes")
+
+// Pool is a fixed-membership worker pool: it dials lazily, health-
+// checks every node, and places keys with a consistent-hash ring.
+type Pool struct {
+	cfg   PoolConfig
+	nodes []*Node
+	ring  []ringEntry
+
+	mu  sync.Mutex
+	svc Service
+
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+}
+
+type ringEntry struct {
+	hash uint64
+	node *Node
+}
+
+// NewPool builds a pool over the given worker addresses. Call Start to
+// begin health checking.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, svc: cfg.Service}
+	for _, addr := range cfg.Addrs {
+		n := &Node{addr: addr}
+		p.nodes = append(p.nodes, n)
+		for v := 0; v < ringVnodes; v++ {
+			p.ring = append(p.ring, ringEntry{hash: ringHash(addr + "#" + strconv.Itoa(v)), node: n})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+	return p
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// SetService installs the service served on the pool's side of every
+// connection. Must be called before Start.
+func (p *Pool) SetService(svc Service) {
+	p.mu.Lock()
+	p.svc = svc
+	p.mu.Unlock()
+}
+
+// Start launches the health-check loops. ctx bounds the pool's
+// lifetime; when it ends all connections close.
+func (p *Pool) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	p.stop = cancel
+	for _, n := range p.nodes {
+		n := n
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.healthLoop(ctx, n)
+		}()
+	}
+}
+
+// Close stops health checking and closes all connections.
+func (p *Pool) Close() {
+	if p.stop != nil {
+		p.stop()
+	}
+	p.wg.Wait()
+	for _, n := range p.nodes {
+		n.mu.Lock()
+		c := n.conn
+		n.conn = nil
+		n.mu.Unlock()
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// healthLoop pings one node forever, dialing as needed.
+func (p *Pool) healthLoop(ctx context.Context, n *Node) {
+	t := time.NewTicker(p.cfg.PingInterval)
+	defer t.Stop()
+	for {
+		p.ping(ctx, n)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ping performs one health check round trip.
+func (p *Pool) ping(ctx context.Context, n *Node) {
+	cctx, cancel := context.WithTimeout(ctx, p.cfg.PingTimeout)
+	defer cancel()
+	conn, err := p.connFor(cctx, n)
+	if err == nil {
+		_, err = conn.Call(cctx, PingMethod, nil, nil)
+	}
+	if err != nil {
+		p.noteFailure(n, err)
+		return
+	}
+	n.mu.Lock()
+	n.healthy = true
+	n.consecFail = 0
+	n.lastErr = nil
+	n.lastSeen = time.Now()
+	n.mu.Unlock()
+}
+
+// connFor returns the node's live connection, dialing if needed.
+func (p *Pool) connFor(ctx context.Context, n *Node) (*Conn, error) {
+	n.mu.Lock()
+	if c := n.conn; c != nil {
+		select {
+		case <-c.Done():
+			n.conn = nil
+		default:
+			n.mu.Unlock()
+			return c, nil
+		}
+	}
+	n.mu.Unlock()
+
+	nc, err := p.cfg.Dial(ctx, n.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	svc := p.svc
+	p.mu.Unlock()
+	c := NewConn(context.WithoutCancel(ctx), nc, svc)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.conn != nil {
+		// Another dial won the race; keep the established one.
+		select {
+		case <-n.conn.Done():
+			n.conn.Close()
+			n.conn = c
+		default:
+			c.Close()
+			return n.conn, nil
+		}
+	} else {
+		n.conn = c
+	}
+	return n.conn, nil
+}
+
+// noteFailure records a transport failure and demotes the node once the
+// consecutive-failure threshold is crossed. The dead connection is
+// dropped so the next attempt redials.
+func (p *Pool) noteFailure(n *Node, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lastErr = err
+	n.consecFail++
+	if n.consecFail >= p.cfg.FailThreshold {
+		n.healthy = false
+	}
+	if n.conn != nil {
+		select {
+		case <-n.conn.Done():
+			n.conn = nil // dead; next attempt redials
+		default:
+		}
+	}
+}
+
+// Do issues one RPC to a node, maintaining in-flight and error
+// accounting. A transport failure demotes the node so subsequent
+// dispatches skip it until the next successful ping; a RemoteError is
+// the handler's problem, not the node's.
+func (p *Pool) Do(ctx context.Context, n *Node, method string, body []byte, onEvent func([]byte)) ([]byte, error) {
+	conn, err := p.connFor(ctx, n)
+	if err != nil {
+		n.Errors.Add(1)
+		p.noteFailure(n, err)
+		return nil, err
+	}
+	n.Dispatches.Add(1)
+	n.InFlight.Add(1)
+	defer n.InFlight.Add(-1)
+	res, err := conn.Call(ctx, method, body, onEvent)
+	if err != nil {
+		var remote *RemoteError
+		if !errors.As(err, &remote) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			n.Errors.Add(1)
+			p.noteFailure(n, err)
+		}
+	}
+	return res, err
+}
+
+// Nodes returns all pool members in configuration order.
+func (p *Pool) Nodes() []*Node { return p.nodes }
+
+// Healthy returns the currently healthy members in configuration order.
+func (p *Pool) Healthy() []*Node {
+	var out []*Node
+	for _, n := range p.nodes {
+		if n.Healthy() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Pick places a key on the ring and returns the first healthy node at
+// or after its position, or nil when the pool has no healthy node.
+// Placement is stable: a key moves only when its node changes health.
+func (p *Pool) Pick(key []byte) *Node {
+	if len(p.ring) == 0 {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write(key)
+	target := h.Sum64()
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= target })
+	for off := 0; off < len(p.ring); off++ {
+		e := p.ring[(i+off)%len(p.ring)]
+		if e.node.Healthy() {
+			return e.node
+		}
+	}
+	return nil
+}
+
+// NodeByAddr returns the member with the given address, or nil.
+func (p *Pool) NodeByAddr(addr string) *Node {
+	for _, n := range p.nodes {
+		if n.addr == addr {
+			return n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+)
+
+// Serve accepts RPC connections on ln and serves svc on each until ctx
+// ends or the listener fails. It closes every accepted connection on
+// the way out and returns the accept error (nil after a clean
+// shutdown).
+func Serve(ctx context.Context, ln net.Listener, svc Service) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	var mu sync.Mutex
+	conns := make(map[*Conn]struct{})
+	var wg sync.WaitGroup
+	defer func() {
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		wg.Wait()
+	}()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		c := NewConn(ctx, nc, svc)
+		mu.Lock()
+		conns[c] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-c.Done()
+			mu.Lock()
+			delete(conns, c)
+			mu.Unlock()
+		}()
+	}
+}

@@ -245,6 +245,29 @@ func (c *ExtractCache) Len() int {
 	return len(c.entries)
 }
 
+// Lookup peeks for a completed model under (g, opt) without blocking and
+// without triggering an extraction. In-flight entries report a miss: the
+// caller that wants to wait should use ExtractCtx. A hit counts toward
+// the cache's hit statistics; a miss is not counted here because the
+// caller typically follows up with ExtractCtx, which does the counting.
+// The cluster layer uses this to decide whether to consult the remote
+// model-cache tier before paying for a local extraction.
+func (c *ExtractCache) Lookup(g *timing.Graph, opt Options) (*Model, bool) {
+	if c == nil {
+		return nil, false
+	}
+	key := newExtractKey(g, opt)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil || e.err != nil {
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e.model, true
+}
+
 // Seed installs an already extracted model under (g, opt) without running
 // the pipeline — the warm-start path: a restored snapshot re-enters the
 // cache so the first post-restart request hits instead of re-extracting.

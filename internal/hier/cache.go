@@ -4,12 +4,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/canon"
 	"repro/internal/mat"
 	"repro/internal/timing"
 	"repro/internal/variation"
 )
+
+// Package-wide prep-cache counters. The prep cache is per-Design, so
+// aggregate statistics live here: the serving layer exposes them to
+// prove that warm-started designs skip the dominant setup cost (the
+// partition + PCA + replacement matrices) after a restart.
+var (
+	prepHits   atomic.Int64
+	prepMisses atomic.Int64
+)
+
+// PrepCacheStats reports aggregate prep-cache hits (an analysis reused a
+// cached per-mode prep) and misses (a prep had to be computed) across
+// all designs in the process.
+func PrepCacheStats() (hits, misses int64) {
+	return prepHits.Load(), prepMisses.Load()
+}
 
 // prep is the per-design, per-mode analysis model: everything Analyze
 // derives from the design geometry alone, independent of the per-call
@@ -105,11 +122,15 @@ func (d *Design) getPrep(ctx context.Context, mode Mode, opt AnalyzeOptions) (*p
 					}
 					return nil, ctx.Err()
 				}
+				if s.err == nil {
+					prepHits.Add(1)
+				}
 				return s.p, s.err
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
 		}
+		prepMisses.Add(1)
 		s := &prepSlot{fp: fp, done: make(chan struct{})}
 		d.preps[mode] = s
 		d.prepMu.Unlock()

@@ -44,7 +44,10 @@ func (o Options) normalize() Options {
 
 // Result is the outcome of one scenario. Err is set when the scenario
 // failed (including cancellation mid-sweep); the statistical fields are
-// then zero and Delay nil.
+// then zero and Delay nil. A successful result normally carries the
+// canonical delay form, but results that crossed a process boundary
+// (cluster shard dispatch) carry only the scalar statistics — Delay may
+// be nil on a completed scenario.
 type Result struct {
 	Name  string
 	Delay *canon.Form
@@ -80,7 +83,7 @@ type Divergence struct {
 type Report struct {
 	Results  []Result
 	Envelope Envelope
-	// Completed counts scenarios that produced a delay; a cancelled sweep
+	// Completed counts scenarios that finished without error; a cancelled sweep
 	// reports the partial accounting (completed results keep their values,
 	// the rest carry the cancellation error).
 	Completed    int
@@ -100,7 +103,7 @@ func NewReport(results []Result, opt Options) *Report {
 	rep := &Report{Results: results}
 	for i := range results {
 		r := &results[i]
-		if r.Err != nil || r.Delay == nil {
+		if r.Err != nil {
 			continue
 		}
 		rep.Completed++
@@ -119,7 +122,7 @@ func NewReport(results []Result, opt Options) *Report {
 	// conventionally put the unit scenario first).
 	var base *Result
 	for i := range results {
-		if results[i].Err == nil && results[i].Delay != nil {
+		if results[i].Err == nil {
 			base = &results[i]
 			break
 		}
@@ -127,7 +130,7 @@ func NewReport(results []Result, opt Options) *Report {
 	if base != nil {
 		for i := range results {
 			r := &results[i]
-			if r.Err != nil || r.Delay == nil || r == base {
+			if r.Err != nil || r == base {
 				continue
 			}
 			score := abs(r.Mean-base.Mean) + abs(r.Std-base.Std)

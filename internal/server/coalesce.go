@@ -437,12 +437,20 @@ func (b *batcher) run(key batchKey, spec ItemSpec, calls []*batchCall) {
 		Workers:        workers,
 		OnScenarioDone: s.scenarioMetricsHook(),
 	}
-	var rep *ssta.SweepReport
-	if isQuad {
-		rep, err = ssta.SweepAnalyze(ctx, item.Design, key.mode, scens, opt)
-	} else {
-		rep, err = ssta.SweepAnalyzeGraph(ctx, item.Graph, scens, opt)
+	// The batch runs through the same dispatch seam as a solo sweep, so a
+	// clustered coordinator shards micro-batch executions across workers
+	// exactly like direct /v1/sweep traffic.
+	pr := &sweepPrep{
+		item:    item,
+		name:    subjName,
+		isQuad:  isQuad,
+		mode:    key.mode,
+		scens:   scens,
+		workers: workers,
+		spec:    spec,
+		specs:   union,
 	}
+	rep, err := s.runSweep(ctx, pr, opt)
 	if err != nil {
 		status := classify(err)
 		for range alive {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/ssta"
 )
 
 // metrics aggregates the serving-layer counters surfaced on /metrics in
@@ -197,6 +199,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP sstad_graph_cache Built-graph cache counters.")
 	p("sstad_graph_cache_hits_total %d", gHits)
 	p("sstad_graph_cache_misses_total %d", gMisses)
+	prepHits, prepMisses := ssta.PrepCacheStats()
+	p("# HELP sstad_prep_cache Per-mode analysis-prep cache counters (process-wide).")
+	p("sstad_prep_cache_hits_total %d", prepHits)
+	p("sstad_prep_cache_misses_total %d", prepMisses)
 	p("# HELP sstad_coalesce_hits_total Requests answered from another caller's in-flight execution.")
 	p(`sstad_coalesce_hits_total{endpoint="analyze"} %d`, m.coalesceAnalyze.Load())
 	p(`sstad_coalesce_hits_total{endpoint="sweep"} %d`, m.coalesceSweep.Load())
@@ -265,5 +271,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("sstad_store_quarantined_total %d", ps.quarantined.Load())
 		p("# HELP sstad_store_sessions_restored_total Sessions restored at warm start.")
 		p("sstad_store_sessions_restored_total %d", ps.restored.Load())
+	}
+	if rc := &s.remoteCache; rc.hits.Load()+rc.misses.Load()+rc.puts.Load()+rc.putErrs.Load() > 0 {
+		p("# HELP sstad_remote_model_cache_total Worker-side remote model-cache lookups against the coordinator.")
+		p(`sstad_remote_model_cache_total{result="hit"} %d`, rc.hits.Load())
+		p(`sstad_remote_model_cache_total{result="miss"} %d`, rc.misses.Load())
+		p("# HELP sstad_remote_model_cache_puts_total Models pushed back to the coordinator after local extraction.")
+		p("sstad_remote_model_cache_puts_total %d", rc.puts.Load())
+		p("sstad_remote_model_cache_put_errors_total %d", rc.putErrs.Load())
+	}
+	if cl := s.cluster; cl != nil {
+		p("# HELP sstad_cluster_dispatches_total Sweep shards dispatched to workers.")
+		p("sstad_cluster_dispatches_total %d", cl.dispatches.Load())
+		p("# HELP sstad_cluster_retries_total Shard dispatch retries after a transport or worker failure.")
+		p("sstad_cluster_retries_total %d", cl.retries.Load())
+		p("# HELP sstad_cluster_failovers_total Shards re-homed to a surviving node or pulled back locally.")
+		p("sstad_cluster_failovers_total %d", cl.failovers.Load())
+		p("# HELP sstad_cluster_local_fallbacks_total Executions served locally because no worker could.")
+		p("sstad_cluster_local_fallbacks_total %d", cl.localFallbacks.Load())
+		p("# HELP sstad_cluster_proxy_errors_total Session proxy round-trips that failed in transport.")
+		p("sstad_cluster_proxy_errors_total %d", cl.proxyErrors.Load())
+		p("# HELP sstad_cluster_routed_sessions Sessions currently pinned to a worker node.")
+		p("sstad_cluster_routed_sessions %d", cl.routedSessions())
+		p("# HELP sstad_cluster_model_index Coordinator-side remote model-cache index.")
+		p("sstad_cluster_model_index_entries %d", cl.indexLen())
+		p(`sstad_cluster_model_index_total{result="hit"} %d`, cl.indexHits.Load())
+		p(`sstad_cluster_model_index_total{result="miss"} %d`, cl.indexMisses.Load())
+		p("sstad_cluster_model_index_puts_total %d", cl.putsReceived.Load())
+		p("# HELP sstad_cluster_node Per-node health and dispatch counters.")
+		for _, n := range cl.pool.Nodes() {
+			healthy := 0
+			if n.Healthy() {
+				healthy = 1
+			}
+			p(`sstad_cluster_node_healthy{node=%q} %d`, n.Addr(), healthy)
+			p(`sstad_cluster_node_inflight{node=%q} %d`, n.Addr(), n.InFlight.Load())
+			p(`sstad_cluster_node_dispatches_total{node=%q} %d`, n.Addr(), n.Dispatches.Load())
+			p(`sstad_cluster_node_errors_total{node=%q} %d`, n.Addr(), n.Errors.Load())
+			p(`sstad_cluster_node_sessions{node=%q} %d`, n.Addr(), n.Sessions.Load())
+		}
 	}
 }

@@ -29,12 +29,17 @@ import (
 //	sessions/<id>.snap            one sealed sessionCheckpoint per session
 //	models/bench-<name>-s<seed>.snap  extracted model of a bench graph
 //	models/mult-<n>.snap              extracted model of a multiplier graph
+//	preps/quad-<bench>-s<seed>-g<gap>-<mode>.snap
+//	                              stamp recording that a quad design's
+//	                              per-mode analysis prep was warm
 //	quarantine/...                corrupt or version-skewed snapshots,
 //	                              moved aside at warm start, never deleted
 //
 // On boot the server warm-starts: models are decoded and seeded into the
 // extraction cache (keyed by the deterministically rebuilt graph), then
-// sessions are restored — each checkpoint is decoded, re-propagated and
+// prep stamps rebuild each recorded quad design and stitch it once so the
+// per-mode prep cache is hot before the first sweep arrives, then sessions
+// are restored — each checkpoint is decoded, re-propagated and
 // cross-checked against its recorded mean before it goes live. Anything
 // that fails is quarantined, counted, and skipped; recovery is never
 // fatal.
@@ -46,8 +51,15 @@ const (
 	checkpointKind    = "sstad-session"
 	checkpointVersion = 1
 
+	// prepKind/Version seal a prep stamp: not the prep itself (preps are
+	// large and cheap to rebuild from the deterministic design), just the
+	// identity needed to rebuild and re-stitch it at warm start.
+	prepKind    = "sstad-prep"
+	prepVersion = 1
+
 	sessionKeyPrefix = "sessions/"
 	modelKeyPrefix   = "models/"
+	prepKeyPrefix    = "preps/"
 	snapSuffix       = ".snap"
 
 	// degradedAfter is how many consecutive failed flush rounds mark the
@@ -124,6 +136,67 @@ func parseModelKey(key string) (graphKey, bool) {
 	return graphKey{bench: rest[:i], seed: seed}, true
 }
 
+// prepStamp is the durable record of one warm per-mode analysis prep: the
+// quad design's reproducible identity plus the correlation mode. The warm
+// start rebuilds the design from it and stitches once, repopulating the
+// prep cache a restart would otherwise lose.
+type prepStamp struct {
+	Bench string `json:"bench"`
+	Seed  int64  `json:"seed,omitempty"`
+	Gap   int    `json:"gap,omitempty"`
+	Mode  string `json:"mode"`
+}
+
+// modeName is parseMode's canonical inverse.
+func modeName(m ssta.Mode) string {
+	if m == ssta.GlobalOnly {
+		return "global"
+	}
+	return "full"
+}
+
+// prepKey maps a quad design + mode onto its stamp key. Bench names with
+// separators have no canonical key, like modelKey.
+func prepKey(q *QuadSpec, mode ssta.Mode) (string, bool) {
+	if q == nil || q.Bench == "" || strings.ContainsAny(q.Bench, "/.") {
+		return "", false
+	}
+	key := fmt.Sprintf("%squad-%s-s%d-g%d-%s%s",
+		prepKeyPrefix, q.Bench, q.Seed, q.Gap, modeName(mode), snapSuffix)
+	if store.ValidKey(key) != nil {
+		return "", false
+	}
+	return key, true
+}
+
+// encodePrepStamp seals one stamp for the store.
+func encodePrepStamp(st prepStamp) ([]byte, error) {
+	payload, err := json.Marshal(&st)
+	if err != nil {
+		return nil, err
+	}
+	return store.Seal(prepKind, prepVersion, payload), nil
+}
+
+// decodePrepStamp is the inverse of encodePrepStamp.
+func decodePrepStamp(data []byte) (prepStamp, error) {
+	payload, err := store.OpenKind(data, prepKind, prepVersion)
+	if err != nil {
+		return prepStamp{}, err
+	}
+	var st prepStamp
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return prepStamp{}, fmt.Errorf("%w: prep stamp payload: %v", store.ErrCorrupt, err)
+	}
+	if st.Bench == "" {
+		return prepStamp{}, fmt.Errorf("%w: prep stamp missing bench", store.ErrCorrupt)
+	}
+	if _, err := parseMode(st.Mode); err != nil {
+		return prepStamp{}, fmt.Errorf("%w: prep stamp mode: %v", store.ErrCorrupt, err)
+	}
+	return st, nil
+}
+
 // measuredBackend wraps a Backend with per-op counters for /metrics.
 // A Get miss (ErrNotFound) is an answer, not a failure.
 type measuredBackend struct {
@@ -192,6 +265,8 @@ type persister struct {
 	dirty      map[string]struct{}    // session ids with unflushed edits
 	dead       map[string]struct{}    // session ids whose checkpoint must go
 	models     map[string]*ssta.Model // durable key -> model awaiting write
+	preps      map[string]prepStamp   // durable key -> prep stamp awaiting write
+	prepDone   map[string]struct{}    // stamp keys already persisted this process
 	oldestMark time.Time              // when the oldest pending entry was enqueued
 	lastFlush  time.Time              // last fully successful flush round
 	lastErr    error
@@ -210,6 +285,8 @@ func newPersister(s *Server, backend store.Backend, every time.Duration) *persis
 		dirty:     make(map[string]struct{}),
 		dead:      make(map[string]struct{}),
 		models:    make(map[string]*ssta.Model),
+		preps:     make(map[string]prepStamp),
+		prepDone:  make(map[string]struct{}),
 		lastFlush: time.Now(),
 	}
 }
@@ -251,11 +328,26 @@ func (p *persister) addModel(gk graphKey, m *ssta.Model) {
 	p.mu.Unlock()
 }
 
+func (p *persister) addPrep(q *QuadSpec, mode ssta.Mode) {
+	key, ok := prepKey(q, mode)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	if _, done := p.prepDone[key]; !done {
+		if _, seen := p.preps[key]; !seen {
+			p.preps[key] = prepStamp{Bench: q.Bench, Seed: q.Seed, Gap: q.Gap, Mode: modeName(mode)}
+			p.markEnqueuedLocked()
+		}
+	}
+	p.mu.Unlock()
+}
+
 // pending reports the queue depth (metrics).
 func (p *persister) pending() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.dirty) + len(p.dead) + len(p.models)
+	return len(p.dirty) + len(p.dead) + len(p.models) + len(p.preps)
 }
 
 // flushLag is how long the oldest pending entry has waited (zero when
@@ -312,11 +404,12 @@ func (s *Server) runStoreFlusher(base context.Context) {
 // the degradation counters.
 func (p *persister) flush(ctx context.Context) {
 	p.mu.Lock()
-	dirty, dead, models := p.dirty, p.dead, p.models
+	dirty, dead, models, preps := p.dirty, p.dead, p.models, p.preps
 	prevMark := p.oldestMark
 	p.dirty = make(map[string]struct{})
 	p.dead = make(map[string]struct{})
 	p.models = make(map[string]*ssta.Model)
+	p.preps = make(map[string]prepStamp)
 	p.oldestMark = time.Time{}
 	p.mu.Unlock()
 
@@ -329,7 +422,7 @@ func (p *persister) flush(ctx context.Context) {
 			p.markEnqueuedLocked()
 		}
 	}
-	if len(dirty) == 0 && len(dead) == 0 && len(models) == 0 {
+	if len(dirty) == 0 && len(dead) == 0 && len(models) == 0 && len(preps) == 0 {
 		return
 	}
 
@@ -392,6 +485,32 @@ func (p *persister) flush(ctx context.Context) {
 				p.models[key] = m
 				requeueMark()
 			}
+			p.mu.Unlock()
+		}
+	}
+
+	for key, st := range preps {
+		data, err := encodePrepStamp(st)
+		if err != nil {
+			fail(fmt.Errorf("encode %s: %w", key, err))
+			continue
+		}
+		err = bo.Retry(ctx, func() error { return p.store.Put(ctx, key, data) })
+		if err != nil && ctx.Err() == nil {
+			fail(fmt.Errorf("put %s: %w", key, err))
+			p.mu.Lock()
+			if _, seen := p.preps[key]; !seen {
+				p.preps[key] = st
+				requeueMark()
+			}
+			p.mu.Unlock()
+			continue
+		}
+		if err == nil {
+			// A design's prep identity never changes; once the stamp is
+			// durable, later analyses of the same design stop re-enqueuing it.
+			p.mu.Lock()
+			p.prepDone[key] = struct{}{}
 			p.mu.Unlock()
 		}
 	}
@@ -489,6 +608,7 @@ func (s *Server) runWarmStart(base context.Context) {
 	p := s.persist
 	defer p.recovering.Store(false) // raised synchronously in New
 	p.warmStartModels(base)
+	p.warmStartPreps(base)
 	p.warmStartSessions(base)
 }
 
@@ -542,6 +662,57 @@ func (p *persister) warmStartModels(ctx context.Context) {
 	}
 	if seeded > 0 {
 		log.Printf("sstad: store: warm start: seeded %d extracted models", seeded)
+	}
+}
+
+// warmStartPreps rebuilds each stamped quad design and stitches it once,
+// so the restarted daemon's first sweep of that design hits the per-mode
+// prep cache instead of paying the partition/PCA/replacement setup again.
+// Runs after models (the rebuild reuses the freshly seeded extraction
+// cache) and before sessions.
+func (p *persister) warmStartPreps(ctx context.Context) {
+	keys, err := p.store.List(ctx, prepKeyPrefix)
+	if err != nil {
+		log.Printf("sstad: store: warm start: list preps: %v", err)
+		return
+	}
+	warmed := 0
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			return
+		}
+		data, err := p.store.Get(ctx, key)
+		if err != nil {
+			continue
+		}
+		st, err := decodePrepStamp(data)
+		if err != nil {
+			p.quarantine(ctx, key, err)
+			continue
+		}
+		mode, _ := parseMode(st.Mode) // validated by decodePrepStamp
+		d, err := p.srv.quadDesign(ctx, &QuadSpec{Bench: st.Bench, Seed: st.Seed, Gap: st.Gap})
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Printf("sstad: store: warm start: rebuild design for %s: %v", key, err)
+			continue
+		}
+		if _, err := d.Stitch(ctx, mode, ssta.AnalyzeOptions{Workers: p.srv.cfg.Workers}); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Printf("sstad: store: warm start: stitch %s: %v", key, err)
+			continue
+		}
+		p.mu.Lock()
+		p.prepDone[key] = struct{}{} // already durable; don't rewrite it
+		p.mu.Unlock()
+		warmed++
+	}
+	if warmed > 0 {
+		log.Printf("sstad: store: warm start: warmed %d analysis preps", warmed)
 	}
 }
 
@@ -620,5 +791,14 @@ func (s *Server) dropCheckpoint(id string) {
 func (s *Server) checkpointModel(gk graphKey, m *ssta.Model) {
 	if s.persist != nil {
 		s.persist.addModel(gk, m)
+	}
+}
+
+// checkpointPrep stamps a quad design whose per-mode analysis prep is (or
+// is about to be) warm, so a restarted daemon rebuilds the prep before its
+// first sweep.
+func (s *Server) checkpointPrep(q *QuadSpec, mode ssta.Mode) {
+	if s.persist != nil && q != nil {
+		s.persist.addPrep(q, mode)
 	}
 }

@@ -140,6 +140,10 @@ func (s *Server) prepareItem(ctx context.Context, spec *ItemSpec) (ssta.BatchIte
 		if err != nil {
 			return ssta.BatchItem{}, err
 		}
+		// The upcoming analysis warms this design's per-mode prep; stamp it
+		// so a restarted daemon can rebuild the warm prep before its first
+		// sweep (satellite of the durable-state story).
+		s.checkpointPrep(spec.Quad, mode)
 		item.Design = d
 		item.Mode = mode
 		if item.Name == "" {
@@ -261,6 +265,21 @@ func (c *graphCache) stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// peek returns the completed cached graph for the key without building or
+// waiting. The coordinator's cache.get handler uses it to consult its own
+// extract cache on behalf of a worker — serving what it has, never paying
+// a graph build for a remote miss.
+func (c *graphCache) peek(key graphKey) *ssta.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key.fingerprint()]
+	if !ok || e.elem == nil || e.err != nil {
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.g
+}
+
 // get returns the cached graph for the key, building it on a miss. Like
 // core.ExtractCache, the build runs to completion on a detached goroutine
 // (warming the cache for followers) while every caller's wait — including
@@ -362,11 +381,10 @@ func (s *Server) quadDesign(ctx context.Context, q *QuadSpec) (*ssta.Design, err
 	if err != nil {
 		return nil, err
 	}
-	model, err := s.flow.ExtractCtx(ctx, g, ssta.ExtractOptions{})
+	model, err := s.extractModel(ctx, key.graphKey, g)
 	if err != nil {
 		return nil, fmt.Errorf("quad: extract %s: %w", q.Bench, err)
 	}
-	s.checkpointModel(key.graphKey, model)
 	mod, err := ssta.NewModule(q.Bench, model, plan)
 	if err != nil {
 		return nil, err

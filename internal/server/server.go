@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/store"
 	"repro/ssta"
 )
@@ -99,6 +100,13 @@ type Config struct {
 	Store store.Backend
 	// StoreFlushInterval paces the write-behind flusher (<=0: 1s).
 	StoreFlushInterval time.Duration
+	// Cluster, when set, makes this server a coordinator over the given
+	// worker pool: sweeps shard across healthy workers, sessions pin to a
+	// worker by subject fingerprint, and the pool connections serve the
+	// remote model-cache tier back to the workers. The server owns the
+	// pool's lifecycle (started in New, closed in Close). Nil — and a pool
+	// whose workers are all down — serves exactly like standalone.
+	Cluster *cluster.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +181,12 @@ type Server struct {
 	// persist is the durability pipeline; nil without Config.Store.
 	persist *persister
 
+	// cluster is the coordinator's dispatch state; nil unless Config.Cluster
+	// was set. remoteCache counts this node's consults of the remote
+	// model-cache tier (only a worker node ever increments it).
+	cluster     *clusterState
+	remoteCache remoteCacheStats
+
 	baseCtx  context.Context
 	baseStop context.CancelFunc
 	wg       sync.WaitGroup
@@ -209,6 +223,11 @@ func New(cfg Config) *Server {
 	}
 	if cfg.BatchWindow > 0 {
 		s.batch = newBatcher(s, cfg.BatchMax, cfg.BatchWindow)
+	}
+	if cfg.Cluster != nil {
+		s.cluster = newClusterState(cfg.Cluster)
+		cfg.Cluster.SetService(s.coordinatorService())
+		cfg.Cluster.Start(base)
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -258,6 +277,9 @@ func (s *Server) Close() {
 	s.baseStop()
 	s.wg.Wait()
 	s.streamWG.Wait()
+	if s.cluster != nil {
+		s.cluster.pool.Close()
+	}
 	if s.persist != nil {
 		s.persist.finalFlush()
 	}
@@ -467,6 +489,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued_jobs":     queued,
 		"running_jobs":    running,
 		"sessions":        s.sessions.len(),
+		// Hierarchical sessions restore flat after a restart (their design
+		// structure edits are gone); surfaced so operators can tell restored
+		// capability loss from live sessions.
+		"sessions_restored_flat": s.sessions.countRestoredFlat(),
 	}
 	serving := map[string]any{
 		"coalesce_hits":         s.metrics.coalesceAnalyze.Load() + s.metrics.coalesceSweep.Load(),
@@ -499,6 +525,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		body["store"] = st
 		body["recovering"] = p.recovering.Load()
+	}
+	if cl := s.cluster; cl != nil {
+		nodes := []map[string]any{}
+		for _, n := range cl.pool.Nodes() {
+			nv := map[string]any{
+				"addr":       n.Addr(),
+				"healthy":    n.Healthy(),
+				"in_flight":  n.InFlight.Load(),
+				"dispatches": n.Dispatches.Load(),
+				"errors":     n.Errors.Load(),
+				"sessions":   n.Sessions.Load(),
+			}
+			if !n.LastSeen().IsZero() {
+				nv["last_seen_age_seconds"] = time.Since(n.LastSeen()).Seconds()
+			}
+			if err := n.LastErr(); err != nil {
+				nv["last_error"] = err.Error()
+			}
+			nodes = append(nodes, nv)
+		}
+		body["cluster"] = map[string]any{
+			"nodes":           nodes,
+			"routed_sessions": cl.routedSessions(),
+			"dispatches":      cl.dispatches.Load(),
+			"retries":         cl.retries.Load(),
+			"failovers":       cl.failovers.Load(),
+			"local_fallbacks": cl.localFallbacks.Load(),
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -94,6 +95,11 @@ type SessionView struct {
 	// Sweep is the session's active MCMM sweep as of the last edit batch,
 	// when one was installed at create time.
 	Sweep *SweepResponse `json:"sweep,omitempty"`
+	// RestoredFlat marks a session that was hierarchical before a daemon
+	// restart and came back flat from its checkpoint: delays and sweep are
+	// preserved exactly, but design-structure edits (set_net_delay,
+	// swap_module) are no longer available on it.
+	RestoredFlat bool `json:"restored_flat,omitempty"`
 }
 
 // SessionEditResponse is the delta returned for one applied edit batch.
@@ -166,6 +172,54 @@ func (st *sessionStore) add(name string, sess *ssta.Session) (*srvSession, error
 	s.lastUsed = now
 	st.sessions[s.id] = s
 	return s, nil
+}
+
+// addID registers a session under a caller-chosen id — the coordinator
+// allocated it and routes by it, so the worker must register it verbatim.
+// The sequence advances past numeric "sess-<n>" ids so local creates can
+// never collide with coordinator-assigned ones.
+func (st *sessionStore) addID(id, name string, sess *ssta.Session) (*srvSession, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.sessions) >= st.max {
+		return nil, fmt.Errorf("session table full (%d live)", len(st.sessions))
+	}
+	if _, taken := st.sessions[id]; taken {
+		return nil, fmt.Errorf("session id %q already live", id)
+	}
+	if rest, ok := strings.CutPrefix(id, "sess-"); ok {
+		if n, err := strconv.ParseInt(rest, 10, 64); err == nil && n > st.seq {
+			st.seq = n
+		}
+	}
+	now := time.Now()
+	s := &srvSession{id: id, name: name, sess: sess, created: now}
+	s.lastUsed = now
+	st.sessions[id] = s
+	return s, nil
+}
+
+// nextID reserves a fresh session id without registering anything — the
+// coordinator's allocation for a proxied create.
+func (st *sessionStore) nextID() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	return fmt.Sprintf("sess-%d", st.seq)
+}
+
+// countRestoredFlat counts live sessions that restored flat from a
+// hierarchical checkpoint (surfaced in /healthz).
+func (st *sessionStore) countRestoredFlat() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, s := range st.sessions {
+		if s.sess.RestoredFlat() {
+			n++
+		}
+	}
+	return n
 }
 
 func (st *sessionStore) get(id string) (*srvSession, bool) {
@@ -291,6 +345,7 @@ func (s *srvSession) view() SessionView {
 	if info.Hier {
 		v.Kind = "hier"
 	}
+	v.RestoredFlat = info.RestoredFlat
 	if info.Delay != nil {
 		v.MeanPS = info.Delay.Mean()
 		v.StdPS = info.Delay.Std()
@@ -303,6 +358,12 @@ func (s *srvSession) view() SessionView {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	// A coordinator pins the session to a worker by subject fingerprint and
+	// proxies the create; dispatch failure falls through to a local create
+	// (degradation ladder) with the body restored.
+	if s.cluster != nil && s.clusterSessionCreate(w, r) {
+		return
+	}
 	var req SessionCreateRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := decodeJSONStrict(r, &req); err != nil {
@@ -352,7 +413,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	reg, err := s.sessions.add(name, sess)
+	var reg *srvSession
+	if id := r.Header.Get(sessionIDHeader); id != "" && validSessionID(id) {
+		// A proxied create: register under the coordinator-assigned id so
+		// its routing table and this worker agree on the session identity.
+		reg, err = s.sessions.addID(id, name, sess)
+	} else {
+		reg, err = s.sessions.add(name, sess)
+	}
 	if err != nil {
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -407,6 +475,7 @@ func (s *Server) buildSession(ctx context.Context, spec *ItemSpec) (*ssta.Sessio
 		if err != nil {
 			return nil, "", err
 		}
+		s.checkpointPrep(spec.Quad, mode)
 		if name == "" {
 			name = d.Name
 		}
@@ -444,7 +513,11 @@ func (s *Server) buildSession(ctx context.Context, spec *ItemSpec) (*ssta.Sessio
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	reg, ok := s.sessions.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.cluster != nil && s.clusterSessionProxy(w, r, id) {
+		return
+	}
+	reg, ok := s.sessions.get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown session")
 		return
@@ -454,6 +527,9 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.cluster != nil && s.clusterSessionProxy(w, r, id) {
+		return
+	}
 	if !s.sessions.remove(id) {
 		httpError(w, http.StatusNotFound, "unknown session")
 		return
@@ -464,7 +540,11 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
-	reg, ok := s.sessions.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.cluster != nil && s.clusterSessionProxy(w, r, id) {
+		return
+	}
+	reg, ok := s.sessions.get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown session")
 		return
@@ -658,15 +738,15 @@ func (s *Server) convertEdit(ctx context.Context, e *EditSpec) (ssta.Edit, error
 		if e.Instance == "" || e.Bench == "" {
 			return ssta.Edit{}, fmt.Errorf("swap_module needs instance and bench")
 		}
-		g, plan, err := s.graphs.get(ctx, s.flow, graphKey{bench: e.Bench, seed: e.Seed})
+		gk := graphKey{bench: e.Bench, seed: e.Seed}
+		g, plan, err := s.graphs.get(ctx, s.flow, gk)
 		if err != nil {
 			return ssta.Edit{}, err
 		}
-		model, err := s.flow.ExtractCtx(ctx, g, ssta.ExtractOptions{})
+		model, err := s.extractModel(ctx, gk, g)
 		if err != nil {
 			return ssta.Edit{}, fmt.Errorf("swap_module: extract %s: %w", e.Bench, err)
 		}
-		s.checkpointModel(graphKey{bench: e.Bench, seed: e.Seed}, model)
 		mod, err := ssta.NewModule(e.Bench, model, plan)
 		if err != nil {
 			return ssta.Edit{}, err

@@ -147,7 +147,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req *SweepR
 	var runErr error
 	go func() {
 		defer close(events)
-		rep, runErr = pr.run(ctx, opt)
+		rep, runErr = s.runSweep(ctx, pr, opt)
 	}()
 	for ev := range events {
 		sse.event("scenario", ev)

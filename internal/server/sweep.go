@@ -105,11 +105,12 @@ func (s *Server) convertScenario(ctx context.Context, spec *SweepScenarioSpec, i
 		if sw.Bench == "" {
 			return sc, fmt.Errorf("scenario %q: swap for instance %q needs a bench", spec.Name, inst)
 		}
-		g, plan, err := s.graphs.get(ctx, s.flow, graphKey{bench: sw.Bench, seed: sw.Seed})
+		gk := graphKey{bench: sw.Bench, seed: sw.Seed}
+		g, plan, err := s.graphs.get(ctx, s.flow, gk)
 		if err != nil {
 			return sc, err
 		}
-		model, err := s.flow.ExtractCtx(ctx, g, ssta.ExtractOptions{})
+		model, err := s.extractModel(ctx, gk, g)
 		if err != nil {
 			return sc, fmt.Errorf("scenario %q: extract %s: %w", spec.Name, sw.Bench, err)
 		}
@@ -185,6 +186,11 @@ type sweepPrep struct {
 	mode    ssta.Mode
 	scens   []ssta.Scenario
 	workers int
+	// spec and specs are the wire-level subject and scenarios, retained so
+	// a clustered coordinator can dispatch shards without re-deriving them
+	// (Server.runSweep); the local path ignores them.
+	spec  ItemSpec
+	specs []SweepScenarioSpec
 }
 
 func (p *sweepPrep) run(ctx context.Context, opt ssta.SweepOptions) (*ssta.SweepReport, error) {
@@ -215,7 +221,10 @@ func (s *Server) prepSweep(ctx context.Context, req *SweepRequest, specs []Sweep
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
-	return &sweepPrep{item: item, name: name, isQuad: isQuad, mode: mode, scens: scens, workers: workers}, 0, nil
+	return &sweepPrep{
+		item: item, name: name, isQuad: isQuad, mode: mode, scens: scens, workers: workers,
+		spec: req.ItemSpec, specs: specs,
+	}, 0, nil
 }
 
 // doSweep is the direct (unbatched) sweep execution: one admission slot
@@ -238,7 +247,7 @@ func (s *Server) doSweep(ctx context.Context, req *SweepRequest, specs []SweepSc
 		OnScenarioDone: s.scenarioMetricsHook(),
 	}
 	start := time.Now()
-	rep, err := pr.run(ctx, opt)
+	rep, err := s.runSweep(ctx, pr, opt)
 	if err != nil {
 		// A deadline/cancel firing before the per-scenario fan-out (the
 		// shared design stitch runs under ctx) is a timeout, not a bad

@@ -147,7 +147,7 @@ func (f *Flow) RestoreSession(ctx context.Context, snap *SessionSnapshot) (*Sess
 			return nil, fmt.Errorf("ssta: restored session delay %.9g ps disagrees with checkpointed %.9g ps", m, snap.MeanPS)
 		}
 	}
-	s := &Session{graph: g, inc: inc, delay: delay}
+	s := &Session{graph: g, inc: inc, delay: delay, restoredFlat: snap.Hier}
 	if snap.Sweep != nil {
 		scens := make([]Scenario, len(snap.Sweep.Scenarios))
 		for i, sp := range snap.Sweep.Scenarios {

@@ -133,6 +133,12 @@ type Session struct {
 	delay *Form
 	sweep *sessionSweep
 
+	// restoredFlat marks a session rebuilt from a hierarchical snapshot:
+	// the stitched top graph and sweep are intact, but the design
+	// structure is gone, so design-level edits (set_net_delay,
+	// swap_module) need a session recreate.
+	restoredFlat bool
+
 	// Criticality tracking (see EnableCriticality). crit is nil while
 	// tracking is off, and also after a failed refresh — critOn then forces
 	// a from-scratch rebuild at the next refresh.
@@ -212,13 +218,28 @@ type SessionInfo struct {
 	Delay        *Form
 	Verts, Edges int
 	Hier         bool
+	// RestoredFlat marks a session that was checkpointed as hierarchical
+	// and restored flat: delays and sweep state are exact, but
+	// design-structure edits are no longer available.
+	RestoredFlat bool
 }
 
 // Info snapshots the session.
 func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SessionInfo{Delay: s.delay, Verts: s.graph.NumVerts, Edges: len(s.graph.Edges), Hier: s.hs != nil}
+	return SessionInfo{
+		Delay: s.delay, Verts: s.graph.NumVerts, Edges: len(s.graph.Edges),
+		Hier: s.hs != nil, RestoredFlat: s.restoredFlat,
+	}
+}
+
+// RestoredFlat reports whether this session came from a hierarchical
+// snapshot and therefore lost its design structure on restore.
+func (s *Session) RestoredFlat() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restoredFlat
 }
 
 // Graph returns the live graph (the stitched top for hierarchical

@@ -131,6 +131,9 @@ var (
 	// NewExtractCacheSized returns an extraction cache with an explicit
 	// entry cap and cost budget (0 disables the respective bound).
 	NewExtractCacheSized = core.NewExtractCacheSized
+	// PrepCacheStats reports process-wide per-mode analysis-prep cache
+	// hits and misses across all hierarchical designs.
+	PrepCacheStats = hier.PrepCacheStats
 )
 
 // Flow bundles the analysis context: cell library, variation parameters and

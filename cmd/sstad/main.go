@@ -32,8 +32,11 @@
 // Example:
 //
 //	curl -s localhost:8080/v1/analyze -d '{"items":[{"bench":"c432","seed":1}]}'
+//	curl -s localhost:8080/v1/analyze -d '{"items":[{"bench":"c432","seed":1,"clocked":true}]}'
 //	curl -s localhost:8080/v1/sweep -d '{"bench":"c432","seed":1,
 //	    "scenarios":[{"name":"unit"},{"name":"hot","derate":1.15}]}'
+//	curl -s localhost:8080/v1/sweep -d '{"bench":"c432","seed":1,"clocked":true,
+//	    "scenarios":[{"name":"fast","clock_period_ps":420,"clock_jitter_ps":12}]}'
 //	curl -s localhost:8080/v1/sessions -d '{"bench":"c432","seed":1}'
 //	curl -s localhost:8080/v1/sessions/sess-1/edits \
 //	    -d '{"edits":[{"op":"scale_delay","edge":5,"scale":1.2}]}'

@@ -16,8 +16,9 @@
 //	                    Bank/View arena (contiguous SoA storage + fused
 //	                    allocation-free kernels) the hot path runs on
 //	internal/timing     statistical timing graphs, pooled-arena propagation
-//	                    passes (Pass), all-pairs delays, the shared bounded
-//	                    worker pool (ParallelFor)
+//	                    passes (Pass, latest- and earliest-arrival),
+//	                    sequential setup/hold slack, all-pairs delays, the
+//	                    shared bounded worker pool (ParallelFor)
 //	internal/core       timing-model extraction (criticality filter +
 //	                    merges) and the LRU-bounded extraction cache
 //	internal/hier       hierarchical design-level analysis: heterogeneous
@@ -25,12 +26,14 @@
 //	                    cached+parallel stitching engine
 //	internal/scenario   the MCMM sweep engine: named scenario transforms
 //	                    (derates, per-edge-class scales, sigma multipliers,
-//	                    module swaps) evaluated against one shared prep
+//	                    clock period/skew/jitter, module swaps) evaluated
+//	                    against one shared prep
 //	internal/server     the sstad serving layer: HTTP/JSON batch analysis,
 //	                    MCMM sweeps, async jobs, admission control,
 //	                    health + metrics
 //	internal/variation  process parameters, grid correlation, PCA
-//	internal/circuit    netlists: ISCAS85-like generator, multipliers, c17
+//	internal/circuit    netlists: DFF-aware .bench reader, ISCAS85-like
+//	                    generator (combinational + clocked), multipliers, c17
 //	internal/cell       synthetic 90nm cell library
 //	internal/place      topological placement and grid binning
 //	internal/mc         Monte Carlo ground truth
@@ -142,6 +145,38 @@
 // every edit batch is mirrored into the clones and re-propagated through
 // dirty cones only. See README.md ("Multi-scenario sweeps") and
 // BENCH_4.json.
+//
+// # Sequential timing: min propagation and the clock-scenario model
+//
+// Sequential circuits (DFF lines in .bench inputs, circuit.Clocked /
+// GenerateClocked wrappers, "clocked" items over HTTP) get statistical
+// setup/hold analysis on top of the same machinery. Two model choices
+// keep it composable:
+//
+//   - Min propagation is the exact dual of max. Hold analysis needs
+//     earliest arrivals, so timing.Pass grows ArrivalsMin — a
+//     shortest-path pass on canon.MinViews, the Clark dual of MaxViews
+//     (min(A,B) = -max(-A,-B), fused into one moment-matched kernel),
+//     running on the same wavefront schedule as the latest-arrival pass.
+//     Parallel min passes replay the serial contribution order, so the
+//     parallel==serial bit-reproducibility contract carries over
+//     unchanged.
+//   - Clock knobs are slack-side, not delay-side. A scenario's
+//     ClockPeriodPS/ClockSkewPS/ClockJitterPS enter only the setup/hold
+//     constraint forms (period and skew shift the mean; jitter adds an
+//     independent random component), never the edge-delay bank — so
+//     clock-only scenarios keep Scenario.Identity() and share the base
+//     prep AND the base arrival banks, paying just one slack assembly
+//     per register. Setup slack is (T - skew) - setup - latest(D); hold
+//     slack is earliest(D) - hold - skew; worst-case slacks are
+//     statistical minima via the same min-Clark dual, so slack
+//     distributions stay correlated with the parameter space exactly
+//     like delays.
+//
+// timing.SequentialSlacks is the engine entry; batch results, sweeps,
+// sessions, /v1/analyze ("setup"/"hold" views) and /v1/sweep expose it,
+// and mc.ValidateSequential is the Monte-Carlo oracle for both slack
+// kinds. See README.md ("Sequential timing & setup/hold").
 //
 // # Testing strategy
 //

@@ -240,6 +240,61 @@ func MaxViews(dst, a, b View) {
 	dst[n] = math.Sqrt(rest)
 }
 
+// MinViews computes the moment-matched min(a, b) into dst — the Clark dual
+// of MaxViews via min(A, B) = -max(-A, -B) — in the same single fused pass:
+// variances, covariance, tightness, blend and variance matching without any
+// intermediate allocation. It is the kernel of the earliest-arrival
+// (shortest-path) propagation that hold analysis needs. dst may alias a
+// (but not b).
+func MinViews(dst, a, b View) {
+	va, vb, cov := VarCovViews(a, b)
+	t2 := va + vb - 2*cov
+	if t2 < 0 {
+		t2 = 0
+	}
+	theta := math.Sqrt(t2)
+	if theta < thetaEps {
+		// Operands are essentially the same random variable up to a mean
+		// shift: min is whichever has the smaller mean.
+		src := a
+		if b[0] < a[0] {
+			src = b
+		}
+		copy(dst, src)
+		return
+	}
+	// tp = P(A <= B), the probability that A is the minimum.
+	z := (b[0] - a[0]) / theta
+	tp := stats.NormCDF(z)
+	phi := stats.NormPDF(z)
+
+	mean := tp*a[0] + (1-tp)*b[0] - theta*phi
+	second := tp*(va+a[0]*a[0]) + (1-tp)*(vb+b[0]*b[0]) -
+		(a[0]+b[0])*theta*phi
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+
+	// Blend shared coefficients with the min-tightness weights — the mirror
+	// of the eq. 9 blend, preserving covariances to first order.
+	var shared float64
+	n := len(dst) - 1
+	for i := 1; i < n; i++ {
+		c := tp*a[i] + (1-tp)*b[i]
+		dst[i] = c
+		shared += c * c
+	}
+	dst[0] = mean
+	rest := variance - shared
+	if rest < 0 {
+		// Same fix as MaxViews: drop the private part when the blended
+		// shared variance already exceeds the Clark variance.
+		rest = 0
+	}
+	dst[n] = math.Sqrt(rest)
+}
+
 // Bank is a flat arena of canonical forms: one contiguous backing slice of
 // capacity*Stride() float64s, forms addressed by slot index. Banks are the
 // allocation-free storage of the propagation hot path — a full forward or

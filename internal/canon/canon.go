@@ -317,6 +317,95 @@ func MaxAll(fs []*Form) (*Form, error) {
 	return out, nil
 }
 
+// Min returns the moment-matched statistical minimum of two forms — the
+// Clark dual of Max via min(A, B) = -max(-A, -B) — used by earliest-arrival
+// propagation and worst-slack folds.
+func Min(a, b *Form) *Form {
+	out := a.Clone()
+	MinInto(out, a, b)
+	return out
+}
+
+// MinInto computes min(a, b) into dst. dst may alias a (but not b). The
+// structure mirrors MaxInto exactly: one fused VarCov pass, tightness
+// tp = P(A <= B), mirrored mean/second-moment algebra, and the same
+// shared-coefficient blend and variance-matching clamp.
+func MinInto(dst, a, b *Form) {
+	va, vb, cov := VarCov(a, b)
+	theta := thetaOf(va, vb, cov)
+	if theta < thetaEps {
+		// Operands are essentially the same random variable up to a mean
+		// shift: min is whichever has the smaller mean.
+		src := a
+		if b.Nominal < a.Nominal {
+			src = b
+		}
+		copyInto(dst, src)
+		return
+	}
+	z := (b.Nominal - a.Nominal) / theta
+	tp := stats.NormCDF(z) // P(A <= B)
+	phi := stats.NormPDF(z)
+
+	mean := tp*a.Nominal + (1-tp)*b.Nominal - theta*phi
+	second := tp*(va+a.Nominal*a.Nominal) + (1-tp)*(vb+b.Nominal*b.Nominal) -
+		(a.Nominal+b.Nominal)*theta*phi
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+
+	// Blend shared coefficients with the min-tightness weights — the mirror
+	// of the eq. 9 blend, preserving covariances to first order.
+	var shared float64
+	for i := range dst.Glob {
+		c := tp*a.Glob[i] + (1-tp)*b.Glob[i]
+		dst.Glob[i] = c
+		shared += c * c
+	}
+	for i := range dst.Loc {
+		c := tp*a.Loc[i] + (1-tp)*b.Loc[i]
+		dst.Loc[i] = c
+		shared += c * c
+	}
+	dst.Nominal = mean
+	rest := variance - shared
+	if rest < 0 {
+		rest = 0
+	}
+	dst.Rand = math.Sqrt(rest)
+}
+
+// MinAll folds a slice of forms with MinInto, left to right — the
+// worst-slack aggregation over registers.
+func MinAll(fs []*Form) (*Form, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("canon: MinAll of empty slice")
+	}
+	out := fs[0].Clone()
+	for _, f := range fs[1:] {
+		MinInto(out, out, f)
+	}
+	return out, nil
+}
+
+// Sub returns a - b as a canonical form: coefficients subtract and the
+// private random parts combine by root-sum-of-squares (a and b are
+// independent in their private parts). This is the slack algebra —
+// e.g. slack = constraint - arrival.
+func Sub(a, b *Form) *Form {
+	out := a.Clone()
+	out.Nominal = a.Nominal - b.Nominal
+	for i := range out.Glob {
+		out.Glob[i] = a.Glob[i] - b.Glob[i]
+	}
+	for i := range out.Loc {
+		out.Loc[i] = a.Loc[i] - b.Loc[i]
+	}
+	out.Rand = math.Sqrt(a.Rand*a.Rand + b.Rand*b.Rand)
+	return out
+}
+
 // Sample evaluates the form at a concrete realization of the shared
 // variables: g has length Globals, x has length Components, r is the private
 // standard normal draw.

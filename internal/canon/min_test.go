@@ -1,0 +1,167 @@
+package canon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randForm fills a form of the space with bounded random coefficients.
+func randForm(s Space, rng *rand.Rand) *Form {
+	f := s.NewForm()
+	f.Nominal = 50 + 100*rng.Float64()
+	for i := range f.Glob {
+		f.Glob[i] = 4 * (rng.Float64() - 0.5)
+	}
+	for i := range f.Loc {
+		f.Loc[i] = 2 * (rng.Float64() - 0.5)
+	}
+	f.Rand = 3 * rng.Float64()
+	return f
+}
+
+// TestMinIsNegatedMaxOfNegations pins MinInto to its defining identity
+// min(A, B) = -max(-A, -B) at 1e-12.
+func TestMinIsNegatedMaxOfNegations(t *testing.T) {
+	s := Space{Globals: 3, Components: 6}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randForm(s, rng), randForm(s, rng)
+		got := Min(a, b)
+
+		na, nb := a.Scale(-1), b.Scale(-1)
+		want := Max(na, nb).Scale(-1)
+
+		if math.Abs(got.Nominal-want.Nominal) > 1e-12 {
+			t.Fatalf("trial %d: min nominal %g, -max(-a,-b) %g", trial, got.Nominal, want.Nominal)
+		}
+		if math.Abs(got.Std()-want.Std()) > 1e-12 {
+			t.Fatalf("trial %d: min std %g, -max(-a,-b) std %g", trial, got.Std(), want.Std())
+		}
+		for i := range got.Glob {
+			if math.Abs(got.Glob[i]-want.Glob[i]) > 1e-12 {
+				t.Fatalf("trial %d: glob[%d] %g vs %g", trial, i, got.Glob[i], want.Glob[i])
+			}
+		}
+		for i := range got.Loc {
+			if math.Abs(got.Loc[i]-want.Loc[i]) > 1e-12 {
+				t.Fatalf("trial %d: loc[%d] %g vs %g", trial, i, got.Loc[i], want.Loc[i])
+			}
+		}
+	}
+}
+
+// TestMinViewsMatchesMinInto pins the fused flat kernel to the pointer
+// kernel bit for bit (identical operation order).
+func TestMinViewsMatchesMinInto(t *testing.T) {
+	s := Space{Globals: 2, Components: 8}
+	rng := rand.New(rand.NewSource(11))
+	bank := NewBank(s, 3)
+	for trial := 0; trial < 200; trial++ {
+		a, b := randForm(s, rng), randForm(s, rng)
+		want := Min(a, b)
+
+		va, vb, vd := bank.View(0), bank.View(1), bank.View(2)
+		va.LoadForm(a)
+		vb.LoadForm(b)
+		MinViews(vd, va, vb)
+		got := vd.Form(s)
+
+		if got.Nominal != want.Nominal || got.Rand != want.Rand {
+			t.Fatalf("trial %d: view min (%g, %g) != form min (%g, %g)",
+				trial, got.Nominal, got.Rand, want.Nominal, want.Rand)
+		}
+		for i := range got.Glob {
+			if got.Glob[i] != want.Glob[i] {
+				t.Fatalf("trial %d: glob[%d] %g vs %g", trial, i, got.Glob[i], want.Glob[i])
+			}
+		}
+		for i := range got.Loc {
+			if got.Loc[i] != want.Loc[i] {
+				t.Fatalf("trial %d: loc[%d] %g vs %g", trial, i, got.Loc[i], want.Loc[i])
+			}
+		}
+	}
+}
+
+// TestMinDegenerateCopiesSmallerMean covers the theta < thetaEps branch:
+// identical shared coefficients, no private part (private Rand is
+// independent per operand, so it must be zero for the operands to be the
+// same random variable), shifted means.
+func TestMinDegenerateCopiesSmallerMean(t *testing.T) {
+	s := Space{Globals: 2, Components: 4}
+	a := s.NewForm()
+	a.Nominal = 10
+	a.Glob[0], a.Glob[1] = 1, -2
+	b := a.Clone()
+	b.Nominal = 7
+
+	got := Min(a, b)
+	if got.Nominal != 7 {
+		t.Fatalf("degenerate min picked mean %g, want 7", got.Nominal)
+	}
+	if got.Glob[0] != a.Glob[0] || got.Glob[1] != a.Glob[1] {
+		t.Fatalf("degenerate min did not copy operand: %+v", got)
+	}
+
+	bank := NewBank(s, 3)
+	va, vb, vd := bank.View(0), bank.View(1), bank.View(2)
+	va.LoadForm(a)
+	vb.LoadForm(b)
+	MinViews(vd, va, vb)
+	if vd.Nominal() != 7 || vd.Coeffs()[0] != a.Glob[0] {
+		t.Fatalf("degenerate MinViews = (%g, %v), want mean 7", vd.Nominal(), vd.Coeffs())
+	}
+}
+
+// TestMinMonteCarlo sanity-checks the Clark min moments against sampling.
+func TestMinMonteCarlo(t *testing.T) {
+	s := Space{Globals: 2, Components: 3}
+	rng := rand.New(rand.NewSource(3))
+	a, b := randForm(s, rng), randForm(s, rng)
+	m := Min(a, b)
+
+	const n = 200000
+	var sum, sum2 float64
+	g := make([]float64, s.Globals)
+	x := make([]float64, s.Components)
+	for i := 0; i < n; i++ {
+		for k := range g {
+			g[k] = rng.NormFloat64()
+		}
+		for k := range x {
+			x[k] = rng.NormFloat64()
+		}
+		va := a.Sample(g, x, rng.NormFloat64())
+		vb := b.Sample(g, x, rng.NormFloat64())
+		v := math.Min(va, vb)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-m.Mean()) > 0.05*math.Max(1, math.Abs(m.Mean())) {
+		t.Fatalf("MC mean %g, Clark min mean %g", mean, m.Mean())
+	}
+	if math.Abs(std-m.Std()) > 0.1*math.Max(1, m.Std()) {
+		t.Fatalf("MC std %g, Clark min std %g", std, m.Std())
+	}
+}
+
+// TestSubSlackAlgebra pins Sub: coefficients subtract, Rand RSS-combines.
+func TestSubSlackAlgebra(t *testing.T) {
+	s := Space{Globals: 1, Components: 2}
+	a, b := s.NewForm(), s.NewForm()
+	a.Nominal, b.Nominal = 10, 4
+	a.Glob[0], b.Glob[0] = 2, 0.5
+	a.Loc[0], b.Loc[1] = 1, -1
+	a.Rand, b.Rand = 3, 4
+
+	d := Sub(a, b)
+	if d.Nominal != 6 || d.Glob[0] != 1.5 || d.Loc[0] != 1 || d.Loc[1] != 1 {
+		t.Fatalf("Sub coefficients wrong: %+v", d)
+	}
+	if d.Rand != 5 {
+		t.Fatalf("Sub rand %g, want RSS 5", d.Rand)
+	}
+}

@@ -72,7 +72,41 @@ func Synthetic90nm() *Library {
 	add(circuit.Or, 25, 1.0, 3.6, sens(0.93, 0.43, 0.58))
 	add(circuit.Xor, 31, 1.2, 4.2, sens(0.97, 0.46, 0.62))
 	add(circuit.Xnor, 33, 1.2, 4.4, sens(0.97, 0.46, 0.62))
+	// The DFF spec characterizes the clock-to-Q launch arc: BaseDelay is the
+	// clk->Q delay, and the load slope bills the Q net's fanout like any
+	// other cell output. Setup/hold constraints live in RegTiming.
+	add(circuit.Dff, 42, 0, 3.1, sens(0.93, 0.43, 0.58))
 	return lib
+}
+
+// RegTiming holds the setup/hold characterization of the library's register:
+// nominal constraint values plus per-parameter relative sensitivities, in the
+// same Params order as the cell specs. Setup shrinks the usable clock period;
+// hold bounds the earliest the next D value may arrive after the clock edge.
+type RegTiming struct {
+	Setup float64 // ps required before the capturing edge
+	Hold  float64 // ps required after the capturing edge
+	// Relative sensitivities per parameter (fraction of nominal per unit
+	// relative parameter change), Params order.
+	SetupSens []float64
+	HoldSens  []float64
+	// Relative sigma of the purely random (uncorrelated) constraint
+	// variation — the register-internal mismatch component.
+	RandSigma float64
+}
+
+// RegTiming returns the register constraint characterization. Setup tracks
+// process like a gate delay (a slow register needs data earlier); hold moves
+// the same direction with roughly half the sensitivity, which keeps the
+// setup-hold window physical across the parameter space.
+func (l *Library) RegTiming() RegTiming {
+	return RegTiming{
+		Setup:     35,
+		Hold:      8,
+		SetupSens: []float64{0.85, 0.40, 0.55},
+		HoldSens:  []float64{0.45, 0.20, 0.30},
+		RandSigma: 0.05,
+	}
 }
 
 // RefSlew is the input transition (ps) the arcs are characterized at; it is

@@ -14,11 +14,26 @@ import (
 //	INPUT(a)
 //	OUTPUT(z)
 //	n1 = NAND(a, b)
+//	s1 = DFF(n1)
 //
-// Only combinational primitives are supported; DFF lines are rejected with a
-// descriptive error (this reproduction targets combinational modules, as
-// does the paper).
+// Combinational primitives and DFF registers are both accepted. A DFF line
+// declares a register whose Q output carries the left-hand name; its single
+// argument is the D-pin source, which may be defined anywhere in the file —
+// including combinationally downstream of the register's own Q (feedback).
+// Callers that cannot handle registers should use ParseBenchCombinational.
 func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	return parseBench(name, r, true)
+}
+
+// ParseBenchCombinational reads a .bench netlist like ParseBench but rejects
+// sequential elements: a DFF line yields a descriptive error instead of a
+// register. This is the validated combinational-only mode for callers whose
+// downstream analysis assumes a pure DAG of logic gates.
+func ParseBenchCombinational(name string, r io.Reader) (*Circuit, error) {
+	return parseBench(name, r, false)
+}
+
+func parseBench(name string, r io.Reader, allowSeq bool) (*Circuit, error) {
 	c := New(name)
 	type pendingGate struct {
 		line   int
@@ -26,7 +41,13 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		gate   string
 		inputs []string
 	}
+	type pendingReg struct {
+		line int
+		id   int    // placeholder DFF node, Fanin[0] == -1 until patched
+		d    string // D-pin source name, resolved after all gates exist
+	}
 	var pending []pendingGate
+	var regs []pendingReg
 	var outputs []string
 
 	sc := bufio.NewScanner(r)
@@ -71,7 +92,21 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 				args[i] = strings.TrimSpace(args[i])
 			}
 			if fn == "DFF" {
-				return nil, fmt.Errorf("bench line %d: sequential element DFF not supported (combinational modules only)", lineNo)
+				if !allowSeq {
+					return nil, fmt.Errorf("bench line %d: sequential element DFF not supported (combinational modules only)", lineNo)
+				}
+				if len(args) != 1 || args[0] == "" {
+					return nil, fmt.Errorf("bench line %d: DFF %q needs exactly one D input", lineNo, lhs)
+				}
+				// Register the Q name immediately (with a placeholder D pin)
+				// so combinational gates reading through register feedback can
+				// resolve it; the D source is patched after all gates exist.
+				id, err := c.AddDFF(lhs, -1)
+				if err != nil {
+					return nil, fmt.Errorf("bench line %d: %w", lineNo, err)
+				}
+				regs = append(regs, pendingReg{line: lineNo, id: id, d: args[0]})
+				continue
 			}
 			pending = append(pending, pendingGate{line: lineNo, name: lhs, gate: fn, inputs: args})
 		}
@@ -117,6 +152,21 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 				next[0].line, next[0].name)
 		}
 		remaining = next
+	}
+
+	// Patch register D pins now that every signal name exists. This is what
+	// lets a DFF reference a gate defined later in the file, or sit on a
+	// feedback loop through its own Q output.
+	for _, pr := range regs {
+		dID, ok := c.byName[pr.d]
+		if !ok {
+			return nil, fmt.Errorf("bench line %d: DFF %q references undefined signal %q",
+				pr.line, c.Gates[pr.id].Name, pr.d)
+		}
+		c.Gates[pr.id].Fanin[0] = dID
+	}
+	if len(regs) > 0 {
+		c.invalidate()
 	}
 
 	for _, out := range outputs {
@@ -180,7 +230,12 @@ func gateTypeFromBench(fn string) (GateType, error) {
 func (c *Circuit) WriteBench(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# %s\n", c.Name)
-	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.PIs), len(c.POs), c.NumGates())
+	if c.Sequential() {
+		fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates, %d dffs\n",
+			len(c.PIs), len(c.POs), c.NumGates(), c.NumRegs())
+	} else {
+		fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.PIs), len(c.POs), c.NumGates())
+	}
 	for _, pi := range c.PIs {
 		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[pi].Name)
 	}

@@ -1,7 +1,8 @@
-// Package circuit provides the gate-level netlist substrate: a combinational
-// circuit IR, an ISCAS85 .bench parser and writer, a logic simulator, a
-// deterministic generator of topology-matched ISCAS85-like benchmarks (used
-// because the original netlists are not distributed with this repository),
+// Package circuit provides the gate-level netlist substrate: a gate-level
+// circuit IR with D-flip-flop registers, an ISCAS85/89 .bench parser and
+// writer, a logic simulator, a deterministic generator of topology-matched
+// ISCAS85-like benchmarks (used because the original netlists are not
+// distributed with this repository) with a clocked (registered) variant,
 // and a structural array-multiplier generator (c6288 is a 16x16 multiplier).
 package circuit
 
@@ -10,8 +11,9 @@ import (
 	"fmt"
 )
 
-// GateType enumerates the supported combinational primitives. Input is a
-// primary input pseudo-gate with no fanin.
+// GateType enumerates the supported primitives. Input is a primary input
+// pseudo-gate with no fanin; Dff is a D-flip-flop register whose single
+// fanin is its D pin and whose node value is its Q output.
 type GateType uint8
 
 // Gate types. Input denotes a primary input.
@@ -25,12 +27,13 @@ const (
 	Nor
 	Xor
 	Xnor
+	Dff
 	numGateTypes
 )
 
 var gateTypeNames = [...]string{
 	Input: "INPUT", Buf: "BUFF", Not: "NOT", And: "AND", Nand: "NAND",
-	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR", Dff: "DFF",
 }
 
 // String returns the .bench spelling of the gate type.
@@ -49,13 +52,18 @@ type Gate struct {
 	Fanin []int
 }
 
-// Circuit is a combinational netlist. Node indices are positions in Gates;
-// primary inputs are Gates entries with Type == Input.
+// Circuit is a gate-level netlist, combinational or sequential. Node
+// indices are positions in Gates; primary inputs are Gates entries with
+// Type == Input, registers are entries with Type == Dff. A Dff node is a
+// D/Q boundary point: its Fanin[0] is the D-pin source, and the node value
+// seen by its fanout is the Q output — for timing, Q launches from the
+// clock, not from D, which is what keeps register feedback loops acyclic.
 type Circuit struct {
 	Name  string
 	Gates []Gate
 	PIs   []int // node ids of primary inputs
 	POs   []int // node ids of observed outputs (regular gates)
+	Regs  []int // node ids of DFF registers, in insertion order
 
 	byName map[string]int
 	fanout [][]int // lazily built
@@ -78,6 +86,9 @@ func (c *Circuit) AddInput(name string) (int, error) {
 func (c *Circuit) AddGate(name string, t GateType, fanin ...int) (int, error) {
 	if t == Input {
 		return 0, fmt.Errorf("circuit: use AddInput for primary inputs (%q)", name)
+	}
+	if t == Dff {
+		return 0, fmt.Errorf("circuit: use AddDFF for registers (%q)", name)
 	}
 	if len(fanin) == 0 {
 		return 0, fmt.Errorf("circuit: gate %q has no fanin", name)
@@ -102,6 +113,18 @@ func (c *Circuit) AddGate(name string, t GateType, fanin ...int) (int, error) {
 	return c.addNode(Gate{Name: name, Type: t, Fanin: fan})
 }
 
+// AddDFF appends a D-flip-flop register node and returns its id. The single
+// fanin d is the D-pin source; the node itself represents the Q output. The
+// .bench parser patches d after the fact for forward references through
+// register feedback (see ParseBench), so AddDFF also accepts d == -1 as an
+// explicit "resolve later" placeholder that must be patched before use.
+func (c *Circuit) AddDFF(name string, d int) (int, error) {
+	if d != -1 && (d < 0 || d >= len(c.Gates)) {
+		return 0, fmt.Errorf("circuit: register %q references unknown node %d", name, d)
+	}
+	return c.addNode(Gate{Name: name, Type: Dff, Fanin: []int{d}})
+}
+
 func (c *Circuit) addNode(g Gate) (int, error) {
 	if g.Name == "" {
 		return 0, errors.New("circuit: empty node name")
@@ -114,6 +137,9 @@ func (c *Circuit) addNode(g Gate) (int, error) {
 	c.byName[g.Name] = id
 	if g.Type == Input {
 		c.PIs = append(c.PIs, id)
+	}
+	if g.Type == Dff {
+		c.Regs = append(c.Regs, id)
 	}
 	c.invalidate()
 	return id, nil
@@ -149,8 +175,15 @@ func (c *Circuit) invalidate() {
 // vertex count Vo of the paper's timing graph.
 func (c *Circuit) NumNodes() int { return len(c.Gates) }
 
-// NumGates returns the count of logic gates (excluding primary inputs).
+// NumGates returns the count of logic gates (excluding primary inputs;
+// registers count as gates — they are placed cells with timing arcs).
 func (c *Circuit) NumGates() int { return len(c.Gates) - len(c.PIs) }
+
+// NumRegs returns the register (DFF) count.
+func (c *Circuit) NumRegs() int { return len(c.Regs) }
+
+// Sequential reports whether the circuit contains registers.
+func (c *Circuit) Sequential() bool { return len(c.Regs) > 0 }
 
 // NumEdges returns the total fanin connection count, the edge count Eo of
 // the paper's timing graph.
@@ -163,12 +196,16 @@ func (c *Circuit) NumEdges() int {
 }
 
 // Fanout returns, for each node, the ids of gates it drives. The result is
-// cached; callers must not mutate it.
+// cached; callers must not mutate it. Unpatched register placeholders
+// (fanin -1, a mid-parse state) are skipped.
 func (c *Circuit) Fanout() [][]int {
 	if c.fanout == nil {
 		c.fanout = make([][]int, len(c.Gates))
 		for id, g := range c.Gates {
 			for _, f := range g.Fanin {
+				if f < 0 {
+					continue
+				}
 				c.fanout[f] = append(c.fanout[f], id)
 			}
 		}
@@ -177,16 +214,24 @@ func (c *Circuit) Fanout() [][]int {
 }
 
 // Levelize returns a topological order of all nodes and the logic level of
-// each node (PIs at level 0, a gate one above its deepest fanin). It errors
-// if the netlist contains a cycle.
+// each node (PIs at level 0, a gate one above its deepest fanin). Register
+// (DFF) nodes sit at level 0 like primary inputs: their Q output launches
+// from the clock, so the D-pin edge into a register does not constrain its
+// level — which is exactly what keeps legitimate register feedback loops
+// (Q combinationally feeding its own D) out of the cycle check, while pure
+// combinational cycles still error.
 func (c *Circuit) Levelize() (order []int, levels []int, err error) {
 	if c.order != nil {
 		return c.order, c.levels, nil
 	}
 	n := len(c.Gates)
 	// Duplicate fanins each count once: indegree is the fanin length.
+	// Registers take indegree 0 — the D edge is a capture, not a dependency.
 	indeg := make([]int, n)
 	for id, g := range c.Gates {
+		if g.Type == Dff {
+			continue
+		}
 		indeg[id] = len(g.Fanin)
 	}
 	fanout := c.Fanout()
@@ -203,6 +248,9 @@ func (c *Circuit) Levelize() (order []int, levels []int, err error) {
 		queue = queue[1:]
 		order = append(order, id)
 		for _, to := range fanout[id] {
+			if c.Gates[to].Type == Dff {
+				continue // capture edge: no ordering constraint on Q
+			}
 			if l := levels[id] + 1; l > levels[to] {
 				levels[to] = l
 			}
@@ -243,6 +291,11 @@ func (c *Circuit) Validate() error {
 	if len(c.POs) == 0 {
 		return errors.New("circuit: no primary outputs")
 	}
+	for _, r := range c.Regs {
+		if d := c.Gates[r].Fanin[0]; d < 0 || d >= len(c.Gates) {
+			return fmt.Errorf("circuit: register %q (id %d) has unresolved D pin", c.Gates[r].Name, r)
+		}
+	}
 	if _, _, err := c.Levelize(); err != nil {
 		return err
 	}
@@ -276,6 +329,12 @@ func (c *Circuit) Simulate(inputs []bool) ([]bool, error) {
 	for _, id := range order {
 		g := &c.Gates[id]
 		if g.Type == Input {
+			continue
+		}
+		if g.Type == Dff {
+			// Single-vector simulation evaluates the reset state: every
+			// register's Q output reads as false.
+			vals[id] = false
 			continue
 		}
 		vals[id] = evalGate(g.Type, g.Fanin, vals)
@@ -341,6 +400,7 @@ type Stats struct {
 	PIs    int
 	POs    int
 	Gates  int
+	Regs   int // DFF registers (also counted in Gates)
 	Nodes  int // Vo: gates + PIs
 	Edges  int // Eo: fanin connections
 	Depth  int
@@ -359,6 +419,7 @@ func (c *Circuit) Stat() (Stats, error) {
 		PIs:   len(c.PIs),
 		POs:   len(c.POs),
 		Gates: c.NumGates(),
+		Regs:  c.NumRegs(),
 		Nodes: c.NumNodes(),
 		Edges: c.NumEdges(),
 		Depth: d,

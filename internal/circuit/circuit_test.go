@@ -267,7 +267,8 @@ func TestParseBenchErrors(t *testing.T) {
 		name string
 		src  string
 	}{
-		{"dff", "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"},
+		{"dff arity", "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n"},
+		{"dff undefined d", "INPUT(a)\nOUTPUT(q)\nq = DFF(m)\n"},
 		{"garbage", "INPUT(a)\nOUTPUT(a)\nnot a line\n"},
 		{"unknown gate", "INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = FROB(a, b)\n"},
 		{"undefined output", "INPUT(a)\nINPUT(b)\nOUTPUT(zz)\ng = AND(a, b)\n"},

@@ -1,0 +1,95 @@
+package circuit
+
+import "fmt"
+
+// Clocked wraps a combinational circuit in a single register stage on each
+// side: every primary input is captured by an input register before it feeds
+// logic, and every primary output is captured by an output register. The
+// result is a sequential circuit whose register-to-register paths are exactly
+// the original input-to-output paths, which makes it the canonical clocked
+// benchmark for setup/hold analysis.
+//
+// Port names are stable with respect to the combinational original: the new
+// circuit's primary inputs keep the original PI names, and its primary
+// outputs are the capture registers, which take the original PO names (the
+// PO logic gates are renamed name+"_d", the input registers name+"_r"). Two
+// circuits generated from the same spec — clocked or not — therefore expose
+// identical port-name sets, so extracted models remain swappable in
+// hierarchical designs.
+func Clocked(c *Circuit) (*Circuit, error) {
+	if c.Sequential() {
+		return nil, fmt.Errorf("circuit: Clocked(%q): circuit already contains registers", c.Name)
+	}
+	isPI := make(map[int]bool, len(c.PIs))
+	for _, pi := range c.PIs {
+		isPI[pi] = true
+	}
+	isPO := make(map[int]bool, len(c.POs))
+	for _, po := range c.POs {
+		if isPI[po] {
+			return nil, fmt.Errorf("circuit: Clocked(%q): output %q is a primary input", c.Name, c.Gates[po].Name)
+		}
+		isPO[po] = true
+	}
+
+	out := New(c.Name + "_seq")
+	newID := make([]int, len(c.Gates))
+	// Input stage: a fresh PI under the original name, captured by a
+	// register named name+"_r"; logic reads the register's Q.
+	for _, pi := range c.PIs {
+		name := c.Gates[pi].Name
+		in, err := out.AddInput(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := out.AddDFF(name+"_r", in)
+		if err != nil {
+			return nil, err
+		}
+		newID[pi] = r
+	}
+	// Logic: copied in id order. Circuits built through Add* always have
+	// fanin ids below the gate id, so every remapped fanin already exists.
+	for id, g := range c.Gates {
+		if g.Type == Input {
+			continue
+		}
+		name := g.Name
+		if isPO[id] {
+			name += "_d"
+		}
+		fan := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fan[i] = newID[f]
+		}
+		gid, err := out.AddGate(name, g.Type, fan...)
+		if err != nil {
+			return nil, err
+		}
+		newID[id] = gid
+	}
+	// Output stage: capture registers under the original PO names.
+	for _, po := range c.POs {
+		cap_, err := out.AddDFF(c.Gates[po].Name, newID[po])
+		if err != nil {
+			return nil, err
+		}
+		if err := out.MarkOutput(cap_); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: Clocked(%q): %w", c.Name, err)
+	}
+	return out, nil
+}
+
+// GenerateClocked builds the clocked (registered) variant of the generated
+// benchmark for the spec: Generate followed by Clocked.
+func GenerateClocked(spec TopoSpec, seed int64) (*Circuit, error) {
+	g, err := Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Clocked(g)
+}

@@ -20,7 +20,11 @@ func FuzzNetlistParse(f *testing.F) {
 	f.Add([]byte("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n"))
 	// Forward reference: gates may use names defined later in the file.
 	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = NOT(m)\nm = BUFF(a)\n"))
-	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = DFF(a)\n"))        // sequential: rejected
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = DFF(a)\n")) // sequential: accepted (registers are modeled)
+	// Register feedback: the D source reads through the register's own Q.
+	f.Add([]byte("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(a, q)\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = DFF(a, a)\n"))     // DFF arity: rejected
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = DFF(m)\n"))        // undefined D source
 	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = XOR(a, a)\n"))     // duplicate fanin
 	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = FROB(a, a)\n"))    // unknown gate fn
 	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = NOT(z)\n"))        // self-cycle
@@ -39,6 +43,15 @@ func FuzzNetlistParse(f *testing.F) {
 		// Accepted netlists must be valid and round-trip structurally.
 		if err := c.Validate(); err != nil {
 			t.Fatalf("parser accepted an invalid netlist: %v", err)
+		}
+		// The combinational-only mode accepts exactly the register-free
+		// subset of what ParseBench accepts.
+		_, combErr := ParseBenchCombinational("fuzzc", bytes.NewReader(data))
+		if c.Sequential() && combErr == nil {
+			t.Fatal("ParseBenchCombinational accepted a sequential netlist")
+		}
+		if !c.Sequential() && combErr != nil {
+			t.Fatalf("ParseBenchCombinational rejected a combinational netlist: %v", combErr)
 		}
 		var out strings.Builder
 		if err := c.WriteBench(&out); err != nil {

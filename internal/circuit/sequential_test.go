@@ -1,0 +1,158 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBenchSequential parses a small clocked netlist with register
+// feedback and checks the D/Q structure.
+func TestParseBenchSequential(t *testing.T) {
+	src := `
+# toggle-ish: register feedback through a NAND
+INPUT(a)
+INPUT(en)
+OUTPUT(q)
+OUTPUT(z)
+q = DFF(d)
+d = NAND(a, q)
+z = AND(en, q)
+`
+	c, err := ParseBench("seq", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Sequential() || c.NumRegs() != 1 {
+		t.Fatalf("regs = %d, want 1", c.NumRegs())
+	}
+	qID, _ := c.NodeByName("q")
+	dID, _ := c.NodeByName("d")
+	if c.Gates[qID].Type != Dff || c.Gates[qID].Fanin[0] != dID {
+		t.Fatalf("register q fanin = %v, want [%d]", c.Gates[qID].Fanin, dID)
+	}
+	// Feedback: d reads q, q captures d — Levelize must not call this a cycle.
+	if _, _, err := c.Levelize(); err != nil {
+		t.Fatalf("levelize: %v", err)
+	}
+	_, levels, _ := c.Levelize()
+	if levels[qID] != 0 {
+		t.Fatalf("register level = %d, want 0 (launches from clock)", levels[qID])
+	}
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs != 1 {
+		t.Fatalf("Stats.Regs = %d", st.Regs)
+	}
+
+	// A genuine combinational cycle must still error.
+	cyc := "INPUT(a)\nOUTPUT(x)\nx = NAND(a, y)\ny = NAND(a, x)\n"
+	if _, err := ParseBench("cyc", strings.NewReader(cyc)); err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+}
+
+// TestParseBenchCombinationalMode pins the validated combinational-only
+// parse mode: sequential netlists get an explicit error, combinational ones
+// parse identically to ParseBench.
+func TestParseBenchCombinationalMode(t *testing.T) {
+	seq := "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
+	if _, err := ParseBenchCombinational("seq", strings.NewReader(seq)); err == nil {
+		t.Fatal("combinational mode accepted a DFF")
+	} else if !strings.Contains(err.Error(), "DFF") {
+		t.Fatalf("error does not name DFF: %v", err)
+	}
+	comb := "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n"
+	if _, err := ParseBenchCombinational("comb", strings.NewReader(comb)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialWriteRoundTrip checks WriteBench/ParseBench round-trips a
+// registered netlist with identical structure.
+func TestSequentialWriteRoundTrip(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(a, q)\n"
+	c, err := ParseBench("rt", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := c.WriteBench(&out); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseBench("rt2", strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, out.String())
+	}
+	s1, _ := c.Stat()
+	s2, _ := c2.Stat()
+	s1.Name, s2.Name = "", ""
+	if s1 != s2 {
+		t.Fatalf("round trip changed structure: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestClocked checks the registered wrapper of a combinational benchmark:
+// structure, port-name stability against the original, and determinism.
+func TestClocked(t *testing.T) {
+	base := C17()
+	c, err := Clocked(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.NumRegs(), len(base.PIs)+len(base.POs); got != want {
+		t.Fatalf("regs = %d, want %d", got, want)
+	}
+	if len(c.PIs) != len(base.PIs) || len(c.POs) != len(base.POs) {
+		t.Fatalf("ports changed: %d/%d vs %d/%d", len(c.PIs), len(c.POs), len(base.PIs), len(base.POs))
+	}
+	// Port names are preserved: PIs keep their names, POs are the capture
+	// registers under the original output names.
+	for i, pi := range base.PIs {
+		if c.Gates[c.PIs[i]].Name != base.Gates[pi].Name {
+			t.Fatalf("PI %d renamed: %q vs %q", i, c.Gates[c.PIs[i]].Name, base.Gates[pi].Name)
+		}
+	}
+	for i, po := range base.POs {
+		g := c.Gates[c.POs[i]]
+		if g.Name != base.Gates[po].Name {
+			t.Fatalf("PO %d renamed: %q vs %q", i, g.Name, base.Gates[po].Name)
+		}
+		if g.Type != Dff {
+			t.Fatalf("PO %d is %v, want DFF capture register", i, g.Type)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Combinational depth is preserved between the register stages
+	// (registers sit at level 0 and capture edges carry no level constraint).
+	d0, _ := base.Depth()
+	d1, _ := c.Depth()
+	if d1 != d0 {
+		t.Fatalf("clocked depth = %d, want %d", d1, d0)
+	}
+
+	// Clocking twice is an error; generation is deterministic per seed.
+	if _, err := Clocked(c); err == nil {
+		t.Fatal("Clocked accepted a sequential circuit")
+	}
+	spec := TopoSpec{Name: "tiny", PIs: 4, POs: 2, Gates: 12, Edges: 24, Depth: 3}
+	a, err := GenerateClocked(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateClocked(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.Stat()
+	sb, _ := b.Stat()
+	if sa != sb {
+		t.Fatalf("GenerateClocked not deterministic: %+v vs %+v", sa, sb)
+	}
+	if sa.Regs != spec.PIs+spec.POs {
+		t.Fatalf("generated regs = %d, want %d", sa.Regs, spec.PIs+spec.POs)
+	}
+}

@@ -96,6 +96,19 @@ func ExtractCtx(ctx context.Context, g *timing.Graph, opt Options) (*Model, erro
 	}
 	start := time.Now()
 
+	// Sequential modules are extracted through a widened-port view so the
+	// criticality screen and the dominant-path guard protect clock->D paths
+	// like IO paths; see sequential.go.
+	orig := g
+	extraOuts := 0
+	if g.Sequential() {
+		var err error
+		g, extraOuts, err = seqView(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: sequential view: %w", err)
+		}
+	}
+
 	copt := CriticalityOptions{Workers: opt.Workers}
 	if delta > 0 && !opt.ExactCriticality {
 		// The removal decision only compares Cm against delta, so the
@@ -133,6 +146,11 @@ func ExtractCtx(ctx context.Context, g *timing.Graph, opt Options) (*Model, erro
 	reduced, err := rebuildGraph(g, mg)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild: %w", err)
+	}
+	if orig.Sequential() {
+		if err := restoreSequential(orig, reduced, extraOuts); err != nil {
+			return nil, err
+		}
 	}
 	stats.VertsModel = reduced.NumVerts
 	stats.EdgesModel = len(reduced.Edges)

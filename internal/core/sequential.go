@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// Sequential extraction: a clocked module's reduced model must preserve not
+// just the port-to-port delay matrix but the register timing paths — clock
+// root to every D pin (setup) and the clk->Q launches feeding them. We get
+// both from the combinational machinery by extracting a *view* of the graph
+// whose port set is widened: the clock roots join the inputs (as "__clk")
+// and every register D pin joins the outputs. The all-pairs criticality
+// engine and the dominant-path guard then protect sequential paths exactly
+// like IO paths, and the rebuilt model keeps D pins as live vertices.
+//
+// The model's registers keep their setup/hold constraint forms but drop the
+// structural anchors that no longer exist after reduction: Q and ClkEdge
+// become -1 (merged arcs absorb the clk->Q delay into abstract model edges).
+// Setup slack on the reduced model is exact up to the extraction delta; hold
+// slack is approximate — edge removal can lengthen the shortest path, so
+// reduced-model hold slacks are optimistic bounds and final hold signoff
+// should run on the full graph.
+
+// seqView widens a sequential graph's port set for extraction. It returns
+// the view (a shallow clone sharing edge forms) and the number of extra
+// output ports appended.
+func seqView(g *timing.Graph) (*timing.Graph, int, error) {
+	view := g.Clone()
+
+	ins := append([]int(nil), g.Inputs...)
+	inNames := append([]string(nil), g.InputNames...)
+	for i, cr := range g.ClockRoots {
+		name := "__clk"
+		if len(g.ClockRoots) > 1 {
+			name = fmt.Sprintf("__clk%d", i)
+		}
+		ins = append(ins, cr)
+		inNames = append(inNames, name)
+	}
+
+	isPort := make(map[int]bool, len(g.Inputs)+len(g.Outputs))
+	for _, v := range g.Inputs {
+		isPort[v] = true
+	}
+	for _, v := range g.Outputs {
+		isPort[v] = true
+	}
+	outs := append([]int(nil), g.Outputs...)
+	outNames := append([]string(nil), g.OutputNames...)
+	extra := 0
+	for _, r := range g.Registers {
+		// D pins that already are ports (registered POs share their D
+		// vertex with an output; input-stage registers capture a PI) are
+		// protected without widening.
+		if isPort[r.D] {
+			continue
+		}
+		isPort[r.D] = true
+		outs = append(outs, r.D)
+		outNames = append(outNames, "__regD:"+r.Name)
+		extra++
+	}
+	if err := view.SetIO(ins, outs, inNames, outNames); err != nil {
+		return nil, 0, err
+	}
+	// The widened ports drive extraction only; the view must not re-enter
+	// the sequential path itself.
+	view.Registers = nil
+	view.ClockRoots = nil
+	return view, extra, nil
+}
+
+// restoreSequential rewrites the widened-view model back into a sequential
+// model: strips the extra ports, recovers the clock roots, and remaps the
+// register metadata onto reduced-model vertices.
+func restoreSequential(orig *timing.Graph, reduced *timing.Graph, extraOuts int) error {
+	nIn, nOut := len(orig.Inputs), len(orig.Outputs)
+
+	// Port positions give the old->new vertex correspondence for every
+	// vertex we still need to address.
+	newID := make(map[int]int, nIn+nOut+extraOuts+len(orig.ClockRoots))
+	for i, v := range orig.Inputs {
+		newID[v] = reduced.Inputs[i]
+	}
+	for j, v := range orig.Outputs {
+		newID[v] = reduced.Outputs[j]
+	}
+	k := nOut
+	for _, r := range orig.Registers {
+		if _, ok := newID[r.D]; ok {
+			continue
+		}
+		if k >= len(reduced.Outputs) {
+			return fmt.Errorf("core: register %q D pin missing from reduced model", r.Name)
+		}
+		newID[r.D] = reduced.Outputs[k]
+		k++
+	}
+	roots := make([]int, len(orig.ClockRoots))
+	for i := range orig.ClockRoots {
+		roots[i] = reduced.Inputs[nIn+i]
+	}
+
+	reduced.Inputs = reduced.Inputs[:nIn]
+	reduced.InputNames = reduced.InputNames[:nIn]
+	reduced.Outputs = reduced.Outputs[:nOut]
+	reduced.OutputNames = reduced.OutputNames[:nOut]
+	reduced.ClockRoots = roots
+
+	regs := make([]timing.Register, 0, len(orig.Registers))
+	for _, r := range orig.Registers {
+		d, ok := newID[r.D]
+		if !ok {
+			return fmt.Errorf("core: register %q D vertex %d lost in reduction", r.Name, r.D)
+		}
+		regs = append(regs, timing.Register{
+			Name: r.Name, Q: -1, D: d, ClkEdge: -1, Grid: r.Grid,
+			Setup: r.Setup, Hold: r.Hold,
+			SetupLSens: r.SetupLSens, HoldLSens: r.HoldLSens,
+		})
+	}
+	reduced.Registers = regs
+	return nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/place"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+func buildSeqGraph(t *testing.T, name string, seed int64) *timing.Graph {
+	t.Helper()
+	var c *circuit.Circuit
+	var err error
+	if name == "c17" {
+		c, err = circuit.Clocked(circuit.C17())
+	} else {
+		spec, ok := circuit.SpecByName(name)
+		if !ok {
+			t.Fatalf("unknown spec %q", name)
+		}
+		c, err = circuit.GenerateClocked(spec, seed)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.Synthetic90nm()
+	plan, err := place.Topological(c, place.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, _ := variation.DefaultCorrelation()
+	gm, err := variation.NewGridModel(plan.NX, plan.NY, plan.Pitch, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := timing.Build(c, lib, plan, gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExtractSequentialKeepsRegisters(t *testing.T) {
+	g := buildSeqGraph(t, "c17", 1)
+	m, err := Extract(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Graph
+	if !r.Sequential() {
+		t.Fatal("reduced model lost its registers")
+	}
+	if len(r.Registers) != len(g.Registers) {
+		t.Fatalf("register count %d != original %d", len(r.Registers), len(g.Registers))
+	}
+	if len(r.ClockRoots) != len(g.ClockRoots) {
+		t.Fatalf("clock root count %d != original %d", len(r.ClockRoots), len(g.ClockRoots))
+	}
+	if len(r.Inputs) != len(g.Inputs) || len(r.Outputs) != len(g.Outputs) {
+		t.Fatalf("port counts changed: %d/%d vs %d/%d",
+			len(r.Inputs), len(r.Outputs), len(g.Inputs), len(g.Outputs))
+	}
+	for i, rr := range r.Registers {
+		if rr.Name != g.Registers[i].Name {
+			t.Fatalf("register %d renamed %q -> %q", i, g.Registers[i].Name, rr.Name)
+		}
+		if rr.Q != -1 || rr.ClkEdge != -1 {
+			t.Fatalf("register %q should drop structural anchors, got Q=%d ClkEdge=%d", rr.Name, rr.Q, rr.ClkEdge)
+		}
+		if rr.D < 0 || rr.D >= r.NumVerts {
+			t.Fatalf("register %q D vertex %d out of range", rr.Name, rr.D)
+		}
+		if rr.Setup == nil || rr.Hold == nil {
+			t.Fatalf("register %q lost constraint forms", rr.Name)
+		}
+	}
+}
+
+func TestExtractSequentialSetupSlackPreserved(t *testing.T) {
+	g := buildSeqGraph(t, "c432", 3)
+	m, err := Extract(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := timing.ClockSpec{PeriodPS: 600, SkewPS: 10, JitterPS: 5}
+	full, err := g.SequentialSlacks(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := m.Graph.SequentialSlacks(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup slack on the model tracks the full graph up to the extraction
+	// delta (the clock->D max paths are protected like IO paths).
+	dm := math.Abs(full.WorstSetup.Mean() - red.WorstSetup.Mean())
+	if scale := math.Abs(full.WorstSetup.Mean()) + full.WorstSetup.Std(); dm > 0.05*scale+2 {
+		t.Fatalf("worst setup mean drifted: full %g vs model %g", full.WorstSetup.Mean(), red.WorstSetup.Mean())
+	}
+	ds := math.Abs(full.WorstSetup.Std() - red.WorstSetup.Std())
+	if ds > 0.15*full.WorstSetup.Std()+0.5 {
+		t.Fatalf("worst setup std drifted: full %g vs model %g", full.WorstSetup.Std(), red.WorstSetup.Std())
+	}
+	// Hold slack on the reduced model is an optimistic bound: removing edges
+	// can only lengthen the shortest path.
+	if red.WorstHold.Mean()+3*red.WorstHold.Std() < full.WorstHold.Mean()-3*full.WorstHold.Std()-1e-6 {
+		t.Fatalf("model hold slack %g below full-graph hold slack %g", red.WorstHold.Mean(), full.WorstHold.Mean())
+	}
+}
+
+func TestExtractSequentialSnapshotRoundTrip(t *testing.T) {
+	g := buildSeqGraph(t, "c17", 1)
+	m, err := Extract(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Graph.Snapshot()
+	back, err := timing.FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Registers) != len(m.Graph.Registers) {
+		t.Fatalf("round trip lost registers: %d vs %d", len(back.Registers), len(m.Graph.Registers))
+	}
+	clock := timing.DefaultClock()
+	a, err := m.Graph.SequentialSlacks(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.SequentialSlacks(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.WorstSetup.Mean()-b.WorstSetup.Mean()) > 1e-9 {
+		t.Fatalf("snapshot changed setup slack: %g vs %g", a.WorstSetup.Mean(), b.WorstSetup.Mean())
+	}
+}

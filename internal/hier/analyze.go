@@ -104,7 +104,12 @@ type Result struct {
 	// OutputArrivals holds the arrival form per primary output (nil when
 	// unreachable).
 	OutputArrivals []*canon.Form
-	Elapsed        time.Duration
+	// Sequential holds the design-level setup/hold analysis when the
+	// stitched graph carries registers (nil for combinational designs).
+	// Hold slacks computed over reduced models are optimistic bounds; see
+	// core/sequential.go.
+	Sequential *timing.SeqResult
+	Elapsed    time.Duration
 }
 
 // AnalyzeOptions tunes the analysis engine without changing its result:
@@ -118,6 +123,10 @@ type AnalyzeOptions struct {
 	// reusing the design's cached prep. Exposed for benchmarking and for
 	// callers that mutate state the design fingerprint cannot see.
 	DisableCache bool
+	// Clock drives the design-level setup/hold analysis on sequential
+	// designs; the zero value selects timing.DefaultClock. Ignored for
+	// combinational designs.
+	Clock timing.ClockSpec
 }
 
 // Analyze runs the hierarchical timing analysis of paper Fig. 5 serially
@@ -145,10 +154,12 @@ func (d *Design) AnalyzeCtx(ctx context.Context, mode Mode, opt AnalyzeOptions) 
 		return nil, err
 	}
 	// The design-level forward pass runs in a flat propagation arena; only
-	// the per-output forms surfaced in the result are materialized.
+	// the per-output forms surfaced in the result are materialized. Launch
+	// sources include the instance clock roots on sequential designs, so
+	// register-launched cones reach the primary outputs.
 	p := res.Graph.AcquirePass().WithContext(ctx)
 	defer p.Release()
-	if err := p.Arrivals(res.Graph.Inputs...); err != nil {
+	if err := p.Arrivals(res.Graph.LaunchSources()...); err != nil {
 		return nil, err
 	}
 	res.OutputArrivals = make([]*canon.Form, len(res.Graph.Outputs))
@@ -165,6 +176,12 @@ func (d *Design) AnalyzeCtx(ctx context.Context, mode Mode, opt AnalyzeOptions) 
 	res.Delay, err = canon.MaxAll(reach)
 	if err != nil {
 		return nil, err
+	}
+	if res.Graph.Sequential() {
+		res.Sequential, err = res.Graph.SequentialSlacks(opt.Clock)
+		if err != nil {
+			return nil, fmt.Errorf("hier: sequential slacks: %w", err)
+		}
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -243,24 +260,9 @@ func rewriteEdge(e *timing.Edge, i int, pp *prep, nP int, mgmComps int,
 // boundary scale. The returned edge may be cached and shared; scaleEdge
 // never mutates it.
 func rewriteEdgeRaw(e *timing.Edge, i int, pp *prep, nP int, mgmComps int, useOrig bool) (preppedEdge, error) {
-	f := pp.space.NewForm()
-	f.Nominal = e.Delay.Nominal
-	copy(f.Glob, e.Delay.Glob)
-	f.Rand = e.Delay.Rand
-	switch pp.mode {
-	case FullCorrelation:
-		// x = A^+ B_n x_t (eq. 19): coefficient vector per
-		// parameter block maps through R^T.
-		for p := 0; p < nP; p++ {
-			src := e.Delay.Loc[p*mgmComps : (p+1)*mgmComps]
-			dst, err := pp.repl[i].MulVecT(src)
-			if err != nil {
-				return preppedEdge{}, err
-			}
-			copy(f.Loc[p*pp.part.Grids.Comps:(p+1)*pp.part.Grids.Comps], dst)
-		}
-	case GlobalOnly:
-		copy(f.Loc[pp.instLocStart[i]:pp.instLocStart[i+1]], e.Delay.Loc)
+	f, err := rewriteForm(e.Delay, i, pp, nP, mgmComps)
+	if err != nil {
+		return preppedEdge{}, err
 	}
 	pe := preppedEdge{from: e.From, to: e.To, f: f}
 	if useOrig && pp.part != nil {
@@ -268,6 +270,32 @@ func rewriteEdgeRaw(e *timing.Edge, i int, pp *prep, nP int, mgmComps int, useOr
 		pe.grid = pp.part.InstStart[i] + e.Grid
 	}
 	return pe, nil
+}
+
+// rewriteForm maps one module-space canonical form (an edge delay or a
+// register constraint) into the design space under the mode's variable
+// replacement.
+func rewriteForm(src *canon.Form, i int, pp *prep, nP int, mgmComps int) (*canon.Form, error) {
+	f := pp.space.NewForm()
+	f.Nominal = src.Nominal
+	copy(f.Glob, src.Glob)
+	f.Rand = src.Rand
+	switch pp.mode {
+	case FullCorrelation:
+		// x = A^+ B_n x_t (eq. 19): coefficient vector per
+		// parameter block maps through R^T.
+		for p := 0; p < nP; p++ {
+			s := src.Loc[p*mgmComps : (p+1)*mgmComps]
+			dst, err := pp.repl[i].MulVecT(s)
+			if err != nil {
+				return nil, err
+			}
+			copy(f.Loc[p*pp.part.Grids.Comps:(p+1)*pp.part.Grids.Comps], dst)
+		}
+	case GlobalOnly:
+		copy(f.Loc[pp.instLocStart[i]:pp.instLocStart[i+1]], src.Loc)
+	}
+	return f, nil
 }
 
 // boundaryScale returns the load/slew adjustment factor for an edge given
@@ -376,12 +404,56 @@ func (d *Design) buildTop(ctx context.Context, mode Mode, useOrig bool, opt Anal
 	if err != nil {
 		return nil, err
 	}
+	edgeBase := make([]int, len(d.Instances))
 	for i := range d.Instances {
+		edgeBase[i] = len(top.Edges)
 		for k := range prepared[i] {
 			pe := &prepared[i][k]
 			if _, err := top.AddEdge(base[i]+pe.from, base[i]+pe.to, pe.f, pe.lsens, pe.grid); err != nil {
 				return nil, err
 			}
+		}
+	}
+
+	// Sequential metadata: instance registers and clock roots merge into the
+	// top with vertex ids offset by the instance base, names prefixed by the
+	// instance, and constraint forms rewritten into the design space exactly
+	// like edge delays.
+	for i, inst := range d.Instances {
+		ig := d.instGraph(inst, useOrig)
+		if !ig.Sequential() {
+			continue
+		}
+		mgmComps := inst.Module.gridModel().Comps
+		for _, r := range ig.Registers {
+			setup, err := rewriteForm(r.Setup, i, pp, nP, mgmComps)
+			if err != nil {
+				return nil, err
+			}
+			hold, err := rewriteForm(r.Hold, i, pp, nP, mgmComps)
+			if err != nil {
+				return nil, err
+			}
+			q, clkEdge := -1, -1
+			if r.Q >= 0 {
+				q = base[i] + r.Q
+			}
+			if r.ClkEdge >= 0 {
+				clkEdge = edgeBase[i] + r.ClkEdge
+			}
+			grid := -1
+			var sl, hl []float64
+			if useOrig && part != nil && r.Grid >= 0 {
+				grid = part.InstStart[i] + r.Grid
+				sl, hl = r.SetupLSens, r.HoldLSens
+			}
+			top.Registers = append(top.Registers, timing.Register{
+				Name: inst.Name + "." + r.Name, Q: q, D: base[i] + r.D, ClkEdge: clkEdge, Grid: grid,
+				Setup: setup, Hold: hold, SetupLSens: sl, HoldLSens: hl,
+			})
+		}
+		for _, cr := range ig.ClockRoots {
+			top.ClockRoots = append(top.ClockRoots, base[i]+cr)
 		}
 	}
 

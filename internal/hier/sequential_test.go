@@ -1,0 +1,139 @@
+package hier
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// buildSeqModule extracts a timing model from a clocked multiplier, keeping
+// the original sequential graph for flattening.
+func buildSeqModule(t *testing.T, name string, width int) *Module {
+	t.Helper()
+	comb, err := circuit.ArrayMultiplier(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := circuit.Clocked(comb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.Synthetic90nm()
+	plan, err := place.Topological(c, place.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, _ := variation.DefaultCorrelation()
+	gm, err := variation.NewGridModel(plan.NX, plan.NY, plan.Pitch, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := timing.Build(c, lib, plan, gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Extract(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModule(name, model, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Orig = g
+	return mod
+}
+
+func TestAnalyzeSequentialDesign(t *testing.T) {
+	mod := buildSeqModule(t, "sm4", 4)
+	if !mod.Model.Graph.Sequential() {
+		t.Fatal("extracted module model lost registers")
+	}
+	d := twoByTwo(t, mod)
+	clock := timing.ClockSpec{PeriodPS: 800, SkewPS: 10, JitterPS: 5}
+
+	res, err := d.AnalyzeOpt(FullCorrelation, AnalyzeOptions{Workers: 4, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequential == nil {
+		t.Fatal("sequential design produced no setup/hold analysis")
+	}
+	wantRegs := 4 * len(mod.Model.Graph.Registers)
+	if got := len(res.Graph.Registers); got != wantRegs {
+		t.Fatalf("stitched top has %d registers, want %d", got, wantRegs)
+	}
+	if got := len(res.Graph.ClockRoots); got != 4*len(mod.Model.Graph.ClockRoots) {
+		t.Fatalf("stitched top has %d clock roots, want %d", got, 4*len(mod.Model.Graph.ClockRoots))
+	}
+	for _, r := range res.Graph.Registers {
+		if i := strings.IndexByte(r.Name, '.'); i <= 0 {
+			t.Fatalf("register %q not prefixed with its instance", r.Name)
+		}
+	}
+	if res.Sequential.WorstSetup == nil || res.Sequential.WorstHold == nil {
+		t.Fatal("missing worst setup/hold forms")
+	}
+	if math.IsNaN(res.Sequential.WorstSetup.Mean()) || res.Sequential.WorstSetup.Std() < 0 {
+		t.Fatalf("bad worst setup: mean %g std %g",
+			res.Sequential.WorstSetup.Mean(), res.Sequential.WorstSetup.Std())
+	}
+	// A generous period must leave positive setup slack on this small design.
+	if res.Sequential.WorstSetup.Mean() < 0 {
+		t.Fatalf("worst setup slack %g negative under an 800ps clock", res.Sequential.WorstSetup.Mean())
+	}
+}
+
+func TestSequentialFlattenVsModel(t *testing.T) {
+	mod := buildSeqModule(t, "sm4", 4)
+	d := twoByTwo(t, mod)
+	clock := timing.ClockSpec{PeriodPS: 700}
+
+	res, err := d.AnalyzeOpt(FullCorrelation, AnalyzeOptions{Workers: 4, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _, err := d.FlattenOpt(AnalyzeOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Sequential() {
+		t.Fatal("flattened graph lost registers")
+	}
+	fres, err := flat.SequentialSlacks(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model-based setup slack must track the flat ground truth within a few
+	// percent of the slack scale (extraction delta + boundary adjustments).
+	scale := math.Abs(fres.WorstSetup.Mean()) + fres.WorstSetup.Std() + 1
+	if d := math.Abs(res.Sequential.WorstSetup.Mean() - fres.WorstSetup.Mean()); d > 0.08*scale+3 {
+		t.Fatalf("model setup slack %g vs flat %g (diff %g)",
+			res.Sequential.WorstSetup.Mean(), fres.WorstSetup.Mean(), d)
+	}
+	// Hold on reduced models is optimistic: the model bound must not be
+	// below the flat truth by more than noise.
+	if res.Sequential.WorstHold.Mean() < fres.WorstHold.Mean()-1e-6 {
+		t.Fatalf("model hold slack %g pessimistic vs flat %g",
+			res.Sequential.WorstHold.Mean(), fres.WorstHold.Mean())
+	}
+}
+
+func TestCombinationalDesignHasNoSequential(t *testing.T) {
+	mod := buildModule(t, "m4", 4)
+	d := twoByTwo(t, mod)
+	res, err := d.Analyze(FullCorrelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequential != nil {
+		t.Fatal("combinational design unexpectedly produced sequential results")
+	}
+}

@@ -159,14 +159,14 @@ func (s *sampler) longestFrom(sources []int) []float64 {
 }
 
 // MaxDelaySamples draws cfg.Samples realizations of the circuit delay (max
-// over outputs, all inputs at time zero). Samples are deterministic in
-// cfg.Seed regardless of worker count.
+// over outputs, every launch source — inputs plus clock roots — at time
+// zero). Samples are deterministic in cfg.Seed regardless of worker count.
 func MaxDelaySamples(g *timing.Graph, cfg Config) ([]float64, error) {
 	cfg = cfg.normalize()
 	out := make([]float64, cfg.Samples)
 	err := forEachSample(g, cfg, func(s *sampler, idx int, rng *rand.Rand) {
 		s.draw(rng)
-		arr := s.longestFrom(s.g.Inputs)
+		arr := s.longestFrom(s.g.LaunchSources())
 		best := math.Inf(-1)
 		for _, o := range s.g.Outputs {
 			if arr[o] > best {
@@ -356,7 +356,7 @@ func CanonicalMaxDelaySamples(g *timing.Graph, cfg Config) ([]float64, error) {
 				for i := range arr {
 					arr[i] = math.Inf(-1)
 				}
-				for _, in := range g.Inputs {
+				for _, in := range g.LaunchSources() {
 					arr[in] = 0
 				}
 				for _, v := range order {

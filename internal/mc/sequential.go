@@ -1,0 +1,198 @@
+package mc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/canon"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// This file extends the structural Monte Carlo oracle to sequential timing:
+// scalar shortest-path propagation (the sampling dual of the analytic
+// earliest-arrival pass) and per-register setup/hold slack sampling against
+// a clock spec. The slack sampler mirrors timing.SequentialSlacks exactly —
+// same launch sources, same constraint structure, same jitter placement — so
+// disagreement isolates the Clark min/max moment matching, not modeling
+// differences.
+
+// shortestFrom runs a scalar shortest-path pass from the given source
+// vertices and returns the arrival array (shared scratch; +Inf marks
+// unreachable vertices; valid until the next longestFrom/shortestFrom call).
+func (s *sampler) shortestFrom(sources []int) []float64 {
+	for i := range s.arr {
+		s.arr[i] = math.Inf(1)
+	}
+	for _, src := range sources {
+		s.arr[src] = 0
+	}
+	for _, v := range s.order {
+		av := s.arr[v]
+		if math.IsInf(av, 1) {
+			continue
+		}
+		for _, ei := range s.g.Out[v] {
+			e := &s.g.Edges[ei]
+			if cand := av + s.delays[ei]; cand < s.arr[e.To] {
+				s.arr[e.To] = cand
+			}
+		}
+	}
+	return s.arr
+}
+
+// MinDelaySamples draws cfg.Samples realizations of the shortest-path
+// circuit delay (min over outputs, every launch source at time zero) — the
+// sampling reference for timing.MinDelay.
+func MinDelaySamples(g *timing.Graph, cfg Config) ([]float64, error) {
+	cfg = cfg.normalize()
+	out := make([]float64, cfg.Samples)
+	err := forEachSample(g, cfg, func(s *sampler, idx int, rng *rand.Rand) {
+		s.draw(rng)
+		arr := s.shortestFrom(s.g.LaunchSources())
+		best := math.Inf(1)
+		for _, o := range s.g.Outputs {
+			if arr[o] < best {
+				best = arr[o]
+			}
+		}
+		out[idx] = best
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SeqSamples holds per-sample worst-case slack draws over all registers.
+type SeqSamples struct {
+	WorstSetup []float64
+	WorstHold  []float64
+}
+
+// SequentialSamples draws cfg.Samples realizations of the design's worst
+// setup and hold slack under the clock. Per sample: one parameter draw fixes
+// every edge delay and register constraint; scalar longest- and
+// shortest-path passes give each register's latest/earliest D arrival; the
+// capture-edge jitter is an independent normal per register and per check,
+// exactly as the analytic slack forms place it in the private random part.
+func SequentialSamples(g *timing.Graph, clock timing.ClockSpec, cfg Config) (*SeqSamples, error) {
+	if !g.Sequential() {
+		return nil, errors.New("mc: graph has no registers")
+	}
+	if clock.PeriodPS == 0 {
+		clock = timing.DefaultClock()
+	}
+	cfg = cfg.normalize()
+	out := &SeqSamples{
+		WorstSetup: make([]float64, cfg.Samples),
+		WorstHold:  make([]float64, cfg.Samples),
+	}
+	launch := g.LaunchSources()
+	err := forEachSample(g, cfg, func(s *sampler, idx int, rng *rand.Rand) {
+		s.draw(rng)
+		// longestFrom and shortestFrom share the arrival scratch; copy the
+		// max arrivals at the D pins before running the min pass.
+		arrMax := s.longestFrom(launch)
+		dMax := make([]float64, len(g.Registers))
+		for ri := range g.Registers {
+			dMax[ri] = arrMax[g.Registers[ri].D]
+		}
+		arrMin := s.shortestFrom(launch)
+
+		worstSetup, worstHold := math.Inf(1), math.Inf(1)
+		for ri := range g.Registers {
+			r := &g.Registers[ri]
+			if math.IsInf(dMax[ri], -1) {
+				continue // D cone cut off from every launch source
+			}
+			setupC := sampleConstraint(s, r.Setup.Nominal, r.Setup.Glob, r.SetupLSens, r.Grid, r.Setup.Rand, rng)
+			holdC := sampleConstraint(s, r.Hold.Nominal, r.Hold.Glob, r.HoldLSens, r.Grid, r.Hold.Rand, rng)
+
+			setup := (clock.PeriodPS - clock.SkewPS) - setupC - dMax[ri] + clock.JitterPS*rng.NormFloat64()
+			hold := arrMin[r.D] - holdC - clock.SkewPS + clock.JitterPS*rng.NormFloat64()
+			if setup < worstSetup {
+				worstSetup = setup
+			}
+			if hold < worstHold {
+				worstHold = hold
+			}
+		}
+		out.WorstSetup[idx] = worstSetup
+		out.WorstHold[idx] = worstHold
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sampleConstraint draws one register constraint value from its structural
+// ground truth: global coefficients against the shared parameter draw,
+// local sensitivities against the correlated grid locals, and the collapsed
+// private randomness as one independent normal.
+func sampleConstraint(s *sampler, nominal float64, glob, lsens []float64, grid int, randC float64, rng *rand.Rand) float64 {
+	v := nominal
+	for p, c := range glob {
+		v += c * s.glob[p]
+	}
+	if grid >= 0 {
+		for p, c := range lsens {
+			v += c * s.locs[p][grid]
+		}
+	}
+	if randC != 0 {
+		v += randC * rng.NormFloat64()
+	}
+	return v
+}
+
+// SeqValidationReport is the outcome of a sequential differential run: one
+// report per slack kind.
+type SeqValidationReport struct {
+	Setup *ValidationReport
+	Hold  *ValidationReport
+	OK    bool
+}
+
+// ValidateSequential is the sequential differential oracle: it computes the
+// analytic worst setup/hold slack (timing.SequentialSlacks) and checks both
+// against their Monte Carlo estimates within tol.
+func ValidateSequential(g *timing.Graph, clock timing.ClockSpec, cfg Config, tol Tolerance) (*SeqValidationReport, error) {
+	cfg = cfg.normalize()
+	res, err := g.SequentialSlacks(clock)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := SequentialSamples(g, res.Clock, cfg)
+	if err != nil {
+		return nil, err
+	}
+	check := func(analytic *canon.Form, draws []float64) *ValidationReport {
+		s := stats.Summarize(draws)
+		rep := &ValidationReport{
+			Samples:       cfg.Samples,
+			Sampler:       "structural",
+			AnalyticMean:  analytic.Mean(),
+			AnalyticStd:   analytic.Std(),
+			EmpiricalMean: s.Mean,
+			EmpiricalStd:  s.Std,
+		}
+		// Slack means sit near zero by design, so relative error against the
+		// mean is ill-conditioned; scale disagreements by the distribution
+		// width instead (sigma-relative mean error).
+		scale := math.Max(s.Std, 1e-9)
+		rep.MeanErr = math.Abs(rep.AnalyticMean-s.Mean) / scale
+		rep.SigmaErr = relErr(rep.AnalyticStd, s.Std)
+		rep.OK = rep.MeanErr <= tol.Mean && rep.SigmaErr <= tol.Sigma
+		return rep
+	}
+	out := &SeqValidationReport{
+		Setup: check(res.WorstSetup, samples.WorstSetup),
+		Hold:  check(res.WorstHold, samples.WorstHold),
+	}
+	out.OK = out.Setup.OK && out.Hold.OK
+	return out, nil
+}

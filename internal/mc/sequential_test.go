@@ -1,0 +1,89 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+func buildClocked(t *testing.T, c *circuit.Circuit) *timing.Graph {
+	t.Helper()
+	sc, err := circuit.Clocked(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := buildGraph(t, sc)
+	return g
+}
+
+func TestMinDelaySamplesMatchAnalytic(t *testing.T) {
+	g := buildClocked(t, circuit.C17())
+	md, err := g.MinDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := MinDelaySamples(g, Config{Samples: 20000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Summarize(samples)
+	if rel := math.Abs(s.Mean-md.Mean()) / md.Mean(); rel > 0.02 {
+		t.Fatalf("MC min mean %g vs analytic %g (rel %g)", s.Mean, md.Mean(), rel)
+	}
+	if rel := math.Abs(s.Std-md.Std()) / math.Max(md.Std(), 1e-9); rel > 0.15 {
+		t.Fatalf("MC min std %g vs analytic %g (rel %g)", s.Std, md.Std(), rel)
+	}
+}
+
+func TestValidateSequentialClocked(t *testing.T) {
+	g := buildClocked(t, circuit.C17())
+	clock := timing.ClockSpec{PeriodPS: 400, SkewPS: 12, JitterPS: 6}
+	rep, err := ValidateSequential(g, clock, Config{Samples: 20000, Seed: 21},
+		Tolerance{Mean: 0.10, Sigma: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Setup.OK {
+		t.Errorf("setup slack disagrees: %v", rep.Setup)
+	}
+	if !rep.Hold.OK {
+		t.Errorf("hold slack disagrees: %v", rep.Hold)
+	}
+	if !rep.OK {
+		t.Errorf("sequential validation failed:\n  setup %v\n  hold  %v", rep.Setup, rep.Hold)
+	}
+}
+
+func TestValidateSequentialGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping generated-design MC validation in -short mode")
+	}
+	sc, err := circuit.GenerateClocked(circuit.TopoSpec{
+		Name: "mcseq", PIs: 10, POs: 6, Gates: 120, Edges: 250, Depth: 10,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := buildGraph(t, sc)
+	rep, err := ValidateSequential(g, timing.DefaultClock(), Config{Samples: 12000, Seed: 31},
+		Tolerance{Mean: 0.12, Sigma: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("sequential validation failed:\n  setup %v\n  hold  %v", rep.Setup, rep.Hold)
+	}
+}
+
+func TestSequentialSamplesRejectsCombinational(t *testing.T) {
+	g, _ := buildGraph(t, circuit.C17())
+	if _, err := SequentialSamples(g, timing.DefaultClock(), Config{Samples: 10}); err == nil {
+		t.Fatal("expected error for combinational graph")
+	}
+	if _, err := MinDelaySamples(g, Config{Samples: 100, Seed: 1}); err != nil {
+		t.Fatalf("MinDelaySamples should work on combinational graphs: %v", err)
+	}
+}

@@ -13,27 +13,33 @@ import (
 // are not expressible here: materializing a module needs the extraction
 // pipeline, which is the serving layer's job (see internal/server).
 type Spec struct {
-	Name       string          `json:"name,omitempty"`
-	Derate     float64         `json:"derate,omitempty"`
-	CellScale  float64         `json:"cell_scale,omitempty"`
-	NetScale   float64         `json:"net_scale,omitempty"`
-	EdgeScales map[int]float64 `json:"edge_scales,omitempty"`
-	GlobSigma  float64         `json:"glob_sigma,omitempty"`
-	LocSigma   float64         `json:"loc_sigma,omitempty"`
-	RandSigma  float64         `json:"rand_sigma,omitempty"`
+	Name          string          `json:"name,omitempty"`
+	Derate        float64         `json:"derate,omitempty"`
+	CellScale     float64         `json:"cell_scale,omitempty"`
+	NetScale      float64         `json:"net_scale,omitempty"`
+	EdgeScales    map[int]float64 `json:"edge_scales,omitempty"`
+	GlobSigma     float64         `json:"glob_sigma,omitempty"`
+	LocSigma      float64         `json:"loc_sigma,omitempty"`
+	RandSigma     float64         `json:"rand_sigma,omitempty"`
+	ClockPeriodPS float64         `json:"clock_period_ps,omitempty"`
+	ClockSkewPS   float64         `json:"clock_skew_ps,omitempty"`
+	ClockJitterPS float64         `json:"clock_jitter_ps,omitempty"`
 }
 
 // Scenario converts the spec into its library form.
 func (sp Spec) Scenario() Scenario {
 	return Scenario{
-		Name:       sp.Name,
-		Derate:     sp.Derate,
-		CellScale:  sp.CellScale,
-		NetScale:   sp.NetScale,
-		EdgeScales: sp.EdgeScales,
-		GlobSigma:  sp.GlobSigma,
-		LocSigma:   sp.LocSigma,
-		RandSigma:  sp.RandSigma,
+		Name:          sp.Name,
+		Derate:        sp.Derate,
+		CellScale:     sp.CellScale,
+		NetScale:      sp.NetScale,
+		EdgeScales:    sp.EdgeScales,
+		GlobSigma:     sp.GlobSigma,
+		LocSigma:      sp.LocSigma,
+		RandSigma:     sp.RandSigma,
+		ClockPeriodPS: sp.ClockPeriodPS,
+		ClockSkewPS:   sp.ClockSkewPS,
+		ClockJitterPS: sp.ClockJitterPS,
 	}
 }
 
@@ -89,13 +95,16 @@ func SpecOf(sc Scenario) (Spec, error) {
 		return Spec{}, fmt.Errorf("scenario: %q carries module swaps, not expressible as a spec", sc.Name)
 	}
 	return Spec{
-		Name:       sc.Name,
-		Derate:     sc.Derate,
-		CellScale:  sc.CellScale,
-		NetScale:   sc.NetScale,
-		EdgeScales: sc.EdgeScales,
-		GlobSigma:  sc.GlobSigma,
-		LocSigma:   sc.LocSigma,
-		RandSigma:  sc.RandSigma,
+		Name:          sc.Name,
+		Derate:        sc.Derate,
+		CellScale:     sc.CellScale,
+		NetScale:      sc.NetScale,
+		EdgeScales:    sc.EdgeScales,
+		GlobSigma:     sc.GlobSigma,
+		LocSigma:      sc.LocSigma,
+		RandSigma:     sc.RandSigma,
+		ClockPeriodPS: sc.ClockPeriodPS,
+		ClockSkewPS:   sc.ClockSkewPS,
+		ClockJitterPS: sc.ClockJitterPS,
 	}, nil
 }

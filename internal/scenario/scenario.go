@@ -56,6 +56,18 @@ type Scenario struct {
 	LocSigma  float64
 	RandSigma float64
 
+	// ClockPeriodPS, ClockSkewPS and ClockJitterPS set the clock the
+	// scenario's setup/hold analysis runs against on sequential graphs
+	// (frequency corners, skew margins, jitter budgets). Zero means unset:
+	// the period defaults to timing.DefaultClockPeriodPS, skew and jitter to
+	// zero. The knobs are pure slack-side parameters — they do not touch the
+	// edge-delay bank, so clock scenarios share the base prep (and the base
+	// bank, when the rescale knobs are identity). Combinational graphs
+	// ignore them.
+	ClockPeriodPS float64
+	ClockSkewPS   float64
+	ClockJitterPS float64
+
 	// Swaps replaces instance modules by name (hierarchical sweeps only).
 	// A scenario with swaps changes the design structure, so it cannot
 	// share the stitched top graph: it pays its own stitch on a private
@@ -87,6 +99,8 @@ func (s *Scenario) Validate() error {
 	}{
 		{"derate", s.Derate}, {"cell_scale", s.CellScale}, {"net_scale", s.NetScale},
 		{"glob_sigma", s.GlobSigma}, {"loc_sigma", s.LocSigma}, {"rand_sigma", s.RandSigma},
+		{"clock_period_ps", s.ClockPeriodPS},
+		{"clock_skew_ps", s.ClockSkewPS}, {"clock_jitter_ps", s.ClockJitterPS},
 	} {
 		if err := check(c.name, c.v); err != nil {
 			return err
@@ -100,8 +114,20 @@ func (s *Scenario) Validate() error {
 	return nil
 }
 
+// ClockSpec assembles the scenario's clock for setup/hold analysis;
+// unset knobs keep the timing package defaults.
+func (s *Scenario) ClockSpec() timing.ClockSpec {
+	return timing.ClockSpec{
+		PeriodPS: s.ClockPeriodPS,
+		SkewPS:   s.ClockSkewPS,
+		JitterPS: s.ClockJitterPS,
+	}
+}
+
 // Identity reports whether the scenario leaves the graph untouched (swaps
 // aside) — such scenarios propagate over the shared base bank directly.
+// Clock knobs never break identity: they parameterize only the slack
+// computation, not the delay bank.
 func (s *Scenario) Identity() bool {
 	return factor(s.Derate) == 1 && factor(s.CellScale) == 1 && factor(s.NetScale) == 1 &&
 		factor(s.GlobSigma) == 1 && factor(s.LocSigma) == 1 && factor(s.RandSigma) == 1 &&

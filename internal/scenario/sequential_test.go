@@ -1,0 +1,143 @@
+package scenario_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/ssta"
+)
+
+func clockedGraph(t testing.TB, seed int64) *ssta.Graph {
+	t.Helper()
+	c, err := ssta.GenerateClocked(testSpec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := ssta.DefaultFlow().Graph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSweepClockScenarios runs a frequency/skew/jitter sweep on a clocked
+// graph and checks that setup/hold slack lands in every result with the
+// expected clock arithmetic.
+func TestSweepClockScenarios(t *testing.T) {
+	g := clockedGraph(t, 11)
+	scens := []scenario.Scenario{
+		{Name: "default-clock"},
+		{Name: "fast", ClockPeriodPS: 350},
+		{Name: "slow", ClockPeriodPS: 750},
+		{Name: "skewed", ClockPeriodPS: 500, ClockSkewPS: 25},
+		{Name: "jittery", ClockPeriodPS: 500, ClockJitterPS: 15},
+		{Name: "hot-fast", Derate: 1.15, ClockPeriodPS: 350},
+	}
+	rep, err := scenario.SweepGraph(context.Background(), g, scens, scenario.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(scens) {
+		t.Fatalf("completed %d of %d", rep.Completed, len(scens))
+	}
+	if rep.TopVerts != g.NumVerts || rep.TopEdges != len(g.Edges) {
+		t.Fatalf("report sizes %d/%d, want %d/%d", rep.TopVerts, rep.TopEdges, g.NumVerts, len(g.Edges))
+	}
+	byName := map[string]*scenario.Result{}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Err != nil {
+			t.Fatalf("scenario %q: %v", r.Name, r.Err)
+		}
+		if r.SetupSlack == nil || r.HoldSlack == nil {
+			t.Fatalf("scenario %q missing slack stats", r.Name)
+		}
+		byName[r.Name] = r
+	}
+
+	// Clock knobs are additive constants on the setup side: period deltas
+	// shift the setup slack mean exactly.
+	if d := byName["slow"].SetupSlack.Mean - byName["fast"].SetupSlack.Mean; math.Abs(d-400) > 1e-9 {
+		t.Fatalf("period shift moved setup mean by %g, want 400", d)
+	}
+	// Hold slack does not depend on the period.
+	if d := byName["slow"].HoldSlack.Mean - byName["fast"].HoldSlack.Mean; math.Abs(d) > 1e-9 {
+		t.Fatalf("period shift moved hold mean by %g", d)
+	}
+	// Skew tightens both checks.
+	def := byName["default-clock"]
+	if byName["skewed"].SetupSlack.Mean >= def.SetupSlack.Mean {
+		t.Fatal("skew did not tighten setup slack")
+	}
+	if byName["skewed"].HoldSlack.Mean >= def.HoldSlack.Mean {
+		t.Fatal("skew did not tighten hold slack")
+	}
+	// Jitter widens the slack distributions; the worst-register mean can
+	// only drop (more variance pulls the statistical minimum down).
+	if byName["jittery"].SetupSlack.Std <= def.SetupSlack.Std {
+		t.Fatal("jitter did not widen setup slack")
+	}
+	if byName["jittery"].SetupSlack.Mean > def.SetupSlack.Mean+1e-9 {
+		t.Fatal("jitter raised the worst setup slack mean")
+	}
+	// Derate slows paths: setup slack shrinks vs the same clock.
+	if byName["hot-fast"].SetupSlack.Mean >= byName["fast"].SetupSlack.Mean {
+		t.Fatal("derate did not shrink setup slack")
+	}
+	// The low-tail quantile sits below the mean on both checks.
+	for _, r := range rep.Results {
+		if r.SetupSlack.Quantile >= r.SetupSlack.Mean {
+			t.Fatalf("scenario %q setup quantile %g not in the low tail (mean %g)",
+				r.Name, r.SetupSlack.Quantile, r.SetupSlack.Mean)
+		}
+	}
+}
+
+// TestCombinationalSweepHasNoSlack pins that combinational sweeps are
+// unaffected by the sequential additions.
+func TestCombinationalSweepHasNoSlack(t *testing.T) {
+	g := testGraph(t, 12)
+	rep, err := scenario.SweepGraph(context.Background(), g,
+		[]scenario.Scenario{{Name: "unit"}, {Name: "clocked-knob", ClockPeriodPS: 400}},
+		scenario.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.SetupSlack != nil || r.HoldSlack != nil {
+			t.Fatalf("combinational scenario %q carries slack stats", r.Name)
+		}
+	}
+}
+
+// TestClockSpecJSONRoundTrip covers the wire form of the clock knobs.
+func TestClockSpecJSONRoundTrip(t *testing.T) {
+	scens, err := scenario.ParseJSON([]byte(`[
+		{"name":"clk","clock_period_ps":420,"clock_skew_ps":11,"clock_jitter_ps":4}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scens[0]
+	if sc.ClockPeriodPS != 420 || sc.ClockSkewPS != 11 || sc.ClockJitterPS != 4 {
+		t.Fatalf("clock knobs lost in parse: %+v", sc)
+	}
+	if !sc.Identity() {
+		t.Fatal("clock-only scenario must stay identity (shares the base bank)")
+	}
+	sp, err := scenario.SpecOf(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.ClockPeriodPS != 420 || sp.ClockSkewPS != 11 || sp.ClockJitterPS != 4 {
+		t.Fatalf("clock knobs lost in SpecOf: %+v", sp)
+	}
+	if _, err := scenario.ParseJSON([]byte(`[{"clock_period_ps":-5}]`)); err == nil {
+		t.Fatal("negative clock period accepted")
+	}
+}

@@ -53,11 +53,22 @@ type Result struct {
 	Delay *canon.Form
 	// Mean, Std and Quantile (at Options.Quantile) of the circuit delay.
 	Mean, Std, Quantile float64
+	// SetupSlack and HoldSlack summarize the worst-register slack
+	// distributions under the scenario's clock; nil on combinational
+	// graphs. Their Quantile is the LOW tail (1 - Options.Quantile) — the
+	// yield-side slack.
+	SetupSlack *SlackStat
+	HoldSlack  *SlackStat
 	// Shared marks a scenario that ran on the shared stitched graph; false
 	// for swap scenarios, which stitch privately.
 	Shared  bool
 	Elapsed time.Duration
 	Err     error
+}
+
+// SlackStat is the scalar summary of one slack distribution.
+type SlackStat struct {
+	Mean, Std, Quantile float64
 }
 
 // Envelope is the cross-scenario worst case: the component-wise maximum of
@@ -93,6 +104,11 @@ type Report struct {
 	// (nil for an all-swap design sweep). The serving layer reports its
 	// size to callers that batched an analyze request onto a sweep.
 	Top *timing.Graph
+	// TopVerts/TopEdges record the shared graph's size as plain scalars so
+	// the accounting survives process boundaries (cluster shard responses
+	// drop the graph itself). Zero when no shared graph ran.
+	TopVerts int
+	TopEdges int
 }
 
 // NewReport assembles a report from per-scenario results: envelope,
@@ -221,6 +237,7 @@ func SweepGraph(ctx context.Context, g *timing.Graph, scens []Scenario, opt Opti
 	rep := NewReport(results, opt)
 	rep.Elapsed = time.Since(start)
 	rep.Top = g
+	rep.TopVerts, rep.TopEdges = g.NumVerts, len(g.Edges)
 	return rep, nil
 }
 
@@ -258,7 +275,7 @@ func runScenario(ctx context.Context, g *timing.Graph, base *canon.Bank, sc *Sce
 	}
 	p := g.AcquirePass().WithContext(ctx)
 	defer p.Release()
-	if err := p.ArrivalsOver(delays, g.Inputs...); err != nil {
+	if err := p.ArrivalsOver(delays, g.LaunchSources()...); err != nil {
 		return nil, err
 	}
 	acc := p.Scratch()
@@ -279,7 +296,40 @@ func runScenario(ctx context.Context, g *timing.Graph, base *canon.Bank, sc *Sce
 	}
 	delay := acc.Form(g.Space)
 	r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
+
+	// Sequential graphs additionally report worst setup/hold slack under the
+	// scenario's clock, over the same scaled bank the delay fold read.
+	if g.Sequential() {
+		var err error
+		r.SetupSlack, r.HoldSlack, err = SeqSlackStats(g, delays, sc.ClockSpec(), q)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return delay, nil
+}
+
+// SeqSlackStats computes the worst setup/hold slack statistics of a
+// sequential graph under the given clock, reading edge delays from bank
+// (nil: the graph's own delays). q is the high-tail delay quantile of the
+// sweep; the slack quantiles are reported at the mirrored low tail — the
+// yield-side margin. The session layer shares this with the sweep engine
+// so incremental sweep refreshes report identical slack statistics.
+func SeqSlackStats(g *timing.Graph, bank *canon.Bank, clock timing.ClockSpec, q float64) (setup, hold *SlackStat, err error) {
+	seq, err := g.SequentialSlacksOver(bank, clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo := 1 - q
+	setup = &SlackStat{
+		Mean: seq.WorstSetup.Mean(), Std: seq.WorstSetup.Std(),
+		Quantile: seq.WorstSetup.Quantile(lo),
+	}
+	hold = &SlackStat{
+		Mean: seq.WorstHold.Mean(), Std: seq.WorstHold.Std(),
+		Quantile: seq.WorstHold.Quantile(lo),
+	}
+	return setup, hold, nil
 }
 
 // SweepDesign evaluates every scenario against a hierarchical design with
@@ -338,6 +388,9 @@ func SweepDesign(ctx context.Context, d *hier.Design, mode hier.Mode, scens []Sc
 	rep := NewReport(results, opt)
 	rep.Elapsed = time.Since(start)
 	rep.Top = top
+	if top != nil {
+		rep.TopVerts, rep.TopEdges = top.NumVerts, len(top.Edges)
+	}
 	return rep, nil
 }
 

@@ -97,21 +97,31 @@ type shardRequest struct {
 }
 
 // wireScenarioResult is one scenario outcome crossing the wire: scalar
-// statistics only — canonical delay forms stay on the worker.
+// statistics only — canonical delay forms stay on the worker. Setup/Hold
+// carry the worst setup/hold slack statistics on sequential subjects.
 type wireScenarioResult struct {
-	Index     int     `json:"i"`
-	Name      string  `json:"name"`
-	Mean      float64 `json:"mean,omitempty"`
-	Std       float64 `json:"std,omitempty"`
-	Quantile  float64 `json:"q,omitempty"`
-	Shared    bool    `json:"shared,omitempty"`
-	ElapsedUS int64   `json:"us,omitempty"`
-	Err       string  `json:"err,omitempty"`
-	ErrKind   int     `json:"errk,omitempty"`
+	Index     int             `json:"i"`
+	Name      string          `json:"name"`
+	Mean      float64         `json:"mean,omitempty"`
+	Std       float64         `json:"std,omitempty"`
+	Quantile  float64         `json:"q,omitempty"`
+	Setup     *ssta.SlackStat `json:"setup,omitempty"`
+	Hold      *ssta.SlackStat `json:"hold,omitempty"`
+	Shared    bool            `json:"shared,omitempty"`
+	ElapsedUS int64           `json:"us,omitempty"`
+	Err       string          `json:"err,omitempty"`
+	ErrKind   int             `json:"errk,omitempty"`
 }
 
+// shardResponse carries the shard's results plus the worker-side subject
+// graph's size. The graph itself never crosses the wire, so these scalars
+// are the only way a coordinator can report verts/edges for a distributed
+// sweep (the PR 9 Top-loss bug: quad sweeps through the coordinator came
+// back with no graph stats at all).
 type shardResponse struct {
 	Results []wireScenarioResult `json:"results"`
+	Verts   int                  `json:"verts,omitempty"`
+	Edges   int                  `json:"edges,omitempty"`
 }
 
 // proxyRequest replays one HTTP request against a worker's own mux.
@@ -218,18 +228,21 @@ func toWire(global int, r *ssta.ScenarioResult) wireScenarioResult {
 		return w
 	}
 	w.Mean, w.Std, w.Quantile = r.Mean, r.Std, r.Quantile
+	w.Setup, w.Hold = r.SetupSlack, r.HoldSlack
 	return w
 }
 
 func fromWire(w *wireScenarioResult) ssta.ScenarioResult {
 	return ssta.ScenarioResult{
-		Name:     w.Name,
-		Mean:     w.Mean,
-		Std:      w.Std,
-		Quantile: w.Quantile,
-		Shared:   w.Shared,
-		Elapsed:  time.Duration(w.ElapsedUS) * time.Microsecond,
-		Err:      wireErrOf(w.ErrKind, w.Err),
+		Name:       w.Name,
+		Mean:       w.Mean,
+		Std:        w.Std,
+		Quantile:   w.Quantile,
+		SetupSlack: w.Setup,
+		HoldSlack:  w.Hold,
+		Shared:     w.Shared,
+		Elapsed:    time.Duration(w.ElapsedUS) * time.Microsecond,
+		Err:        wireErrOf(w.ErrKind, w.Err),
 	}
 }
 
@@ -433,6 +446,20 @@ func (s *Server) runSweepDistributed(ctx context.Context, cl *clusterState, heal
 		}
 		return left
 	}
+	// Subject graph size, reassembled from whichever shard (or local
+	// fallback) reports it first — the scalar stand-in for the worker-side
+	// top graph, which never crosses the wire (PR 9 Top-loss fix).
+	var topVerts, topEdges int
+	noteTop := func(verts, edges int) {
+		if verts <= 0 {
+			return
+		}
+		mu.Lock()
+		if topVerts == 0 {
+			topVerts, topEdges = verts, edges
+		}
+		mu.Unlock()
+	}
 
 	// Contiguous shards over the healthy nodes, one goroutine per shard.
 	nw := len(healthy)
@@ -449,7 +476,7 @@ func (s *Server) runSweepDistributed(ctx context.Context, cl *clusterState, heal
 		wg.Add(1)
 		go func(node *cluster.Node, idx []int) {
 			defer wg.Done()
-			s.dispatchShard(ctx, cl, node, pr, specs, idx, timeoutMS, opt, record, remaining)
+			s.dispatchShard(ctx, cl, node, pr, specs, idx, timeoutMS, opt, record, remaining, noteTop)
 		}(healthy[k], idx)
 	}
 	wg.Wait()
@@ -474,8 +501,14 @@ func (s *Server) runSweepDistributed(ctx context.Context, cl *clusterState, heal
 	rep.Elapsed = time.Since(start)
 	if !pr.isQuad {
 		// The shared flat graph is local; report its size as standalone
-		// would. A distributed design sweep has no local stitched top.
+		// would. A distributed design sweep has no local stitched top — its
+		// scalar stats come back in the shard responses instead.
 		rep.Top = pr.item.Graph
+		rep.TopVerts, rep.TopEdges = pr.item.Graph.NumVerts, len(pr.item.Graph.Edges)
+	} else {
+		mu.Lock()
+		rep.TopVerts, rep.TopEdges = topVerts, topEdges
+		mu.Unlock()
 	}
 	return rep, nil
 }
@@ -484,7 +517,7 @@ func (s *Server) runSweepDistributed(ctx context.Context, cl *clusterState, heal
 // retry with jittered backoff, re-home to a survivor, and finally execute
 // the remainder locally. Every path records results through record, so the
 // per-scenario hook fires exactly once per scenario.
-func (s *Server) dispatchShard(ctx context.Context, cl *clusterState, node *cluster.Node, pr *sweepPrep, specs []SweepScenarioSpec, idx []int, timeoutMS int64, opt ssta.SweepOptions, record func(int, ssta.ScenarioResult), remaining func([]int) []int) {
+func (s *Server) dispatchShard(ctx context.Context, cl *clusterState, node *cluster.Node, pr *sweepPrep, specs []SweepScenarioSpec, idx []int, timeoutMS int64, opt ssta.SweepOptions, record func(int, ssta.ScenarioResult), remaining func([]int) []int, noteTop func(int, int)) {
 	bo := store.Backoff{Base: 25 * time.Millisecond, Cap: 250 * time.Millisecond, MaxAttempts: 3, Jitter: 0.5}
 	attempt := 0
 	err := bo.Retry(ctx, func() error {
@@ -502,7 +535,7 @@ func (s *Server) dispatchShard(ctx context.Context, cl *clusterState, node *clus
 		if len(left) == 0 {
 			return nil
 		}
-		return s.callShard(ctx, cl, node, pr, specs, left, timeoutMS, opt.OnScenarioDone != nil, record)
+		return s.callShard(ctx, cl, node, pr, specs, left, timeoutMS, opt.OnScenarioDone != nil, record, noteTop)
 	})
 	if err == nil {
 		return
@@ -513,7 +546,7 @@ func (s *Server) dispatchShard(ctx context.Context, cl *clusterState, node *clus
 	}
 	cl.failovers.Add(1)
 	cl.localFallbacks.Add(1)
-	s.runShardLocal(ctx, pr, left, opt, record)
+	s.runShardLocal(ctx, pr, left, opt, record, noteTop)
 }
 
 // pickOther returns a healthy node other than cur, if any.
@@ -530,7 +563,7 @@ func pickOther(pool *cluster.Pool, cur *cluster.Node) *cluster.Node {
 // per-scenario events as they arrive and the final response as backstop. A
 // node that goes unhealthy mid-dispatch (crash, hang) aborts the call so
 // the shard can re-home instead of waiting out the request deadline.
-func (s *Server) callShard(ctx context.Context, cl *clusterState, node *cluster.Node, pr *sweepPrep, specs []SweepScenarioSpec, idx []int, timeoutMS int64, stream bool, record func(int, ssta.ScenarioResult)) error {
+func (s *Server) callShard(ctx context.Context, cl *clusterState, node *cluster.Node, pr *sweepPrep, specs []SweepScenarioSpec, idx []int, timeoutMS int64, stream bool, record func(int, ssta.ScenarioResult), noteTop func(int, int)) error {
 	sub := make([]SweepScenarioSpec, len(idx))
 	for k, i := range idx {
 		sub[k] = specs[i]
@@ -586,6 +619,7 @@ func (s *Server) callShard(ctx context.Context, cl *clusterState, node *cluster.
 	if err := json.Unmarshal(respBody, &resp); err != nil {
 		return err
 	}
+	noteTop(resp.Verts, resp.Edges)
 	for k := range resp.Results {
 		record(resp.Results[k].Index, fromWire(&resp.Results[k]))
 	}
@@ -594,7 +628,7 @@ func (s *Server) callShard(ctx context.Context, cl *clusterState, node *cluster.
 
 // runShardLocal executes the remaining scenario subset on the coordinator,
 // remapping the per-scenario hook back to global indices.
-func (s *Server) runShardLocal(ctx context.Context, pr *sweepPrep, idx []int, opt ssta.SweepOptions, record func(int, ssta.ScenarioResult)) {
+func (s *Server) runShardLocal(ctx context.Context, pr *sweepPrep, idx []int, opt ssta.SweepOptions, record func(int, ssta.ScenarioResult), noteTop func(int, int)) {
 	sub := make([]ssta.Scenario, len(idx))
 	for k, i := range idx {
 		sub[k] = pr.scens[i]
@@ -608,10 +642,14 @@ func (s *Server) runShardLocal(ctx context.Context, pr *sweepPrep, idx []int, op
 			record(idx[k], *r)
 		}
 	}
+	var rep *ssta.SweepReport
 	if pr.isQuad {
-		_, _ = ssta.SweepAnalyze(ctx, pr.item.Design, pr.mode, sub, lopt)
+		rep, _ = ssta.SweepAnalyze(ctx, pr.item.Design, pr.mode, sub, lopt)
 	} else {
-		_, _ = ssta.SweepAnalyzeGraph(ctx, pr.item.Graph, sub, lopt)
+		rep, _ = ssta.SweepAnalyzeGraph(ctx, pr.item.Graph, sub, lopt)
+	}
+	if rep != nil {
+		noteTop(rep.TopVerts, rep.TopEdges)
 	}
 }
 
@@ -677,7 +715,11 @@ func (s *Server) handleShardRPC(ctx context.Context, req *cluster.Request) ([]by
 	if err != nil {
 		return nil, err
 	}
-	out := shardResponse{Results: make([]wireScenarioResult, len(rep.Results))}
+	out := shardResponse{
+		Results: make([]wireScenarioResult, len(rep.Results)),
+		Verts:   rep.TopVerts,
+		Edges:   rep.TopEdges,
+	}
 	for k := range rep.Results {
 		out.Results[k] = toWire(sr.Indices[k], &rep.Results[k])
 	}

@@ -169,6 +169,15 @@ func compareSweepResponses(t *testing.T, label string, got, want SweepResponse) 
 		got.Envelope.Worst != want.Envelope.Worst {
 		t.Fatalf("%s: envelope %+v vs %+v", label, got.Envelope, want.Envelope)
 	}
+	// Regression: distributed sweeps used to lose Report.Top entirely, so
+	// clustered responses reported zero verts/edges. Graph stats must
+	// survive the shard round-trip and match the standalone answer.
+	if got.Verts == 0 || got.Edges == 0 {
+		t.Fatalf("%s: clustered sweep lost graph stats: verts=%d edges=%d", label, got.Verts, got.Edges)
+	}
+	if got.Verts != want.Verts || got.Edges != want.Edges {
+		t.Fatalf("%s: graph stats %d/%d vs standalone %d/%d", label, got.Verts, got.Edges, want.Verts, want.Edges)
+	}
 }
 
 // TestClusterOfOneMatchesStandalone: the degenerate cluster behaves exactly

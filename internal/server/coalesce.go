@@ -480,9 +480,12 @@ func (b *batcher) run(key batchKey, spec ItemSpec, calls []*batchCall) {
 				out.Error = r.Err.Error()
 			} else {
 				out.MeanPS, out.StdPS, out.P9987PS = r.Mean, r.Std, r.Quantile
-				if rep.Top != nil {
-					out.Verts, out.Edges = rep.Top.NumVerts, len(rep.Top.Edges)
-				}
+				// Scalar graph stats survive distributed execution where
+				// rep.Top stays nil (the worker-side graph never crosses the
+				// wire) — the analyze-rider half of the PR 9 Top-loss fix.
+				out.Verts, out.Edges = rep.TopVerts, rep.TopEdges
+				out.Setup = slackViewOfStat(r.SetupSlack)
+				out.Hold = slackViewOfStat(r.HoldSlack)
 			}
 			publish(c, http.StatusOK, marshalJSON(&AnalyzeResponse{Results: []ItemResult{out}, ElapsedMS: elapsedMS}))
 			continue
@@ -498,6 +501,8 @@ func (b *batcher) run(key batchKey, spec ItemSpec, calls []*batchCall) {
 			results[k] = r
 		}
 		crep := scenario.NewReport(results, scenario.Options{TopK: c.topK})
+		crep.Top = rep.Top
+		crep.TopVerts, crep.TopEdges = rep.TopVerts, rep.TopEdges
 		publish(c, http.StatusOK, marshalJSON(sweepResponseView(name, crep, elapsedMS)))
 	}
 }

@@ -95,6 +95,10 @@ const (
 	fpTagTopK     = 0x24
 	fpTagCount    = 0x25
 	fpTagSub      = 0x26
+	fpTagClocked  = 0x27
+	fpTagClkPer   = 0x28
+	fpTagClkSkew  = 0x29
+	fpTagClkJit   = 0x2a
 )
 
 // writeItem encodes the analysis subject of one item spec: the input
@@ -116,6 +120,11 @@ func (w *fpWriter) writeItem(spec *ItemSpec) {
 	default:
 		w.str(fpTagBench, spec.Bench)
 		w.i64(fpTagSeed, spec.Seed)
+	}
+	if spec.Clocked {
+		// Tag presence alone distinguishes the registered variant; absence
+		// keeps pre-existing combinational fingerprints stable.
+		w.i64(fpTagClocked, 1)
 	}
 }
 
@@ -156,6 +165,9 @@ func (w *fpWriter) writeScenario(sp *SweepScenarioSpec, withName bool) {
 	w.f64(fpTagGlob, sp.GlobSigma)
 	w.f64(fpTagLoc, sp.LocSigma)
 	w.f64(fpTagRand, sp.RandSigma)
+	w.f64(fpTagClkPer, sp.ClockPeriodPS)
+	w.f64(fpTagClkSkew, sp.ClockSkewPS)
+	w.f64(fpTagClkJit, sp.ClockJitterPS)
 	if len(sp.Swaps) > 0 {
 		insts := make([]string, 0, len(sp.Swaps))
 		for inst := range sp.Swaps {

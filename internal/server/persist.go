@@ -84,17 +84,23 @@ func sessionKey(id string) string { return sessionKeyPrefix + id + snapSuffix }
 // modelKey maps a cacheable graph identity onto a durable store key.
 // Netlist-derived graphs have no reproducible identity and return false.
 func modelKey(k graphKey) (string, bool) {
+	// Clocked variants carry a distinct marker: a registered graph's
+	// extracted model must never collide with its combinational sibling.
+	clk := ""
+	if k.clocked {
+		clk = "-clk"
+	}
 	var key string
 	switch {
 	case k.mult > 0:
-		key = fmt.Sprintf("%smult-%d%s", modelKeyPrefix, k.mult, snapSuffix)
+		key = fmt.Sprintf("%smult-%d%s%s", modelKeyPrefix, k.mult, clk, snapSuffix)
 	case k.bench != "":
 		// Bench names are flat identifiers; anything with separators or
 		// dots would produce a non-canonical key.
 		if strings.ContainsAny(k.bench, "/.") {
 			return "", false
 		}
-		key = fmt.Sprintf("%sbench-%s-s%d%s", modelKeyPrefix, k.bench, k.seed, snapSuffix)
+		key = fmt.Sprintf("%sbench-%s-s%d%s%s", modelKeyPrefix, k.bench, k.seed, clk, snapSuffix)
 	default:
 		return "", false
 	}
@@ -114,12 +120,17 @@ func parseModelKey(key string) (graphKey, bool) {
 	if !ok {
 		return graphKey{}, false
 	}
+	clocked := false
+	if rest, ok := strings.CutSuffix(name, "-clk"); ok {
+		clocked = true
+		name = rest
+	}
 	if rest, ok := strings.CutPrefix(name, "mult-"); ok {
 		n, err := strconv.Atoi(rest)
 		if err != nil || n <= 0 {
 			return graphKey{}, false
 		}
-		return graphKey{mult: n}, true
+		return graphKey{mult: n, clocked: clocked}, true
 	}
 	rest, ok := strings.CutPrefix(name, "bench-")
 	if !ok {
@@ -133,7 +144,7 @@ func parseModelKey(key string) (graphKey, bool) {
 	if err != nil {
 		return graphKey{}, false
 	}
-	return graphKey{bench: rest[:i], seed: seed}, true
+	return graphKey{bench: rest[:i], seed: seed, clocked: clocked}, true
 }
 
 // prepStamp is the durable record of one warm per-mode analysis prep: the

@@ -49,6 +49,11 @@ type ItemSpec struct {
 	// Extract additionally runs cached timing-model extraction on flat
 	// items and reports the reduced model size.
 	Extract bool `json:"extract,omitempty"`
+	// Clocked wraps the item's circuit with input and capture register
+	// stages (bench/mult/netlist items), so the analysis reports statistical
+	// setup/hold slack alongside the delay. Netlists may also carry explicit
+	// DFF lines without this flag. Not applicable to quad items.
+	Clocked bool `json:"clocked,omitempty"`
 }
 
 // QuadSpec names the module of a hierarchical quad-design item: the module
@@ -81,7 +86,19 @@ type ItemResult struct {
 	Edges      int     `json:"edges,omitempty"`
 	ModelVerts int     `json:"model_verts,omitempty"`
 	ModelEdges int     `json:"model_edges,omitempty"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
+	// Setup/Hold summarize the worst statistical setup/hold slack when the
+	// analyzed item is sequential (default clock); absent otherwise.
+	Setup     *SlackView `json:"setup,omitempty"`
+	Hold      *SlackView `json:"hold,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// SlackView is one worst-slack distribution on the wire: mean, std, and the
+// low-tail (0.135%) quantile — the yield-side margin.
+type SlackView struct {
+	MeanPS float64 `json:"mean_ps"`
+	StdPS  float64 `json:"std_ps"`
+	QPS    float64 `json:"q_ps"`
 }
 
 // parseMode maps the wire mode names onto hier modes.
@@ -136,6 +153,9 @@ func (s *Server) prepareItem(ctx context.Context, spec *ItemSpec) (ssta.BatchIte
 	item := ssta.BatchItem{Name: spec.Name, Extract: spec.Extract}
 	switch {
 	case spec.Quad != nil:
+		if spec.Clocked {
+			return ssta.BatchItem{}, fmt.Errorf("clocked applies to bench, netlist or mult items only")
+		}
 		d, err := s.quadDesign(ctx, spec.Quad)
 		if err != nil {
 			return ssta.BatchItem{}, err
@@ -156,13 +176,18 @@ func (s *Server) prepareItem(ctx context.Context, spec *ItemSpec) (ssta.BatchIte
 		if err != nil {
 			return ssta.BatchItem{}, fmt.Errorf("netlist: %w", err)
 		}
+		if spec.Clocked {
+			if c, err = ssta.Clocked(c); err != nil {
+				return ssta.BatchItem{}, fmt.Errorf("netlist: %w", err)
+			}
+		}
 		item.Circuit = c
 		if item.Name == "" {
 			item.Name = c.Name
 		}
 
 	default: // bench or mult: served from the graph cache
-		g, err := s.cachedGraph(ctx, graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult})
+		g, err := s.cachedGraph(ctx, graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult, clocked: spec.Clocked})
 		if err != nil {
 			return ssta.BatchItem{}, err
 		}
@@ -201,7 +226,32 @@ func itemResult(r *ssta.BatchResult) ItemResult {
 		out.ModelVerts = r.Model.Graph.NumVerts
 		out.ModelEdges = len(r.Model.Graph.Edges)
 	}
+	if r.Seq != nil {
+		out.Setup = slackViewOfForm(r.Seq.WorstSetup)
+		out.Hold = slackViewOfForm(r.Seq.WorstHold)
+	}
 	return out
+}
+
+// slackQuantile is the low-tail quantile slack views report — the mirror of
+// the 99.865% delay quantile the serving layer uses everywhere.
+const slackQuantile = 1 - 0.99865
+
+// slackViewOfForm flattens a worst-slack canonical form for the wire.
+func slackViewOfForm(f *ssta.Form) *SlackView {
+	if f == nil {
+		return nil
+	}
+	return &SlackView{MeanPS: f.Mean(), StdPS: f.Std(), QPS: f.Quantile(slackQuantile)}
+}
+
+// slackViewOfStat flattens a sweep slack statistic (already quantiled at the
+// sweep's low tail) for the wire.
+func slackViewOfStat(st *ssta.SlackStat) *SlackView {
+	if st == nil {
+		return nil
+	}
+	return &SlackView{MeanPS: st.Mean, StdPS: st.Std, QPS: st.Quantile}
 }
 
 // graphKey identifies one server-built flat graph. Its cache identity is
@@ -209,13 +259,14 @@ func itemResult(r *ssta.BatchResult) ItemResult {
 // vocabulary the coalescer and micro-batcher key on — so "same graph"
 // means the same thing at every layer of the serving front.
 type graphKey struct {
-	bench string
-	seed  int64
-	mult  int
+	bench   string
+	seed    int64
+	mult    int
+	clocked bool
 }
 
 func (k graphKey) fingerprint() Fingerprint {
-	return ItemFingerprint(&ItemSpec{Bench: k.bench, Seed: k.seed, Mult: k.mult})
+	return ItemFingerprint(&ItemSpec{Bench: k.bench, Seed: k.seed, Mult: k.mult, Clocked: k.clocked})
 }
 
 // graphEntry is a singleflight slot in the graph cache.
@@ -348,7 +399,15 @@ func buildGraph(flow *ssta.Flow, key graphKey) (*ssta.Graph, *ssta.Plan, error) 
 		if err != nil {
 			return nil, nil, err
 		}
+		if key.clocked {
+			if c, err = ssta.Clocked(c); err != nil {
+				return nil, nil, err
+			}
+		}
 		return flow.Graph(c)
+	}
+	if key.clocked {
+		return flow.ClockedBenchGraph(key.bench, key.seed)
 	}
 	return flow.BenchGraph(key.bench, key.seed)
 }

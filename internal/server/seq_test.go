@@ -1,0 +1,90 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/ssta"
+)
+
+// TestClockedAnalyzeReportsSlack: a clocked bench item answers /v1/analyze
+// with setup and hold slack views, while its combinational sibling carries
+// neither — and the two are distinct cache identities.
+func TestClockedAnalyzeReportsSlack(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	resp := analyze(t, hs.URL, AnalyzeRequest{Items: []ItemSpec{
+		{Name: "clk", Bench: "c432", Seed: 1, Clocked: true},
+		{Name: "comb", Bench: "c432", Seed: 1},
+	}})
+	clk, comb := resp.Results[0], resp.Results[1]
+	if clk.Error != "" || comb.Error != "" {
+		t.Fatalf("item errors: clk=%q comb=%q", clk.Error, comb.Error)
+	}
+	if clk.Setup == nil || clk.Hold == nil {
+		t.Fatalf("clocked item missing slack views: setup=%v hold=%v", clk.Setup, clk.Hold)
+	}
+	if clk.Setup.StdPS <= 0 {
+		t.Fatalf("setup slack has no spread: %+v", clk.Setup)
+	}
+	if clk.Setup.QPS >= clk.Setup.MeanPS {
+		t.Fatalf("setup low-tail quantile %g not below mean %g", clk.Setup.QPS, clk.Setup.MeanPS)
+	}
+	if comb.Setup != nil || comb.Hold != nil {
+		t.Fatalf("combinational item grew slack views: setup=%v hold=%v", comb.Setup, comb.Hold)
+	}
+	// Registering the inputs and outputs must change the graph, not alias
+	// the combinational build.
+	if clk.Verts <= comb.Verts {
+		t.Fatalf("clocked graph verts %d not larger than combinational %d", clk.Verts, comb.Verts)
+	}
+}
+
+// TestClockedSweepClockScenarios: clock-only scenarios over a clocked item
+// share the base prep (they are linear in the canonical form), report hold
+// slack, and a longer period yields strictly more setup slack.
+func TestClockedSweepClockScenarios(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	out := sweepHTTP(t, hs.URL, SweepRequest{
+		ItemSpec: ItemSpec{Bench: "c432", Seed: 1, Clocked: true},
+		Scenarios: []SweepScenarioSpec{
+			{ScenarioSpec: ssta.ScenarioSpec{Name: "slow", ClockPeriodPS: 900}},
+			{ScenarioSpec: ssta.ScenarioSpec{Name: "fast", ClockPeriodPS: 450, ClockJitterPS: 15}},
+		},
+	})
+	if out.Completed != 2 {
+		t.Fatalf("completed %d/2: %+v", out.Completed, out.Results)
+	}
+	slow, fast := out.Results[0], out.Results[1]
+	for _, r := range []SweepScenarioResult{slow, fast} {
+		if r.Error != "" {
+			t.Fatalf("scenario %q failed: %s", r.Name, r.Error)
+		}
+		if r.Setup == nil || r.Hold == nil {
+			t.Fatalf("scenario %q missing slack: setup=%v hold=%v", r.Name, r.Setup, r.Hold)
+		}
+		if !r.Shared {
+			t.Fatalf("clock-only scenario %q did not share base prep", r.Name)
+		}
+	}
+	if slow.Setup.MeanPS <= fast.Setup.MeanPS {
+		t.Fatalf("period 900 setup %g not above period 450 setup %g",
+			slow.Setup.MeanPS, fast.Setup.MeanPS)
+	}
+	if out.Verts == 0 || out.Edges == 0 {
+		t.Fatalf("sweep lost graph stats: verts=%d edges=%d", out.Verts, out.Edges)
+	}
+}
+
+// TestClockedQuadRejected: hierarchical quad items are extracted models with
+// no register boundary to wrap, so Clocked must be refused per item.
+func TestClockedQuadRejected(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := analyze(t, hs.URL, AnalyzeRequest{Items: []ItemSpec{
+		{Quad: &QuadSpec{Bench: "c432", Seed: 1}, Clocked: true},
+	}})
+	if got := resp.Results[0].Error; !strings.Contains(got, "clocked") {
+		t.Fatalf("quad+clocked error = %q, want mention of clocked", got)
+	}
+}

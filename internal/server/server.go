@@ -385,7 +385,7 @@ func (s *Server) runBatch(ctx context.Context, admissionWait time.Duration, req 
 		if r.Err == nil && r.Model != nil {
 			spec := &req.Items[k]
 			if spec.Quad == nil && spec.Netlist == "" {
-				s.checkpointModel(graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult}, r.Model)
+				s.checkpointModel(graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult, clocked: spec.Clocked}, r.Model)
 			}
 		}
 	}

@@ -471,6 +471,9 @@ func (s *Server) buildSession(ctx context.Context, spec *ItemSpec) (*ssta.Sessio
 	name := spec.Name
 	switch {
 	case spec.Quad != nil:
+		if spec.Clocked {
+			return nil, "", fmt.Errorf("clocked applies to bench, netlist or mult items only")
+		}
 		d, err := s.quadDesign(ctx, spec.Quad)
 		if err != nil {
 			return nil, "", err
@@ -486,6 +489,11 @@ func (s *Server) buildSession(ctx context.Context, spec *ItemSpec) (*ssta.Sessio
 		if err != nil {
 			return nil, "", fmt.Errorf("netlist: %w", err)
 		}
+		if spec.Clocked {
+			if c, err = ssta.Clocked(c); err != nil {
+				return nil, "", fmt.Errorf("netlist: %w", err)
+			}
+		}
 		g, _, err := s.flow.Graph(c)
 		if err != nil {
 			return nil, "", err
@@ -496,7 +504,7 @@ func (s *Server) buildSession(ctx context.Context, spec *ItemSpec) (*ssta.Sessio
 		sess, err := s.flow.NewGraphSession(ctx, g)
 		return sess, name, err
 	default:
-		g, err := s.cachedGraph(ctx, graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult})
+		g, err := s.cachedGraph(ctx, graphKey{bench: spec.Bench, seed: spec.Seed, mult: spec.Mult, clocked: spec.Clocked})
 		if err != nil {
 			return nil, "", err
 		}

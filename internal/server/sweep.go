@@ -51,15 +51,19 @@ type SwapSpec struct {
 	Seed  int64  `json:"seed,omitempty"`
 }
 
-// SweepScenarioResult is one scenario outcome on the wire.
+// SweepScenarioResult is one scenario outcome on the wire. Setup/Hold carry
+// the worst statistical setup/hold slack under the scenario's clock when the
+// swept subject is sequential; absent on combinational sweeps.
 type SweepScenarioResult struct {
-	Name      string  `json:"name"`
-	Error     string  `json:"error,omitempty"`
-	MeanPS    float64 `json:"mean_ps,omitempty"`
-	StdPS     float64 `json:"std_ps,omitempty"`
-	P9987PS   float64 `json:"p9987_ps,omitempty"`
-	Shared    bool    `json:"shared_prep"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Name      string     `json:"name"`
+	Error     string     `json:"error,omitempty"`
+	MeanPS    float64    `json:"mean_ps,omitempty"`
+	StdPS     float64    `json:"std_ps,omitempty"`
+	P9987PS   float64    `json:"p9987_ps,omitempty"`
+	Setup     *SlackView `json:"setup,omitempty"`
+	Hold      *SlackView `json:"hold,omitempty"`
+	Shared    bool       `json:"shared_prep"`
+	ElapsedMS float64    `json:"elapsed_ms"`
 }
 
 // SweepEnvelopeView is the cross-scenario worst case on the wire.
@@ -85,8 +89,13 @@ type SweepResponse struct {
 	// Scenarios and Completed are the sweep accounting: a deadline firing
 	// mid-sweep yields Completed < Scenarios with the per-scenario errors
 	// naming the cut.
-	Scenarios int     `json:"scenarios"`
-	Completed int     `json:"completed"`
+	Scenarios int `json:"scenarios"`
+	Completed int `json:"completed"`
+	// Verts/Edges are the shared subject graph's size — scalar stats that
+	// survive distributed execution, where the graph itself stays on the
+	// workers (coordinator shards reassemble them from shard responses).
+	Verts     int     `json:"verts,omitempty"`
+	Edges     int     `json:"edges,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
@@ -275,6 +284,8 @@ func sweepResponseView(name string, rep *ssta.SweepReport, elapsedMS float64) *S
 			P9987PS: rep.Envelope.Quantile,
 			Worst:   rep.Envelope.Worst,
 		},
+		Verts:     rep.TopVerts,
+		Edges:     rep.TopEdges,
 		ElapsedMS: elapsedMS,
 	}
 	for i := range rep.Results {
@@ -297,6 +308,8 @@ func sweepScenarioView(res *ssta.ScenarioResult) SweepScenarioResult {
 		out.Error = res.Err.Error()
 	} else {
 		out.MeanPS, out.StdPS, out.P9987PS = res.Mean, res.Std, res.Quantile
+		out.Setup = slackViewOfStat(res.SetupSlack)
+		out.Hold = slackViewOfStat(res.HoldSlack)
 	}
 	return out
 }

@@ -43,6 +43,25 @@ type Edge struct {
 	Removed bool
 }
 
+// Register is one D-flip-flop of a sequential timing graph. The register's
+// Q output is vertex Q, launched from the clock root through a clk->Q delay
+// edge (ClkEdge); the data path being captured ends at vertex D — there is
+// no D->Q edge, which is what keeps register feedback loops acyclic. Setup
+// and Hold are the register's constraint values as canonical forms in the
+// graph's space; SetupLSens/HoldLSens carry the absolute per-parameter local
+// sensitivities at grid Grid for the Monte Carlo engine, mirroring
+// Edge.LSens.
+type Register struct {
+	Name    string
+	Q       int // vertex id of the Q output
+	D       int // vertex id whose arrival the D pin captures
+	ClkEdge int // edge index of the clock-root -> Q launch arc (-1 if absent)
+	Grid    int // placement grid (-1 when the graph has no spatial model)
+
+	Setup, Hold           *canon.Form
+	SetupLSens, HoldLSens []float64
+}
+
 // Graph is a statistical timing graph.
 type Graph struct {
 	Space  canon.Space
@@ -56,6 +75,13 @@ type Graph struct {
 
 	Inputs  []int
 	Outputs []int
+
+	// Sequential metadata. Registers holds one entry per D-flip-flop;
+	// ClockRoots the virtual clock source vertices (one for a flat graph,
+	// one per registered instance in a stitched hierarchical top). Both are
+	// empty for combinational graphs.
+	Registers  []Register
+	ClockRoots []int
 	// Port names in Inputs/Outputs order, used to stitch module models into
 	// a hierarchical design.
 	InputNames  []string
@@ -203,6 +229,23 @@ func (g *Graph) SetIO(inputs, outputs []int, inNames, outNames []string) error {
 	return nil
 }
 
+// Sequential reports whether the graph carries register metadata.
+func (g *Graph) Sequential() bool { return len(g.Registers) > 0 }
+
+// LaunchSources returns the vertices every full forward pass launches from:
+// the primary inputs plus, on sequential graphs, the clock roots (register Q
+// outputs launch from the clock through their clk->Q edges). Combinational
+// graphs get exactly g.Inputs; the result must be treated as read-only.
+func (g *Graph) LaunchSources() []int {
+	if len(g.ClockRoots) == 0 {
+		return g.Inputs
+	}
+	out := make([]int, 0, len(g.Inputs)+len(g.ClockRoots))
+	out = append(out, g.Inputs...)
+	out = append(out, g.ClockRoots...)
+	return out
+}
+
 // Order returns a topological order of the vertices, computing and caching
 // it on first use. Safe for concurrent readers; the returned slice is
 // immutable once published.
@@ -246,6 +289,14 @@ func (g *Graph) Order() ([]int, error) {
 // a cell library and grid model: one vertex per circuit node, one edge per
 // gate fanin connection (paper Section II). The canonical space has one
 // global per parameter and one component block per parameter.
+//
+// Sequential circuits get one extra virtual clock-root vertex (id
+// c.NumNodes()): each register's Q vertex is launched from it through a
+// clk->Q delay edge, and the register's D-pin capture is recorded in
+// g.Registers instead of a graph edge — register feedback therefore cannot
+// create a cycle. A primary output that is itself a register maps to its
+// D-source vertex in g.Outputs (the data arrival being captured), keeping
+// MaxDelay and extraction meaningful on clocked designs.
 func Build(c *circuit.Circuit, lib *cell.Library, plan *place.Plan, gm *variation.GridModel) (*Graph, error) {
 	if len(lib.Params) == 0 {
 		return nil, errors.New("timing: library has no variation parameters")
@@ -254,7 +305,13 @@ func Build(c *circuit.Circuit, lib *cell.Library, plan *place.Plan, gm *variatio
 		return nil, errors.New("timing: nil grid model")
 	}
 	space := canon.Space{Globals: len(lib.Params), Components: len(lib.Params) * gm.Comps}
-	g := NewGraph(space, c.NumNodes(), lib.Params)
+	nv := c.NumNodes()
+	clkRoot := -1
+	if c.Sequential() {
+		clkRoot = nv
+		nv++
+	}
+	g := NewGraph(space, nv, lib.Params)
 	g.Grids = gm
 	g.RefSlew = cell.RefSlew
 	fanout := c.Fanout()
@@ -292,6 +349,28 @@ func Build(c *circuit.Circuit, lib *cell.Library, plan *place.Plan, gm *variatio
 		if grid < 0 || grid >= gm.N() {
 			return nil, fmt.Errorf("timing: gate %d grid %d outside model (%d grids)", id, grid, gm.N())
 		}
+		if gate.Type == circuit.Dff {
+			// Register: the Q output launches from the clock root through the
+			// clk->Q arc (pin 0, clock arriving at the reference transition);
+			// the D-pin connection becomes capture metadata, not an edge.
+			arc, err := lib.Arc(circuit.Dff, 0, nf)
+			if err != nil {
+				return nil, fmt.Errorf("timing: register %q: %w", gate.Name, err)
+			}
+			delay, lsens := formFromArc(space, lib.Params, gm, arc, grid)
+			ei, err := g.AddEdge(clkRoot, id, delay, lsens, grid)
+			if err != nil {
+				return nil, err
+			}
+			rt := lib.RegTiming()
+			setup, setupL := formFromConstraint(space, lib.Params, gm, rt.Setup, rt.SetupSens, rt.RandSigma, grid)
+			hold, holdL := formFromConstraint(space, lib.Params, gm, rt.Hold, rt.HoldSens, rt.RandSigma, grid)
+			g.Registers = append(g.Registers, Register{
+				Name: gate.Name, Q: id, D: gate.Fanin[0], ClkEdge: ei, Grid: grid,
+				Setup: setup, Hold: hold, SetupLSens: setupL, HoldLSens: holdL,
+			})
+			continue
+		}
 		for pin, src := range gate.Fanin {
 			arc, err := lib.ArcAtSlew(gate.Type, pin, nf, outSlew[src])
 			if err != nil {
@@ -303,16 +382,28 @@ func Build(c *circuit.Circuit, lib *cell.Library, plan *place.Plan, gm *variatio
 			}
 		}
 	}
+	if clkRoot >= 0 {
+		g.ClockRoots = []int{clkRoot}
+	}
 
 	inNames := make([]string, len(c.PIs))
 	for i, pi := range c.PIs {
 		inNames[i] = c.Gates[pi].Name
 	}
+	// A registered primary output exposes the data arrival its capture
+	// register sees: the output vertex is the register's D source, under the
+	// register's (port) name.
+	outVerts := make([]int, len(c.POs))
 	outNames := make([]string, len(c.POs))
 	for i, po := range c.POs {
 		outNames[i] = c.Gates[po].Name
+		if c.Gates[po].Type == circuit.Dff {
+			outVerts[i] = c.Gates[po].Fanin[0]
+		} else {
+			outVerts[i] = po
+		}
 	}
-	if err := g.SetIO(c.PIs, c.POs, inNames, outNames); err != nil {
+	if err := g.SetIO(c.PIs, outVerts, inNames, outNames); err != nil {
 		return nil, err
 	}
 	// Record the boundary characterization for load- and slew-aware model
@@ -368,6 +459,8 @@ func (g *Graph) Clone() *Graph {
 		Out:              make([][]int32, len(g.Out)),
 		Inputs:           exactInts(g.Inputs),
 		Outputs:          exactInts(g.Outputs),
+		Registers:        append([]Register(nil), g.Registers...),
+		ClockRoots:       exactInts(g.ClockRoots),
 		InputNames:       append([]string(nil), g.InputNames...),
 		OutputNames:      append([]string(nil), g.OutputNames...),
 		OutputLoadSlopes: g.OutputLoadSlopes,
@@ -410,6 +503,35 @@ func formFromArc(space canon.Space, params []variation.Parameter, gm *variation.
 		rand2 += r * r
 	}
 	rand2 += arc.LoadAbs * arc.LoadAbs
+	f.Rand = sqrt(rand2)
+	return f, lsens
+}
+
+// formFromConstraint converts a register constraint characterization
+// (nominal value plus relative per-parameter sensitivities and a relative
+// private mismatch sigma) at a grid location into a canonical form plus the
+// absolute local sensitivities for Monte Carlo — the constraint analogue of
+// formFromArc.
+func formFromConstraint(space canon.Space, params []variation.Parameter, gm *variation.GridModel, nominal float64, relSens []float64, randSigma float64, grid int) (*canon.Form, []float64) {
+	f := space.NewForm()
+	f.Nominal = nominal
+	lsens := make([]float64, len(params))
+	var rand2 float64
+	row := gm.CoeffRow(grid)
+	for p, par := range params {
+		abs := nominal * relSens[p] * par.Sigma
+		f.Glob[p] = abs * sqrt(par.GlobalShare)
+		ls := abs * sqrt(par.LocalShare)
+		lsens[p] = ls
+		base := p * gm.Comps
+		for k, a := range row {
+			f.Loc[base+k] = ls * a
+		}
+		r := abs * sqrt(par.RandomShare)
+		rand2 += r * r
+	}
+	mismatch := nominal * randSigma
+	rand2 += mismatch * mismatch
 	f.Rand = sqrt(rand2)
 	return f, lsens
 }

@@ -621,11 +621,13 @@ func (g *Graph) MaxDelay() (*canon.Form, error) {
 
 // MaxDelayCtx is MaxDelay with cooperative cancellation: the forward pass
 // polls ctx between vertices and returns its error once it fires. A nil
-// ctx disables polling (MaxDelay calls through with nil).
+// ctx disables polling (MaxDelay calls through with nil). On sequential
+// graphs the pass launches from the clock roots as well as the inputs, so
+// register-launched logic is covered.
 func (g *Graph) MaxDelayCtx(ctx context.Context) (*canon.Form, error) {
 	p := g.AcquirePass().WithContext(ctx)
 	defer p.Release()
-	if err := p.Arrivals(g.Inputs...); err != nil {
+	if err := p.Arrivals(g.LaunchSources()...); err != nil {
 		return nil, err
 	}
 	acc := p.Scratch()

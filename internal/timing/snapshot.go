@@ -45,6 +45,28 @@ type EdgeSnapshot struct {
 	Removed bool      `json:"removed,omitempty"`
 }
 
+// RegisterSnapshot is one register of a sequential GraphSnapshot, carrying
+// the constraint forms and the Monte Carlo ground-truth sensitivities.
+type RegisterSnapshot struct {
+	Name    string `json:"name"`
+	Q       int    `json:"q"`
+	D       int    `json:"d"`
+	ClkEdge int    `json:"clk_edge"`
+	Grid    int    `json:"grid,omitempty"`
+
+	SetupNominal float64   `json:"setup_nominal"`
+	SetupGlob    []float64 `json:"setup_glob,omitempty"`
+	SetupLoc     []float64 `json:"setup_loc,omitempty"`
+	SetupRand    float64   `json:"setup_rand,omitempty"`
+	SetupLSens   []float64 `json:"setup_lsens,omitempty"`
+
+	HoldNominal float64   `json:"hold_nominal"`
+	HoldGlob    []float64 `json:"hold_glob,omitempty"`
+	HoldLoc     []float64 `json:"hold_loc,omitempty"`
+	HoldRand    float64   `json:"hold_rand,omitempty"`
+	HoldLSens   []float64 `json:"hold_lsens,omitempty"`
+}
+
 // ParamSnapshot mirrors variation.Parameter.
 type ParamSnapshot struct {
 	Name        string  `json:"name"`
@@ -78,6 +100,9 @@ type GraphSnapshot struct {
 	Outputs     []int    `json:"outputs,omitempty"`
 	InputNames  []string `json:"input_names,omitempty"`
 	OutputNames []string `json:"output_names,omitempty"`
+
+	Registers  []RegisterSnapshot `json:"registers,omitempty"`
+	ClockRoots []int              `json:"clock_roots,omitempty"`
 
 	OutputLoadSlopes []float64 `json:"output_load_slopes,omitempty"`
 	RefSlew          float64   `json:"ref_slew,omitempty"`
@@ -121,6 +146,17 @@ func (g *Graph) Snapshot() *GraphSnapshot {
 			LSens: e.LSens, Grid: e.Grid, Removed: e.Removed,
 		}
 	}
+	for i := range g.Registers {
+		r := &g.Registers[i]
+		s.Registers = append(s.Registers, RegisterSnapshot{
+			Name: r.Name, Q: r.Q, D: r.D, ClkEdge: r.ClkEdge, Grid: r.Grid,
+			SetupNominal: r.Setup.Nominal, SetupGlob: r.Setup.Glob, SetupLoc: r.Setup.Loc,
+			SetupRand: r.Setup.Rand, SetupLSens: r.SetupLSens,
+			HoldNominal: r.Hold.Nominal, HoldGlob: r.Hold.Glob, HoldLoc: r.Hold.Loc,
+			HoldRand: r.Hold.Rand, HoldLSens: r.HoldLSens,
+		})
+	}
+	s.ClockRoots = g.ClockRoots
 	for _, p := range g.Params {
 		s.Params = append(s.Params, ParamSnapshot{
 			Name: p.Name, Sigma: p.Sigma,
@@ -274,6 +310,63 @@ func FromSnapshot(s *GraphSnapshot) (*Graph, error) {
 	g.InputSlewSlopes = s.InputSlewSlopes
 	g.OutputPortSlews = s.OutputPortSlews
 	g.OutputSlewSlopes = s.OutputSlewSlopes
+
+	if len(s.Registers) > maxSnapshotVerts {
+		return nil, fmt.Errorf("timing: snapshot register count %d out of range", len(s.Registers))
+	}
+	restoreForm := func(i int, kind string, nominal float64, glob, loc []float64, rand float64, lsens []float64) (*canon.Form, []float64, error) {
+		if len(glob) != 0 && len(glob) != space.Globals {
+			return nil, nil, fmt.Errorf("timing: snapshot register %d has %d %s global coefficients, space has %d", i, len(glob), kind, space.Globals)
+		}
+		if len(loc) != 0 && len(loc) != space.Components {
+			return nil, nil, fmt.Errorf("timing: snapshot register %d has %d %s local coefficients, space has %d", i, len(loc), kind, space.Components)
+		}
+		if len(lsens) != 0 && len(lsens) != len(params) {
+			return nil, nil, fmt.Errorf("timing: snapshot register %d has %d %s sensitivities, %d parameters", i, len(lsens), kind, len(params))
+		}
+		f := space.NewForm()
+		f.Nominal = nominal
+		copy(f.Glob, glob)
+		copy(f.Loc, loc)
+		f.Rand = rand
+		var ls []float64
+		if len(lsens) > 0 {
+			ls = append([]float64(nil), lsens...)
+		}
+		return f, ls, nil
+	}
+	for i := range s.Registers {
+		r := &s.Registers[i]
+		// Q == -1 marks an extracted-model register whose Q vertex was
+		// reduced away; D must always resolve.
+		if r.Q < -1 || r.Q >= s.NumVerts || r.D < 0 || r.D >= s.NumVerts {
+			return nil, fmt.Errorf("timing: snapshot register %d (Q %d, D %d) outside vertex range %d", i, r.Q, r.D, s.NumVerts)
+		}
+		if r.ClkEdge < -1 || r.ClkEdge >= len(s.Edges) {
+			return nil, fmt.Errorf("timing: snapshot register %d clk edge %d outside edge range %d", i, r.ClkEdge, len(s.Edges))
+		}
+		if gridN > 0 && (r.Grid < -1 || r.Grid >= gridN) {
+			return nil, fmt.Errorf("timing: snapshot register %d grid %d outside model (%d grids)", i, r.Grid, gridN)
+		}
+		setup, setupL, err := restoreForm(i, "setup", r.SetupNominal, r.SetupGlob, r.SetupLoc, r.SetupRand, r.SetupLSens)
+		if err != nil {
+			return nil, err
+		}
+		hold, holdL, err := restoreForm(i, "hold", r.HoldNominal, r.HoldGlob, r.HoldLoc, r.HoldRand, r.HoldLSens)
+		if err != nil {
+			return nil, err
+		}
+		g.Registers = append(g.Registers, Register{
+			Name: r.Name, Q: r.Q, D: r.D, ClkEdge: r.ClkEdge, Grid: r.Grid,
+			Setup: setup, Hold: hold, SetupLSens: setupL, HoldLSens: holdL,
+		})
+	}
+	for _, v := range s.ClockRoots {
+		if v < 0 || v >= s.NumVerts {
+			return nil, fmt.Errorf("timing: snapshot clock root %d out of range", v)
+		}
+	}
+	g.ClockRoots = exactInts(s.ClockRoots)
 
 	if s.Order != nil {
 		if err := validateOrder(g, s.Order); err != nil {

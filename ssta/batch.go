@@ -68,6 +68,10 @@ type BatchResult struct {
 	Model *Model
 	// Hier is the full hierarchical result for Design items.
 	Hier *HierResult
+	// Seq is the statistical setup/hold slack summary when the analyzed
+	// graph (or stitched design) is sequential, computed under the default
+	// clock (see timing.DefaultClockPeriodPS); nil for combinational items.
+	Seq *SeqResult
 	// Elapsed is the wall-clock time of this item.
 	Elapsed time.Duration
 	Err     error
@@ -200,6 +204,7 @@ func (f *Flow) runItem(ctx context.Context, item BatchItem, itemWorkers int) (re
 		}
 		res.Hier = hr
 		res.Delay = hr.Delay
+		res.Seq = hr.Sequential
 		return res
 
 	case item.Graph != nil:
@@ -237,6 +242,17 @@ func (f *Flow) runItem(ctx context.Context, item BatchItem, itemWorkers int) (re
 		return res
 	}
 	res.Delay = delay
+
+	// Sequential graphs additionally report worst setup/hold slack under
+	// the default clock; per-scenario clocks belong to the sweep surface.
+	if res.Graph.Sequential() {
+		seq, err := res.Graph.SequentialSlacks(ClockSpec{})
+		if err != nil {
+			res.Err = fmt.Errorf("ssta: %s: sequential slacks: %w", res.Name, err)
+			return res
+		}
+		res.Seq = seq
+	}
 
 	if item.Extract {
 		model, err := f.ExtractCtx(ctx, res.Graph, item.ExtractOptions)

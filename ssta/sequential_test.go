@@ -1,0 +1,156 @@
+package ssta
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mc"
+)
+
+// clockedSmokeBench is a tiny hand-written sequential netlist: one
+// register between two combinational stages, exercising DFF parsing,
+// launch (clk->Q) and capture (D-pin) paths through the public facade.
+const clockedSmokeBench = `# sequential smoke
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q1 = DFF(d1)
+d1 = AND(a, b)
+y = NAND(q1, b)
+`
+
+// TestClockedBenchThroughFacade is the tier-1 sequential smoke: parse a
+// clocked .bench, build the graph, and report per-register setup AND hold
+// slack using only ssta-package names.
+func TestClockedBenchThroughFacade(t *testing.T) {
+	flow := DefaultFlow()
+	c, err := ParseBench("smoke.bench", strings.NewReader(clockedSmokeBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := flow.Graph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Sequential() {
+		t.Fatal("parsed clocked bench produced a combinational graph")
+	}
+	seq, err := g.SequentialSlacks(ClockSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := seq.Clock.PeriodPS, DefaultClock().PeriodPS; got != want {
+		t.Fatalf("zero clock spec normalized to %g ps, want default %g", got, want)
+	}
+	if len(seq.Regs) != 1 {
+		t.Fatalf("got %d registers, want 1", len(seq.Regs))
+	}
+	for _, r := range seq.Regs {
+		if r.Setup == nil || r.Hold == nil {
+			t.Fatalf("register %q missing slack forms: setup=%v hold=%v", r.Name, r.Setup, r.Hold)
+		}
+		if r.Setup.Std() <= 0 {
+			t.Fatalf("register %q setup slack has no spread", r.Name)
+		}
+	}
+	if seq.WorstSetup == nil || seq.WorstHold == nil {
+		t.Fatal("missing worst-case slack forms")
+	}
+	// With one register the worst setup is that register's setup.
+	if seq.WorstSetup.Mean() != seq.Regs[0].Setup.Mean() {
+		t.Fatalf("worst setup mean %g != sole register's %g",
+			seq.WorstSetup.Mean(), seq.Regs[0].Setup.Mean())
+	}
+}
+
+// TestClockedBatchAndSweep: AnalyzeBatch fills BatchResult.Seq for clocked
+// circuits under the default clock, and a clock-only scenario sweep over the
+// same graph shares prep while reshaping the slack.
+func TestClockedBatchAndSweep(t *testing.T) {
+	flow := DefaultFlow()
+	c, err := Clocked(C17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := flow.AnalyzeBatch([]BatchItem{
+		{Name: "clk", Circuit: c},
+		{Name: "comb", Circuit: C17()},
+	}, BatchOptions{Workers: 1})
+	clk, comb := results[0], results[1]
+	if clk.Err != nil || comb.Err != nil {
+		t.Fatalf("batch errors: clk=%v comb=%v", clk.Err, comb.Err)
+	}
+	if clk.Seq == nil {
+		t.Fatal("clocked batch item has no sequential result")
+	}
+	if comb.Seq != nil {
+		t.Fatal("combinational batch item grew a sequential result")
+	}
+
+	rep, err := SweepAnalyzeGraph(context.Background(), clk.Graph, []Scenario{
+		{Name: "base"},
+		{Name: "slow", ClockPeriodPS: 2 * DefaultClock().PeriodPS},
+	}, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, slow := rep.Results[0], rep.Results[1]
+	if base.Err != nil || slow.Err != nil {
+		t.Fatalf("sweep errors: %v / %v", base.Err, slow.Err)
+	}
+	if base.SetupSlack == nil || slow.SetupSlack == nil || base.HoldSlack == nil {
+		t.Fatal("sweep results missing slack stats")
+	}
+	// Doubling the period adds exactly one period of setup slack (the
+	// constraint is linear in T) and leaves hold untouched.
+	gain := slow.SetupSlack.Mean - base.SetupSlack.Mean
+	if diff := gain - DefaultClock().PeriodPS; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("period doubling gained %g ps of setup slack, want %g", gain, DefaultClock().PeriodPS)
+	}
+	if slow.HoldSlack.Mean != base.HoldSlack.Mean {
+		t.Fatalf("hold slack moved with the period: %g vs %g", slow.HoldSlack.Mean, base.HoldSlack.Mean)
+	}
+	if !slow.Shared {
+		t.Fatal("clock-only scenario did not share base prep")
+	}
+}
+
+// TestGeneratedRegisteredDesignOracle is the tier-2 check: a generated
+// registered benchmark's analytic setup/hold slack agrees with Monte Carlo
+// through the facade's ClockedBenchGraph path.
+func TestGeneratedRegisteredDesignOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping sequential MC oracle in -short mode")
+	}
+	flow := DefaultFlow()
+	g, _, err := flow.ClockedBenchGraph("c432", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ValidateSequential(g, ClockSpec{PeriodPS: 700, SkewPS: 10, JitterPS: 8},
+		MCConfig{Samples: 12000, Seed: 11}, mc.Tolerance{Mean: 0.12, Sigma: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("sequential validation failed:\n  setup %v\n  hold  %v", rep.Setup, rep.Hold)
+	}
+}
+
+// BenchmarkSequentialAnalyze measures the full sequential slack pass —
+// late + early arrival propagation plus per-register slack assembly —
+// over a registered c880.
+func BenchmarkSequentialAnalyze(b *testing.B) {
+	g, _, err := DefaultFlow().ClockedBenchGraph("c880", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := ClockSpec{PeriodPS: 700, JitterPS: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SequentialSlacks(clock); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

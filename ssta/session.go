@@ -636,6 +636,7 @@ func (s *Session) refreshSweep(ctx context.Context, rebuild bool, obs func(int, 
 		} else {
 			r.Delay = delay
 			r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
+			fillSeqSlack(r, sw.graphs[i], &sw.scens[i], q)
 		}
 		r.Elapsed = time.Since(t0)
 		if fire != nil {
@@ -647,7 +648,35 @@ func (s *Session) refreshSweep(ctx context.Context, rebuild bool, obs func(int, 
 		return firstErr
 	}
 	sw.report = scenario.NewReport(results, sw.opt)
+	s.stampSweepTop(sw.report)
 	return nil
+}
+
+// fillSeqSlack attaches worst setup/hold slack statistics to a session
+// scenario result when its graph is sequential. The scenario's transform is
+// already materialized in the per-scenario graph clone, so the slack pass
+// reads the graph's own delays under the scenario's clock.
+func fillSeqSlack(r *ScenarioResult, g *Graph, sc *Scenario, q float64) {
+	if g == nil || !g.Sequential() {
+		return
+	}
+	setup, hold, err := scenario.SeqSlackStats(g, nil, sc.ClockSpec(), q)
+	if err != nil {
+		r.Err = err
+		return
+	}
+	r.SetupSlack, r.HoldSlack = setup, hold
+}
+
+// stampSweepTop records the session graph's size on the sweep report, so
+// session sweep responses carry the same scalar graph stats as one-shot
+// sweeps (the wire layer reads the scalars, never the graph).
+func (s *Session) stampSweepTop(rep *SweepReport) {
+	if rep == nil || s.graph == nil {
+		return
+	}
+	rep.Top = s.graph
+	rep.TopVerts, rep.TopEdges = s.graph.NumVerts, len(s.graph.Edges)
 }
 
 // buildSweepState pays the full per-scenario cost — one transformed clone
@@ -691,6 +720,7 @@ func (s *Session) buildSweepState(ctx context.Context, scens []Scenario, opt Swe
 		} else {
 			r.Delay = delay
 			r.Mean, r.Std, r.Quantile = delay.Mean(), delay.Std(), delay.Quantile(q)
+			fillSeqSlack(r, g, &scens[i], q)
 		}
 		r.Elapsed = time.Since(t0)
 		if fire != nil {
@@ -716,6 +746,7 @@ func (s *Session) buildSweepState(ctx context.Context, scens []Scenario, opt Swe
 		return nil, err
 	}
 	sw.report = scenario.NewReport(results, opt)
+	s.stampSweepTop(sw.report)
 	return sw, nil
 }
 

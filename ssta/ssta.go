@@ -78,6 +78,17 @@ type (
 	HierResult = hier.Result
 	// MCConfig controls Monte Carlo runs.
 	MCConfig = mc.Config
+	// ClockSpec describes the clock of a sequential analysis (period, skew,
+	// jitter; picoseconds).
+	ClockSpec = timing.ClockSpec
+	// SeqResult is the per-register statistical setup/hold analysis.
+	SeqResult = timing.SeqResult
+	// RegSlack is one register's setup/hold slack forms.
+	RegSlack = timing.RegSlack
+	// Register is the sequential metadata of a timing-graph register.
+	Register = timing.Register
+	// SegMatrix is the register-to-register path segmentation.
+	SegMatrix = timing.SegMatrix
 	// Plan is a placement with grid binning.
 	Plan = place.Plan
 	// Library is a standard-cell timing library.
@@ -104,6 +115,25 @@ var (
 	ParseBench = circuit.ParseBench
 	// Generate builds a topology-matched pseudo-random benchmark.
 	Generate = circuit.Generate
+	// GenerateClocked builds a registered (clocked) variant of a generated
+	// benchmark: every PI registered on entry, every PO captured by a DFF.
+	GenerateClocked = circuit.GenerateClocked
+	// Clocked wraps an existing combinational circuit with input and
+	// capture registers.
+	Clocked = circuit.Clocked
+	// ParseBenchCombinational parses a .bench netlist, rejecting sequential
+	// elements with an explicit error (the pre-register compatibility mode).
+	ParseBenchCombinational = circuit.ParseBenchCombinational
+	// DefaultClock is the clock assumed when a sequential analysis runs
+	// without an explicit spec.
+	DefaultClock = timing.DefaultClock
+	// MinDelaySamples runs structural shortest-path Monte Carlo on a flat
+	// graph — the sampling reference for Graph.MinDelay.
+	MinDelaySamples = mc.MinDelaySamples
+	// SequentialSamples draws Monte Carlo worst setup/hold slack samples.
+	SequentialSamples = mc.SequentialSamples
+	// ValidateSequential is the sequential Monte Carlo differential oracle.
+	ValidateSequential = mc.ValidateSequential
 	// SpecByName looks up one of the ten ISCAS85 structural specs.
 	SpecByName = circuit.SpecByName
 	// ISCAS85Specs lists the structural specs behind the paper's Table I.
@@ -210,6 +240,21 @@ func (f *Flow) BenchGraph(name string, seed int64) (*Graph, *Plan, error) {
 		return nil, nil, fmt.Errorf("ssta: unknown benchmark %q", name)
 	}
 	c, err := circuit.Generate(spec, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Graph(c)
+}
+
+// ClockedBenchGraph generates the registered (clocked) variant of the named
+// benchmark — input and capture DFF stages wrapping the combinational core —
+// and builds its timing graph.
+func (f *Flow) ClockedBenchGraph(name string, seed int64) (*Graph, *Plan, error) {
+	spec, ok := circuit.SpecByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("ssta: unknown benchmark %q", name)
+	}
+	c, err := circuit.GenerateClocked(spec, seed)
 	if err != nil {
 		return nil, nil, err
 	}

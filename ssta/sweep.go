@@ -23,6 +23,9 @@ type (
 	SweepEnvelope = scenario.Envelope
 	// ScenarioSpec is the JSON wire form of a scenario's rescale knobs.
 	ScenarioSpec = scenario.Spec
+	// SlackStat summarizes one worst-slack distribution (mean, std, and the
+	// low-tail quantile) in a scenario result on sequential graphs.
+	SlackStat = scenario.SlackStat
 )
 
 // Re-exported scenario constructors.
